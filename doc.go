@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "MariusGNN:
+// Resource-Efficient Out-of-Core Training of Graph Neural Networks"
+// (Waleffe, Mohoney, Rekatsinas, Venkataraman — EuroSys 2023).
+//
+// The high-level API lives in internal/core; see README.md for a tour,
+// DESIGN.md for the system inventory and substitutions, and EXPERIMENTS.md
+// for paper-vs-measured results. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation section.
+package repro

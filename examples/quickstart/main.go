@@ -1,0 +1,55 @@
+// Quickstart: train a three-layer GraphSage node classifier in memory on a
+// synthetic citation-style graph, the M-GNN_Mem configuration of the paper.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func main() {
+	// A Papers100M-shaped graph scaled to laptop size: 20k nodes with
+	// label-correlated features and homophilous edges.
+	g := gen.SBM(gen.DefaultSBM(20_000, 42))
+	fmt.Printf("graph: %d nodes, %d edges, %d classes, %d training nodes\n",
+		g.NumNodes, len(g.Edges), g.NumClasses, len(g.TrainNodes))
+
+	sys, err := core.NewNodeClassification(g, core.Config{
+		Storage:   core.InMemory,
+		Model:     core.GraphSage,
+		Layers:    3,
+		Fanouts:   []int{15, 10, 5},
+		Dim:       64,
+		BatchSize: 512,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	for epoch := 1; epoch <= 5; epoch++ {
+		stats, err := sys.TrainEpoch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %d: %.2fs  loss %.4f  train-acc %.3f  (sampled %d nodes, %d edges)\n",
+			epoch, stats.Duration.Seconds(), stats.Loss, stats.Metric,
+			stats.NodesSampled, stats.EdgesSampled)
+	}
+
+	valid, err := sys.EvaluateValid()
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := sys.EvaluateTest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validation accuracy %.3f, test accuracy %.3f\n", valid, test)
+}

@@ -1,0 +1,68 @@
+// Package costmodel reproduces the monetary cost accounting of the paper:
+// the AWS P3 instance catalog (Table 2), $/epoch conversion of measured
+// runtimes, and the graph memory-overhead calculator behind Table 1.
+package costmodel
+
+import "time"
+
+// Instance describes a cloud GPU machine (paper Table 2).
+type Instance struct {
+	Name      string
+	DollarsHr float64
+	GPUs      int
+	CPUs      int
+	CPUMemGB  int
+}
+
+// Table2 is the AWS P3 catalog used throughout the paper's evaluation.
+var Table2 = []Instance{
+	{Name: "P3.2xLarge", DollarsHr: 3.06, GPUs: 1, CPUs: 8, CPUMemGB: 61},
+	{Name: "P3.8xLarge", DollarsHr: 12.24, GPUs: 4, CPUs: 32, CPUMemGB: 244},
+	{Name: "P3.16xLarge", DollarsHr: 24.48, GPUs: 8, CPUs: 64, CPUMemGB: 488},
+}
+
+// ByName returns the catalog instance with the given name.
+func ByName(name string) Instance {
+	for _, inst := range Table2 {
+		if inst.Name == name {
+			return inst
+		}
+	}
+	panic("costmodel: unknown instance " + name)
+}
+
+// CostPerEpoch converts an epoch runtime to dollars on the instance.
+func CostPerEpoch(inst Instance, epoch time.Duration) float64 {
+	return inst.DollarsHr * epoch.Hours()
+}
+
+// GraphSpec describes a dataset's published dimensions (Table 1 inputs).
+type GraphSpec struct {
+	Name    string
+	Nodes   int64
+	Edges   int64
+	FeatDim int
+	HasRel  bool // knowledge graphs store a relation per edge
+}
+
+// Table1 lists the six graphs of paper Table 1.
+var Table1 = []GraphSpec{
+	{Name: "Papers100M", Nodes: 111_000_000, Edges: 1_620_000_000, FeatDim: 128},
+	{Name: "Mag240M-Cites", Nodes: 122_000_000, Edges: 1_300_000_000, FeatDim: 768},
+	{Name: "Freebase86M", Nodes: 86_000_000, Edges: 338_000_000, FeatDim: 100, HasRel: true},
+	{Name: "WikiKG90Mv2", Nodes: 91_000_000, Edges: 601_000_000, FeatDim: 100, HasRel: true},
+	{Name: "Hyperlink 2012", Nodes: 3_500_000_000, Edges: 128_000_000_000, FeatDim: 50},
+	{Name: "Facebook15", Nodes: 1_400_000_000, Edges: 1_000_000_000_000, FeatDim: 100},
+}
+
+// Overheads returns the edge, feature, and total storage requirement in
+// bytes, matching Table 1's accounting (4-byte IDs and float32 features).
+func (g GraphSpec) Overheads() (edgeBytes, featBytes, totalBytes int64) {
+	per := int64(8)
+	if g.HasRel {
+		per = 12
+	}
+	edgeBytes = g.Edges * per
+	featBytes = g.Nodes * int64(g.FeatDim) * 4
+	return edgeBytes, featBytes, edgeBytes + featBytes
+}

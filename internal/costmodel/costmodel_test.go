@@ -1,0 +1,52 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTable2Catalog(t *testing.T) {
+	if len(Table2) != 3 {
+		t.Fatalf("catalog size %d", len(Table2))
+	}
+	inst := ByName("P3.2xLarge")
+	if inst.GPUs != 1 || inst.CPUMemGB != 61 || inst.DollarsHr != 3.06 {
+		t.Fatalf("P3.2xLarge = %+v", inst)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown instance must panic")
+		}
+	}()
+	ByName("nope")
+}
+
+func TestCostPerEpoch(t *testing.T) {
+	inst := ByName("P3.2xLarge")
+	got := CostPerEpoch(inst, 2*time.Hour)
+	if math.Abs(got-6.12) > 1e-9 {
+		t.Fatalf("cost = %v", got)
+	}
+}
+
+func TestTable1OverheadsMatchPaperMagnitudes(t *testing.T) {
+	// The paper reports Papers100M at 13 GB edges / 57 GB features / 70 GB
+	// total; our formulae must land within rounding of those.
+	for _, g := range Table1 {
+		eb, fb, tb := g.Overheads()
+		if tb != eb+fb {
+			t.Fatal("total must be edges+features")
+		}
+		if g.Name == "Papers100M" {
+			if math.Abs(float64(eb)/1e9-13) > 1 || math.Abs(float64(fb)/1e9-57) > 1 {
+				t.Fatalf("Papers100M overheads %d/%d do not match the paper", eb, fb)
+			}
+		}
+		if g.Name == "Hyperlink 2012" {
+			if math.Abs(float64(eb)/1e9-1024) > 30 {
+				t.Fatalf("Hyperlink edges %d GB off", eb/1e9)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package decoder implements link-prediction score functions and losses.
+//
+// MariusGNN evaluates link prediction with the DistMult score function
+// (Yang et al.) over encoder outputs, trained with softmax cross-entropy
+// against a shared set of negative samples per batch, and reports MRR.
+package decoder
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// DistMult scores an edge (s, r, d) as ⟨e_s, w_r, e_d⟩ = Σ_j e_s[j]·w_r[j]·e_d[j].
+type DistMult struct {
+	Rel *nn.Param // [numRels x dim] learned relation embeddings
+	dim int
+}
+
+// NewDistMult registers relation embeddings in ps.
+func NewDistMult(ps *nn.ParamSet, numRels, dim int, rng *rand.Rand) *DistMult {
+	p := ps.New("distmult.rel", numRels, dim)
+	p.Value.RandUniform(rng, 0.1)
+	return &DistMult{Rel: p, dim: dim}
+}
+
+// Dim returns the embedding dimensionality.
+func (d *DistMult) Dim() int { return d.dim }
+
+// Loss computes the batched link-prediction loss with shared negatives.
+// srcEnc and dstEnc are the encoded endpoint representations of the B
+// positive edges; rels are the edge relation IDs; negEnc holds N encoded
+// negative nodes shared across the batch. Both endpoints are corrupted
+// (source- and destination-side negatives), as in Marius. The returned
+// node is the scalar loss; posLogits/negLogits are returned for metric
+// computation.
+func (d *DistMult) Loss(tp *tensor.Tape, params map[string]*tensor.Node, srcEnc, dstEnc, negEnc *tensor.Node, rels []int32) (loss, posScores, negDst, negSrc *tensor.Node) {
+	relRows := tp.Gather(params[d.Rel.Name], rels) // [B x dim]
+
+	srcRel := tp.Mul(srcEnc, relRows) // [B x dim]
+	dstRel := tp.Mul(dstEnc, relRows)
+
+	posScores = tp.RowSum(tp.Mul(srcRel, dstEnc)) // [B x 1]
+	negDst = tp.MatMulTB(srcRel, negEnc)          // [B x N] corrupt destination
+	negSrc = tp.MatMulTB(dstRel, negEnc)          // [B x N] corrupt source
+
+	labels := make([]int32, srcEnc.Value.Rows)
+	lossDst := tp.SoftmaxCrossEntropy(tp.ConcatCols(posScores, negDst), labels)
+	lossSrc := tp.SoftmaxCrossEntropy(tp.ConcatCols(posScores, negSrc), labels)
+	loss = tp.Scale(tp.Add(lossDst, lossSrc), 0.5)
+	return loss, posScores, negDst, negSrc
+}
+
+// BatchMRR computes the mean reciprocal rank of each positive score
+// against its row of negative scores (optimistic-minus-ties ranking: rank
+// = 1 + count of strictly greater negatives + half of ties).
+func BatchMRR(pos, neg *tensor.Tensor) float64 {
+	if pos.Rows == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < pos.Rows; i++ {
+		p := pos.At(i, 0)
+		rank := 1.0
+		for _, s := range neg.Row(i) {
+			if s > p {
+				rank++
+			} else if s == p {
+				rank += 0.5
+			}
+		}
+		sum += 1 / rank
+	}
+	return sum / float64(pos.Rows)
+}
+
+// HitsAtK computes the fraction of positives ranked within the top k.
+func HitsAtK(pos, neg *tensor.Tensor, k int) float64 {
+	if pos.Rows == 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < pos.Rows; i++ {
+		p := pos.At(i, 0)
+		rank := 1
+		for _, s := range neg.Row(i) {
+			if s > p {
+				rank++
+			}
+		}
+		if rank <= k {
+			hits++
+		}
+	}
+	return float64(hits) / float64(pos.Rows)
+}
+
+// ScoreAll scores (src, rel) against every row of emb (all entities) and
+// returns the scores; used for full-ranking MRR on small graphs
+// (paper §7.5 uses all negatives on FB15k-237).
+func (d *DistMult) ScoreAll(srcRow, relRow []float32, emb *tensor.Tensor) []float32 {
+	out := make([]float32, emb.Rows)
+	dim := len(srcRow)
+	sr := make([]float32, dim)
+	for j := range sr {
+		sr[j] = srcRow[j] * relRow[j]
+	}
+	for v := 0; v < emb.Rows; v++ {
+		row := emb.Row(v)
+		var s float32
+		for j := range sr {
+			s += sr[j] * row[j]
+		}
+		out[v] = s
+	}
+	return out
+}
+
+// FullRank returns the rank of target among scores (1-based, average-tie).
+func FullRank(scores []float32, target int32) float64 {
+	p := scores[target]
+	rank, ties := 1, 0
+	for i, s := range scores {
+		if int32(i) == target {
+			continue
+		}
+		if s > p {
+			rank++
+		} else if s == p {
+			ties++
+		}
+	}
+	return float64(rank) + float64(ties)/2
+}
+
+// TopK returns the indices of the k highest scores (descending).
+func TopK(scores []float32, k int) []int32 {
+	idx := make([]int32, len(scores))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

@@ -1,0 +1,125 @@
+package decoder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestDistMultScoreMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := nn.NewParamSet()
+	d := NewDistMult(ps, 3, 4, rng)
+
+	src := tensor.New(2, 4)
+	dst := tensor.New(2, 4)
+	neg := tensor.New(3, 4)
+	src.RandNormal(rng, 1)
+	dst.RandNormal(rng, 1)
+	neg.RandNormal(rng, 1)
+	rels := []int32{0, 2}
+
+	tp := tensor.NewTape()
+	params := ps.Bind(tp)
+	_, pos, negD, negS := d.Loss(tp, params, tp.Constant(src), tp.Constant(dst), tp.Constant(neg), rels)
+
+	relT := d.Rel.Value
+	for i := 0; i < 2; i++ {
+		var want float64
+		for j := 0; j < 4; j++ {
+			want += float64(src.At(i, j)) * float64(relT.At(int(rels[i]), j)) * float64(dst.At(i, j))
+		}
+		if math.Abs(float64(pos.Value.At(i, 0))-want) > 1e-4 {
+			t.Fatalf("pos score %d: got %v want %v", i, pos.Value.At(i, 0), want)
+		}
+		for n := 0; n < 3; n++ {
+			var wd, ws float64
+			for j := 0; j < 4; j++ {
+				wd += float64(src.At(i, j)) * float64(relT.At(int(rels[i]), j)) * float64(neg.At(n, j))
+				ws += float64(dst.At(i, j)) * float64(relT.At(int(rels[i]), j)) * float64(neg.At(n, j))
+			}
+			if math.Abs(float64(negD.Value.At(i, n))-wd) > 1e-4 {
+				t.Fatalf("negDst score (%d,%d) wrong", i, n)
+			}
+			if math.Abs(float64(negS.Value.At(i, n))-ws) > 1e-4 {
+				t.Fatalf("negSrc score (%d,%d) wrong", i, n)
+			}
+		}
+	}
+}
+
+func TestDistMultLossGradientsFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps := nn.NewParamSet()
+	d := NewDistMult(ps, 2, 3, rng)
+	src := tensor.New(4, 3)
+	dst := tensor.New(4, 3)
+	neg := tensor.New(5, 3)
+	src.RandNormal(rng, 1)
+	dst.RandNormal(rng, 1)
+	neg.RandNormal(rng, 1)
+
+	tp := tensor.NewTape()
+	params := ps.Bind(tp)
+	srcN := tp.Leaf(src, true)
+	loss, _, _, _ := d.Loss(tp, params, srcN, tp.Constant(dst), tp.Constant(neg), []int32{0, 1, 0, 1})
+	tp.Backward(loss)
+	if srcN.Grad() == nil {
+		t.Fatal("no gradient to source embeddings")
+	}
+	if params[d.Rel.Name].Grad() == nil {
+		t.Fatal("no gradient to relation embeddings")
+	}
+}
+
+func TestBatchMRRAndHits(t *testing.T) {
+	pos := tensor.FromSlice(3, 1, []float32{5, 1, 2})
+	neg := tensor.FromSlice(3, 3, []float32{
+		1, 2, 3, // rank 1 -> RR 1
+		2, 3, 4, // rank 4 -> RR 0.25
+		2, 1, 0, // one tie (2) and one below -> rank 1 + 0.5 = 1.5
+	})
+	want := (1.0 + 0.25 + 1/1.5) / 3
+	if got := BatchMRR(pos, neg); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MRR = %v, want %v", got, want)
+	}
+	if got := HitsAtK(pos, neg, 1); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("Hits@1 = %v", got)
+	}
+	if got := HitsAtK(pos, neg, 10); got != 1 {
+		t.Fatalf("Hits@10 = %v", got)
+	}
+}
+
+func TestFullRankAndScoreAll(t *testing.T) {
+	emb := tensor.FromSlice(4, 2, []float32{
+		1, 0,
+		0, 1,
+		1, 1,
+		-1, 0,
+	})
+	src := []float32{1, 0}
+	rel := []float32{1, 1}
+	scores := (&DistMult{dim: 2}).ScoreAll(src, rel, emb)
+	// scores = src*rel . emb = [1,0] . rows -> [1, 0, 1, -1]
+	wantScores := []float32{1, 0, 1, -1}
+	for i := range wantScores {
+		if scores[i] != wantScores[i] {
+			t.Fatalf("score %d = %v", i, scores[i])
+		}
+	}
+	// Target 2 has score 1 with one tie (index 0): rank 1 + 0.5.
+	if r := FullRank(scores, 2); r != 1.5 {
+		t.Fatalf("rank = %v", r)
+	}
+	if r := FullRank(scores, 3); r != 4 {
+		t.Fatalf("rank = %v", r)
+	}
+	top := TopK(scores, 2)
+	if len(top) != 2 || scores[top[0]] < scores[top[1]] {
+		t.Fatalf("TopK broken: %v", top)
+	}
+}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/policy"
+	"repro/internal/tensor"
+)
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice(3, 3, []float32{
+		5, 1, 1, // -> 0
+		0, 2, 1, // -> 1
+		0, 0, 9, // -> 2
+	})
+	if got := Accuracy(logits, []int32{0, 1, 2}); got != 1 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := Accuracy(logits, []int32{0, 0, 0}); math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("accuracy = %v", got)
+	}
+}
+
+func TestMeanAccumulator(t *testing.T) {
+	var m MeanAccumulator
+	if m.Mean() != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	m.Add(1, 1)
+	m.Add(0, 3)
+	if math.Abs(m.Mean()-0.25) > 1e-12 {
+		t.Fatalf("mean = %v", m.Mean())
+	}
+}
+
+// biasFor computes B for a policy on a uniform random graph.
+func biasFor(t *testing.T, pol policy.Policy, p, numNodes, numEdges int, seed int64) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, numEdges)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: int32(rng.Intn(numNodes)), Dst: int32(rng.Intn(numNodes))}
+	}
+	pt := partition.New(numNodes, p)
+	buckets := pt.Buckets(edges)
+	plan := pol.NewEpochPlan(rng)
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return EdgePermutationBias(plan, buckets)
+}
+
+func TestBiasBounds(t *testing.T) {
+	b := biasFor(t, policy.Beta{P: 12, C: 4}, 12, 4000, 40000, 1)
+	if b < 0 || b > 1 {
+		t.Fatalf("bias %v out of [0,1]", b)
+	}
+}
+
+func TestBiasBetaExceedsComet(t *testing.T) {
+	// The paper's core observation (§5.1, Fig. 6): the greedy eager policy
+	// produces a more correlated example order than COMET.
+	var betaSum, cometSum float64
+	const trials = 3
+	for s := int64(0); s < trials; s++ {
+		betaSum += biasFor(t, policy.Beta{P: 16, C: 4}, 16, 4000, 40000, s)
+		cometSum += biasFor(t, policy.Comet{P: 16, L: 8, C: 4}, 16, 4000, 40000, s)
+	}
+	if cometSum >= betaSum {
+		t.Fatalf("COMET bias %.4f should be below BETA bias %.4f", cometSum/trials, betaSum/trials)
+	}
+}
+
+func TestBiasSingleVisitIsZero(t *testing.T) {
+	// With the whole graph in one visit, every node finishes at once: the
+	// only measurement point has all tallies = 1, so B = 0.
+	b := biasFor(t, policy.InMemory{P: 4}, 4, 500, 5000, 2)
+	if b != 0 {
+		t.Fatalf("in-memory bias = %v, want 0", b)
+	}
+}
+
+func TestBiasMoreLogicalPartitionsIncreasesBias(t *testing.T) {
+	// Paper Fig. 6b: B grows with l (fewer partitions per transfer group
+	// means finer, more correlated visits).
+	low := biasFor(t, policy.Comet{P: 32, L: 8, C: 8}, 32, 6000, 60000, 3)
+	high := biasFor(t, policy.Comet{P: 32, L: 32, C: 8}, 32, 6000, 60000, 3)
+	if low >= high {
+		t.Fatalf("bias l=8 (%.4f) should be below bias l=32 (%.4f)", low, high)
+	}
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/autotune"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/train"
+)
+
+// BiasPoint is one (configuration, Edge Permutation Bias, MRR) sample for
+// paper Fig. 6a.
+type BiasPoint struct {
+	Policy string
+	P, L   int
+	Bias   float64
+	MRR    float64
+}
+
+// Figure6a sweeps disk policies/partitionings on an FB15k-237-like graph,
+// recording the bias B of each epoch plan and the model MRR after
+// training — the correlation the paper uses to motivate COMET.
+func Figure6a(sc Scale, epochs int) ([]BiasPoint, error) {
+	type cfg struct {
+		name    string
+		pol     func() policy.Policy
+		p, l, c int
+	}
+	configs := []cfg{
+		{"BETA", func() policy.Policy { return policy.Beta{P: 16, C: 4} }, 16, 0, 4},
+		{"BETA", func() policy.Policy { return policy.Beta{P: 32, C: 8} }, 32, 0, 8},
+		{"COMET", func() policy.Policy { return policy.Comet{P: 16, L: 8, C: 4} }, 16, 8, 4},
+		{"COMET", func() policy.Policy { return policy.Comet{P: 16, L: 16, C: 4} }, 16, 16, 4},
+		{"COMET", func() policy.Policy { return policy.Comet{P: 8, L: 8, C: 2} }, 8, 8, 2},
+		{"COMET", func() policy.Policy { return policy.Comet{P: 32, L: 16, C: 8} }, 32, 16, 8},
+	}
+	var points []BiasPoint
+	for _, c := range configs {
+		g := lpDataset("237", sc, 500)
+		pt := train.PrepareLP(g, c.p, 500)
+		buckets := pt.Buckets(g.Edges)
+		plan := c.pol().NewEpochPlan(rand.New(rand.NewSource(7)))
+		bias := eval.EdgePermutationBias(plan, buckets)
+
+		mrr, err := diskLPMRR(g, c.p, c.c, c.pol(), epochs)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, BiasPoint{Policy: c.name, P: c.p, L: c.l, Bias: bias, MRR: mrr})
+	}
+	return points, nil
+}
+
+// diskLPMRR trains a decoder-only DistMult on disk under pol and returns
+// validation MRR (full entity ranking).
+func diskLPMRR(g *graph.Graph, p, c int, pol policy.Policy, epochs int) (float64, error) {
+	dir := tempDir("fig6")
+	defer os.RemoveAll(dir)
+	sys, err := core.NewLinkPrediction(g, core.Config{
+		Storage: core.OnDisk, Dir: dir, Model: core.DistMultOnly,
+		Dim: 32, BatchSize: 1024, Negatives: 256,
+		Partitions: p, BufferCapacity: c, LogicalPartitions: p, // placeholder; overridden below
+		Seed: 500,
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Swap in the exact policy under test (core picked a default COMET).
+	sys.SetPolicy(pol)
+	defer sys.Close()
+	for e := 0; e < epochs; e++ {
+		if _, err := sys.TrainEpoch(); err != nil {
+			return 0, err
+		}
+	}
+	return sys.EvaluateValid()
+}
+
+// PartitionEffect is one sweep point for Figures 6b and 6c.
+type PartitionEffect struct {
+	P, L         int
+	Bias         float64
+	NumSubgraphs int
+	TotalLoads   int
+}
+
+// Figure6b sweeps the number of logical partitions at fixed p, measuring
+// bias, |S| (number of subgraphs), and total IO in partition loads.
+func Figure6b(sc Scale) ([]PartitionEffect, error) {
+	const p, c = 32, 8
+	g := lpDataset("237", sc, 510)
+	pt := train.PrepareLP(g, p, 510)
+	buckets := pt.Buckets(g.Edges)
+	var out []PartitionEffect
+	for _, l := range []int{8, 16, 32} {
+		comet := policy.Comet{P: p, L: l, C: c}
+		if comet.Validate() != nil {
+			continue
+		}
+		var bias float64
+		var subgraphs, loads int
+		const seeds = 5
+		for seed := int64(0); seed < seeds; seed++ {
+			plan := comet.NewEpochPlan(rand.New(rand.NewSource(9 + seed)))
+			bias += eval.EdgePermutationBias(plan, buckets)
+			subgraphs += len(plan.Visits)
+			loads += plan.TotalLoads()
+		}
+		out = append(out, PartitionEffect{
+			P: p, L: l,
+			Bias:         bias / seeds,
+			NumSubgraphs: subgraphs / seeds,
+			TotalLoads:   loads / seeds,
+		})
+	}
+	return out, nil
+}
+
+// Figure6c sweeps the number of physical partitions at a fixed buffer
+// fraction (c = p/4), measuring bias.
+func Figure6c(sc Scale) ([]PartitionEffect, error) {
+	g := lpDataset("237", sc, 520)
+	var out []PartitionEffect
+	for _, p := range []int{8, 16, 32, 64} {
+		c := p / 4
+		l := 2 * p / c // the §6 rule: two logical partitions in the buffer
+		comet := policy.Comet{P: p, L: l, C: c}
+		if comet.Validate() != nil {
+			continue
+		}
+		gc := *g // re-partitioning mutates the graph: work on a copy
+		gc.Edges = append([]graph.Edge(nil), g.Edges...)
+		pt := train.PrepareLP(&gc, p, 520)
+		buckets := pt.Buckets(gc.Edges)
+		var bias float64
+		var subgraphs, loads int
+		const seeds = 5
+		for seed := int64(0); seed < seeds; seed++ {
+			plan := comet.NewEpochPlan(rand.New(rand.NewSource(11 + seed)))
+			bias += eval.EdgePermutationBias(plan, buckets)
+			subgraphs += len(plan.Visits)
+			loads += plan.TotalLoads()
+		}
+		out = append(out, PartitionEffect{
+			P: p, L: l,
+			Bias:         bias / seeds,
+			NumSubgraphs: subgraphs / seeds,
+			TotalLoads:   loads / seeds,
+		})
+	}
+	return out, nil
+}
+
+// TimeToAccuracyPoint is one epoch of a time-to-accuracy trace (Fig. 7).
+type TimeToAccuracyPoint struct {
+	System  string
+	Epoch   int
+	Elapsed time.Duration
+	Metric  float64
+}
+
+// Figure7 produces time-to-accuracy traces for node classification
+// (Papers-like) across the three execution configurations.
+func Figure7(sc Scale, epochs int) ([]TimeToAccuracyPoint, error) {
+	var points []TimeToAccuracyPoint
+	for _, system := range []string{"M-GNN Mem", "M-GNN Disk", "DGL/PyG-sim"} {
+		g := ncDataset("Papers", sc, 600)
+		cfg := core.Config{
+			Model: core.GraphSage, Layers: 3, Fanouts: []int{15, 10, 5},
+			Dim: 64, BatchSize: 512, Seed: 600,
+		}
+		switch system {
+		case "M-GNN Disk":
+			cfg.Storage = core.OnDisk
+			cfg.Dir = tempDir("fig7")
+			cfg.Partitions, cfg.BufferCapacity = 16, 4
+			defer os.RemoveAll(cfg.Dir)
+		case "DGL/PyG-sim":
+			cfg.Mode = train.ModeBaseline
+		}
+		sys, err := core.NewNodeClassification(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		var elapsed time.Duration
+		for e := 1; e <= epochs; e++ {
+			st, err := sys.TrainEpoch()
+			if err != nil {
+				sys.Close()
+				return nil, err
+			}
+			elapsed += st.Duration
+			metric, err := sys.EvaluateValid()
+			if err != nil {
+				sys.Close()
+				return nil, err
+			}
+			points = append(points, TimeToAccuracyPoint{
+				System: system, Epoch: e, Elapsed: elapsed, Metric: metric,
+			})
+		}
+		sys.Close()
+	}
+	return points, nil
+}
+
+// TuningPoint is one grid-search configuration's outcome (Fig. 8).
+type TuningPoint struct {
+	P, C, L   int
+	Epoch     time.Duration
+	MRR       float64
+	AutoTuned bool
+}
+
+// Figure8 runs a (p, c, l) grid search for disk-based GraphSage link
+// prediction on the FB15k-237-like graph and marks the configuration the
+// §6 auto-tuning rules select.
+func Figure8(sc Scale, epochs int) ([]TuningPoint, error) {
+	base := lpDataset("237", sc, 700)
+	const dim = 32
+
+	no := int64(base.NumNodes) * dim * 4
+	eo := int64(len(base.Edges)) * 12
+	tuned, err := autotune.Tune(autotune.Input{
+		NumNodes: base.NumNodes, NumEdges: len(base.Edges), Dim: dim,
+		// A CPU budget holding roughly half the representations (so the
+		// tuner must page) plus room for the in-memory edge buckets.
+		CPUBytes: no/2 + 4*eo, BlockBytes: 4 << 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	grid := autotune.Grid([]int{8, 16, 32}, []int{2, 4, 8})
+	grid = append(grid, autotune.GridPoint{P: tuned.P, C: tuned.C, L: tuned.L})
+
+	var out []TuningPoint
+	seen := map[autotune.GridPoint]bool{}
+	for _, gp := range grid {
+		if seen[gp] {
+			continue
+		}
+		seen[gp] = true
+		comet := policy.Comet{P: gp.P, L: gp.L, C: gp.C}
+		if comet.Validate() != nil {
+			continue
+		}
+		g := lpDataset("237", sc, 700)
+		dir := tempDir("fig8")
+		sys, err := core.NewLinkPrediction(g, core.Config{
+			Storage: core.OnDisk, Dir: dir, Model: core.GraphSage,
+			Layers: 1, Fanouts: []int{10}, Dim: dim,
+			BatchSize: 1024, Negatives: 256,
+			Partitions: gp.P, BufferCapacity: gp.C, LogicalPartitions: gp.L,
+			Seed: 700,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		var total time.Duration
+		for e := 0; e < epochs; e++ {
+			st, err := sys.TrainEpoch()
+			if err != nil {
+				sys.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			total += st.Duration
+		}
+		mrr, err := sys.EvaluateValid()
+		sys.Close()
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TuningPoint{
+			P: gp.P, C: gp.C, L: gp.L,
+			Epoch: total / time.Duration(epochs), MRR: mrr,
+			AutoTuned: gp.P == tuned.P && gp.C == tuned.C && gp.L == tuned.L,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+)
+
+// Table6Row is one GNN depth's sampling/compute comparison between DENSE
+// and the per-layer re-sampling baseline (paper Table 6).
+type Table6Row struct {
+	Layers int
+
+	DenseSample    time.Duration
+	BaselineSample time.Duration
+
+	DenseCompute    time.Duration
+	BaselineCompute time.Duration
+
+	DenseNodes, DenseEdges       int64
+	BaselineNodes, BaselineEdges int64
+}
+
+// Table6 measures per-mini-batch CPU sampling time, compute time, and
+// sampled nodes/edges for GraphSage of depth 1..maxLayers on a
+// Papers100M-shaped graph, requesting 10 incoming + 10 outgoing neighbors
+// per node per layer as in §7.4.
+func Table6(sc Scale, maxLayers, batch, trials int) ([]Table6Row, error) {
+	g := ncDataset("Papers", sc, 300)
+	adj := graph.BuildAdjacency(g.NumNodes, g.Edges)
+	rng := rand.New(rand.NewSource(300))
+
+	var rows []Table6Row
+	for k := 1; k <= maxLayers; k++ {
+		fanouts := make([]int, k)
+		for i := range fanouts {
+			fanouts[i] = 10
+		}
+		row := Table6Row{Layers: k}
+
+		ps := nn.NewParamSet()
+		dims := []int{g.FeatureDim()}
+		for i := 0; i < k; i++ {
+			dims = append(dims, 32)
+		}
+		enc := gnn.BuildSage(ps, dims, gnn.Mean, rng)
+
+		dsmp := sampler.New(adj, fanouts, graph.Both, 300)
+		lsmp := sampler.NewLayered(adj, fanouts, graph.Both, 300)
+
+		for trial := 0; trial < trials; trial++ {
+			targets := uniqueNodes(rng, g.NumNodes, batch)
+
+			t0 := time.Now()
+			d := dsmp.Sample(targets)
+			row.DenseSample += time.Since(t0)
+			row.DenseNodes += int64(d.NumNodes())
+			row.DenseEdges += int64(d.NumSampledEdges())
+
+			t0 = time.Now()
+			ls := lsmp.Sample(targets)
+			row.BaselineSample += time.Since(t0)
+			row.BaselineNodes += int64(ls.NumNodesSampled())
+			row.BaselineEdges += int64(ls.NumEdgesSampled())
+
+			// Compute with dense segment kernels over DENSE.
+			h0d := gatherFeatures(g.Features, d.NodeIDs)
+			t0 = time.Now()
+			tp := tensor.NewTape()
+			params := ps.Bind(tp)
+			out := enc.Forward(tp, params, d, tp.Leaf(h0d, false))
+			loss := tp.MeanAll(out)
+			tp.Backward(loss)
+			row.DenseCompute += time.Since(t0)
+
+			// Compute with per-edge COO kernels over the layered sample.
+			h0b := gatherFeatures(g.Features, ls.Blocks[0].SrcNodes)
+			t0 = time.Now()
+			tp2 := tensor.NewTape()
+			params2 := ps.Bind(tp2)
+			out2 := gnn.BaselineForward(tp2, params2, enc, ls, tp2.Leaf(h0b, false))
+			loss2 := tp2.MeanAll(out2)
+			tp2.Backward(loss2)
+			row.BaselineCompute += time.Since(t0)
+		}
+		d := time.Duration(trials)
+		row.DenseSample /= d
+		row.BaselineSample /= d
+		row.DenseCompute /= d
+		row.BaselineCompute /= d
+		row.DenseNodes /= int64(trials)
+		row.DenseEdges /= int64(trials)
+		row.BaselineNodes /= int64(trials)
+		row.BaselineEdges /= int64(trials)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func gatherFeatures(feats *tensor.Tensor, ids []int32) *tensor.Tensor {
+	out := tensor.New(len(ids), feats.Cols)
+	for i, id := range ids {
+		copy(out.Row(i), feats.Row(int(id)))
+	}
+	return out
+}
+
+func uniqueNodes(rng *rand.Rand, n, k int) []int32 {
+	seen := make(map[int32]bool, k)
+	out := make([]int32, 0, k)
+	for len(out) < k {
+		v := int32(rng.Intn(n))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Table7Row compares DENSE sampling against the NextDoor-style
+// independent k-hop sampler on a LiveJournal-like graph (paper Table 7).
+type Table7Row struct {
+	Layers       int
+	DenseTime    time.Duration
+	KHopTime     time.Duration
+	KHopOOM      bool
+	DenseEntries int64
+	KHopEntries  int64
+}
+
+// Table7 measures sampling-only time for depths 1..maxLayers with fanout
+// 20 outgoing neighbors, and a device-memory entry budget standing in for
+// the V100's 16 GB (NextDoor OOMs at depth 5 in the paper).
+func Table7(numNodes, outDeg, maxLayers, batch, budget int) ([]Table7Row, error) {
+	g := gen.PowerLaw(numNodes, outDeg, 400)
+	adj := graph.BuildAdjacency(g.NumNodes, g.Edges)
+	rng := rand.New(rand.NewSource(400))
+
+	var rows []Table7Row
+	for k := 1; k <= maxLayers; k++ {
+		fanouts := make([]int, k)
+		for i := range fanouts {
+			fanouts[i] = 20
+		}
+		row := Table7Row{Layers: k}
+		const trials = 5
+		dsmp := sampler.New(adj, fanouts, graph.Outgoing, 400)
+		ksmp := sampler.NewKHop(adj, fanouts, graph.Outgoing, budget, 400)
+		for trial := 0; trial < trials; trial++ {
+			targets := uniqueNodes(rng, g.NumNodes, batch)
+
+			t0 := time.Now()
+			d := dsmp.Sample(targets)
+			row.DenseTime += time.Since(t0)
+			row.DenseEntries += int64(d.NumNodes())
+
+			t0 = time.Now()
+			ks, err := ksmp.Sample(targets)
+			row.KHopTime += time.Since(t0)
+			if err == sampler.ErrBudget {
+				row.KHopOOM = true
+			} else if err != nil {
+				return nil, err
+			} else {
+				row.KHopEntries += int64(ks.TotalEntries())
+			}
+		}
+		row.DenseTime /= trials
+		row.KHopTime /= trials
+		row.DenseEntries /= trials
+		if !row.KHopOOM {
+			row.KHopEntries /= trials
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// Table8Row compares COMET and BETA disk-based training for one
+// model/dataset combination, with in-memory MRR as the reference
+// (paper Table 8).
+type Table8Row struct {
+	Model   string
+	Dataset string
+
+	MemMRR     float64
+	CometMRR   float64
+	BetaMRR    float64
+	CometEpoch time.Duration
+	BetaEpoch  time.Duration
+}
+
+// Table8 runs the COMET-vs-BETA comparison for DistMult, GraphSage and
+// GAT on the FB15k-237-like graph plus DistMult/GraphSage on the larger
+// Freebase- and Wiki-like graphs (the full paper grid, scaled).
+func Table8(sc Scale, epochs int) ([]Table8Row, error) {
+	type combo struct {
+		model   core.ModelKind
+		mName   string
+		dataset string
+	}
+	combos := []combo{
+		{core.DistMultOnly, "DM", "237"},
+		{core.DistMultOnly, "DM", "FB"},
+		{core.DistMultOnly, "DM", "Wiki"},
+		{core.GraphSage, "GS", "237"},
+		{core.GraphSage, "GS", "FB"},
+		{core.GraphSage, "GS", "Wiki"},
+		{core.GAT, "GAT", "237"},
+		{core.GAT, "GAT", "FB"},
+	}
+	const p, c, l = 16, 4, 8 // buffer holds 1/4 of partitions, as in §7.5
+	var rows []Table8Row
+	for _, cb := range combos {
+		row := Table8Row{Model: cb.mName, Dataset: cb.dataset}
+
+		// In-memory reference.
+		memMRR, _, err := runTable8(cb.model, cb.dataset, sc, epochs, core.InMemory, nil, 0, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		row.MemMRR = memMRR
+
+		cometMRR, cometEpoch, err := runTable8(cb.model, cb.dataset, sc, epochs, core.OnDisk,
+			policy.Comet{P: p, L: l, C: c}, p, c, l)
+		if err != nil {
+			return nil, err
+		}
+		row.CometMRR, row.CometEpoch = cometMRR, cometEpoch
+
+		betaMRR, betaEpoch, err := runTable8(cb.model, cb.dataset, sc, epochs, core.OnDisk,
+			policy.Beta{P: p, C: c}, p, c, l)
+		if err != nil {
+			return nil, err
+		}
+		row.BetaMRR, row.BetaEpoch = betaMRR, betaEpoch
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runTable8(model core.ModelKind, dataset string, sc Scale, epochs int, st core.StorageMode, pol policy.Policy, p, c, l int) (float64, time.Duration, error) {
+	g := lpDataset(dataset, sc, 800)
+	cfg := core.Config{
+		Storage: st, Model: model,
+		Layers: 1, Fanouts: []int{10}, Dim: 32,
+		BatchSize: 1024, Negatives: 256, Seed: 800,
+	}
+	if st == core.OnDisk {
+		cfg.Dir = tempDir("t8")
+		defer os.RemoveAll(cfg.Dir)
+		cfg.Partitions, cfg.BufferCapacity, cfg.LogicalPartitions = p, c, l
+	}
+	sys, err := core.NewLinkPrediction(g, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sys.Close()
+	if pol != nil {
+		sys.SetPolicy(pol)
+	}
+	var total time.Duration
+	for e := 0; e < epochs; e++ {
+		stt, err := sys.TrainEpoch()
+		if err != nil {
+			return 0, 0, err
+		}
+		total += stt.Duration
+	}
+	mrr, err := sys.EvaluateValid()
+	if err != nil {
+		return 0, 0, err
+	}
+	return mrr, total / time.Duration(epochs), nil
+}

@@ -1,0 +1,336 @@
+// Package gen produces the seeded synthetic datasets used throughout the
+// reproduction. The paper evaluates on OGB Papers100M, Mag240M-Cites,
+// Freebase86M, WikiKG90Mv2, FB15k-237, LiveJournal and the Common Crawl
+// 2012 hyperlink graph; none of those can be downloaded in this offline
+// environment, so each experiment uses a generator that reproduces the
+// structural properties the result depends on:
+//
+//   - node classification: a stochastic block model with label-correlated
+//     features and homophilous edges, so a GraphSage model genuinely learns
+//     (accuracy well above chance) and sampling quality affects accuracy;
+//   - link prediction: Zipf-degree knowledge graphs whose skew matches
+//     Freebase-style KGs, so partition policies see realistic bucket sizes;
+//   - LiveJournal stand-in: a preferential-attachment power-law graph;
+//   - extreme scale: a streaming generator that never materializes the
+//     full edge list.
+//
+// All generators are deterministic given their seed.
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// SBMConfig configures a stochastic-block-model node-classification graph.
+type SBMConfig struct {
+	NumNodes   int
+	NumClasses int
+	AvgDegree  int     // expected out-degree per node
+	FeatureDim int     // base representation dimensionality
+	Homophily  float64 // probability an edge stays within its class block
+	FeatNoise  float64 // std-dev of feature noise around the class mean
+	TrainFrac  float64 // fraction of nodes labeled for training (paper: 1-10%)
+	ValidFrac  float64
+	TestFrac   float64
+	Seed       int64
+}
+
+// DefaultSBM returns a Papers100M-shaped configuration scaled to n nodes:
+// ~16 edges per node, 128-dim features, strong homophily, 1% train labels.
+func DefaultSBM(n int, seed int64) SBMConfig {
+	return SBMConfig{
+		NumNodes:   n,
+		NumClasses: 16,
+		AvgDegree:  16,
+		FeatureDim: 64,
+		Homophily:  0.8,
+		FeatNoise:  1.0,
+		TrainFrac:  0.05,
+		ValidFrac:  0.02,
+		TestFrac:   0.05,
+		Seed:       seed,
+	}
+}
+
+// SBM generates the graph. Each node gets a class label; edges connect
+// within-class with probability Homophily and to a random class otherwise.
+// Features are drawn from a class-specific mean plus Gaussian noise, so a
+// GNN that aggregates neighborhoods can exceed a features-only classifier.
+func SBM(cfg SBMConfig) *graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.NumNodes
+	labels := make([]int32, n)
+	for v := range labels {
+		labels[v] = int32(rng.Intn(cfg.NumClasses))
+	}
+	// Bucket nodes by class for fast within-class endpoint sampling.
+	byClass := make([][]int32, cfg.NumClasses)
+	for v, c := range labels {
+		byClass[c] = append(byClass[c], int32(v))
+	}
+
+	numEdges := n * cfg.AvgDegree
+	edges := make([]graph.Edge, 0, numEdges)
+	for len(edges) < numEdges {
+		src := int32(rng.Intn(n))
+		var dst int32
+		if rng.Float64() < cfg.Homophily {
+			pool := byClass[labels[src]]
+			dst = pool[rng.Intn(len(pool))]
+		} else {
+			dst = int32(rng.Intn(n))
+		}
+		if dst == src {
+			continue
+		}
+		edges = append(edges, graph.Edge{Src: src, Dst: dst})
+	}
+
+	// Class-mean features with noise. Class means are random unit-ish
+	// vectors; noise keeps single-node classification imperfect so that
+	// neighborhood aggregation helps.
+	means := tensor.New(cfg.NumClasses, cfg.FeatureDim)
+	means.RandNormal(rng, 1.0)
+	feats := tensor.New(n, cfg.FeatureDim)
+	for v := 0; v < n; v++ {
+		mrow := means.Row(int(labels[v]))
+		frow := feats.Row(v)
+		for j := range frow {
+			frow[j] = mrow[j] + float32(rng.NormFloat64()*cfg.FeatNoise)
+		}
+	}
+
+	g := &graph.Graph{
+		NumNodes:   n,
+		NumRels:    1,
+		Edges:      edges,
+		Features:   feats,
+		Labels:     labels,
+		NumClasses: cfg.NumClasses,
+	}
+	assignSplits(g, rng, cfg.TrainFrac, cfg.ValidFrac, cfg.TestFrac)
+	return g
+}
+
+// assignSplits partitions node IDs into train/valid/test sets.
+func assignSplits(g *graph.Graph, rng *rand.Rand, trainF, validF, testF float64) {
+	perm := rng.Perm(g.NumNodes)
+	nTrain := int(float64(g.NumNodes) * trainF)
+	nValid := int(float64(g.NumNodes) * validF)
+	nTest := int(float64(g.NumNodes) * testF)
+	for i, v := range perm {
+		switch {
+		case i < nTrain:
+			g.TrainNodes = append(g.TrainNodes, int32(v))
+		case i < nTrain+nValid:
+			g.ValidNodes = append(g.ValidNodes, int32(v))
+		case i < nTrain+nValid+nTest:
+			g.TestNodes = append(g.TestNodes, int32(v))
+		}
+	}
+}
+
+// KGConfig configures a Zipf-degree knowledge graph for link prediction.
+type KGConfig struct {
+	NumEntities  int
+	NumRelations int
+	NumEdges     int
+	ZipfS        float64 // Zipf exponent (>1); higher = more skew
+	ValidFrac    float64
+	TestFrac     float64
+	Seed         int64
+}
+
+// FB15k237Scale returns a configuration shaped like FB15k-237
+// (14541 entities, 237 relations, 272k edges), optionally scaled by f.
+func FB15k237Scale(f float64, seed int64) KGConfig {
+	return KGConfig{
+		NumEntities:  int(14541 * f),
+		NumRelations: max(int(237*f), 8),
+		NumEdges:     int(272115 * f),
+		ZipfS:        1.2,
+		ValidFrac:    0.03,
+		TestFrac:     0.05,
+		Seed:         seed,
+	}
+}
+
+// FreebaseScale returns a Freebase86M-shaped configuration scaled down by
+// factor (nodes ≈ 86M/factor).
+func FreebaseScale(factor int, seed int64) KGConfig {
+	return KGConfig{
+		NumEntities:  86_000_000 / factor,
+		NumRelations: max(14824/factor, 16),
+		NumEdges:     338_000_000 / factor,
+		ZipfS:        1.3,
+		ValidFrac:    0.01,
+		TestFrac:     0.02,
+		Seed:         seed,
+	}
+}
+
+// WikiScale returns a WikiKG90Mv2-shaped configuration scaled down by
+// factor (nodes ≈ 91M/factor).
+func WikiScale(factor int, seed int64) KGConfig {
+	return KGConfig{
+		NumEntities:  91_000_000 / factor,
+		NumRelations: max(1387/factor, 16),
+		NumEdges:     601_000_000 / factor,
+		ZipfS:        1.25,
+		ValidFrac:    0.005,
+		TestFrac:     0.01,
+		Seed:         seed,
+	}
+}
+
+// KG generates a knowledge graph. Entity popularity follows a Zipf law so
+// that hub entities exist (as in Freebase); relations also follow a skewed
+// distribution. Structure is relational: entities belong to latent
+// clusters and each relation maps source clusters onto preferred target
+// clusters (with 30% noise) — a bilinear pattern that DistMult-style
+// models can genuinely learn, so policy quality shows up as MRR.
+func KG(cfg KGConfig) *graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n, r := cfg.NumEntities, cfg.NumRelations
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(n-1))
+	relZipf := rand.NewZipf(rng, 1.1, 1, uint64(r-1))
+
+	// Latent cluster structure: entity e belongs to cluster e mod k;
+	// relation rel maps cluster c onto target cluster relMap[rel][c].
+	k := 12
+	if n < 2*k {
+		k = max(n/2, 1)
+	}
+	relMap := make([][]int32, r)
+	for rel := range relMap {
+		relMap[rel] = make([]int32, k)
+		for c := range relMap[rel] {
+			relMap[rel][c] = int32(rng.Intn(k))
+		}
+	}
+
+	total := cfg.NumEdges
+	edges := make([]graph.Edge, 0, total)
+	seen := make(map[graph.Edge]struct{}, total)
+	for len(edges) < total {
+		src := int32(zipf.Uint64())
+		rel := int32(relZipf.Uint64())
+		var dst int32
+		if rng.Float64() < 0.7 {
+			// Structured edge: target drawn from the relation's preferred
+			// target cluster for src's cluster.
+			tc := relMap[rel][int(src)%k]
+			dst = int32(rng.Intn((n-int(tc)+k-1)/k))*int32(k) + tc
+		} else {
+			dst = int32(zipf.Uint64())
+		}
+		if dst == src || dst >= int32(n) {
+			continue
+		}
+		e := graph.Edge{Src: src, Rel: rel, Dst: dst}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		edges = append(edges, e)
+	}
+
+	// Split off valid/test edges.
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	nValid := int(float64(total) * cfg.ValidFrac)
+	nTest := int(float64(total) * cfg.TestFrac)
+	g := &graph.Graph{
+		NumNodes:   n,
+		NumRels:    r,
+		ValidEdges: append([]graph.Edge(nil), edges[:nValid]...),
+		TestEdges:  append([]graph.Edge(nil), edges[nValid:nValid+nTest]...),
+		Edges:      append([]graph.Edge(nil), edges[nValid+nTest:]...),
+	}
+	return g
+}
+
+// PowerLaw generates a LiveJournal-like directed power-law graph via a
+// preferential-attachment process: node v attaches outDeg edges to targets
+// chosen proportionally to in-degree (plus smoothing).
+func PowerLaw(numNodes, outDeg int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, numNodes*outDeg)
+	// targets repeats node IDs proportionally to their in-degree+1,
+	// the classic Barabási–Albert repeated-nodes trick.
+	targets := make([]int32, 0, numNodes*(outDeg+1))
+	for v := 0; v < numNodes; v++ {
+		targets = append(targets, int32(v)) // smoothing entry
+		for k := 0; k < outDeg; k++ {
+			var dst int32
+			if v == 0 {
+				break
+			}
+			dst = targets[rng.Intn(len(targets))]
+			if dst == int32(v) {
+				dst = int32(rng.Intn(v))
+			}
+			edges = append(edges, graph.Edge{Src: int32(v), Dst: dst})
+			targets = append(targets, dst)
+		}
+	}
+	return &graph.Graph{NumNodes: numNodes, NumRels: 1, Edges: edges}
+}
+
+// StreamConfig configures the streaming hyperlink-like generator used by
+// the §7.3 extreme-scale experiment. Edges are produced in chunks and
+// never fully materialized.
+type StreamConfig struct {
+	NumNodes  int
+	NumEdges  int64
+	ZipfS     float64
+	ChunkSize int
+	Seed      int64
+}
+
+// EdgeStream produces seeded chunks of a Zipf-skewed edge stream.
+type EdgeStream struct {
+	cfg     StreamConfig
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	emitted int64
+	buf     []graph.Edge
+}
+
+// NewEdgeStream returns a stream positioned at the first chunk.
+func NewEdgeStream(cfg StreamConfig) *EdgeStream {
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 1 << 16
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &EdgeStream{
+		cfg:  cfg,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.NumNodes-1)),
+		buf:  make([]graph.Edge, 0, cfg.ChunkSize),
+	}
+}
+
+// Next returns the next chunk of edges, or nil when the stream is
+// exhausted. The returned slice is reused by subsequent calls.
+func (s *EdgeStream) Next() []graph.Edge {
+	if s.emitted >= s.cfg.NumEdges {
+		return nil
+	}
+	s.buf = s.buf[:0]
+	for len(s.buf) < cap(s.buf) && s.emitted < s.cfg.NumEdges {
+		src := int32(s.zipf.Uint64())
+		dst := int32(s.rng.Intn(s.cfg.NumNodes))
+		if src == dst {
+			continue
+		}
+		s.buf = append(s.buf, graph.Edge{Src: src, Dst: dst})
+		s.emitted++
+	}
+	return s.buf
+}
+
+// Emitted returns the number of edges produced so far.
+func (s *EdgeStream) Emitted() int64 { return s.emitted }

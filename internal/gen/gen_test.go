@@ -1,0 +1,166 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSBMDeterministicAndValid(t *testing.T) {
+	cfg := DefaultSBM(2000, 7)
+	g1 := SBM(cfg)
+	g2 := SBM(cfg)
+	if err := g1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g1.Edges) != len(g2.Edges) {
+		t.Fatal("generator not deterministic")
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+	if !g1.Features.Equal(g2.Features, 0) {
+		t.Fatal("features not deterministic")
+	}
+	if g1.NumClasses != cfg.NumClasses || g1.FeatureDim() != cfg.FeatureDim {
+		t.Fatal("metadata wrong")
+	}
+	wantTrain := int(float64(cfg.NumNodes) * cfg.TrainFrac)
+	if len(g1.TrainNodes) != wantTrain {
+		t.Fatalf("train nodes = %d, want %d", len(g1.TrainNodes), wantTrain)
+	}
+}
+
+func TestSBMHomophily(t *testing.T) {
+	cfg := DefaultSBM(3000, 9)
+	cfg.Homophily = 0.9
+	g := SBM(cfg)
+	same := 0
+	for _, e := range g.Edges {
+		if g.Labels[e.Src] == g.Labels[e.Dst] {
+			same++
+		}
+	}
+	frac := float64(same) / float64(len(g.Edges))
+	// 90% intra-class plus chance collisions on the random 10%.
+	if frac < 0.85 {
+		t.Fatalf("homophily fraction %.3f too low", frac)
+	}
+}
+
+func TestSBMSplitsDisjoint(t *testing.T) {
+	g := SBM(DefaultSBM(1000, 3))
+	seen := map[int32]string{}
+	check := func(ids []int32, name string) {
+		for _, v := range ids {
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("node %d in both %s and %s", v, prev, name)
+			}
+			seen[v] = name
+		}
+	}
+	check(g.TrainNodes, "train")
+	check(g.ValidNodes, "valid")
+	check(g.TestNodes, "test")
+}
+
+func TestKGValidAndSkewed(t *testing.T) {
+	cfg := KGConfig{NumEntities: 2000, NumRelations: 16, NumEdges: 20000, ZipfS: 1.3,
+		ValidFrac: 0.05, TestFrac: 0.05, Seed: 5}
+	g := KG(cfg)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRels != 16 {
+		t.Fatalf("rels = %d", g.NumRels)
+	}
+	total := len(g.Edges) + len(g.ValidEdges) + len(g.TestEdges)
+	if total != cfg.NumEdges {
+		t.Fatalf("edges = %d, want %d", total, cfg.NumEdges)
+	}
+	// No duplicate triples across all splits.
+	seen := map[graph.Edge]bool{}
+	for _, split := range [][]graph.Edge{g.Edges, g.ValidEdges, g.TestEdges} {
+		for _, e := range split {
+			if seen[e] {
+				t.Fatalf("duplicate triple %+v", e)
+			}
+			seen[e] = true
+		}
+	}
+	// Zipf skew: the most popular source should appear far above the mean.
+	counts := map[int32]int{}
+	for _, e := range g.Edges {
+		counts[e.Src]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	mean := float64(len(g.Edges)) / float64(cfg.NumEntities)
+	if float64(maxC) < 10*mean {
+		t.Fatalf("degree distribution not skewed: max %d vs mean %.1f", maxC, mean)
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	g := PowerLaw(5000, 8, 11)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	adj := graph.BuildAdjacency(g.NumNodes, g.Edges)
+	maxIn := 0
+	for v := 0; v < g.NumNodes; v++ {
+		if d := adj.InDegree(int32(v)); d > maxIn {
+			maxIn = d
+		}
+	}
+	mean := float64(len(g.Edges)) / float64(g.NumNodes)
+	if float64(maxIn) < 20*mean {
+		t.Fatalf("power-law hub missing: max in-degree %d vs mean %.1f", maxIn, mean)
+	}
+}
+
+func TestEdgeStreamExactCountAndDeterminism(t *testing.T) {
+	cfg := StreamConfig{NumNodes: 10000, NumEdges: 50000, ZipfS: 1.2, ChunkSize: 4096, Seed: 13}
+	s1 := NewEdgeStream(cfg)
+	var n1 int64
+	var first []graph.Edge
+	for chunk := s1.Next(); chunk != nil; chunk = s1.Next() {
+		if n1 == 0 {
+			first = append(first, chunk...)
+		}
+		n1 += int64(len(chunk))
+		for _, e := range chunk {
+			if e.Src < 0 || int(e.Src) >= cfg.NumNodes || e.Dst < 0 || int(e.Dst) >= cfg.NumNodes {
+				t.Fatal("edge out of range")
+			}
+		}
+	}
+	if n1 != cfg.NumEdges || s1.Emitted() != cfg.NumEdges {
+		t.Fatalf("emitted %d, want %d", n1, cfg.NumEdges)
+	}
+	s2 := NewEdgeStream(cfg)
+	chunk := s2.Next()
+	for i := range chunk {
+		if chunk[i] != first[i] {
+			t.Fatal("stream not deterministic")
+		}
+	}
+}
+
+func TestScaledConfigs(t *testing.T) {
+	for _, cfg := range []KGConfig{
+		FB15k237Scale(0.1, 1),
+		FreebaseScale(10000, 1),
+		WikiScale(10000, 1),
+	} {
+		if cfg.NumEntities <= 0 || cfg.NumEdges <= 0 || cfg.NumRelations <= 0 {
+			t.Fatalf("bad scaled config: %+v", cfg)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+
+	"repro/internal/graph"
+)
+
+// naiveSage computes the exact k-layer GraphSage representation of node v
+// over the full neighborhood (both directions), the ground truth DENSE
+// must match when fanouts exceed the maximum degree.
+func naiveSage(adj *graph.Adjacency, feats *tensor.Tensor, layers []*SageLayer, v int32, k int) []float32 {
+	if k == 0 {
+		return feats.Row(int(v))
+	}
+	l := layers[k-1]
+	var nbrs []int32
+	nbrs = append(nbrs, adj.OutNeighbors(v)...)
+	nbrs = append(nbrs, adj.InNeighbors(v)...)
+	dimIn := l.Self.W.Value.Rows
+	agg := make([]float32, dimIn)
+	for _, u := range nbrs {
+		hu := naiveSage(adj, feats, layers, u, k-1)
+		for j := range agg {
+			agg[j] += hu[j]
+		}
+	}
+	if l.Agg == Mean && len(nbrs) > 0 {
+		for j := range agg {
+			agg[j] /= float32(len(nbrs))
+		}
+	}
+	hv := naiveSage(adj, feats, layers, v, k-1)
+	out := make([]float32, l.OutDim())
+	wSelf, wNbr := l.Self.W.Value, l.Nbr.W.Value
+	for o := range out {
+		var s float32
+		for j := 0; j < dimIn; j++ {
+			s += hv[j]*wSelf.At(j, o) + agg[j]*wNbr.At(j, o)
+		}
+		s += l.Self.B.Value.At(0, o)
+		if l.Act && s < 0 {
+			s = 0
+		}
+		out[o] = s
+	}
+	return out
+}
+
+func smallGraph(rng *rand.Rand, n, m int) *graph.Adjacency {
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n))}
+	}
+	return graph.BuildAdjacency(n, edges)
+}
+
+func TestDENSESageMatchesNaiveFullNeighborhood(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n, dim = 30, 5
+	adj := smallGraph(rng, n, 80)
+	feats := tensor.New(n, dim)
+	feats.RandNormal(rng, 1)
+
+	for _, k := range []int{1, 2, 3} {
+		ps := nn.NewParamSet()
+		dims := make([]int, k+1)
+		for i := range dims {
+			dims[i] = dim
+		}
+		enc := BuildSage(ps, dims, Mean, rng)
+		fanouts := make([]int, k)
+		for i := range fanouts {
+			fanouts[i] = 1000 // exceed every degree: sample = full neighborhood
+		}
+		targets := []int32{0, 7, 13}
+		smp := sampler.New(adj, fanouts, graph.Both, 1)
+		d := smp.Sample(targets)
+
+		h0 := tensor.New(len(d.NodeIDs), dim)
+		for i, id := range d.NodeIDs {
+			copy(h0.Row(i), feats.Row(int(id)))
+		}
+		tp := tensor.NewTape()
+		params := ps.Bind(tp)
+		out := enc.Forward(tp, params, d, tp.Constant(h0))
+
+		layers := make([]*SageLayer, k)
+		for i, l := range enc.Layers {
+			layers[i] = l.(*SageLayer)
+		}
+		for ti, v := range targets {
+			want := naiveSage(adj, feats, layers, v, k)
+			got := out.Value.Row(ti)
+			for j := range want {
+				if math.Abs(float64(got[j]-want[j])) > 1e-3 {
+					t.Fatalf("k=%d target %d dim %d: got %v want %v", k, v, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestDENSEAndBaselineForwardAgreeAtFullFanout(t *testing.T) {
+	// With fanouts exceeding every degree, DENSE and the layered baseline
+	// both see the full neighborhood, so the two execution paths (dense
+	// segment kernels vs COO scatter) must produce identical outputs.
+	rng := rand.New(rand.NewSource(7))
+	const n, dim = 25, 4
+	adj := smallGraph(rng, n, 70)
+	feats := tensor.New(n, dim)
+	feats.RandNormal(rng, 1)
+
+	ps := nn.NewParamSet()
+	enc := BuildSage(ps, []int{dim, dim, dim}, Mean, rng)
+	fanouts := []int{1000, 1000}
+	targets := []int32{2, 9, 17, 21}
+
+	d := sampler.New(adj, fanouts, graph.Both, 1).Sample(targets)
+	h0d := tensor.New(len(d.NodeIDs), dim)
+	for i, id := range d.NodeIDs {
+		copy(h0d.Row(i), feats.Row(int(id)))
+	}
+	tp1 := tensor.NewTape()
+	out1 := enc.Forward(tp1, ps.Bind(tp1), d, tp1.Constant(h0d))
+
+	ls := sampler.NewLayered(adj, fanouts, graph.Both, 1).Sample(targets)
+	h0b := tensor.New(len(ls.Blocks[0].SrcNodes), dim)
+	for i, id := range ls.Blocks[0].SrcNodes {
+		copy(h0b.Row(i), feats.Row(int(id)))
+	}
+	tp2 := tensor.NewTape()
+	out2 := BaselineForward(tp2, ps.Bind(tp2), enc, ls, tp2.Constant(h0b))
+
+	if !out1.Value.Equal(out2.Value, 1e-3) {
+		t.Fatalf("DENSE and baseline disagree:\n%v\nvs\n%v", out1.Value, out2.Value)
+	}
+}
+
+func TestGATLayerShapesAndGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, dim = 20, 4
+	adj := smallGraph(rng, n, 60)
+	feats := tensor.New(n, dim)
+	feats.RandNormal(rng, 1)
+
+	ps := nn.NewParamSet()
+	enc := BuildGAT(ps, []int{dim, 6, 3}, rng)
+	targets := []int32{1, 5, 9}
+	d := sampler.New(adj, []int{5, 5}, graph.Both, 2).Sample(targets)
+
+	h0 := tensor.New(len(d.NodeIDs), dim)
+	for i, id := range d.NodeIDs {
+		copy(h0.Row(i), feats.Row(int(id)))
+	}
+	tp := tensor.NewTape()
+	params := ps.Bind(tp)
+	out := enc.Forward(tp, params, d, tp.Constant(h0))
+	if out.Value.Rows != len(targets) || out.Value.Cols != 3 {
+		t.Fatalf("output shape %dx%d, want %dx3", out.Value.Rows, out.Value.Cols, len(targets))
+	}
+	loss := tp.MeanAll(out)
+	tp.Backward(loss)
+	// All GAT parameters must receive gradients.
+	for _, p := range ps.All() {
+		if params[p.Name].Grad() == nil {
+			t.Errorf("parameter %s received no gradient", p.Name)
+		}
+	}
+}
+
+func TestGCNLayerRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n, dim = 15, 3
+	adj := smallGraph(rng, n, 40)
+	feats := tensor.New(n, dim)
+	feats.RandNormal(rng, 1)
+
+	ps := nn.NewParamSet()
+	enc := BuildGCN(ps, []int{dim, 4}, rng)
+	targets := []int32{0, 3}
+	d := sampler.New(adj, []int{4}, graph.Both, 5).Sample(targets)
+	h0 := tensor.New(len(d.NodeIDs), dim)
+	for i, id := range d.NodeIDs {
+		copy(h0.Row(i), feats.Row(int(id)))
+	}
+	tp := tensor.NewTape()
+	out := enc.Forward(tp, ps.Bind(tp), d, tp.Constant(h0))
+	if out.Value.Rows != 2 || out.Value.Cols != 4 {
+		t.Fatalf("bad shape %dx%d", out.Value.Rows, out.Value.Cols)
+	}
+}
+
+func TestEncoderDepthMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	adj := smallGraph(rng, 10, 20)
+	ps := nn.NewParamSet()
+	enc := BuildSage(ps, []int{3, 3}, Mean, rng)                         // 1 layer
+	d := sampler.New(adj, []int{2, 2}, graph.Both, 1).Sample([]int32{0}) // 2 hops
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on depth mismatch")
+		}
+	}()
+	h0 := tensor.New(len(d.NodeIDs), 3)
+	tp := tensor.NewTape()
+	enc.Forward(tp, ps.Bind(tp), d, tp.Constant(h0))
+}
+
+func TestGATBaselineAgreesWithDENSEAtFullFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n, dim = 18, 4
+	adj := smallGraph(rng, n, 50)
+	feats := tensor.New(n, dim)
+	feats.RandNormal(rng, 1)
+
+	ps := nn.NewParamSet()
+	enc := BuildGAT(ps, []int{dim, 5, 3}, rng)
+	fanouts := []int{1000, 1000}
+	targets := []int32{0, 4, 11}
+
+	d := sampler.New(adj, fanouts, graph.Both, 1).Sample(targets)
+	h0d := tensor.New(len(d.NodeIDs), dim)
+	for i, id := range d.NodeIDs {
+		copy(h0d.Row(i), feats.Row(int(id)))
+	}
+	tp1 := tensor.NewTape()
+	out1 := enc.Forward(tp1, ps.Bind(tp1), d, tp1.Constant(h0d))
+
+	ls := sampler.NewLayered(adj, fanouts, graph.Both, 1).Sample(targets)
+	h0b := tensor.New(len(ls.Blocks[0].SrcNodes), dim)
+	for i, id := range ls.Blocks[0].SrcNodes {
+		copy(h0b.Row(i), feats.Row(int(id)))
+	}
+	tp2 := tensor.NewTape()
+	out2 := BaselineForward(tp2, ps.Bind(tp2), enc, ls, tp2.Constant(h0b))
+
+	if !out1.Value.Equal(out2.Value, 1e-3) {
+		t.Fatalf("GAT DENSE and baseline disagree:\n%v\nvs\n%v", out1.Value, out2.Value)
+	}
+}
+
+func TestGCNBaselineAgreesWithDENSEAtFullFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const n, dim = 16, 3
+	adj := smallGraph(rng, n, 45)
+	feats := tensor.New(n, dim)
+	feats.RandNormal(rng, 1)
+
+	ps := nn.NewParamSet()
+	enc := BuildGCN(ps, []int{dim, 4, 4}, rng)
+	fanouts := []int{1000, 1000}
+	targets := []int32{1, 6, 12}
+
+	d := sampler.New(adj, fanouts, graph.Both, 1).Sample(targets)
+	h0d := tensor.New(len(d.NodeIDs), dim)
+	for i, id := range d.NodeIDs {
+		copy(h0d.Row(i), feats.Row(int(id)))
+	}
+	tp1 := tensor.NewTape()
+	out1 := enc.Forward(tp1, ps.Bind(tp1), d, tp1.Constant(h0d))
+
+	ls := sampler.NewLayered(adj, fanouts, graph.Both, 1).Sample(targets)
+	h0b := tensor.New(len(ls.Blocks[0].SrcNodes), dim)
+	for i, id := range ls.Blocks[0].SrcNodes {
+		copy(h0b.Row(i), feats.Row(int(id)))
+	}
+	tp2 := tensor.NewTape()
+	out2 := BaselineForward(tp2, ps.Bind(tp2), enc, ls, tp2.Constant(h0b))
+
+	if !out1.Value.Equal(out2.Value, 1e-3) {
+		t.Fatalf("GCN DENSE and baseline disagree:\n%v\nvs\n%v", out1.Value, out2.Value)
+	}
+}

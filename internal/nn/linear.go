@@ -1,0 +1,33 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Linear is a fully-connected layer y = x @ W + b.
+type Linear struct {
+	W *Param
+	B *Param // nil when bias is disabled
+}
+
+// NewLinear registers a Glorot-initialized in x out linear layer in ps.
+// The name prefixes the underlying parameter names.
+func NewLinear(ps *ParamSet, name string, in, out int, bias bool, rng *rand.Rand) *Linear {
+	l := &Linear{W: ps.NewGlorot(name+".W", in, out, rng)}
+	if bias {
+		l.B = ps.New(name+".B", 1, out)
+	}
+	return l
+}
+
+// Apply records the layer's forward pass on the tape. nodes must be the
+// map returned by ParamSet.Bind for the same tape.
+func (l *Linear) Apply(tp *tensor.Tape, nodes map[string]*tensor.Node, x *tensor.Node) *tensor.Node {
+	y := tp.MatMul(x, nodes[l.W.Name])
+	if l.B != nil {
+		y = tp.AddBias(y, nodes[l.B.Name])
+	}
+	return y
+}

@@ -1,0 +1,301 @@
+// Package sampler implements multi-hop neighborhood sampling.
+//
+// Its centerpiece is DENSE (Delta Encoding of Neighborhood SamplEs), the
+// data structure from MariusGNN §4: one-hop neighbors are sampled once per
+// node and reused across GNN layers, and the resulting flat arrays let the
+// forward pass run on dense gather/segment kernels. The package also
+// provides the per-layer re-sampling baseline used by DGL/PyG (paper
+// Fig. 1) and an independent k-hop sampler standing in for NextDoor's
+// accelerated kernels (paper Table 7).
+package sampler
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// DENSE is the delta encoding of a k-hop neighborhood sample (paper Fig. 3).
+//
+// NodeIDs lays out the deltas in order [Δ0, Δ1, …, Δk]; NodeIDOffsets[d] is
+// the start of Δd (k+2 entries, with a trailing sentinel = len(NodeIDs)).
+// Nbrs stores the sampled one-hop neighbors for every node in [Δ1 … Δk],
+// grouped per node; NbrOffsets[i] is the start of the neighbor list of the
+// i-th node of NodeIDs[NodeIDOffsets[1]:]. ReprMap maps every entry of
+// Nbrs to its row in NodeIDs (and therefore in the batch representation
+// matrix H), added per §4.2.
+type DENSE struct {
+	NodeIDOffsets []int32
+	NodeIDs       []int32
+	NbrOffsets    []int32
+	Nbrs          []int32
+	ReprMap       []int32
+
+	// Layers is k, the number of sampled hops.
+	Layers int
+	// layer tracks how many AdvanceLayer calls have been applied.
+	layer int
+}
+
+// NumNodes returns the current number of node IDs in the structure.
+func (d *DENSE) NumNodes() int { return len(d.NodeIDs) }
+
+// NumSampledEdges returns the current number of sampled neighbor entries.
+func (d *DENSE) NumSampledEdges() int { return len(d.Nbrs) }
+
+// Delta returns the node IDs of delta group i (0 = deepest) as a view.
+func (d *DENSE) Delta(i int) []int32 {
+	return d.NodeIDs[d.NodeIDOffsets[i]:d.NodeIDOffsets[i+1]]
+}
+
+// NumDeltas returns the number of remaining delta groups.
+func (d *DENSE) NumDeltas() int { return len(d.NodeIDOffsets) - 1 }
+
+// Targets returns the target nodes (the last delta group, Δk).
+func (d *DENSE) Targets() []int32 {
+	return d.NodeIDs[d.NodeIDOffsets[len(d.NodeIDOffsets)-2]:]
+}
+
+// OutputStart returns the row index (into NodeIDs) where the current
+// layer's outputs begin: everything after the first delta group has its
+// representation recomputed each layer (paper §4.2 Step 1).
+func (d *DENSE) OutputStart() int { return int(d.NodeIDOffsets[1]) }
+
+// SegmentOffsets returns the neighbor segment offsets aligned with the
+// layer output rows, for use with tensor segment kernels.
+func (d *DENSE) SegmentOffsets() []int32 { return d.NbrOffsets }
+
+// AdvanceLayer applies paper Algorithm 2: after computing layer i's
+// outputs, the deepest delta (Δ_{i-1}) and the one-hop neighbors belonging
+// to Δ_i are no longer needed and are dropped, and ReprMap/NbrOffsets are
+// shifted so the same forward-pass code serves the next layer.
+func (d *DENSE) AdvanceLayer() {
+	if d.layer >= d.Layers-1 {
+		panic("sampler: AdvanceLayer called past the final layer")
+	}
+	d.layer++
+	delta0 := d.NodeIDOffsets[1]                      // len(Δ_{i-1})
+	delta1 := d.NodeIDOffsets[2] - d.NodeIDOffsets[1] // len(Δ_i)
+	nbrCut := d.NbrOffsets[delta1]                    // len(Δ_i_nbrs)
+
+	d.Nbrs = d.Nbrs[nbrCut:]
+	d.ReprMap = d.ReprMap[nbrCut:]
+	for i := range d.ReprMap {
+		d.ReprMap[i] -= delta0
+	}
+	d.NbrOffsets = d.NbrOffsets[delta1:]
+	for i := range d.NbrOffsets {
+		d.NbrOffsets[i] -= nbrCut
+	}
+	d.NodeIDs = d.NodeIDs[delta0:]
+	d.NodeIDOffsets = d.NodeIDOffsets[1:]
+	for i := range d.NodeIDOffsets {
+		d.NodeIDOffsets[i] -= delta0
+	}
+}
+
+// Validate checks the structural invariants of the encoding; it is used by
+// tests and returns a descriptive error on violation.
+func (d *DENSE) Validate() error {
+	if len(d.NodeIDOffsets) < 2 {
+		return fmt.Errorf("dense: need at least one delta group")
+	}
+	if d.NodeIDOffsets[0] != 0 || int(d.NodeIDOffsets[len(d.NodeIDOffsets)-1]) != len(d.NodeIDs) {
+		return fmt.Errorf("dense: NodeIDOffsets must span NodeIDs")
+	}
+	for i := 1; i < len(d.NodeIDOffsets); i++ {
+		if d.NodeIDOffsets[i] < d.NodeIDOffsets[i-1] {
+			return fmt.Errorf("dense: NodeIDOffsets not monotone at %d", i)
+		}
+	}
+	seen := make(map[int32]struct{}, len(d.NodeIDs))
+	for _, v := range d.NodeIDs {
+		if _, dup := seen[v]; dup {
+			return fmt.Errorf("dense: duplicate node ID %d", v)
+		}
+		seen[v] = struct{}{}
+	}
+	numWithNbrs := len(d.NodeIDs) - int(d.NodeIDOffsets[1])
+	if len(d.NbrOffsets) != numWithNbrs {
+		return fmt.Errorf("dense: NbrOffsets len %d != nodes with neighbors %d", len(d.NbrOffsets), numWithNbrs)
+	}
+	if numWithNbrs > 0 && d.NbrOffsets[0] != 0 {
+		return fmt.Errorf("dense: NbrOffsets must start at 0")
+	}
+	for i := 1; i < len(d.NbrOffsets); i++ {
+		if d.NbrOffsets[i] < d.NbrOffsets[i-1] {
+			return fmt.Errorf("dense: NbrOffsets not monotone at %d", i)
+		}
+	}
+	if len(d.ReprMap) != len(d.Nbrs) {
+		return fmt.Errorf("dense: ReprMap len %d != Nbrs len %d", len(d.ReprMap), len(d.Nbrs))
+	}
+	for i, nbr := range d.Nbrs {
+		rm := d.ReprMap[i]
+		if rm < 0 || int(rm) >= len(d.NodeIDs) {
+			return fmt.Errorf("dense: ReprMap[%d]=%d out of range", i, rm)
+		}
+		if d.NodeIDs[rm] != nbr {
+			return fmt.Errorf("dense: ReprMap[%d] points to node %d, want %d", i, d.NodeIDs[rm], nbr)
+		}
+	}
+	return nil
+}
+
+// Sampler builds DENSE structures from an adjacency index.
+//
+// It keeps a reusable per-node position workspace so repeated batches on
+// large graphs avoid per-batch map allocation; a Sampler is therefore not
+// safe for concurrent use — each pipeline worker owns one.
+type Sampler struct {
+	Adj     *graph.Adjacency
+	Fanouts []int // per layer, ordered away from the targets: Fanouts[0] is the layer closest to the targets (hop 1)
+	Dirs    graph.Directions
+	rng     *rand.Rand
+
+	pos      []int32  // node ID -> index within its delta, valid when stamp matches
+	posDelta []int16  // node ID -> sampling-order delta index, valid when stamp matches
+	stamp    []uint32 // generation stamp per node
+	curGen   uint32
+}
+
+// New returns a DENSE sampler over adj. fanouts[i] is the maximum number of
+// neighbors per node per direction at hop i+1 from the targets.
+func New(adj *graph.Adjacency, fanouts []int, dirs graph.Directions, seed int64) *Sampler {
+	if len(fanouts) == 0 {
+		panic("sampler: need at least one fanout")
+	}
+	return &Sampler{
+		Adj:     adj,
+		Fanouts: fanouts,
+		Dirs:    dirs,
+		rng:     rand.New(rand.NewSource(seed)),
+		pos:     make([]int32, adj.NumNodes()),
+		stamp:   make([]uint32, adj.NumNodes()),
+	}
+}
+
+// Reset swaps in a new adjacency (e.g., after a partition-buffer swap).
+func (s *Sampler) Reset(adj *graph.Adjacency) {
+	s.Adj = adj
+	if len(s.pos) < adj.NumNodes() {
+		s.pos = make([]int32, adj.NumNodes())
+		s.stamp = make([]uint32, adj.NumNodes())
+		s.curGen = 0
+	}
+}
+
+// Sample implements paper Algorithm 1 for the given unique target node
+// IDs: k rounds of one-hop sampling over the shrinking delta frontier,
+// reusing previously-sampled neighbors, plus ReprMap construction.
+func (s *Sampler) Sample(targets []int32) *DENSE {
+	k := len(s.Fanouts)
+	s.curGen++
+	if s.curGen == 0 { // stamp wrapped; invalidate everything
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.curGen = 1
+	}
+
+	// deltas[0] corresponds to Δk (targets); deltas[j] to Δ_{k-j}.
+	deltas := make([][]int32, 1, k+1)
+	deltas[0] = targets
+	// Per-delta flat neighbor arrays and per-node neighbor counts,
+	// in sampling order (Δk first).
+	deltaNbrs := make([][]int32, 0, k)
+	deltaCounts := make([][]int32, 0, k)
+
+	if len(s.posDelta) < s.Adj.NumNodes() {
+		s.posDelta = make([]int16, s.Adj.NumNodes())
+	}
+	for i, v := range targets {
+		s.stamp[v] = s.curGen
+		s.pos[v] = int32(i)
+		s.posDelta[v] = 0
+	}
+
+	scratch := make([]int32, 0, 64)
+	for hop := 0; hop < k; hop++ {
+		frontier := deltas[hop]
+		fanout := s.Fanouts[hop]
+		nbrs := make([]int32, 0, len(frontier)*fanout)
+		counts := make([]int32, len(frontier))
+		var next []int32
+		for i, v := range frontier {
+			scratch = scratch[:0]
+			scratch = s.Adj.SampleNeighbors(scratch, v, fanout, s.Dirs, s.rng)
+			counts[i] = int32(len(scratch))
+			for _, u := range scratch {
+				nbrs = append(nbrs, u)
+				if s.stamp[u] != s.curGen {
+					// First time this node appears anywhere in the sample:
+					// it joins the next (deeper) delta (paper line 7).
+					s.stamp[u] = s.curGen
+					s.pos[u] = int32(len(next))
+					s.posDelta[u] = int16(hop + 1)
+					next = append(next, u)
+				}
+			}
+		}
+		deltaNbrs = append(deltaNbrs, nbrs)
+		deltaCounts = append(deltaCounts, counts)
+		deltas = append(deltas, next)
+	}
+
+	// Finalize: lay out NodeIDs as [Δ0, Δ1, …, Δk] = reverse of sampling
+	// order, compute absolute positions, then build NbrOffsets/Nbrs for
+	// [Δ1 … Δk] and ReprMap.
+	numDeltas := len(deltas) // k+1
+	deltaStart := make([]int32, numDeltas)
+	total := int32(0)
+	// deltas[j] holds Δ_{k-j}; final order is deltas[k], deltas[k-1], …, deltas[0].
+	for j := numDeltas - 1; j >= 0; j-- {
+		deltaStart[j] = total
+		total += int32(len(deltas[j]))
+	}
+	nodeIDs := make([]int32, total)
+	nodeIDOffsets := make([]int32, numDeltas+1)
+	for j := numDeltas - 1; j >= 0; j-- {
+		copy(nodeIDs[deltaStart[j]:], deltas[j])
+	}
+	for d := 0; d < numDeltas; d++ {
+		// Group d in final order is deltas[numDeltas-1-d].
+		nodeIDOffsets[d] = deltaStart[numDeltas-1-d]
+	}
+	nodeIDOffsets[numDeltas] = total
+
+	// Neighbor groups in final order: Δ1's nbrs first … Δk's last, i.e.
+	// sampling order reversed (deltaNbrs[k-1] first).
+	var totalNbrs int
+	for _, nb := range deltaNbrs {
+		totalNbrs += len(nb)
+	}
+	nbrs := make([]int32, 0, totalNbrs)
+	nbrOffsets := make([]int32, 0, int(total)-len(deltas[numDeltas-1]))
+	for j := len(deltaNbrs) - 1; j >= 0; j-- {
+		base := int32(len(nbrs))
+		running := base
+		for _, c := range deltaCounts[j] {
+			nbrOffsets = append(nbrOffsets, running)
+			running += c
+		}
+		nbrs = append(nbrs, deltaNbrs[j]...)
+	}
+	// Shift offsets so the first equals 0 (they already do by construction)
+	// and build ReprMap.
+	reprMap := make([]int32, len(nbrs))
+	for i, u := range nbrs {
+		reprMap[i] = deltaStart[int(s.posDelta[u])] + s.pos[u]
+	}
+
+	return &DENSE{
+		NodeIDOffsets: nodeIDOffsets,
+		NodeIDs:       nodeIDs,
+		NbrOffsets:    nbrOffsets,
+		Nbrs:          nbrs,
+		ReprMap:       reprMap,
+		Layers:        k,
+	}
+}

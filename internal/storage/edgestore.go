@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// EdgeStore serves edge buckets. Bucket (i,j) holds all edges with source
+// in partition i and destination in partition j; each bucket's edges are
+// stored contiguously (paper §3).
+type EdgeStore interface {
+	// ReadBucket appends the edges of bucket (i,j) to dst.
+	ReadBucket(i, j int, dst []graph.Edge) ([]graph.Edge, error)
+	// BucketLen returns the number of edges in bucket (i,j).
+	BucketLen(i, j int) int
+	// NumPartitions returns p.
+	NumPartitions() int
+	Close() error
+}
+
+// MemoryEdgeStore keeps all buckets in memory.
+type MemoryEdgeStore struct {
+	pt      partition.Partitioning
+	buckets [][]graph.Edge
+}
+
+// NewMemoryEdgeStore buckets edges in memory.
+func NewMemoryEdgeStore(pt partition.Partitioning, edges []graph.Edge) *MemoryEdgeStore {
+	return &MemoryEdgeStore{pt: pt, buckets: pt.Buckets(edges)}
+}
+
+// ReadBucket implements EdgeStore.
+func (m *MemoryEdgeStore) ReadBucket(i, j int, dst []graph.Edge) ([]graph.Edge, error) {
+	return append(dst, m.buckets[m.pt.BucketID(i, j)]...), nil
+}
+
+// BucketLen implements EdgeStore.
+func (m *MemoryEdgeStore) BucketLen(i, j int) int { return len(m.buckets[m.pt.BucketID(i, j)]) }
+
+// NumPartitions implements EdgeStore.
+func (m *MemoryEdgeStore) NumPartitions() int { return m.pt.NumPartitions }
+
+// Close implements EdgeStore.
+func (m *MemoryEdgeStore) Close() error { return nil }
+
+// DiskEdgeStore serves edge buckets from a single bucket-sorted file.
+type DiskEdgeStore struct {
+	pt       partition.Partitioning
+	f        *os.File
+	offsets  []int64 // p²+1 prefix edge counts; bucket b spans [offsets[b], offsets[b+1])
+	stats    Stats
+	throttle *Throttle
+}
+
+// CreateDiskEdgeStore bucket-sorts edges into a file under dir.
+func CreateDiskEdgeStore(dir string, pt partition.Partitioning, edges []graph.Edge, throttle *Throttle) (*DiskEdgeStore, error) {
+	f, err := os.Create(filepath.Join(dir, "edges.bin"))
+	if err != nil {
+		return nil, err
+	}
+	buckets := pt.Buckets(edges)
+	offsets := make([]int64, len(buckets)+1)
+	var pos int64
+	for b, bucket := range buckets {
+		offsets[b] = pos
+		buf := encodeEdges(bucket)
+		if len(buf) > 0 {
+			if _, err := f.WriteAt(buf, pos*edgeBytes); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		pos += int64(len(bucket))
+	}
+	offsets[len(buckets)] = pos
+	return &DiskEdgeStore{pt: pt, f: f, offsets: offsets, throttle: throttle}, nil
+}
+
+// ReadBucket implements EdgeStore.
+func (s *DiskEdgeStore) ReadBucket(i, j int, dst []graph.Edge) ([]graph.Edge, error) {
+	b := s.pt.BucketID(i, j)
+	start, end := s.offsets[b], s.offsets[b+1]
+	if start == end {
+		return dst, nil
+	}
+	buf := make([]byte, (end-start)*edgeBytes)
+	if _, err := s.f.ReadAt(buf, start*edgeBytes); err != nil {
+		return dst, fmt.Errorf("storage: read bucket (%d,%d): %w", i, j, err)
+	}
+	s.stats.BytesRead.Add(int64(len(buf)))
+	s.stats.Reads.Add(1)
+	s.throttle.Wait(len(buf))
+	return decodeEdges(buf, dst), nil
+}
+
+// BucketLen implements EdgeStore.
+func (s *DiskEdgeStore) BucketLen(i, j int) int {
+	b := s.pt.BucketID(i, j)
+	return int(s.offsets[b+1] - s.offsets[b])
+}
+
+// NumPartitions implements EdgeStore.
+func (s *DiskEdgeStore) NumPartitions() int { return s.pt.NumPartitions }
+
+// Stats returns the store's IO counters.
+func (s *DiskEdgeStore) Stats() *Stats { return &s.stats }
+
+// Close implements EdgeStore.
+func (s *DiskEdgeStore) Close() error { return s.f.Close() }

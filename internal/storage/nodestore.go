@@ -1,0 +1,450 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// NodeStore provides read (and for learnable representations, update)
+// access to node base representations by global node ID.
+type NodeStore interface {
+	// Dim returns the representation dimensionality.
+	Dim() int
+	// NumNodes returns the table height.
+	NumNodes() int
+	// Gather copies the representations of ids into out ([len(ids) x Dim]).
+	Gather(ids []int32, out *tensor.Tensor) error
+	// ApplyGrads applies sparse AdaGrad updates to the given rows
+	// (paper Fig. 2 step 6). ids may repeat.
+	ApplyGrads(ids []int32, grads *tensor.Tensor, opt *nn.SparseAdaGrad) error
+	// Close releases resources, flushing any dirty state.
+	Close() error
+}
+
+// MemoryNodeStore keeps the whole representation table in CPU memory
+// (the M-GNN_Mem configuration).
+type MemoryNodeStore struct {
+	mu    sync.RWMutex
+	table *tensor.Tensor
+	state []float32
+}
+
+// NewMemoryNodeStore wraps table (used directly, not copied).
+func NewMemoryNodeStore(table *tensor.Tensor) *MemoryNodeStore {
+	return &MemoryNodeStore{table: table, state: make([]float32, table.Rows)}
+}
+
+// Dim implements NodeStore.
+func (m *MemoryNodeStore) Dim() int { return m.table.Cols }
+
+// NumNodes implements NodeStore.
+func (m *MemoryNodeStore) NumNodes() int { return m.table.Rows }
+
+// Table returns the underlying tensor (for full-ranking evaluation).
+func (m *MemoryNodeStore) Table() *tensor.Tensor { return m.table }
+
+// Gather implements NodeStore.
+func (m *MemoryNodeStore) Gather(ids []int32, out *tensor.Tensor) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d := m.table.Cols
+	for i, id := range ids {
+		copy(out.Data[i*d:(i+1)*d], m.table.Row(int(id)))
+	}
+	return nil
+}
+
+// ApplyGrads implements NodeStore.
+func (m *MemoryNodeStore) ApplyGrads(ids []int32, grads *tensor.Tensor, opt *nn.SparseAdaGrad) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, id := range ids {
+		m.state[id] = opt.StepRow(m.table.Row(int(id)), grads.Row(i), m.state[id])
+	}
+	return nil
+}
+
+// Close implements NodeStore.
+func (m *MemoryNodeStore) Close() error { return nil }
+
+// DiskNodeStore pages node representations between a file and a partition
+// buffer of capacity c physical partitions (the M-GNN_Disk configuration,
+// paper Fig. 2 storage layer). Optimizer state for learnable
+// representations is persisted in a sibling file.
+type DiskNodeStore struct {
+	pt        partition.Partitioning
+	dim       int
+	learnable bool
+
+	f  *os.File
+	sf *os.File // per-node AdaGrad accumulators; nil when not learnable
+
+	mu       sync.RWMutex
+	capacity int
+	slotData []float32 // capacity × partSize × dim
+	slotOpt  []float32 // capacity × partSize
+	resident map[int]int
+	slotPart []int
+	dirty    []bool
+	free     []int
+
+	stagedMu sync.Mutex
+	staged   map[int]*stagedPartition
+	pending  sync.WaitGroup
+
+	stats    Stats
+	throttle *Throttle
+}
+
+type stagedPartition struct {
+	done chan struct{}
+	data []float32
+	opt  []float32
+	err  error
+}
+
+// DiskStoreConfig configures CreateDiskNodeStore.
+type DiskStoreConfig struct {
+	Dir       string
+	Part      partition.Partitioning
+	Dim       int
+	Capacity  int  // buffer capacity c in physical partitions
+	Learnable bool // track AdaGrad state and write updates back
+	Throttle  *Throttle
+	// Init fills the initial representation of node id into row; nil
+	// leaves representations zero.
+	Init func(id int32, row []float32)
+}
+
+// CreateDiskNodeStore writes the initial table to disk and opens a store
+// with an empty buffer.
+func CreateDiskNodeStore(cfg DiskStoreConfig) (*DiskNodeStore, error) {
+	if cfg.Capacity <= 0 || cfg.Capacity > cfg.Part.NumPartitions {
+		return nil, fmt.Errorf("storage: capacity %d out of range (1..%d)", cfg.Capacity, cfg.Part.NumPartitions)
+	}
+	f, err := os.Create(filepath.Join(cfg.Dir, "nodes.bin"))
+	if err != nil {
+		return nil, err
+	}
+	s := &DiskNodeStore{
+		pt:        cfg.Part,
+		dim:       cfg.Dim,
+		learnable: cfg.Learnable,
+		f:         f,
+		capacity:  cfg.Capacity,
+		slotData:  make([]float32, cfg.Capacity*cfg.Part.PartSize*cfg.Dim),
+		resident:  make(map[int]int, cfg.Capacity),
+		slotPart:  make([]int, cfg.Capacity),
+		dirty:     make([]bool, cfg.Capacity),
+		staged:    make(map[int]*stagedPartition),
+		throttle:  cfg.Throttle,
+	}
+	for i := range s.slotPart {
+		s.slotPart[i] = -1
+		s.free = append(s.free, i)
+	}
+	if cfg.Learnable {
+		sf, err := os.Create(filepath.Join(cfg.Dir, "nodes.opt.bin"))
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.sf = sf
+		s.slotOpt = make([]float32, cfg.Capacity*cfg.Part.PartSize)
+	}
+	// Write the initial table partition by partition (sequential IO).
+	row := make([]float32, cfg.Dim)
+	buf := make([]float32, 0, cfg.Part.PartSize*cfg.Dim)
+	for p := 0; p < cfg.Part.NumPartitions; p++ {
+		start, end := cfg.Part.Range(p)
+		buf = buf[:0]
+		for id := start; id < end; id++ {
+			for i := range row {
+				row[i] = 0
+			}
+			if cfg.Init != nil {
+				cfg.Init(id, row)
+			}
+			buf = append(buf, row...)
+		}
+		if err := writeFloats(f, int64(start)*int64(cfg.Dim)*4, buf, nil, nil); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	if cfg.Learnable {
+		zeros := make([]float32, cfg.Part.NumNodes)
+		if err := writeFloats(s.sf, 0, zeros, nil, nil); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Dim implements NodeStore.
+func (s *DiskNodeStore) Dim() int { return s.dim }
+
+// NumNodes implements NodeStore.
+func (s *DiskNodeStore) NumNodes() int { return s.pt.NumNodes }
+
+// Stats returns the store's IO counters.
+func (s *DiskNodeStore) Stats() *Stats { return &s.stats }
+
+// Resident returns the sorted list of partitions currently buffered.
+func (s *DiskNodeStore) Resident() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, 0, len(s.resident))
+	for p := range s.resident {
+		out = append(out, p)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func (s *DiskNodeStore) partFloatRange(p int) (off int64, count int) {
+	start, end := s.pt.Range(p)
+	return int64(start) * int64(s.dim) * 4, int(end-start) * s.dim
+}
+
+// readPartition loads partition p's floats (and optimizer state) from disk.
+func (s *DiskNodeStore) readPartition(p int, data, opt []float32) error {
+	off, _ := s.partFloatRange(p)
+	if err := readFloats(s.f, off, data, &s.stats, s.throttle); err != nil {
+		return fmt.Errorf("storage: read partition %d: %w", p, err)
+	}
+	if s.learnable {
+		start, _ := s.pt.Range(p)
+		if err := readFloats(s.sf, int64(start)*4, opt, &s.stats, s.throttle); err != nil {
+			return fmt.Errorf("storage: read opt state %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// writePartition flushes slot contents for partition p back to disk.
+func (s *DiskNodeStore) writePartition(p, slot int) error {
+	off, count := s.partFloatRange(p)
+	base := slot * s.pt.PartSize * s.dim
+	if err := writeFloats(s.f, off, s.slotData[base:base+count], &s.stats, s.throttle); err != nil {
+		return fmt.Errorf("storage: write partition %d: %w", p, err)
+	}
+	if s.learnable {
+		start, end := s.pt.Range(p)
+		ob := slot * s.pt.PartSize
+		if err := writeFloats(s.sf, int64(start)*4, s.slotOpt[ob:ob+int(end-start)], &s.stats, s.throttle); err != nil {
+			return fmt.Errorf("storage: write opt state %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// Prefetch begins loading the given partitions into staging memory in the
+// background (paper Fig. 2 step A: the buffer and IO manager prefetch the
+// next partition set while training proceeds on the current one).
+func (s *DiskNodeStore) Prefetch(parts []int) {
+	s.mu.RLock()
+	need := make([]int, 0, len(parts))
+	for _, p := range parts {
+		if _, ok := s.resident[p]; !ok {
+			need = append(need, p)
+		}
+	}
+	s.mu.RUnlock()
+
+	s.stagedMu.Lock()
+	defer s.stagedMu.Unlock()
+	for _, p := range need {
+		if _, ok := s.staged[p]; ok {
+			continue
+		}
+		sp := &stagedPartition{
+			done: make(chan struct{}),
+			data: make([]float32, s.pt.Rows(p)*s.dim),
+		}
+		if s.learnable {
+			sp.opt = make([]float32, s.pt.Rows(p))
+		}
+		s.staged[p] = sp
+		s.pending.Add(1)
+		go func(p int, sp *stagedPartition) {
+			defer s.pending.Done()
+			sp.err = s.readPartition(p, sp.data, sp.opt)
+			close(sp.done)
+		}(p, sp)
+	}
+}
+
+// LoadSet swaps the buffer so that exactly the partitions in parts are
+// resident, writing back dirty evicted partitions and consuming any
+// prefetched data. len(parts) must not exceed the buffer capacity.
+func (s *DiskNodeStore) LoadSet(parts []int) error {
+	if len(parts) > s.capacity {
+		return fmt.Errorf("storage: set of %d partitions exceeds capacity %d", len(parts), s.capacity)
+	}
+	want := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		want[p] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Evict partitions not wanted.
+	for p, slot := range s.resident {
+		if want[p] {
+			continue
+		}
+		if s.dirty[slot] {
+			if err := s.writePartition(p, slot); err != nil {
+				return err
+			}
+		}
+		s.dirty[slot] = false
+		s.slotPart[slot] = -1
+		s.free = append(s.free, slot)
+		delete(s.resident, p)
+		s.stats.Swaps.Add(1)
+	}
+	// Load missing partitions, preferring staged (prefetched) data.
+	for _, p := range parts {
+		if _, ok := s.resident[p]; ok {
+			continue
+		}
+		slot := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		base := slot * s.pt.PartSize * s.dim
+		count := s.pt.Rows(p) * s.dim
+
+		s.stagedMu.Lock()
+		sp := s.staged[p]
+		if sp != nil {
+			delete(s.staged, p)
+		}
+		s.stagedMu.Unlock()
+
+		if sp != nil {
+			<-sp.done
+			if sp.err != nil {
+				return sp.err
+			}
+			copy(s.slotData[base:base+count], sp.data)
+			if s.learnable {
+				copy(s.slotOpt[slot*s.pt.PartSize:], sp.opt)
+			}
+		} else {
+			var opt []float32
+			if s.learnable {
+				opt = s.slotOpt[slot*s.pt.PartSize : slot*s.pt.PartSize+s.pt.Rows(p)]
+			}
+			if err := s.readPartition(p, s.slotData[base:base+count], opt); err != nil {
+				return err
+			}
+		}
+		s.resident[p] = slot
+		s.slotPart[slot] = p
+	}
+	return nil
+}
+
+// rowSlice returns the in-buffer representation row for node id; the
+// caller must hold mu.
+func (s *DiskNodeStore) rowSlice(id int32) ([]float32, int, error) {
+	p := s.pt.Of(id)
+	slot, ok := s.resident[p]
+	if !ok {
+		return nil, 0, fmt.Errorf("storage: node %d in partition %d is not resident", id, p)
+	}
+	start, _ := s.pt.Range(p)
+	idx := slot*s.pt.PartSize + int(id-start)
+	return s.slotData[idx*s.dim : (idx+1)*s.dim], idx, nil
+}
+
+// Gather implements NodeStore.
+func (s *DiskNodeStore) Gather(ids []int32, out *tensor.Tensor) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, id := range ids {
+		row, _, err := s.rowSlice(id)
+		if err != nil {
+			return err
+		}
+		copy(out.Data[i*s.dim:(i+1)*s.dim], row)
+	}
+	return nil
+}
+
+// ApplyGrads implements NodeStore.
+func (s *DiskNodeStore) ApplyGrads(ids []int32, grads *tensor.Tensor, opt *nn.SparseAdaGrad) error {
+	if !s.learnable {
+		return fmt.Errorf("storage: ApplyGrads on a read-only store")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, id := range ids {
+		row, idx, err := s.rowSlice(id)
+		if err != nil {
+			return err
+		}
+		s.slotOpt[idx] = opt.StepRow(row, grads.Row(i), s.slotOpt[idx])
+		s.dirty[s.resident[s.pt.Of(id)]] = true
+	}
+	return nil
+}
+
+// Flush writes all dirty resident partitions back to disk.
+func (s *DiskNodeStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for p, slot := range s.resident {
+		if s.dirty[slot] {
+			if err := s.writePartition(p, slot); err != nil {
+				return err
+			}
+			s.dirty[slot] = false
+		}
+	}
+	return nil
+}
+
+// ReadAll loads the entire table from disk into a tensor (for evaluation
+// of small graphs). The buffer state is unaffected but dirty resident
+// partitions are flushed first so the snapshot is current.
+func (s *DiskNodeStore) ReadAll() (*tensor.Tensor, error) {
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	t := tensor.New(s.pt.NumNodes, s.dim)
+	if err := readFloats(s.f, 0, t.Data, &s.stats, s.throttle); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Close flushes and closes the underlying files.
+func (s *DiskNodeStore) Close() error {
+	s.pending.Wait()
+	err := s.Flush()
+	if e := s.f.Close(); err == nil {
+		err = e
+	}
+	if s.sf != nil {
+		if e := s.sf.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}

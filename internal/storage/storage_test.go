@@ -1,0 +1,257 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+func TestDiskNodeStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const n, dim, p, c = 100, 8, 10, 4
+	pt := partition.New(n, p)
+	store, err := CreateDiskNodeStore(DiskStoreConfig{
+		Dir: dir, Part: pt, Dim: dim, Capacity: c, Learnable: true,
+		Init: func(id int32, row []float32) {
+			for j := range row {
+				row[j] = float32(id)*100 + float32(j)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	if err := store.LoadSet([]int{0, 3, 7, 9}); err != nil {
+		t.Fatal(err)
+	}
+	ids := []int32{0, 35, 74, 99, 5}
+	out := tensor.New(len(ids), dim)
+	if err := store.Gather(ids, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		for j := 0; j < dim; j++ {
+			if want := float32(id)*100 + float32(j); out.At(i, j) != want {
+				t.Fatalf("node %d dim %d: got %v want %v", id, j, out.At(i, j), want)
+			}
+		}
+	}
+	// Gathering a non-resident node must fail.
+	if err := store.Gather([]int32{15}, tensor.New(1, dim)); err == nil {
+		t.Fatal("expected error for non-resident node")
+	}
+}
+
+func TestDiskNodeStoreUpdatePersistsAcrossSwaps(t *testing.T) {
+	dir := t.TempDir()
+	const n, dim, p, c = 60, 4, 6, 2
+	pt := partition.New(n, p)
+	store, err := CreateDiskNodeStore(DiskStoreConfig{
+		Dir: dir, Part: pt, Dim: dim, Capacity: c, Learnable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	opt := nn.NewSparseAdaGrad(1.0)
+	if err := store.LoadSet([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	grads := tensor.New(1, dim)
+	grads.Fill(1)
+	if err := store.ApplyGrads([]int32{5}, grads, opt); err != nil {
+		t.Fatal(err)
+	}
+	before := tensor.New(1, dim)
+	if err := store.Gather([]int32{5}, before); err != nil {
+		t.Fatal(err)
+	}
+	// Swap partition 0 out and back in: the update must survive.
+	if err := store.LoadSet([]int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.LoadSet([]int{0, 4}); err != nil {
+		t.Fatal(err)
+	}
+	after := tensor.New(1, dim)
+	if err := store.Gather([]int32{5}, after); err != nil {
+		t.Fatal(err)
+	}
+	if !before.Equal(after, 0) {
+		t.Fatalf("update lost across swap: %v vs %v", before, after)
+	}
+	// AdaGrad state must persist too: a second identical gradient must
+	// move the row less than the first did.
+	if err := store.ApplyGrads([]int32{5}, grads, opt); err != nil {
+		t.Fatal(err)
+	}
+	second := tensor.New(1, dim)
+	if err := store.Gather([]int32{5}, second); err != nil {
+		t.Fatal(err)
+	}
+	step1 := float64(before.At(0, 0)) // from 0
+	step2 := float64(second.At(0, 0) - after.At(0, 0))
+	if !(step2 < 0 && step1 < 0 && step2 > step1) {
+		t.Fatalf("AdaGrad state not persisted: step1=%v step2=%v", step1, step2)
+	}
+}
+
+func TestDiskNodeStorePrefetchMatchesDirectLoad(t *testing.T) {
+	dir := t.TempDir()
+	const n, dim, p, c = 80, 6, 8, 3
+	pt := partition.New(n, p)
+	store, err := CreateDiskNodeStore(DiskStoreConfig{
+		Dir: dir, Part: pt, Dim: dim, Capacity: c,
+		Init: func(id int32, row []float32) { row[0] = float32(id) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	if err := store.LoadSet([]int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	store.Prefetch([]int{5, 6})
+	if err := store.LoadSet([]int{5, 6, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := tensor.New(1, dim)
+	if err := store.Gather([]int32{55}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0) != 55 {
+		t.Fatalf("prefetched data wrong: %v", out.At(0, 0))
+	}
+	res := store.Resident()
+	if len(res) != 3 || res[0] != 2 || res[1] != 5 || res[2] != 6 {
+		t.Fatalf("resident = %v", res)
+	}
+}
+
+func TestDiskMatchesMemoryStoreUnderRandomOps(t *testing.T) {
+	dir := t.TempDir()
+	const n, dim, p, c = 50, 4, 5, 5 // capacity = all partitions
+	pt := partition.New(n, p)
+	table := tensor.New(n, dim)
+	rng := rand.New(rand.NewSource(1))
+	table.RandNormal(rng, 1)
+	memStore := NewMemoryNodeStore(table.Clone())
+	diskStore, err := CreateDiskNodeStore(DiskStoreConfig{
+		Dir: dir, Part: pt, Dim: dim, Capacity: c, Learnable: true,
+		Init: func(id int32, row []float32) { copy(row, table.Row(int(id))) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer diskStore.Close()
+	if err := diskStore.LoadSet([]int{0, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	optM := nn.NewSparseAdaGrad(0.1)
+	optD := nn.NewSparseAdaGrad(0.1)
+	for step := 0; step < 50; step++ {
+		ids := make([]int32, rng.Intn(8)+1)
+		for i := range ids {
+			ids[i] = int32(rng.Intn(n))
+		}
+		grads := tensor.New(len(ids), dim)
+		grads.RandNormal(rng, 1)
+		if err := memStore.ApplyGrads(ids, grads, optM); err != nil {
+			t.Fatal(err)
+		}
+		if err := diskStore.ApplyGrads(ids, grads, optD); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := diskStore.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !all.Equal(memStore.Table(), 1e-5) {
+		t.Fatal("disk and memory stores diverged")
+	}
+}
+
+func TestDiskNodeStoreIOCounters(t *testing.T) {
+	dir := t.TempDir()
+	const n, dim, p, c = 40, 4, 4, 2
+	pt := partition.New(n, p)
+	store, err := CreateDiskNodeStore(DiskStoreConfig{Dir: dir, Part: pt, Dim: dim, Capacity: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.LoadSet([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	snap := store.Stats().Snapshot()
+	perPart := int64(pt.PartSize * dim * 4)
+	if snap.BytesRead != 2*perPart {
+		t.Fatalf("bytes read = %d, want %d", snap.BytesRead, 2*perPart)
+	}
+	if err := store.LoadSet([]int{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := store.Stats().Snapshot().Sub(snap)
+	if snap2.BytesRead != perPart || snap2.Swaps != 1 {
+		t.Fatalf("after swap: %+v", snap2)
+	}
+}
+
+func TestEdgeStoreDiskMatchesMemory(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(2))
+	const n, p = 100, 5
+	pt := partition.New(n, p)
+	edges := make([]graph.Edge, 500)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: int32(rng.Intn(n)), Rel: int32(rng.Intn(3)), Dst: int32(rng.Intn(n))}
+	}
+	mem := NewMemoryEdgeStore(pt, edges)
+	disk, err := CreateDiskEdgeStore(dir, pt, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			a, _ := mem.ReadBucket(i, j, nil)
+			b, err := disk.ReadBucket(i, j, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("bucket (%d,%d): %d vs %d edges", i, j, len(a), len(b))
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("bucket (%d,%d) edge %d differs", i, j, k)
+				}
+			}
+			if mem.BucketLen(i, j) != disk.BucketLen(i, j) {
+				t.Fatal("BucketLen mismatch")
+			}
+		}
+	}
+}
+
+func TestThrottleEnforcesBandwidth(t *testing.T) {
+	th := NewThrottle(1 << 20) // 1 MiB/s
+	start := time.Now()
+	th.Wait(1 << 18) // 256 KiB => 250ms
+	elapsed := time.Since(start)
+	if elapsed < 200*time.Millisecond {
+		t.Fatalf("throttle too fast: %v", elapsed)
+	}
+}

@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// StreamingEdgeWriter bucket-sorts an edge stream that is too large to
+// materialize in memory, the preprocessing path used for the hyperlink-
+// scale experiment (paper §7.3). Edges are appended in chunks; each bucket
+// accumulates in its own spill file; Finalize concatenates the spill files
+// into the single bucket-sorted layout DiskEdgeStore serves.
+type StreamingEdgeWriter struct {
+	dir     string
+	pt      partition.Partitioning
+	files   []*os.File
+	writers []*bufio.Writer
+	counts  []int64
+}
+
+// NewStreamingEdgeWriter creates spill files under dir.
+func NewStreamingEdgeWriter(dir string, pt partition.Partitioning) (*StreamingEdgeWriter, error) {
+	p := pt.NumPartitions
+	w := &StreamingEdgeWriter{
+		dir:     dir,
+		pt:      pt,
+		files:   make([]*os.File, p*p),
+		writers: make([]*bufio.Writer, p*p),
+		counts:  make([]int64, p*p),
+	}
+	for b := range w.files {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("bucket-%d.spill", b)))
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		w.files[b] = f
+		w.writers[b] = bufio.NewWriterSize(f, 1<<16)
+	}
+	return w, nil
+}
+
+// Append routes a chunk of edges to their bucket spill files.
+func (w *StreamingEdgeWriter) Append(edges []graph.Edge) error {
+	var rec [edgeBytes]byte
+	for _, e := range edges {
+		i, j := w.pt.Bucket(e)
+		b := w.pt.BucketID(i, j)
+		encodeEdge(e, rec[:])
+		if _, err := w.writers[b].Write(rec[:]); err != nil {
+			return err
+		}
+		w.counts[b]++
+	}
+	return nil
+}
+
+// Finalize concatenates the spill files into edges.bin and returns a
+// DiskEdgeStore serving it. The writer is closed and its spill files
+// removed.
+func (w *StreamingEdgeWriter) Finalize(throttle *Throttle) (*DiskEdgeStore, error) {
+	out, err := os.Create(filepath.Join(w.dir, "edges.bin"))
+	if err != nil {
+		return nil, err
+	}
+	p := w.pt.NumPartitions
+	offsets := make([]int64, p*p+1)
+	var pos int64
+	for b := 0; b < p*p; b++ {
+		offsets[b] = pos
+		if err := w.writers[b].Flush(); err != nil {
+			out.Close()
+			return nil, err
+		}
+		if _, err := w.files[b].Seek(0, io.SeekStart); err != nil {
+			out.Close()
+			return nil, err
+		}
+		if _, err := io.Copy(out, w.files[b]); err != nil {
+			out.Close()
+			return nil, err
+		}
+		pos += w.counts[b]
+	}
+	offsets[p*p] = pos
+	w.Close()
+	return &DiskEdgeStore{pt: w.pt, f: out, offsets: offsets, throttle: throttle}, nil
+}
+
+// Close releases and deletes the spill files.
+func (w *StreamingEdgeWriter) Close() {
+	for b, f := range w.files {
+		if f != nil {
+			f.Close()
+			os.Remove(f.Name())
+			w.files[b] = nil
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestStreamingEdgeWriterMatchesBatchSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, p = 200, 4
+	pt := partition.New(n, p)
+	edges := make([]graph.Edge, 3000)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: int32(rng.Intn(n)), Rel: int32(rng.Intn(5)), Dst: int32(rng.Intn(n))}
+	}
+
+	// Reference: batch bucket sort.
+	ref := NewMemoryEdgeStore(pt, edges)
+
+	// Streaming path in uneven chunks.
+	dir := t.TempDir()
+	w, err := NewStreamingEdgeWriter(dir, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(edges); {
+		hi := lo + rng.Intn(500) + 1
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		if err := w.Append(edges[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+	store, err := w.Finalize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			a, _ := ref.ReadBucket(i, j, nil)
+			b, err := store.ReadBucket(i, j, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("bucket (%d,%d): %d vs %d edges", i, j, len(a), len(b))
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("bucket (%d,%d) edge %d: %+v vs %+v", i, j, k, a[k], b[k])
+				}
+			}
+		}
+	}
+}
+
+func TestStreamingEdgeWriterRemovesSpillFiles(t *testing.T) {
+	dir := t.TempDir()
+	pt := partition.New(10, 2)
+	w, err := NewStreamingEdgeWriter(dir, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]graph.Edge{{Src: 1, Dst: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	store, err := w.Finalize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	got, err := store.ReadBucket(0, 1, nil)
+	if err != nil || len(got) != 1 || got[0].Dst != 7 {
+		t.Fatalf("bucket content wrong: %v %v", got, err)
+	}
+}

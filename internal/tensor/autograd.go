@@ -1,0 +1,563 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Node is a value in an autodiff computation graph recorded on a Tape.
+type Node struct {
+	// Value holds the forward result.
+	Value *Tensor
+
+	grad         *Tensor
+	requiresGrad bool
+	backward     func(grad *Tensor)
+	tape         *Tape
+}
+
+// Grad returns the accumulated gradient of the node after Tape.Backward,
+// or nil if no gradient flowed to it.
+func (n *Node) Grad() *Tensor { return n.grad }
+
+// RequiresGrad reports whether gradients are tracked for this node.
+func (n *Node) RequiresGrad() bool { return n.requiresGrad }
+
+// Tape records operations for reverse-mode differentiation. A Tape is not
+// safe for concurrent use; each training worker owns its own tape.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset discards all recorded nodes so the tape can be reused.
+func (tp *Tape) Reset() { tp.nodes = tp.nodes[:0] }
+
+// Len returns the number of recorded nodes.
+func (tp *Tape) Len() int { return len(tp.nodes) }
+
+// Leaf registers t as an input node. If requiresGrad is true, gradients
+// with respect to t accumulate in Grad() during Backward.
+func (tp *Tape) Leaf(t *Tensor, requiresGrad bool) *Node {
+	n := &Node{Value: t, requiresGrad: requiresGrad, tape: tp}
+	tp.nodes = append(tp.nodes, n)
+	return n
+}
+
+// Constant registers t as an input that never needs gradients.
+func (tp *Tape) Constant(t *Tensor) *Node { return tp.Leaf(t, false) }
+
+func (tp *Tape) record(value *Tensor, requiresGrad bool, backward func(grad *Tensor)) *Node {
+	n := &Node{Value: value, requiresGrad: requiresGrad, tape: tp}
+	if requiresGrad {
+		n.backward = backward
+	}
+	tp.nodes = append(tp.nodes, n)
+	return n
+}
+
+// accumulate adds g into n's gradient buffer.
+func (n *Node) accumulate(g *Tensor) {
+	if !n.requiresGrad {
+		return
+	}
+	if n.grad == nil {
+		n.grad = g.Clone()
+		return
+	}
+	n.grad.AddInPlace(g)
+}
+
+// Backward runs reverse-mode differentiation from root, which must be a
+// scalar (1x1) node, seeding its gradient with 1.
+func (tp *Tape) Backward(root *Node) {
+	if root.Value.Rows != 1 || root.Value.Cols != 1 {
+		panic(fmt.Sprintf("tensor: Backward root must be scalar, got %dx%d", root.Value.Rows, root.Value.Cols))
+	}
+	if root.tape != tp {
+		panic("tensor: Backward root recorded on a different tape")
+	}
+	seed := New(1, 1)
+	seed.Data[0] = 1
+	root.accumulate(seed)
+	// Nodes were appended in topological order, so a reverse sweep visits
+	// every node after all of its consumers.
+	for i := len(tp.nodes) - 1; i >= 0; i-- {
+		n := tp.nodes[i]
+		if n.backward != nil && n.grad != nil {
+			n.backward(n.grad)
+		}
+	}
+}
+
+// MatMul records a @ b.
+func (tp *Tape) MatMul(a, b *Node) *Node {
+	out := MatMul(a.Value, b.Value)
+	req := a.requiresGrad || b.requiresGrad
+	return tp.record(out, req, func(g *Tensor) {
+		if a.requiresGrad {
+			a.accumulate(MatMulTransposeB(g, b.Value))
+		}
+		if b.requiresGrad {
+			b.accumulate(MatMulTransposeA(a.Value, g))
+		}
+	})
+}
+
+// Add records the element-wise sum a + b (same shape).
+func (tp *Tape) Add(a, b *Node) *Node {
+	if !a.Value.SameShape(b.Value) {
+		panic("tensor: Add shape mismatch")
+	}
+	out := a.Value.Clone()
+	out.AddInPlace(b.Value)
+	req := a.requiresGrad || b.requiresGrad
+	return tp.record(out, req, func(g *Tensor) {
+		if a.requiresGrad {
+			a.accumulate(g)
+		}
+		if b.requiresGrad {
+			b.accumulate(g)
+		}
+	})
+}
+
+// Sub records a - b (same shape).
+func (tp *Tape) Sub(a, b *Node) *Node {
+	if !a.Value.SameShape(b.Value) {
+		panic("tensor: Sub shape mismatch")
+	}
+	out := a.Value.Clone()
+	for i, v := range b.Value.Data {
+		out.Data[i] -= v
+	}
+	req := a.requiresGrad || b.requiresGrad
+	return tp.record(out, req, func(g *Tensor) {
+		if a.requiresGrad {
+			a.accumulate(g)
+		}
+		if b.requiresGrad {
+			ng := g.Clone()
+			ng.ScaleInPlace(-1)
+			b.accumulate(ng)
+		}
+	})
+}
+
+// Mul records the element-wise (Hadamard) product a * b (same shape).
+func (tp *Tape) Mul(a, b *Node) *Node {
+	if !a.Value.SameShape(b.Value) {
+		panic("tensor: Mul shape mismatch")
+	}
+	out := a.Value.Clone()
+	for i, v := range b.Value.Data {
+		out.Data[i] *= v
+	}
+	req := a.requiresGrad || b.requiresGrad
+	return tp.record(out, req, func(g *Tensor) {
+		if a.requiresGrad {
+			ga := g.Clone()
+			for i, v := range b.Value.Data {
+				ga.Data[i] *= v
+			}
+			a.accumulate(ga)
+		}
+		if b.requiresGrad {
+			gb := g.Clone()
+			for i, v := range a.Value.Data {
+				gb.Data[i] *= v
+			}
+			b.accumulate(gb)
+		}
+	})
+}
+
+// Scale records a * s for scalar s.
+func (tp *Tape) Scale(a *Node, s float32) *Node {
+	out := a.Value.Clone()
+	out.ScaleInPlace(s)
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := g.Clone()
+		ga.ScaleInPlace(s)
+		a.accumulate(ga)
+	})
+}
+
+// AddBias records a + b where b is a [1 x m] row vector broadcast over the
+// rows of a [n x m].
+func (tp *Tape) AddBias(a, b *Node) *Node {
+	if b.Value.Rows != 1 || b.Value.Cols != a.Value.Cols {
+		panic("tensor: AddBias expects bias [1 x cols(a)]")
+	}
+	out := a.Value.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j, v := range b.Value.Data {
+			row[j] += v
+		}
+	}
+	req := a.requiresGrad || b.requiresGrad
+	return tp.record(out, req, func(g *Tensor) {
+		if a.requiresGrad {
+			a.accumulate(g)
+		}
+		if b.requiresGrad {
+			gb := New(1, g.Cols)
+			for i := 0; i < g.Rows; i++ {
+				row := g.Row(i)
+				for j, v := range row {
+					gb.Data[j] += v
+				}
+			}
+			b.accumulate(gb)
+		}
+	})
+}
+
+// ReLU records max(a, 0).
+func (tp *Tape) ReLU(a *Node) *Node {
+	out := a.Value.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := g.Clone()
+		for i, v := range a.Value.Data {
+			if v <= 0 {
+				ga.Data[i] = 0
+			}
+		}
+		a.accumulate(ga)
+	})
+}
+
+// LeakyReLU records max(a, alpha*a) for 0 < alpha < 1.
+func (tp *Tape) LeakyReLU(a *Node, alpha float32) *Node {
+	out := a.Value.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = v * alpha
+		}
+	}
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := g.Clone()
+		for i, v := range a.Value.Data {
+			if v < 0 {
+				ga.Data[i] *= alpha
+			}
+		}
+		a.accumulate(ga)
+	})
+}
+
+// Sigmoid records 1 / (1 + exp(-a)).
+func (tp *Tape) Sigmoid(a *Node) *Node {
+	out := New(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := g.Clone()
+		for i, y := range out.Data {
+			ga.Data[i] *= y * (1 - y)
+		}
+		a.accumulate(ga)
+	})
+}
+
+// Tanh records tanh(a).
+func (tp *Tape) Tanh(a *Node) *Node {
+	out := New(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		out.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := g.Clone()
+		for i, y := range out.Data {
+			ga.Data[i] *= 1 - y*y
+		}
+		a.accumulate(ga)
+	})
+}
+
+// Gather records row selection a[idx]. The backward pass scatter-adds the
+// output gradient into the selected rows, which is how gradients reach the
+// base-representation table (paper §3, step 6).
+func (tp *Tape) Gather(a *Node, idx []int32) *Node {
+	out := Gather(a.Value, idx)
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := New(a.Value.Rows, a.Value.Cols)
+		ScatterAdd(ga, g, idx)
+		a.accumulate(ga)
+	})
+}
+
+// SliceRows records the row slice a[start:end].
+func (tp *Tape) SliceRows(a *Node, start, end int) *Node {
+	if start < 0 || end > a.Value.Rows || start > end {
+		panic(fmt.Sprintf("tensor: SliceRows [%d:%d] of %d rows", start, end, a.Value.Rows))
+	}
+	out := New(end-start, a.Value.Cols)
+	copy(out.Data, a.Value.Data[start*a.Value.Cols:end*a.Value.Cols])
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := New(a.Value.Rows, a.Value.Cols)
+		copy(ga.Data[start*a.Value.Cols:end*a.Value.Cols], g.Data)
+		a.accumulate(ga)
+	})
+}
+
+// ConcatRows records vertical concatenation [a; b].
+func (tp *Tape) ConcatRows(a, b *Node) *Node {
+	if a.Value.Cols != b.Value.Cols {
+		panic("tensor: ConcatRows column mismatch")
+	}
+	out := New(a.Value.Rows+b.Value.Rows, a.Value.Cols)
+	copy(out.Data, a.Value.Data)
+	copy(out.Data[len(a.Value.Data):], b.Value.Data)
+	req := a.requiresGrad || b.requiresGrad
+	return tp.record(out, req, func(g *Tensor) {
+		if a.requiresGrad {
+			ga := New(a.Value.Rows, a.Value.Cols)
+			copy(ga.Data, g.Data[:len(ga.Data)])
+			a.accumulate(ga)
+		}
+		if b.requiresGrad {
+			gb := New(b.Value.Rows, b.Value.Cols)
+			copy(gb.Data, g.Data[len(a.Value.Data):])
+			b.accumulate(gb)
+		}
+	})
+}
+
+// ConcatCols records horizontal concatenation [a | b].
+func (tp *Tape) ConcatCols(a, b *Node) *Node {
+	if a.Value.Rows != b.Value.Rows {
+		panic("tensor: ConcatCols row mismatch")
+	}
+	ac, bc := a.Value.Cols, b.Value.Cols
+	out := New(a.Value.Rows, ac+bc)
+	for i := 0; i < out.Rows; i++ {
+		copy(out.Row(i)[:ac], a.Value.Row(i))
+		copy(out.Row(i)[ac:], b.Value.Row(i))
+	}
+	req := a.requiresGrad || b.requiresGrad
+	return tp.record(out, req, func(g *Tensor) {
+		if a.requiresGrad {
+			ga := New(a.Value.Rows, ac)
+			for i := 0; i < g.Rows; i++ {
+				copy(ga.Row(i), g.Row(i)[:ac])
+			}
+			a.accumulate(ga)
+		}
+		if b.requiresGrad {
+			gb := New(b.Value.Rows, bc)
+			for i := 0; i < g.Rows; i++ {
+				copy(gb.Row(i), g.Row(i)[ac:])
+			}
+			b.accumulate(gb)
+		}
+	})
+}
+
+// SegmentSum records per-segment row sums (paper Algorithm 3, line 2).
+func (tp *Tape) SegmentSum(a *Node, offsets []int32) *Node {
+	out := SegmentSum(a.Value, offsets)
+	n := a.Value.Rows
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := New(a.Value.Rows, a.Value.Cols)
+		for s := 0; s < g.Rows; s++ {
+			grow := g.Row(s)
+			end := segmentEnd(offsets, s, n)
+			for r := int(offsets[s]); r < end; r++ {
+				copy(ga.Row(r), grow)
+			}
+		}
+		a.accumulate(ga)
+	})
+}
+
+// SegmentMean records per-segment row means; empty segments yield zeros.
+func (tp *Tape) SegmentMean(a *Node, offsets []int32) *Node {
+	out := SegmentMean(a.Value, offsets)
+	n := a.Value.Rows
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := New(a.Value.Rows, a.Value.Cols)
+		for s := 0; s < g.Rows; s++ {
+			start, end := int(offsets[s]), segmentEnd(offsets, s, n)
+			cnt := end - start
+			if cnt == 0 {
+				continue
+			}
+			inv := 1 / float32(cnt)
+			grow := g.Row(s)
+			for r := start; r < end; r++ {
+				garow := ga.Row(r)
+				for j, v := range grow {
+					garow[j] = v * inv
+				}
+			}
+		}
+		a.accumulate(ga)
+	})
+}
+
+// SegmentSoftmax records a softmax within each contiguous segment of the
+// column vector a.
+func (tp *Tape) SegmentSoftmax(a *Node, offsets []int32) *Node {
+	out := SegmentSoftmax(a.Value, offsets)
+	n := a.Value.Rows
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := New(n, 1)
+		for s := 0; s < len(offsets); s++ {
+			start, end := int(offsets[s]), segmentEnd(offsets, s, n)
+			var dot float64
+			for r := start; r < end; r++ {
+				dot += float64(g.Data[r]) * float64(out.Data[r])
+			}
+			for r := start; r < end; r++ {
+				ga.Data[r] = out.Data[r] * (g.Data[r] - float32(dot))
+			}
+		}
+		a.accumulate(ga)
+	})
+}
+
+// MulColBroadcast records a * w where w is an [n x 1] column vector scaling
+// each row of a [n x d]. Used to apply attention weights in GAT.
+func (tp *Tape) MulColBroadcast(a, w *Node) *Node {
+	if w.Value.Cols != 1 || w.Value.Rows != a.Value.Rows {
+		panic("tensor: MulColBroadcast expects w [rows(a) x 1]")
+	}
+	out := a.Value.Clone()
+	for i := 0; i < out.Rows; i++ {
+		wi := w.Value.Data[i]
+		row := out.Row(i)
+		for j := range row {
+			row[j] *= wi
+		}
+	}
+	req := a.requiresGrad || w.requiresGrad
+	return tp.record(out, req, func(g *Tensor) {
+		if a.requiresGrad {
+			ga := g.Clone()
+			for i := 0; i < ga.Rows; i++ {
+				wi := w.Value.Data[i]
+				row := ga.Row(i)
+				for j := range row {
+					row[j] *= wi
+				}
+			}
+			a.accumulate(ga)
+		}
+		if w.requiresGrad {
+			gw := New(w.Value.Rows, 1)
+			for i := 0; i < g.Rows; i++ {
+				grow, arow := g.Row(i), a.Value.Row(i)
+				var s float32
+				for j, v := range grow {
+					s += v * arow[j]
+				}
+				gw.Data[i] = s
+			}
+			w.accumulate(gw)
+		}
+	})
+}
+
+// RowSum records the per-row sum of a as an [n x 1] column vector.
+func (tp *Tape) RowSum(a *Node) *Node {
+	out := New(a.Value.Rows, 1)
+	for i := 0; i < a.Value.Rows; i++ {
+		var s float32
+		for _, v := range a.Value.Row(i) {
+			s += v
+		}
+		out.Data[i] = s
+	}
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := New(a.Value.Rows, a.Value.Cols)
+		for i := 0; i < ga.Rows; i++ {
+			gi := g.Data[i]
+			row := ga.Row(i)
+			for j := range row {
+				row[j] = gi
+			}
+		}
+		a.accumulate(ga)
+	})
+}
+
+// MeanAll records the scalar mean of all elements of a.
+func (tp *Tape) MeanAll(a *Node) *Node {
+	out := New(1, 1)
+	out.Data[0] = float32(a.Value.Sum() / float64(len(a.Value.Data)))
+	inv := 1 / float32(len(a.Value.Data))
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := New(a.Value.Rows, a.Value.Cols)
+		gv := g.Data[0] * inv
+		for i := range ga.Data {
+			ga.Data[i] = gv
+		}
+		a.accumulate(ga)
+	})
+}
+
+// Dropout records inverted dropout with drop probability p using rng.
+// With p <= 0 it is the identity.
+func (tp *Tape) Dropout(a *Node, p float32, rng *rand.Rand) *Node {
+	if p <= 0 {
+		return a
+	}
+	if p >= 1 {
+		panic("tensor: Dropout probability must be < 1")
+	}
+	mask := make([]float32, len(a.Value.Data))
+	scale := 1 / (1 - p)
+	out := New(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		if rng.Float32() >= p {
+			mask[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := g.Clone()
+		for i := range ga.Data {
+			ga.Data[i] *= mask[i]
+		}
+		a.accumulate(ga)
+	})
+}
+
+// SoftmaxCrossEntropy records mean softmax cross-entropy between logits
+// [n x C] and integer class labels. It returns the scalar loss node.
+func (tp *Tape) SoftmaxCrossEntropy(logits *Node, labels []int32) *Node {
+	n := logits.Value.Rows
+	if len(labels) != n {
+		panic(fmt.Sprintf("tensor: SoftmaxCrossEntropy %d labels for %d rows", len(labels), n))
+	}
+	probs := RowSoftmax(logits.Value)
+	out := New(1, 1)
+	var loss float64
+	for i, lab := range labels {
+		p := probs.At(i, int(lab))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(float64(p))
+	}
+	out.Data[0] = float32(loss / float64(n))
+	return tp.record(out, logits.requiresGrad, func(g *Tensor) {
+		gl := probs.Clone()
+		for i, lab := range labels {
+			gl.Data[i*gl.Cols+int(lab)] -= 1
+		}
+		gl.ScaleInPlace(g.Data[0] / float32(n))
+		logits.accumulate(gl)
+	})
+}

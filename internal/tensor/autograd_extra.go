@@ -1,0 +1,32 @@
+package tensor
+
+import "fmt"
+
+// MatMulTB records a @ bᵀ for a [n x k] and b [m x k], producing [n x m].
+// Used by the DistMult decoder to score a batch against shared negatives.
+func (tp *Tape) MatMulTB(a, b *Node) *Node {
+	out := MatMulTransposeB(a.Value, b.Value)
+	req := a.requiresGrad || b.requiresGrad
+	return tp.record(out, req, func(g *Tensor) {
+		if a.requiresGrad {
+			a.accumulate(MatMul(g, b.Value))
+		}
+		if b.requiresGrad {
+			b.accumulate(MatMulTransposeA(g, a.Value))
+		}
+	})
+}
+
+// ScatterAddRows records out[idx[i]] += a[i] for an output with numRows
+// rows. It is the COO aggregation kernel used by the DGL/PyG baseline
+// execution mode (per-edge scatter instead of DENSE's segment sum).
+func (tp *Tape) ScatterAddRows(a *Node, idx []int32, numRows int) *Node {
+	if len(idx) != a.Value.Rows {
+		panic(fmt.Sprintf("tensor: ScatterAddRows %d indices for %d rows", len(idx), a.Value.Rows))
+	}
+	out := New(numRows, a.Value.Cols)
+	ScatterAdd(out, a.Value, idx)
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		a.accumulate(Gather(g, idx))
+	})
+}

@@ -1,0 +1,250 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul returns a @ b for a [n x k] and b [k x m].
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	matmulInto(out, a, b, false)
+	return out
+}
+
+// matmulInto computes out += a@b (accumulate=true) or out = a@b using an
+// ikj loop order that streams rows of b for cache friendliness.
+func matmulInto(out, a, b *Tensor, accumulate bool) {
+	n, k, m := a.Rows, a.Cols, b.Cols
+	if !accumulate {
+		out.Zero()
+	}
+	parallelFor(n, n*k*m, func(start, end int) {
+		for i := start; i < end; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*m : (i+1)*m]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*m : (p+1)*m]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulTransposeA returns aᵀ @ b for a [k x n] and b [k x m].
+func MatMulTransposeA(a, b *Tensor) *Tensor {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransposeA shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	k, n, m := a.Rows, a.Cols, b.Cols
+	parallelFor(n, n*k*m, func(start, end int) {
+		for p := 0; p < k; p++ {
+			arow := a.Data[p*n : (p+1)*n]
+			brow := b.Data[p*m : (p+1)*m]
+			for i := start; i < end; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[i*m : (i+1)*m]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransposeB returns a @ bᵀ for a [n x k] and b [m x k].
+func MatMulTransposeB(a, b *Tensor) *Tensor {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransposeB shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	n, k, m := a.Rows, a.Cols, b.Rows
+	parallelFor(n, n*k*m, func(start, end int) {
+		for i := start; i < end; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*m : (i+1)*m]
+			for j := 0; j < m; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// Gather returns the rows of a selected by idx, in order. This is the
+// dense index_select kernel used by DENSE's repr_map (paper Algorithm 3,
+// line 1).
+func Gather(a *Tensor, idx []int32) *Tensor {
+	out := New(len(idx), a.Cols)
+	c := a.Cols
+	parallelFor(len(idx), len(idx)*c, func(start, end int) {
+		for i := start; i < end; i++ {
+			id := int(idx[i])
+			copy(out.Data[i*c:(i+1)*c], a.Data[id*c:id*c+c])
+		}
+	})
+	return out
+}
+
+// ScatterAdd accumulates each row of src into row idx[i] of dst.
+func ScatterAdd(dst, src *Tensor, idx []int32) {
+	if src.Rows != len(idx) || src.Cols != dst.Cols {
+		panic("tensor: ScatterAdd shape mismatch")
+	}
+	c := dst.Cols
+	for i, id := range idx {
+		drow := dst.Data[int(id)*c : int(id)*c+c]
+		srow := src.Data[i*c : (i+1)*c]
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+}
+
+// checkOffsets validates a segment offsets array against n total rows and
+// returns the number of segments. offsets[s] is the start row of segment s;
+// segment s spans [offsets[s], offsets[s+1]) with the final segment ending
+// at n. Offsets must be non-decreasing and start at 0.
+func checkOffsets(offsets []int32, n int) int {
+	if len(offsets) == 0 {
+		if n != 0 {
+			panic("tensor: empty offsets for non-empty input")
+		}
+		return 0
+	}
+	if offsets[0] != 0 {
+		panic("tensor: offsets must start at 0")
+	}
+	for s := 1; s < len(offsets); s++ {
+		if offsets[s] < offsets[s-1] {
+			panic("tensor: offsets must be non-decreasing")
+		}
+	}
+	if int(offsets[len(offsets)-1]) > n {
+		panic(fmt.Sprintf("tensor: offsets end %d exceeds rows %d", offsets[len(offsets)-1], n))
+	}
+	return len(offsets)
+}
+
+// segmentEnd returns the exclusive end row of segment s.
+func segmentEnd(offsets []int32, s, n int) int {
+	if s+1 < len(offsets) {
+		return int(offsets[s+1])
+	}
+	return n
+}
+
+// SegmentSum sums contiguous row segments of a. The result has one row per
+// segment. This is the dense segment_sum of paper Algorithm 3, line 2.
+func SegmentSum(a *Tensor, offsets []int32) *Tensor {
+	ns := checkOffsets(offsets, a.Rows)
+	out := New(ns, a.Cols)
+	c := a.Cols
+	parallelFor(ns, a.Rows*c, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			orow := out.Data[s*c : (s+1)*c]
+			end := segmentEnd(offsets, s, a.Rows)
+			for r := int(offsets[s]); r < end; r++ {
+				arow := a.Data[r*c : (r+1)*c]
+				for j, v := range arow {
+					orow[j] += v
+				}
+			}
+		}
+	})
+	return out
+}
+
+// SegmentMean averages contiguous row segments of a; empty segments yield a
+// zero row.
+func SegmentMean(a *Tensor, offsets []int32) *Tensor {
+	out := SegmentSum(a, offsets)
+	for s := 0; s < out.Rows; s++ {
+		cnt := segmentEnd(offsets, s, a.Rows) - int(offsets[s])
+		if cnt > 1 {
+			inv := 1 / float32(cnt)
+			orow := out.Row(s)
+			for j := range orow {
+				orow[j] *= inv
+			}
+		}
+	}
+	return out
+}
+
+// SegmentSoftmax applies a numerically-stable softmax within each contiguous
+// row segment of a column vector a [n x 1]. Used for GAT attention weights.
+func SegmentSoftmax(a *Tensor, offsets []int32) *Tensor {
+	if a.Cols != 1 {
+		panic("tensor: SegmentSoftmax expects a column vector")
+	}
+	ns := checkOffsets(offsets, a.Rows)
+	out := New(a.Rows, 1)
+	for s := 0; s < ns; s++ {
+		start, end := int(offsets[s]), segmentEnd(offsets, s, a.Rows)
+		if start == end {
+			continue
+		}
+		maxV := a.Data[start]
+		for r := start + 1; r < end; r++ {
+			if a.Data[r] > maxV {
+				maxV = a.Data[r]
+			}
+		}
+		var sum float64
+		for r := start; r < end; r++ {
+			e := math.Exp(float64(a.Data[r] - maxV))
+			out.Data[r] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for r := start; r < end; r++ {
+			out.Data[r] *= inv
+		}
+	}
+	return out
+}
+
+// RowSoftmax applies a numerically-stable softmax along each row of a.
+func RowSoftmax(a *Tensor) *Tensor {
+	out := New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow, orow := a.Row(i), out.Row(i)
+		maxV := arow[0]
+		for _, v := range arow[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range arow {
+			e := math.Exp(float64(v - maxV))
+			orow[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}

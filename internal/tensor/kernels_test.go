@@ -1,0 +1,193 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n, k, m := rng.Intn(8)+1, rng.Intn(8)+1, rng.Intn(8)+1
+		a, b := randn(rng, n, k), randn(rng, k, m)
+		got := MatMul(a, b)
+		want := New(n, m)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				var s float32
+				for p := 0; p < k; p++ {
+					s += a.At(i, p) * b.At(p, j)
+				}
+				want.Set(i, j, s)
+			}
+		}
+		if !got.Equal(want, 1e-4) {
+			t.Fatalf("trial %d: matmul mismatch", trial)
+		}
+	}
+}
+
+func TestMatMulTransposesConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := randn(rng, 4, 6), randn(rng, 6, 3)
+	want := MatMul(a, b)
+	// aᵀᵀ @ b via MatMulTransposeA on aᵀ.
+	at := New(6, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	if got := MatMulTransposeA(at, b); !got.Equal(want, 1e-4) {
+		t.Fatal("MatMulTransposeA mismatch")
+	}
+	bt := New(3, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 3; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	if got := MatMulTransposeB(a, bt); !got.Equal(want, 1e-4) {
+		t.Fatal("MatMulTransposeB mismatch")
+	}
+}
+
+func TestSegmentSumMatchesLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randn(rng, 10, 4)
+	offsets := []int32{0, 0, 3, 3, 7} // includes empty segments
+	got := SegmentSum(a, offsets)
+	if got.Rows != 5 {
+		t.Fatalf("rows = %d, want 5", got.Rows)
+	}
+	bounds := [][2]int{{0, 0}, {0, 3}, {3, 3}, {3, 7}, {7, 10}}
+	for s, b := range bounds {
+		for j := 0; j < 4; j++ {
+			var want float32
+			for r := b[0]; r < b[1]; r++ {
+				want += a.At(r, j)
+			}
+			if diff := got.At(s, j) - want; diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("segment %d col %d: got %v want %v", s, j, got.At(s, j), want)
+			}
+		}
+	}
+}
+
+func TestSegmentSoftmaxSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randn(rng, 9, 1)
+	offsets := []int32{0, 4, 4, 6}
+	sm := SegmentSoftmax(a, offsets)
+	bounds := [][2]int{{0, 4}, {4, 4}, {4, 6}, {6, 9}}
+	for s, b := range bounds {
+		var sum float32
+		for r := b[0]; r < b[1]; r++ {
+			if sm.Data[r] < 0 {
+				t.Fatalf("negative softmax weight at %d", r)
+			}
+			sum += sm.Data[r]
+		}
+		if b[0] != b[1] && (sum < 0.999 || sum > 1.001) {
+			t.Fatalf("segment %d sums to %v", s, sum)
+		}
+	}
+}
+
+func TestRowSoftmaxProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randn(rng, rng.Intn(6)+1, rng.Intn(6)+1)
+		sm := RowSoftmax(a)
+		for i := 0; i < sm.Rows; i++ {
+			var sum float32
+			for _, v := range sm.Row(i) {
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if sum < 0.999 || sum > 1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := rng.Intn(10) + 1
+		a := randn(rng, rows, 3)
+		idx := make([]int32, rng.Intn(20))
+		for i := range idx {
+			idx[i] = int32(rng.Intn(rows))
+		}
+		g := Gather(a, idx)
+		// Scatter of gathered rows accumulates each source row exactly
+		// count(idx==r) times its value.
+		acc := New(rows, 3)
+		ScatterAdd(acc, g, idx)
+		counts := make([]float32, rows)
+		for _, id := range idx {
+			counts[id]++
+		}
+		for r := 0; r < rows; r++ {
+			for j := 0; j < 3; j++ {
+				want := a.At(r, j) * counts[r]
+				d := acc.At(r, j) - want
+				if d > 1e-4 || d < -1e-4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorBasics(t *testing.T) {
+	x := New(2, 3)
+	x.Fill(2)
+	x.Set(1, 2, 7)
+	if x.At(1, 2) != 7 || x.At(0, 0) != 2 {
+		t.Fatal("At/Set broken")
+	}
+	if x.Sum() != 2*5+7 {
+		t.Fatalf("Sum = %v", x.Sum())
+	}
+	if x.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs = %v", x.MaxAbs())
+	}
+	c := x.Clone()
+	c.Zero()
+	if x.At(1, 2) != 7 {
+		t.Fatal("Clone aliases data")
+	}
+	y := New(2, 3)
+	y.Fill(1)
+	x.AddInPlace(y)
+	if x.At(0, 0) != 3 {
+		t.Fatal("AddInPlace broken")
+	}
+	x.ScaleInPlace(2)
+	if x.At(0, 0) != 6 {
+		t.Fatal("ScaleInPlace broken")
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}

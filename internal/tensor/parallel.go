@@ -1,0 +1,48 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The dense kernels in this package parallelize across CPU cores. This is
+// the substitution for the paper's GPU execution: DENSE's layout lets
+// every kernel split into independent row/segment ranges (the property
+// that makes it fast on SIMT hardware), whereas the baseline's per-edge
+// scatter-add must serialize its accumulation (the property that makes
+// sparse kernels underutilize GPUs). ScatterAdd is therefore deliberately
+// left single-threaded.
+
+// parallelThreshold is the minimum amount of work (rows × cols) before a
+// kernel fans out to multiple goroutines.
+const parallelThreshold = 1 << 14
+
+// parallelFor splits [0, n) into contiguous chunks and runs fn on each
+// concurrently. fn must only touch state owned by its range.
+func parallelFor(n int, work int, fn func(start, end int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n == 0 {
+		return
+	}
+	if workers <= 1 || work < parallelThreshold || n < 2 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

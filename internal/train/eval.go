@@ -1,0 +1,160 @@
+package train
+
+import (
+	"math/rand"
+
+	"repro/internal/decoder"
+	"repro/internal/eval"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+)
+
+// EvaluateNC computes classification accuracy for the given node set using
+// the full-graph adjacency (held-out evaluation is always performed over
+// the complete graph, regardless of the training policy).
+func EvaluateNC(cfg *NCConfig, src *Source, adj *graph.Adjacency, labels []int32, nodes []int32, seed int64) (float64, error) {
+	if len(nodes) == 0 {
+		return 0, nil
+	}
+	acc := eval.MeanAccumulator{}
+	smp := sampler.New(adj, cfg.Fanouts, cfg.Dirs, seed)
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 1024
+	}
+	for lo := 0; lo < len(nodes); lo += batch {
+		hi := min(lo+batch, len(nodes))
+		targets := nodes[lo:hi]
+		d := smp.Sample(targets)
+		h0t := tensor.New(len(d.NodeIDs), src.Nodes.Dim())
+		if err := src.Nodes.Gather(d.NodeIDs, h0t); err != nil {
+			return 0, err
+		}
+		tp := tensor.NewTape()
+		params := cfg.Params.Bind(tp)
+		logits := cfg.Encoder.Forward(tp, params, d, tp.Constant(h0t))
+		batchLabels := make([]int32, len(targets))
+		for i, v := range targets {
+			batchLabels[i] = labels[v]
+		}
+		acc.Add(eval.Accuracy(logits.Value, batchLabels), float64(len(targets)))
+	}
+	return acc.Mean(), nil
+}
+
+// LPEvalConfig configures link-prediction evaluation.
+type LPEvalConfig struct {
+	Encoder   *gnn.Encoder // nil for decoder-only models
+	Params    *nn.ParamSet
+	Decoder   *decoder.DistMult
+	Fanouts   []int
+	Dirs      graph.Directions
+	Negatives int // negatives per batch; 0 ranks against all entities
+	BatchSize int
+	Seed      int64
+}
+
+// EvaluateLP computes MRR over the given edges. With Negatives == 0 the
+// positive is ranked against every entity (feasible for FB15k-237-scale
+// graphs, as the paper does in §7.5); otherwise against a shared sampled
+// negative set per batch.
+//
+// emb must be the full base-representation table (use DiskNodeStore.ReadAll
+// for disk-backed training) and adj the full-graph adjacency.
+func EvaluateLP(cfg LPEvalConfig, emb *tensor.Tensor, adj *graph.Adjacency, edges []graph.Edge) (float64, error) {
+	if len(edges) == 0 {
+		return 0, nil
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1024
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	numNodes := emb.Rows
+
+	if cfg.Negatives == 0 && cfg.Encoder == nil {
+		// Decoder-only full ranking: score (src, rel) against all entities.
+		relTable := cfg.Params.Get("distmult.rel").Value
+		var sum float64
+		for _, e := range edges {
+			scores := cfg.Decoder.ScoreAll(emb.Row(int(e.Src)), relTable.Row(int(e.Rel)), emb)
+			sum += 1 / decoder.FullRank(scores, e.Dst)
+		}
+		return sum / float64(len(edges)), nil
+	}
+
+	negCount := cfg.Negatives
+	fullRank := negCount == 0
+	if fullRank {
+		negCount = numNodes // encode every entity per batch (small graphs only)
+	}
+	mrr := eval.MeanAccumulator{}
+	var smp *sampler.Sampler
+	if cfg.Encoder != nil {
+		smp = sampler.New(adj, cfg.Fanouts, cfg.Dirs, cfg.Seed)
+	}
+	store := tensorStore{emb}
+	for lo := 0; lo < len(edges); lo += cfg.BatchSize {
+		hi := min(lo+cfg.BatchSize, len(edges))
+		batch := edges[lo:hi]
+		srcs := make([]int32, len(batch))
+		dsts := make([]int32, len(batch))
+		rels := make([]int32, len(batch))
+		for i, e := range batch {
+			srcs[i], dsts[i], rels[i] = e.Src, e.Dst, e.Rel
+		}
+		var negs []int32
+		if fullRank {
+			negs = make([]int32, numNodes)
+			for i := range negs {
+				negs[i] = int32(i)
+			}
+		} else {
+			negs = make([]int32, 0, negCount)
+			for i := 0; i < negCount; i++ {
+				negs = append(negs, int32(rng.Intn(numNodes)))
+			}
+		}
+		unique, idx := uniqueIndex(srcs, dsts, negs)
+
+		tp := tensor.NewTape()
+		params := cfg.Params.Bind(tp)
+		var ids []int32
+		var d *sampler.DENSE
+		if cfg.Encoder != nil {
+			d = smp.Sample(unique)
+			ids = d.NodeIDs
+		} else {
+			ids = unique
+		}
+		h0t := tensor.New(len(ids), emb.Cols)
+		if err := store.Gather(ids, h0t); err != nil {
+			return 0, err
+		}
+		var enc *tensor.Node
+		if cfg.Encoder != nil {
+			enc = cfg.Encoder.Forward(tp, params, d, tp.Constant(h0t))
+		} else {
+			enc = tp.Constant(h0t)
+		}
+		srcEnc := tp.Gather(enc, idx[0])
+		dstEnc := tp.Gather(enc, idx[1])
+		negEnc := tp.Gather(enc, idx[2])
+		_, pos, negD, _ := cfg.Decoder.Loss(tp, params, srcEnc, dstEnc, negEnc, rels)
+		mrr.Add(decoder.BatchMRR(pos.Value, negD.Value), float64(len(batch)))
+	}
+	return mrr.Mean(), nil
+}
+
+// tensorStore adapts a plain tensor to the gather interface for eval.
+type tensorStore struct{ t *tensor.Tensor }
+
+func (s tensorStore) Gather(ids []int32, out *tensor.Tensor) error {
+	d := s.t.Cols
+	for i, id := range ids {
+		copy(out.Data[i*d:(i+1)*d], s.t.Row(int(id)))
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+package train
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/decoder"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/policy"
+	"repro/internal/sampler"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// LPConfig configures link-prediction training.
+type LPConfig struct {
+	// Encoder is the GNN encoder; nil trains a decoder-only model
+	// (knowledge-graph embeddings, as Marius does).
+	Encoder *gnn.Encoder
+	Params  *nn.ParamSet
+	Decoder *decoder.DistMult
+
+	Fanouts []int
+	Dirs    graph.Directions
+
+	BatchSize int
+	Negatives int
+
+	DenseOpt nn.Optimizer
+	EmbOpt   *nn.SparseAdaGrad
+	ClipNorm float64
+
+	// Workers is the number of sampling workers; PipelineDepth bounds the
+	// prepared-batch queue. Both are forced to 1 in ModeBaseline.
+	Workers       int
+	PipelineDepth int
+
+	Mode Mode
+	Seed int64
+}
+
+// LPTrainer drives link-prediction epochs over a source and policy.
+type LPTrainer struct {
+	Cfg LPConfig
+	Src *Source
+	Pol policy.Policy
+
+	rng   *rand.Rand
+	epoch int
+}
+
+// NewLP returns a trainer; cfg defaults are applied (workers=4, depth=4).
+func NewLP(cfg LPConfig, src *Source, pol policy.Policy) *LPTrainer {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = 4
+	}
+	if cfg.Mode == ModeBaseline {
+		cfg.Workers = 1
+		cfg.PipelineDepth = 1
+	}
+	return &LPTrainer{Cfg: cfg, Src: src, Pol: pol, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// preparedLP is a mini batch after the sampling stage (Fig. 2 steps 1-3).
+type preparedLP struct {
+	d   *sampler.DENSE
+	ls  *sampler.LayeredSample
+	ids []int32 // rows of h0: DENSE NodeIDs / layered input nodes / unique targets
+	h0  *tensor.Tensor
+
+	srcIdx, dstIdx, negIdx []int32
+	rels                   []int32
+	n                      int
+
+	sampleNS     int64
+	nodesSampled int64
+	edgesSampled int64
+	err          error
+}
+
+// TrainEpoch runs one epoch and returns its statistics.
+func (t *LPTrainer) TrainEpoch() (EpochStats, error) {
+	t.epoch++
+	stats := EpochStats{Epoch: t.epoch}
+	var ioStart storage.StatsSnapshot
+	if t.Src.Disk != nil {
+		ioStart = t.Src.Disk.Stats().Snapshot()
+	}
+	start := time.Now()
+
+	plan := t.Pol.NewEpochPlan(t.rng)
+	stats.Visits = len(plan.Visits)
+	var sampleNS, computeNS atomic.Int64
+	var lossSum float64
+	var mrr float64
+	var mrrW float64
+
+	for vi := range plan.Visits {
+		visit := &plan.Visits[vi]
+		memEdges, err := t.Src.loadVisit(visit)
+		if err != nil {
+			return stats, err
+		}
+		if t.Src.Disk != nil && vi+1 < len(plan.Visits) {
+			t.Src.Disk.Prefetch(plan.Visits[vi+1].Mem)
+		}
+		adj := graph.BuildAdjacency(t.Src.NumNodes, memEdges)
+		xEdges, err := t.Src.visitEdges(visit, t.rng)
+		if err != nil {
+			return stats, err
+		}
+		pool := t.Src.residentNodePool(visit.Mem)
+
+		out := t.runVisit(adj, pool, xEdges, &sampleNS, &computeNS)
+		if out.err != nil {
+			return stats, out.err
+		}
+		lossSum += out.lossSum
+		mrr += out.mrrSum
+		mrrW += out.mrrWeight
+		stats.Batches += out.batches
+		stats.Examples += out.examples
+		stats.NodesSampled += out.nodes
+		stats.EdgesSampled += out.edges
+	}
+
+	stats.Duration = time.Since(start)
+	stats.Sample = time.Duration(sampleNS.Load())
+	stats.Compute = time.Duration(computeNS.Load())
+	if stats.Batches > 0 {
+		stats.Loss = lossSum / float64(stats.Batches)
+	}
+	if mrrW > 0 {
+		stats.Metric = mrr / mrrW
+	}
+	if t.Src.Disk != nil {
+		stats.IO = t.Src.Disk.Stats().Snapshot().Sub(ioStart)
+	}
+	return stats, nil
+}
+
+type visitResult struct {
+	lossSum   float64
+	mrrSum    float64
+	mrrWeight float64
+	batches   int
+	examples  int
+	nodes     int64
+	edges     int64
+	err       error
+}
+
+// runVisit trains on the visit's examples with a sampling worker pool
+// feeding a single compute stage through a bounded queue.
+func (t *LPTrainer) runVisit(adj *graph.Adjacency, pool []int32, xEdges []graph.Edge, sampleNS, computeNS *atomic.Int64) visitResult {
+	var res visitResult
+	nBatches := (len(xEdges) + t.Cfg.BatchSize - 1) / t.Cfg.BatchSize
+	if nBatches == 0 {
+		return res
+	}
+	jobs := make(chan []graph.Edge, nBatches)
+	for b := 0; b < nBatches; b++ {
+		lo := b * t.Cfg.BatchSize
+		hi := min(lo+t.Cfg.BatchSize, len(xEdges))
+		jobs <- xEdges[lo:hi]
+	}
+	close(jobs)
+
+	prepared := make(chan *preparedLP, t.Cfg.PipelineDepth)
+	var wg sync.WaitGroup
+	for w := 0; w < t.Cfg.Workers; w++ {
+		wg.Add(1)
+		seed := t.rng.Int63()
+		go func(seed int64) {
+			defer wg.Done()
+			t.sampleWorker(adj, pool, seed, jobs, prepared, sampleNS)
+		}(seed)
+	}
+	go func() {
+		wg.Wait()
+		close(prepared)
+	}()
+
+	for pb := range prepared {
+		if pb.err != nil {
+			if res.err == nil {
+				res.err = pb.err
+			}
+			continue
+		}
+		c0 := time.Now()
+		loss, batchMRR, err := t.computeBatch(pb)
+		computeNS.Add(time.Since(c0).Nanoseconds())
+		if err != nil {
+			if res.err == nil {
+				res.err = err
+			}
+			continue
+		}
+		res.lossSum += loss
+		res.mrrSum += batchMRR * float64(pb.n)
+		res.mrrWeight += float64(pb.n)
+		res.batches++
+		res.examples += pb.n
+		res.nodes += pb.nodesSampled
+		res.edges += pb.edgesSampled
+	}
+	return res
+}
+
+// sampleWorker is the CPU sampling stage: negatives, multi-hop sampling,
+// and base-representation gathering (Fig. 2 steps 1-3).
+func (t *LPTrainer) sampleWorker(adj *graph.Adjacency, pool []int32, seed int64, jobs <-chan []graph.Edge, out chan<- *preparedLP, sampleNS *atomic.Int64) {
+	var smp *sampler.Sampler
+	var lsmp *sampler.LayeredSampler
+	if t.Cfg.Encoder != nil {
+		if t.Cfg.Mode == ModeBaseline {
+			lsmp = sampler.NewLayered(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
+		} else {
+			smp = sampler.New(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
+		}
+	}
+	neg := sampler.NewNegativePool(pool, seed+1)
+
+	for edges := range jobs {
+		s0 := time.Now()
+		pb := &preparedLP{n: len(edges)}
+		srcs := make([]int32, len(edges))
+		dsts := make([]int32, len(edges))
+		pb.rels = make([]int32, len(edges))
+		for i, e := range edges {
+			srcs[i], dsts[i], pb.rels[i] = e.Src, e.Dst, e.Rel
+		}
+		negs := neg.Sample(nil, t.Cfg.Negatives)
+		unique, idx := uniqueIndex(srcs, dsts, negs)
+		pb.srcIdx, pb.dstIdx, pb.negIdx = idx[0], idx[1], idx[2]
+
+		switch {
+		case smp != nil:
+			d := smp.Sample(unique)
+			pb.d = d
+			pb.ids = append([]int32(nil), d.NodeIDs...)
+			pb.nodesSampled = int64(len(d.NodeIDs))
+			pb.edgesSampled = int64(len(d.Nbrs))
+		case lsmp != nil:
+			ls := lsmp.Sample(unique)
+			pb.ls = ls
+			pb.ids = ls.Blocks[0].SrcNodes
+			pb.nodesSampled = int64(ls.NumNodesSampled())
+			pb.edgesSampled = int64(ls.NumEdgesSampled())
+		default:
+			pb.ids = unique
+			pb.nodesSampled = int64(len(unique))
+		}
+		pb.h0 = tensor.New(len(pb.ids), t.Cfg.Decoder.Dim())
+		if err := t.Src.Nodes.Gather(pb.ids, pb.h0); err != nil {
+			pb.err = err
+		}
+		pb.sampleNS = time.Since(s0).Nanoseconds()
+		sampleNS.Add(pb.sampleNS)
+		out <- pb
+	}
+}
+
+// computeBatch is the compute stage (Fig. 2 steps 4-6): forward pass over
+// DENSE, loss/gradients, dense parameter update, and write-back of
+// base-representation updates.
+func (t *LPTrainer) computeBatch(pb *preparedLP) (loss float64, batchMRR float64, err error) {
+	tp := tensor.NewTape()
+	params := t.Cfg.Params.Bind(tp)
+	h0 := tp.Leaf(pb.h0, true)
+
+	var enc *tensor.Node
+	switch {
+	case pb.d != nil:
+		enc = t.Cfg.Encoder.Forward(tp, params, pb.d, h0)
+	case pb.ls != nil:
+		enc = gnn.BaselineForward(tp, params, t.Cfg.Encoder, pb.ls, h0)
+	default:
+		enc = h0
+	}
+	srcEnc := tp.Gather(enc, pb.srcIdx)
+	dstEnc := tp.Gather(enc, pb.dstIdx)
+	negEnc := tp.Gather(enc, pb.negIdx)
+
+	lossNode, pos, negD, _ := t.Cfg.Decoder.Loss(tp, params, srcEnc, dstEnc, negEnc, pb.rels)
+	tp.Backward(lossNode)
+
+	nn.Apply(t.Cfg.DenseOpt, t.Cfg.Params, params, t.Cfg.ClipNorm)
+	if g := h0.Grad(); g != nil && t.Cfg.EmbOpt != nil {
+		if err := t.Src.Nodes.ApplyGrads(pb.ids, g, t.Cfg.EmbOpt); err != nil {
+			return 0, 0, err
+		}
+	}
+	return float64(lossNode.Value.Data[0]), decoder.BatchMRR(pos.Value, negD.Value), nil
+}

@@ -1,0 +1,264 @@
+package train
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/policy"
+	"repro/internal/sampler"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// NCConfig configures node-classification training. The encoder's final
+// layer must output NumClasses logits.
+type NCConfig struct {
+	Encoder *gnn.Encoder
+	Params  *nn.ParamSet
+
+	Fanouts []int
+	Dirs    graph.Directions
+
+	BatchSize int
+	Opt       nn.Optimizer
+	ClipNorm  float64
+
+	Workers       int
+	PipelineDepth int
+
+	Mode Mode
+	Seed int64
+}
+
+// NCTrainer drives node-classification epochs. Labels index all graph
+// nodes; TrainNodes lists the labeled training nodes (paper §5.2: often
+// only 1-10% of the graph).
+type NCTrainer struct {
+	Cfg        NCConfig
+	Src        *Source
+	Pol        policy.Policy
+	Labels     []int32
+	TrainNodes []int32
+
+	rng   *rand.Rand
+	epoch int
+}
+
+// NewNC returns a trainer with defaults applied.
+func NewNC(cfg NCConfig, src *Source, pol policy.Policy, labels []int32, trainNodes []int32) *NCTrainer {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = 4
+	}
+	if cfg.Mode == ModeBaseline {
+		cfg.Workers = 1
+		cfg.PipelineDepth = 1
+	}
+	return &NCTrainer{Cfg: cfg, Src: src, Pol: pol, Labels: labels, TrainNodes: trainNodes,
+		rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+type preparedNC struct {
+	d      *sampler.DENSE
+	ls     *sampler.LayeredSample
+	ids    []int32
+	h0     *tensor.Tensor
+	labels []int32
+	n      int
+
+	sampleNS     int64
+	nodesSampled int64
+	edgesSampled int64
+	err          error
+}
+
+// TrainEpoch walks the policy plan once. Under the §5.2 NodeCache policy
+// training nodes appear in the first visit's partitions; under the
+// fallback rotation, each training node is consumed at the first visit
+// where its partition is resident.
+func (t *NCTrainer) TrainEpoch() (EpochStats, error) {
+	t.epoch++
+	stats := EpochStats{Epoch: t.epoch}
+	var ioStart storage.StatsSnapshot
+	if t.Src.Disk != nil {
+		ioStart = t.Src.Disk.Stats().Snapshot()
+	}
+	start := time.Now()
+
+	plan := t.Pol.NewEpochPlan(t.rng)
+	stats.Visits = len(plan.Visits)
+	var sampleNS, computeNS atomic.Int64
+	var lossSum float64
+	acc := eval.MeanAccumulator{}
+
+	donePart := make([]bool, t.Src.Part.NumPartitions)
+	for vi := range plan.Visits {
+		visit := &plan.Visits[vi]
+		memEdges, err := t.Src.loadVisit(visit)
+		if err != nil {
+			return stats, err
+		}
+		if t.Src.Disk != nil && vi+1 < len(plan.Visits) {
+			t.Src.Disk.Prefetch(plan.Visits[vi+1].Mem)
+		}
+		adj := graph.BuildAdjacency(t.Src.NumNodes, memEdges)
+
+		// Targets: training nodes whose partition became resident and has
+		// not been trained on yet this epoch.
+		resident := make(map[int]bool, len(visit.Mem))
+		for _, p := range visit.Mem {
+			resident[p] = true
+		}
+		var targets []int32
+		for _, v := range t.TrainNodes {
+			p := t.Src.Part.Of(v)
+			if resident[p] && !donePart[p] {
+				targets = append(targets, v)
+			}
+		}
+		for _, p := range visit.Mem {
+			donePart[p] = true
+		}
+		t.rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+
+		out := t.runVisit(adj, targets, &sampleNS, &computeNS, &acc)
+		if out.err != nil {
+			return stats, out.err
+		}
+		lossSum += out.lossSum
+		stats.Batches += out.batches
+		stats.Examples += out.examples
+		stats.NodesSampled += out.nodes
+		stats.EdgesSampled += out.edges
+	}
+
+	stats.Duration = time.Since(start)
+	stats.Sample = time.Duration(sampleNS.Load())
+	stats.Compute = time.Duration(computeNS.Load())
+	if stats.Batches > 0 {
+		stats.Loss = lossSum / float64(stats.Batches)
+	}
+	stats.Metric = acc.Mean()
+	if t.Src.Disk != nil {
+		stats.IO = t.Src.Disk.Stats().Snapshot().Sub(ioStart)
+	}
+	return stats, nil
+}
+
+func (t *NCTrainer) runVisit(adj *graph.Adjacency, targets []int32, sampleNS, computeNS *atomic.Int64, acc *eval.MeanAccumulator) visitResult {
+	var res visitResult
+	nBatches := (len(targets) + t.Cfg.BatchSize - 1) / t.Cfg.BatchSize
+	if nBatches == 0 {
+		return res
+	}
+	jobs := make(chan []int32, nBatches)
+	for b := 0; b < nBatches; b++ {
+		lo := b * t.Cfg.BatchSize
+		hi := min(lo+t.Cfg.BatchSize, len(targets))
+		jobs <- targets[lo:hi]
+	}
+	close(jobs)
+
+	prepared := make(chan *preparedNC, t.Cfg.PipelineDepth)
+	var wg sync.WaitGroup
+	for w := 0; w < t.Cfg.Workers; w++ {
+		wg.Add(1)
+		seed := t.rng.Int63()
+		go func(seed int64) {
+			defer wg.Done()
+			t.sampleWorker(adj, seed, jobs, prepared, sampleNS)
+		}(seed)
+	}
+	go func() {
+		wg.Wait()
+		close(prepared)
+	}()
+
+	for pb := range prepared {
+		if pb.err != nil {
+			if res.err == nil {
+				res.err = pb.err
+			}
+			continue
+		}
+		c0 := time.Now()
+		loss, batchAcc, err := t.computeBatch(pb)
+		computeNS.Add(time.Since(c0).Nanoseconds())
+		if err != nil {
+			if res.err == nil {
+				res.err = err
+			}
+			continue
+		}
+		res.lossSum += loss
+		acc.Add(batchAcc, float64(pb.n))
+		res.batches++
+		res.examples += pb.n
+		res.nodes += pb.nodesSampled
+		res.edges += pb.edgesSampled
+	}
+	return res
+}
+
+func (t *NCTrainer) sampleWorker(adj *graph.Adjacency, seed int64, jobs <-chan []int32, out chan<- *preparedNC, sampleNS *atomic.Int64) {
+	var smp *sampler.Sampler
+	var lsmp *sampler.LayeredSampler
+	if t.Cfg.Mode == ModeBaseline {
+		lsmp = sampler.NewLayered(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
+	} else {
+		smp = sampler.New(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
+	}
+	for targets := range jobs {
+		s0 := time.Now()
+		pb := &preparedNC{n: len(targets)}
+		pb.labels = make([]int32, len(targets))
+		for i, v := range targets {
+			pb.labels[i] = t.Labels[v]
+		}
+		if smp != nil {
+			d := smp.Sample(targets)
+			pb.d = d
+			pb.ids = append([]int32(nil), d.NodeIDs...)
+			pb.nodesSampled = int64(len(d.NodeIDs))
+			pb.edgesSampled = int64(len(d.Nbrs))
+		} else {
+			ls := lsmp.Sample(targets)
+			pb.ls = ls
+			pb.ids = ls.Blocks[0].SrcNodes
+			pb.nodesSampled = int64(ls.NumNodesSampled())
+			pb.edgesSampled = int64(ls.NumEdgesSampled())
+		}
+		pb.h0 = tensor.New(len(pb.ids), t.Src.Nodes.Dim())
+		if err := t.Src.Nodes.Gather(pb.ids, pb.h0); err != nil {
+			pb.err = err
+		}
+		pb.sampleNS = time.Since(s0).Nanoseconds()
+		sampleNS.Add(pb.sampleNS)
+		out <- pb
+	}
+}
+
+func (t *NCTrainer) computeBatch(pb *preparedNC) (loss, accuracy float64, err error) {
+	tp := tensor.NewTape()
+	params := t.Cfg.Params.Bind(tp)
+	h0 := tp.Leaf(pb.h0, false) // fixed features: no base-representation updates
+
+	var logits *tensor.Node
+	if pb.d != nil {
+		logits = t.Cfg.Encoder.Forward(tp, params, pb.d, h0)
+	} else {
+		logits = gnn.BaselineForward(tp, params, t.Cfg.Encoder, pb.ls, h0)
+	}
+	lossNode := tp.SoftmaxCrossEntropy(logits, pb.labels)
+	tp.Backward(lossNode)
+	nn.Apply(t.Cfg.Opt, t.Cfg.Params, params, t.Cfg.ClipNorm)
+	return float64(lossNode.Value.Data[0]), eval.Accuracy(logits.Value, pb.labels), nil
+}

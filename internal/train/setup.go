@@ -1,0 +1,107 @@
+package train
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// PrepareLP relabels g for link-prediction training: nodes are assigned to
+// p contiguous partitions uniformly at random (paper §3). Returns the
+// partitioning.
+func PrepareLP(g *graph.Graph, p int, seed int64) partition.Partitioning {
+	partition.Apply(g, partition.RandomOrder(g.NumNodes, seed))
+	return partition.New(g.NumNodes, p)
+}
+
+// PrepareNC relabels g for node classification: training nodes first so
+// they occupy the leading partitions and can be statically cached
+// (paper §5.2). Returns the partitioning and the number of partitions
+// holding training nodes.
+func PrepareNC(g *graph.Graph, p int, seed int64) (partition.Partitioning, int) {
+	partition.Apply(g, partition.TrainFirstOrder(g.NumNodes, g.TrainNodes, seed))
+	pt := partition.New(g.NumNodes, p)
+	trainParts := (len(g.TrainNodes) + pt.PartSize - 1) / pt.PartSize
+	if trainParts == 0 {
+		trainParts = 1
+	}
+	return pt, trainParts
+}
+
+// RandomEmbeddings returns a uniformly-initialized base-representation
+// table for learnable embeddings (link prediction).
+func RandomEmbeddings(numNodes, dim int, seed int64) *tensor.Tensor {
+	t := tensor.New(numNodes, dim)
+	t.RandUniform(rand.New(rand.NewSource(seed)), 0.1)
+	return t
+}
+
+// NewMemorySource builds an all-in-memory source over g: the M-GNN_Mem
+// configuration. table is the base-representation table (features for NC,
+// embeddings for LP).
+func NewMemorySource(g *graph.Graph, pt partition.Partitioning, table *tensor.Tensor) *Source {
+	return &Source{
+		Part:     pt,
+		NumNodes: g.NumNodes,
+		NumRels:  g.NumRels,
+		Nodes:    storage.NewMemoryNodeStore(table),
+		Edges:    storage.NewMemoryEdgeStore(pt, g.Edges),
+	}
+}
+
+// DiskSourceConfig configures NewDiskSource.
+type DiskSourceConfig struct {
+	Dir       string
+	Capacity  int
+	Learnable bool
+	Throttle  *storage.Throttle
+	// InitTable provides initial base representations; nil zero-fills.
+	InitTable *tensor.Tensor
+}
+
+// NewDiskSource builds a disk-backed source (M-GNN_Disk): node
+// representations and edge buckets are written to files under cfg.Dir and
+// paged through a partition buffer of cfg.Capacity partitions.
+func NewDiskSource(g *graph.Graph, pt partition.Partitioning, dim int, cfg DiskSourceConfig) (*Source, error) {
+	var initFn func(int32, []float32)
+	if cfg.InitTable != nil {
+		initFn = func(id int32, row []float32) { copy(row, cfg.InitTable.Row(int(id))) }
+	}
+	nodes, err := storage.CreateDiskNodeStore(storage.DiskStoreConfig{
+		Dir:       cfg.Dir,
+		Part:      pt,
+		Dim:       dim,
+		Capacity:  cfg.Capacity,
+		Learnable: cfg.Learnable,
+		Throttle:  cfg.Throttle,
+		Init:      initFn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	edges, err := storage.CreateDiskEdgeStore(cfg.Dir, pt, g.Edges, cfg.Throttle)
+	if err != nil {
+		nodes.Close()
+		return nil, err
+	}
+	return &Source{
+		Part:     pt,
+		NumNodes: g.NumNodes,
+		NumRels:  g.NumRels,
+		Nodes:    nodes,
+		Disk:     nodes,
+		Edges:    edges,
+	}, nil
+}
+
+// Close releases a source's stores.
+func (src *Source) Close() error {
+	err := src.Nodes.Close()
+	if e := src.Edges.Close(); err == nil {
+		err = e
+	}
+	return err
+}

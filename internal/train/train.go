@@ -1,0 +1,151 @@
+// Package train implements MariusGNN's processing layer: the mini-batch
+// lifecycle of paper Fig. 2 (steps 1-6), the pipelined execution of
+// sampling, compute, and representation write-back, and the epoch driver
+// that walks a policy's partition-visit plan (steps A-D), prefetching the
+// next partition set while training on the current one.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/policy"
+	"repro/internal/storage"
+)
+
+// Mode selects the execution strategy.
+type Mode int
+
+const (
+	// ModeDense is MariusGNN execution: DENSE sampling + dense kernels +
+	// pipelined stages.
+	ModeDense Mode = iota
+	// ModeBaseline models DGL/PyG: per-layer re-sampling + per-edge COO
+	// aggregation + synchronous (non-pipelined) execution.
+	ModeBaseline
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeBaseline {
+		return "baseline"
+	}
+	return "dense"
+}
+
+// EpochStats reports one epoch of training.
+type EpochStats struct {
+	Epoch    int
+	Duration time.Duration
+	// Sample and Compute are the summed per-batch stage durations; under
+	// pipelining their total can exceed Duration.
+	Sample  time.Duration
+	Compute time.Duration
+	Loss    float64 // mean per-batch loss
+	Metric  float64 // train accuracy (NC) or train MRR (LP)
+	Batches int
+	// Examples is the number of training examples consumed.
+	Examples int
+	// NodesSampled/EdgesSampled count sampled entries across batches.
+	NodesSampled int64
+	EdgesSampled int64
+	// IO is the node-store IO performed during the epoch (disk mode).
+	IO storage.StatsSnapshot
+	// Visits is the number of partition sets |S| walked.
+	Visits int
+}
+
+func (s EpochStats) String() string {
+	return fmt.Sprintf("epoch %d: %.2fs loss=%.4f metric=%.4f batches=%d visits=%d io=%.1fMB",
+		s.Epoch, s.Duration.Seconds(), s.Loss, s.Metric, s.Batches, s.Visits,
+		float64(s.IO.BytesRead+s.IO.BytesWritten)/1e6)
+}
+
+// Source bundles the storage-layer handles a trainer consumes.
+type Source struct {
+	Part     partition.Partitioning
+	NumNodes int
+	NumRels  int
+
+	Nodes storage.NodeStore
+	// Disk is non-nil when Nodes is disk-backed; the trainer then drives
+	// partition loading and prefetching through it.
+	Disk  *storage.DiskNodeStore
+	Edges storage.EdgeStore
+}
+
+// loadVisit makes the partitions of v resident and returns the in-memory
+// edge set (all pairwise buckets among v.Mem) for adjacency construction.
+func (src *Source) loadVisit(v *policy.Visit) ([]graph.Edge, error) {
+	if src.Disk != nil {
+		if err := src.Disk.LoadSet(v.Mem); err != nil {
+			return nil, err
+		}
+	}
+	var edges []graph.Edge
+	var err error
+	for _, i := range v.Mem {
+		for _, j := range v.Mem {
+			edges, err = src.Edges.ReadBucket(i, j, edges)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return edges, nil
+}
+
+// visitEdges reads the training-example edges assigned to the visit (X_i)
+// and shuffles them.
+func (src *Source) visitEdges(v *policy.Visit, rng *rand.Rand) ([]graph.Edge, error) {
+	var edges []graph.Edge
+	var err error
+	for _, b := range v.Buckets {
+		edges, err = src.Edges.ReadBucket(int(b[0]), int(b[1]), edges)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return edges, nil
+}
+
+// residentNodePool lists every node ID whose partition is in mem, used to
+// restrict negative sampling to in-memory nodes (paper §3).
+func (src *Source) residentNodePool(mem []int) []int32 {
+	var total int
+	for _, p := range mem {
+		total += src.Part.Rows(p)
+	}
+	pool := make([]int32, 0, total)
+	for _, p := range mem {
+		start, end := src.Part.Range(p)
+		for id := start; id < end; id++ {
+			pool = append(pool, id)
+		}
+	}
+	return pool
+}
+
+// uniqueIndex deduplicates ids preserving first-occurrence order and
+// returns the unique list plus the index of each input in it.
+func uniqueIndex(ids ...[]int32) (unique []int32, idx [][]int32) {
+	seen := make(map[int32]int32, 64)
+	idx = make([][]int32, len(ids))
+	for g, group := range ids {
+		idx[g] = make([]int32, len(group))
+		for i, id := range group {
+			u, ok := seen[id]
+			if !ok {
+				u = int32(len(unique))
+				seen[id] = u
+				unique = append(unique, id)
+			}
+			idx[g][i] = u
+		}
+	}
+	return unique, idx
+}
