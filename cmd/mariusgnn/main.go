@@ -1,24 +1,30 @@
 // Command mariusgnn trains a GNN on a generated benchmark graph with any
-// combination of task, model, storage mode and replacement policy.
+// combination of task, model, storage mode and replacement policy, through
+// the marius Session API. Flag defaults are the paper defaults exported by
+// the marius package. Ctrl-C cancels the run cleanly mid-epoch; -checkpoint
+// saves resumable state every epoch and -resume restarts from it.
 //
 // Examples:
 //
 //	mariusgnn -task nc -nodes 50000 -storage mem -epochs 5
 //	mariusgnn -task lp -dataset fb15k237 -storage disk -policy comet -epochs 5
 //	mariusgnn -task lp -model distmult -storage disk -policy beta
+//	mariusgnn -task lp -epochs 20 -checkpoint run.ckpt   # later: -resume run.ckpt
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
-	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/storage"
-	"repro/internal/train"
+	"repro/marius"
 )
 
 func main() {
@@ -30,64 +36,82 @@ func main() {
 		storageF = flag.String("storage", "mem", "mem or disk")
 		policyF  = flag.String("policy", "comet", "comet or beta (disk link prediction)")
 		layers   = flag.Int("layers", 0, "GNN layers (0 = task default)")
-		dim      = flag.Int("dim", 32, "hidden/embedding dimensionality")
-		batch    = flag.Int("batch", 1024, "mini-batch size")
-		negs     = flag.Int("negatives", 256, "negatives per batch (lp)")
+		dim      = flag.Int("dim", marius.DefaultDim, "hidden/embedding dimensionality")
+		batch    = flag.Int("batch", marius.DefaultBatchSize, "mini-batch size")
+		negs     = flag.Int("negatives", marius.DefaultNegatives, "negatives per batch (lp)")
 		epochs   = flag.Int("epochs", 5, "training epochs")
 		parts    = flag.Int("partitions", 0, "physical partitions (0 = auto-tune)")
 		capacity = flag.Int("capacity", 0, "buffer capacity (0 = auto-tune)")
 		logical  = flag.Int("logical", 0, "logical partitions (0 = auto-tune)")
 		baseline = flag.Bool("baseline", false, "use DGL/PyG-style baseline execution")
 		mbps     = flag.Float64("disk-mbps", 0, "simulated disk bandwidth in MB/s (0 = unlimited)")
+		patience = flag.Int("patience", 0, "early-stopping patience in epochs (0 = off)")
+		ckpt     = flag.String("checkpoint", "", "save a resumable checkpoint here every epoch")
+		resume   = flag.String("resume", "", "restore training state from this checkpoint before running")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
-	cfg := core.Config{
-		Dim: *dim, Layers: *layers, BatchSize: *batch, Negatives: *negs,
-		Partitions: *parts, BufferCapacity: *capacity, LogicalPartitions: *logical,
-		Seed: *seed,
+	opts := []marius.Option{
+		marius.WithDim(*dim), marius.WithBatchSize(*batch),
+		marius.WithNegatives(*negs), marius.WithSeed(*seed),
+	}
+	if *layers > 0 {
+		opts = append(opts, marius.WithLayers(*layers))
 	}
 	switch *model {
 	case "graphsage":
-		cfg.Model = core.GraphSage
+		opts = append(opts, marius.WithModel(marius.GraphSage))
 	case "gat":
-		cfg.Model = core.GAT
+		opts = append(opts, marius.WithModel(marius.GAT))
 	case "gcn":
-		cfg.Model = core.GCN
+		opts = append(opts, marius.WithModel(marius.GCN))
 	case "distmult":
-		cfg.Model = core.DistMultOnly
+		opts = append(opts, marius.WithModel(marius.DistMultOnly))
 	default:
 		log.Fatalf("unknown model %q", *model)
 	}
 	if *storageF == "disk" {
-		cfg.Storage = core.OnDisk
 		dir, err := os.MkdirTemp("", "mariusgnn-")
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer os.RemoveAll(dir)
-		cfg.Dir = dir
+		var disk []marius.DiskOption
+		if *parts > 0 {
+			disk = append(disk, marius.Partitions(*parts))
+		}
+		if *capacity > 0 {
+			disk = append(disk, marius.Capacity(*capacity))
+		}
+		if *logical > 0 {
+			disk = append(disk, marius.LogicalPartitions(*logical))
+		}
+		if *mbps > 0 {
+			disk = append(disk, marius.Throttled(storage.NewThrottle(*mbps*1e6)))
+		}
+		opts = append(opts, marius.WithDisk(dir, disk...))
 	}
-	if *policyF == "beta" {
-		cfg.Policy = core.BETA
+	switch *policyF {
+	case "comet":
+		// COMET is the marius default.
+	case "beta":
+		opts = append(opts, marius.WithPolicy(marius.BETA))
+	default:
+		log.Fatalf("unknown policy %q", *policyF)
 	}
 	if *baseline {
-		cfg.Mode = train.ModeBaseline
-	}
-	if *mbps > 0 {
-		cfg.Throttle = storage.NewThrottle(*mbps * 1e6)
+		opts = append(opts, marius.WithBaseline())
 	}
 
 	var g *graph.Graph
-	var sys *core.System
-	var err error
+	var mtask marius.Task
 	switch *task {
 	case "nc":
 		g = gen.SBM(gen.DefaultSBM(*nodes, *seed))
 		fmt.Printf("SBM graph: %d nodes, %d edges, %d classes, %d train nodes\n",
 			g.NumNodes, len(g.Edges), g.NumClasses, len(g.TrainNodes))
-		sys, err = core.NewNodeClassification(g, cfg)
+		mtask = marius.NodeClassification()
 	case "lp":
 		switch *dataset {
 		case "", "fb15k237":
@@ -101,32 +125,65 @@ func main() {
 		}
 		fmt.Printf("KG: %d entities, %d relations, %d train edges\n",
 			g.NumNodes, g.NumRels, len(g.Edges))
-		sys, err = core.NewLinkPrediction(g, cfg)
+		mtask = marius.LinkPrediction()
 	default:
 		log.Fatalf("unknown task %q", *task)
 	}
+
+	sess, err := marius.New(mtask, g, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sys.Close()
-
-	for e := 1; e <= *epochs; e++ {
-		st, err := sys.TrainEpoch()
-		if err != nil {
+	defer sess.Close()
+	if *resume != "" {
+		if err := sess.Restore(*resume); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("epoch %d: %.2fs loss=%.4f train-metric=%.4f visits=%d sample=%.2fs compute=%.2fs io=%.1fMB\n",
-			e, st.Duration.Seconds(), st.Loss, st.Metric, st.Visits,
-			st.Sample.Seconds(), st.Compute.Seconds(),
-			float64(st.IO.BytesRead+st.IO.BytesWritten)/1e6)
+		fmt.Printf("resumed from %s at epoch %d\n", *resume, sess.Task().Epoch())
 	}
-	valid, err := sys.EvaluateValid()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runOpts := []marius.RunOption{
+		marius.Epochs(*epochs),
+		marius.OnEpoch(func(p marius.Progress) error {
+			st := p.Stats
+			fmt.Printf("epoch %d: %.2fs loss=%.4f train-metric=%.4f visits=%d sample=%.2fs compute=%.2fs io=%.1fMB\n",
+				p.Epoch, st.Duration.Seconds(), st.Loss, st.Metric, st.Visits,
+				st.Sample.Seconds(), st.Compute.Seconds(),
+				float64(st.IO.BytesRead+st.IO.BytesWritten)/1e6)
+			if p.Valid != nil {
+				fmt.Printf("  %v\n", *p.Valid)
+			}
+			return nil
+		}),
+	}
+	if *patience > 0 {
+		runOpts = append(runOpts, marius.EarlyStopping(*patience, 1e-4))
+	}
+	if *ckpt != "" {
+		runOpts = append(runOpts, marius.CheckpointTo(*ckpt, 1))
+	}
+	res, err := sess.Run(ctx, runOpts...)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Printf("run canceled after %d epochs\n", len(res.Epochs))
+			return
+		}
+		log.Fatal(err)
+	}
+	if res.Stopped != marius.Completed {
+		fmt.Printf("run stopped: %s\n", res.Stopped)
+	}
+
+	valid, err := sess.Evaluate(marius.ValidSplit)
 	if err != nil {
 		log.Fatal(err)
 	}
-	test, err := sys.EvaluateTest()
+	test, err := sess.Evaluate(marius.TestSplit)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("validation metric %.4f, test metric %.4f\n", valid, test)
+	fmt.Printf("validation %s %.4f, test %s %.4f\n", valid.Metric, valid.Value, test.Metric, test.Value)
 }

@@ -2,8 +2,37 @@
 // Resource-Efficient Out-of-Core Training of Graph Neural Networks"
 // (Waleffe, Mohoney, Rekatsinas, Venkataraman — EuroSys 2023).
 //
-// The high-level API lives in internal/core; see README.md for a tour,
-// DESIGN.md for the system inventory and substitutions, and EXPERIMENTS.md
-// for paper-vs-measured results. The benchmarks in bench_test.go
-// regenerate every table and figure of the paper's evaluation section.
+// The public API is the marius package: a task-polymorphic Session built
+// from functional options, with a context-aware run loop, structured
+// evaluation results and checkpoint save/resume. Quickstart:
+//
+//	g := gen.SBM(gen.DefaultSBM(20_000, 42))
+//	sess, err := marius.New(marius.NodeClassification(), g,
+//		marius.WithModel(marius.GraphSage),
+//		marius.WithFanouts(15, 10, 5),
+//		marius.WithDim(64),
+//		marius.WithSeed(42),
+//	)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	defer sess.Close()
+//	res, err := sess.Run(ctx,
+//		marius.Epochs(10),
+//		marius.EarlyStopping(3, 0.001),
+//		marius.CheckpointTo("run.ckpt", 1),
+//		marius.OnEpoch(func(p marius.Progress) error { fmt.Println(p.Stats); return nil }),
+//	)
+//	test, err := sess.Evaluate(marius.TestSplit)
+//
+// Disk-based out-of-core training (the paper's headline configuration)
+// swaps one option: marius.WithDisk(dir, marius.Partitions(16),
+// marius.Capacity(4)), with the §6 auto-tuner filling anything left
+// unset. The deprecated internal/core shim maps the old flat-Config
+// surface onto marius.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation section; `go run ./cmd/benchtables` prints them
+// at full scale in the paper's layout, and CHANGES.md records the old
+// internal/core → marius migration map.
 package repro

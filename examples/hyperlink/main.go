@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -97,7 +98,7 @@ func main() {
 		Workers: 4, Seed: 3,
 	}, src, policy.Comet{P: p, L: l, C: c})
 
-	stats, err := tr.TrainEpoch()
+	stats, err := tr.TrainEpoch(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,15 +7,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/marius"
 )
 
-func run(policyKind core.PolicyKind, name string) {
+func run(policyKind marius.PolicyKind, name string) {
 	// A fresh identical graph per policy (generators are seeded).
 	g := gen.KG(gen.FB15k237Scale(0.25, 7))
 	dir, err := os.MkdirTemp("", "mariusgnn-lp-")
@@ -24,45 +25,45 @@ func run(policyKind core.PolicyKind, name string) {
 	}
 	defer os.RemoveAll(dir)
 
-	sys, err := core.NewLinkPrediction(g, core.Config{
-		Storage:           core.OnDisk,
-		Dir:               dir,
-		Model:             core.GraphSage,
-		Policy:            policyKind,
-		Layers:            1,
-		Fanouts:           []int{10},
-		Dim:               32,
-		BatchSize:         1024,
-		Negatives:         256,
-		Partitions:        8,
-		BufferCapacity:    4,
-		LogicalPartitions: 4,
-		Seed:              7,
-	})
+	sess, err := marius.New(marius.LinkPrediction(), g,
+		marius.WithModel(marius.GraphSage),
+		marius.WithPolicy(policyKind),
+		marius.WithFanouts(10),
+		marius.WithDim(32),
+		marius.WithBatchSize(1024),
+		marius.WithNegatives(256),
+		marius.WithDisk(dir,
+			marius.Partitions(8), marius.Capacity(4), marius.LogicalPartitions(4)),
+		marius.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sys.Close()
+	defer sess.Close()
 
 	fmt.Printf("--- %s: %d entities, %d relations, %d training edges ---\n",
 		name, g.NumNodes, g.NumRels, len(g.Edges))
-	for epoch := 1; epoch <= 3; epoch++ {
-		stats, err := sys.TrainEpoch()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("epoch %d: %.2fs  loss %.4f  train-MRR %.4f  |S|=%d  IO %.1f MB\n",
-			epoch, stats.Duration.Seconds(), stats.Loss, stats.Metric, stats.Visits,
-			float64(stats.IO.BytesRead+stats.IO.BytesWritten)/1e6)
-	}
-	mrr, err := sys.EvaluateValid()
+	_, err = sess.Run(context.Background(),
+		marius.Epochs(3),
+		marius.OnEpoch(func(p marius.Progress) error {
+			st := p.Stats
+			fmt.Printf("epoch %d: %.2fs  loss %.4f  train-MRR %.4f  |S|=%d  IO %.1f MB\n",
+				p.Epoch, st.Duration.Seconds(), st.Loss, st.Metric, st.Visits,
+				float64(st.IO.BytesRead+st.IO.BytesWritten)/1e6)
+			return nil
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s validation MRR (all-entity ranking): %.4f\n\n", name, mrr)
+	mrr, err := sess.Evaluate(marius.ValidSplit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s validation MRR (all-entity ranking): %.4f\n\n", name, mrr.Value)
 }
 
 func main() {
-	run(core.COMET, "COMET")
-	run(core.BETA, "BETA")
+	run(marius.COMET, "COMET")
+	run(marius.BETA, "BETA")
 }

@@ -1,15 +1,19 @@
 // Quickstart: train a three-layer GraphSage node classifier in memory on a
-// synthetic citation-style graph, the M-GNN_Mem configuration of the paper.
+// synthetic citation-style graph (the M-GNN_Mem configuration of the
+// paper), through the marius Session API: functional options, a
+// context-aware run loop with per-epoch callbacks, and structured
+// evaluation results.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/marius"
 )
 
 func main() {
@@ -19,37 +23,39 @@ func main() {
 	fmt.Printf("graph: %d nodes, %d edges, %d classes, %d training nodes\n",
 		g.NumNodes, len(g.Edges), g.NumClasses, len(g.TrainNodes))
 
-	sys, err := core.NewNodeClassification(g, core.Config{
-		Storage:   core.InMemory,
-		Model:     core.GraphSage,
-		Layers:    3,
-		Fanouts:   []int{15, 10, 5},
-		Dim:       64,
-		BatchSize: 512,
-		Seed:      42,
-	})
+	sess, err := marius.New(marius.NodeClassification(), g,
+		marius.WithModel(marius.GraphSage),
+		marius.WithFanouts(15, 10, 5),
+		marius.WithDim(64),
+		marius.WithBatchSize(512),
+		marius.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sys.Close()
+	defer sess.Close()
 
-	for epoch := 1; epoch <= 5; epoch++ {
-		stats, err := sys.TrainEpoch()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("epoch %d: %.2fs  loss %.4f  train-acc %.3f  (sampled %d nodes, %d edges)\n",
-			epoch, stats.Duration.Seconds(), stats.Loss, stats.Metric,
-			stats.NodesSampled, stats.EdgesSampled)
+	_, err = sess.Run(context.Background(),
+		marius.Epochs(5),
+		marius.OnEpoch(func(p marius.Progress) error {
+			st := p.Stats
+			fmt.Printf("epoch %d: %.2fs  loss %.4f  train-acc %.3f  (sampled %d nodes, %d edges)\n",
+				p.Epoch, st.Duration.Seconds(), st.Loss, st.Metric,
+				st.NodesSampled, st.EdgesSampled)
+			return nil
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	valid, err := sys.EvaluateValid()
+	valid, err := sess.Evaluate(marius.ValidSplit)
 	if err != nil {
 		log.Fatal(err)
 	}
-	test, err := sys.EvaluateTest()
+	test, err := sess.Evaluate(marius.TestSplit)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("validation accuracy %.3f, test accuracy %.3f\n", valid, test)
+	fmt.Printf("validation accuracy %.3f, test accuracy %.3f\n", valid.Value, test.Value)
 }

@@ -1,438 +1,177 @@
-// Package core is the high-level MariusGNN API: it wires together the
-// storage layer (partitioned node representations, edge buckets, partition
-// buffer), the processing layer (DENSE sampling, pipelined mini-batch
-// training) and the replacement policies (COMET, BETA, NodeCache) behind a
-// small configuration surface.
+// Package core is the deprecated predecessor of the public marius
+// package. It kept a flat 17-field Config and two task-specific
+// constructors; the marius package replaces that surface with a
+// task-polymorphic Session built from functional options, a context-aware
+// run loop, structured evaluation results and checkpointing.
 //
-// Typical use:
+// This shim maps the old surface 1:1 onto marius so stragglers keep
+// compiling; new code should use marius directly:
 //
-//	g := gen.SBM(gen.DefaultSBM(100_000, 1))
-//	sys, _ := core.NewNodeClassification(g, core.Config{Storage: core.InMemory})
-//	for epoch := 0; epoch < 10; epoch++ {
-//		stats, _ := sys.TrainEpoch()
-//		fmt.Println(stats)
-//	}
-//	acc, _ := sys.EvaluateTest()
+//	core.NewNodeClassification(g, cfg)  ->  marius.New(marius.NodeClassification(), g, opts...)
+//	core.NewLinkPrediction(g, cfg)      ->  marius.New(marius.LinkPrediction(), g, opts...)
+//	sys.TrainEpoch()                    ->  sess.Run(ctx, marius.Epochs(n), ...) or sess.TrainEpoch(ctx)
+//	sys.EvaluateValid() / EvaluateTest() -> sess.Evaluate(marius.ValidSplit / marius.TestSplit)
+//
+// Deprecated: use package repro/marius.
 package core
 
 import (
-	"fmt"
-	"math/rand"
-
-	"repro/internal/autotune"
-	"repro/internal/decoder"
-	"repro/internal/gnn"
 	"repro/internal/graph"
-	"repro/internal/nn"
-	"repro/internal/policy"
 	"repro/internal/storage"
-	"repro/internal/tensor"
 	"repro/internal/train"
+	"repro/marius"
 )
 
 // StorageMode selects where base representations live.
-type StorageMode int
+//
+// Deprecated: use marius.StorageMode.
+type StorageMode = marius.StorageMode
 
 const (
 	// InMemory keeps the whole graph in CPU memory (M-GNN_Mem).
-	InMemory StorageMode = iota
+	InMemory = marius.InMemory
 	// OnDisk pages partitions through a buffer (M-GNN_Disk).
-	OnDisk
+	OnDisk = marius.OnDisk
 )
 
 // ModelKind selects the encoder architecture.
-type ModelKind int
+//
+// Deprecated: use marius.ModelKind.
+type ModelKind = marius.ModelKind
 
 const (
-	// GraphSage is the mean-aggregation GraphSage GNN (paper default).
-	GraphSage ModelKind = iota
-	// GAT is the graph attention network.
-	GAT
-	// GCN is a shared-weight graph convolution.
-	GCN
-	// DistMultOnly trains decoder-only knowledge-graph embeddings with no
-	// GNN encoder (the model class supported by Marius).
-	DistMultOnly
+	GraphSage    = marius.GraphSage
+	GAT          = marius.GAT
+	GCN          = marius.GCN
+	DistMultOnly = marius.DistMultOnly
 )
 
 // PolicyKind selects the disk replacement policy for link prediction.
-type PolicyKind int
+//
+// Deprecated: use marius.PolicyKind.
+type PolicyKind = marius.PolicyKind
 
 const (
-	// COMET is MariusGNN's two-level randomized policy (paper §5.1).
-	COMET PolicyKind = iota
-	// BETA is the greedy Marius policy reimplemented for comparison.
-	BETA
+	COMET = marius.COMET
+	BETA  = marius.BETA
 )
 
+// System is the old name for a configured training task.
+//
+// Deprecated: use marius.Session.
+type System = marius.Session
+
 // Config configures a System. Zero values select paper defaults.
+//
+// Deprecated: use marius functional options.
 type Config struct {
 	Storage StorageMode
 	Model   ModelKind
 	Policy  PolicyKind
 
-	// Dir is the directory for disk-based storage (required for OnDisk).
 	Dir string
 
-	// Dim is the hidden/embedding dimensionality (default 32).
-	Dim int
-	// Layers is the number of GNN layers (default 1 for LP, 3 for NC).
-	Layers int
-	// Fanouts per layer, ordered away from the targets; defaults to
-	// 30/20/10 for NC (the paper's Papers100M setting) and 20 for LP.
+	Dim     int
+	Layers  int
 	Fanouts []int
 
-	BatchSize int // default 1024
-	Negatives int // LP negatives per batch (default 500, as in §7.3)
+	BatchSize int
+	Negatives int
 
-	LR    float32 // dense-parameter Adam LR (default 0.01)
-	EmbLR float32 // embedding AdaGrad LR (default 0.1)
+	LR    float32
+	EmbLR float32
 
-	// Partitions (p), BufferCapacity (c) and LogicalPartitions (l);
-	// 0 lets the §6 auto-tuner pick them from CPUBytes/BlockBytes.
 	Partitions        int
 	BufferCapacity    int
 	LogicalPartitions int
-	// CPUBytes and BlockBytes feed the auto-tuner (defaults 1 GiB, 512 KiB).
-	CPUBytes   int64
-	BlockBytes int64
+	CPUBytes          int64
+	BlockBytes        int64
 
-	// Throttle simulates a bandwidth-limited disk (nil = full speed).
 	Throttle *storage.Throttle
 
-	// Mode selects MariusGNN execution (default) or the DGL/PyG-like
-	// baseline execution for comparisons.
 	Mode train.Mode
 
 	Workers int
 	Seed    int64
 }
 
-func (c *Config) fill(task string) {
-	if c.Dim == 0 {
-		c.Dim = 32
+// options translates the flat config into the marius options it predates;
+// zero-valued fields fall through to the marius defaults.
+func (c Config) options() []marius.Option {
+	var opts []marius.Option
+	opts = append(opts, marius.WithModel(c.Model), marius.WithPolicy(c.Policy), marius.WithSeed(c.Seed))
+	if c.Dim > 0 {
+		opts = append(opts, marius.WithDim(c.Dim))
 	}
-	if c.Layers == 0 {
-		if task == "nc" {
-			c.Layers = 3
-		} else {
-			c.Layers = 1
+	if c.Layers > 0 {
+		opts = append(opts, marius.WithLayers(c.Layers))
+	}
+	if len(c.Fanouts) > 0 {
+		opts = append(opts, marius.WithFanouts(c.Fanouts...))
+	}
+	if c.BatchSize > 0 {
+		opts = append(opts, marius.WithBatchSize(c.BatchSize))
+	}
+	if c.Negatives > 0 {
+		opts = append(opts, marius.WithNegatives(c.Negatives))
+	}
+	if c.LR > 0 || c.EmbLR > 0 {
+		lr, emb := c.LR, c.EmbLR
+		if lr <= 0 {
+			lr = marius.DefaultLR
 		}
-	}
-	if len(c.Fanouts) == 0 {
-		if task == "nc" {
-			all := []int{30, 20, 10}
-			c.Fanouts = all[:min(c.Layers, 3)]
-			for len(c.Fanouts) < c.Layers {
-				c.Fanouts = append(c.Fanouts, 10)
-			}
-		} else {
-			c.Fanouts = make([]int, c.Layers)
-			for i := range c.Fanouts {
-				c.Fanouts[i] = 20
-			}
+		if emb <= 0 {
+			emb = marius.DefaultEmbLR
 		}
+		opts = append(opts, marius.WithLearningRates(lr, emb))
 	}
-	if c.BatchSize == 0 {
-		c.BatchSize = 1024
+	if c.CPUBytes > 0 || c.BlockBytes > 0 {
+		cpu, blk := c.CPUBytes, c.BlockBytes
+		if cpu <= 0 {
+			cpu = marius.DefaultCPUBytes
+		}
+		if blk <= 0 {
+			blk = marius.DefaultBlockBytes
+		}
+		opts = append(opts, marius.WithAutotune(cpu, blk))
 	}
-	if c.Negatives == 0 {
-		c.Negatives = 500
+	if c.Workers > 0 {
+		opts = append(opts, marius.WithWorkers(c.Workers))
 	}
-	if c.LR == 0 {
-		c.LR = 0.01
+	if c.Mode == train.ModeBaseline {
+		opts = append(opts, marius.WithBaseline())
 	}
-	if c.EmbLR == 0 {
-		c.EmbLR = 0.1
+	if c.Storage == OnDisk {
+		var disk []marius.DiskOption
+		if c.Partitions > 0 {
+			disk = append(disk, marius.Partitions(c.Partitions))
+		}
+		if c.BufferCapacity > 0 {
+			disk = append(disk, marius.Capacity(c.BufferCapacity))
+		}
+		if c.LogicalPartitions > 0 {
+			disk = append(disk, marius.LogicalPartitions(c.LogicalPartitions))
+		}
+		if c.Throttle != nil {
+			disk = append(disk, marius.Throttled(c.Throttle))
+		}
+		opts = append(opts, marius.WithDisk(c.Dir, disk...))
+	} else if c.Partitions > 0 {
+		opts = append(opts, marius.WithPartitions(c.Partitions))
 	}
-	if c.CPUBytes == 0 {
-		c.CPUBytes = 1 << 30
-	}
-	if c.BlockBytes == 0 {
-		c.BlockBytes = 512 << 10
-	}
-	if c.Workers == 0 {
-		c.Workers = 4
-	}
+	return opts
 }
 
-// System is a configured training task.
-type System struct {
-	Graph  *graph.Graph
-	Params *nn.ParamSet
-	Source *train.Source
-
-	task string
-	cfg  Config
-
-	nc  *train.NCTrainer
-	lp  *train.LPTrainer
-	dec *decoder.DistMult
-	enc *gnn.Encoder
-
-	fullAdj *graph.Adjacency // lazily built for evaluation
-}
-
-// NewNodeClassification builds a node-classification system over g, which
-// must carry Features, Labels and TrainNodes. The graph is relabeled in
-// place (training nodes first) for the §5.2 caching policy.
+// NewNodeClassification builds a node-classification system over g.
+//
+// Deprecated: use marius.New(marius.NodeClassification(), g, opts...).
 func NewNodeClassification(g *graph.Graph, cfg Config) (*System, error) {
-	cfg.fill("nc")
-	if g.Features == nil || g.Labels == nil || len(g.TrainNodes) == 0 {
-		return nil, fmt.Errorf("core: node classification needs features, labels and training nodes")
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	p, c := cfg.Partitions, cfg.BufferCapacity
-	if cfg.Storage == InMemory {
-		if p == 0 {
-			p = 4
-		}
-		c = p
-	} else if p == 0 || c == 0 {
-		tuned, err := autotune.Tune(autotune.Input{
-			NumNodes: g.NumNodes, NumEdges: len(g.Edges), Dim: g.FeatureDim(),
-			CPUBytes: cfg.CPUBytes, BlockBytes: cfg.BlockBytes,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if p == 0 {
-			p = tuned.P
-		}
-		if c == 0 {
-			c = tuned.C
-		}
-	}
-
-	pt, trainParts := train.PrepareNC(g, p, cfg.Seed)
-	var src *train.Source
-	var err error
-	if cfg.Storage == OnDisk {
-		src, err = train.NewDiskSource(g, pt, g.FeatureDim(), train.DiskSourceConfig{
-			Dir: cfg.Dir, Capacity: c, InitTable: g.Features, Throttle: cfg.Throttle,
-		})
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		src = train.NewMemorySource(g, pt, g.Features)
-	}
-
-	ps := nn.NewParamSet()
-	dims := encoderDims(g.FeatureDim(), cfg.Dim, g.NumClasses, cfg.Layers)
-	enc, err := buildEncoder(cfg.Model, ps, dims, rng)
-	if err != nil {
-		return nil, err
-	}
-
-	var pol policy.Policy
-	if cfg.Storage == OnDisk {
-		pol = policy.NodeCache{P: p, C: c, TrainParts: trainParts}
-	} else {
-		pol = policy.InMemory{P: p}
-	}
-	ncfg := train.NCConfig{
-		Encoder: enc, Params: ps,
-		Fanouts: cfg.Fanouts, Dirs: graph.Both,
-		BatchSize: cfg.BatchSize, Opt: nn.NewAdam(cfg.LR), ClipNorm: 5,
-		Workers: cfg.Workers, Mode: cfg.Mode, Seed: cfg.Seed,
-	}
-	sys := &System{Graph: g, Params: ps, Source: src, task: "nc", cfg: cfg, enc: enc}
-	sys.nc = train.NewNC(ncfg, src, pol, g.Labels, g.TrainNodes)
-	return sys, nil
+	return marius.New(marius.NodeClassification(), g, cfg.options()...)
 }
 
-// NewLinkPrediction builds a link-prediction system over g. The graph is
-// relabeled in place (random partition assignment).
+// NewLinkPrediction builds a link-prediction system over g.
+//
+// Deprecated: use marius.New(marius.LinkPrediction(), g, opts...).
 func NewLinkPrediction(g *graph.Graph, cfg Config) (*System, error) {
-	cfg.fill("lp")
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	p, c, l := cfg.Partitions, cfg.BufferCapacity, cfg.LogicalPartitions
-	if cfg.Storage == InMemory {
-		if p == 0 {
-			p = 4
-		}
-		c, l = p, p
-	} else if p == 0 || c == 0 || l == 0 {
-		tuned, err := autotune.Tune(autotune.Input{
-			NumNodes: g.NumNodes, NumEdges: len(g.Edges), Dim: cfg.Dim,
-			CPUBytes: cfg.CPUBytes, BlockBytes: cfg.BlockBytes,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if p == 0 {
-			p = tuned.P
-		}
-		if c == 0 {
-			c = tuned.C
-		}
-		if l == 0 {
-			l = tuned.L
-		}
-	}
-
-	pt := train.PrepareLP(g, p, cfg.Seed)
-	emb := train.RandomEmbeddings(g.NumNodes, cfg.Dim, cfg.Seed)
-	var src *train.Source
-	var err error
-	if cfg.Storage == OnDisk {
-		src, err = train.NewDiskSource(g, pt, cfg.Dim, train.DiskSourceConfig{
-			Dir: cfg.Dir, Capacity: c, Learnable: true, InitTable: emb, Throttle: cfg.Throttle,
-		})
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		src = train.NewMemorySource(g, pt, emb)
-	}
-
-	ps := nn.NewParamSet()
-	var enc *gnn.Encoder
-	if cfg.Model != DistMultOnly {
-		dims := encoderDims(cfg.Dim, cfg.Dim, cfg.Dim, cfg.Layers)
-		enc, err = buildEncoder(cfg.Model, ps, dims, rng)
-		if err != nil {
-			return nil, err
-		}
-	}
-	dec := decoder.NewDistMult(ps, max(g.NumRels, 1), cfg.Dim, rng)
-
-	var pol policy.Policy
-	if cfg.Storage == OnDisk {
-		if cfg.Policy == BETA {
-			pol = policy.Beta{P: p, C: c}
-		} else {
-			comet := policy.Comet{P: p, L: l, C: c}
-			if err := comet.Validate(); err != nil {
-				return nil, err
-			}
-			pol = comet
-		}
-	} else {
-		pol = policy.InMemory{P: p}
-	}
-
-	lcfg := train.LPConfig{
-		Encoder: enc, Params: ps, Decoder: dec,
-		Fanouts: cfg.Fanouts, Dirs: graph.Both,
-		BatchSize: cfg.BatchSize, Negatives: cfg.Negatives,
-		DenseOpt: nn.NewAdam(cfg.LR), EmbOpt: nn.NewSparseAdaGrad(cfg.EmbLR), ClipNorm: 5,
-		Workers: cfg.Workers, Mode: cfg.Mode, Seed: cfg.Seed,
-	}
-	sys := &System{Graph: g, Params: ps, Source: src, task: "lp", cfg: cfg, enc: enc, dec: dec}
-	sys.lp = train.NewLP(lcfg, src, pol)
-	return sys, nil
+	return marius.New(marius.LinkPrediction(), g, cfg.options()...)
 }
-
-func encoderDims(in, hidden, out, layers int) []int {
-	dims := []int{in}
-	for i := 0; i < layers-1; i++ {
-		dims = append(dims, hidden)
-	}
-	return append(dims, out)
-}
-
-func buildEncoder(kind ModelKind, ps *nn.ParamSet, dims []int, rng *rand.Rand) (*gnn.Encoder, error) {
-	switch kind {
-	case GraphSage:
-		return gnn.BuildSage(ps, dims, gnn.Mean, rng), nil
-	case GAT:
-		return gnn.BuildGAT(ps, dims, rng), nil
-	case GCN:
-		return gnn.BuildGCN(ps, dims, rng), nil
-	default:
-		return nil, fmt.Errorf("core: model kind %d has no encoder", kind)
-	}
-}
-
-// SetPolicy overrides the replacement policy (used by policy-comparison
-// experiments to swap COMET/BETA on an otherwise identical system).
-func (s *System) SetPolicy(pol policy.Policy) {
-	if s.nc != nil {
-		s.nc.Pol = pol
-	}
-	if s.lp != nil {
-		s.lp.Pol = pol
-	}
-}
-
-// TrainEpoch runs one epoch.
-func (s *System) TrainEpoch() (train.EpochStats, error) {
-	if s.nc != nil {
-		return s.nc.TrainEpoch()
-	}
-	return s.lp.TrainEpoch()
-}
-
-func (s *System) adj() *graph.Adjacency {
-	if s.fullAdj == nil {
-		s.fullAdj = graph.BuildAdjacency(s.Graph.NumNodes, s.Graph.Edges)
-	}
-	return s.fullAdj
-}
-
-// EvaluateValid evaluates on the validation split: accuracy for node
-// classification, sampled-negative MRR (or full ranking for small graphs)
-// for link prediction.
-func (s *System) EvaluateValid() (float64, error) {
-	if s.task == "nc" {
-		return s.evalNC(s.Graph.ValidNodes, s.cfg.Seed+1)
-	}
-	return s.evalLP(s.Graph.ValidEdges)
-}
-
-// EvaluateTest evaluates on the test split.
-func (s *System) EvaluateTest() (float64, error) {
-	if s.task == "nc" {
-		return s.evalNC(s.Graph.TestNodes, s.cfg.Seed+2)
-	}
-	return s.evalLP(s.Graph.TestEdges)
-}
-
-// evalNC evaluates over the full graph; with disk storage the feature
-// table is first read back into memory (evaluation nodes may live in
-// partitions that are not resident).
-func (s *System) evalNC(nodes []int32, seed int64) (float64, error) {
-	src := s.Source
-	if s.Source.Disk != nil {
-		table, err := s.Source.Disk.ReadAll()
-		if err != nil {
-			return 0, err
-		}
-		src = &train.Source{
-			Part: s.Source.Part, NumNodes: s.Source.NumNodes, NumRels: s.Source.NumRels,
-			Nodes: storage.NewMemoryNodeStore(table), Edges: s.Source.Edges,
-		}
-	}
-	return train.EvaluateNC(&s.nc.Cfg, src, s.adj(), s.Graph.Labels, nodes, seed)
-}
-
-func (s *System) evalLP(edges []graph.Edge) (float64, error) {
-	emb, err := s.embeddings()
-	if err != nil {
-		return 0, err
-	}
-	negatives := 1000
-	if s.Graph.NumNodes <= 20000 {
-		negatives = 0 // rank against all entities, as the paper does on FB15k-237
-	}
-	return train.EvaluateLP(train.LPEvalConfig{
-		Encoder: s.enc, Params: s.Params, Decoder: s.dec,
-		Fanouts: s.cfg.Fanouts, Dirs: graph.Both,
-		Negatives: negatives, BatchSize: s.cfg.BatchSize, Seed: s.cfg.Seed + 3,
-	}, emb, s.adj(), edges)
-}
-
-// embeddings returns the full base-representation table.
-func (s *System) embeddings() (*tensor.Tensor, error) {
-	if s.Source.Disk != nil {
-		return s.Source.Disk.ReadAll()
-	}
-	return s.Source.Nodes.(*storage.MemoryNodeStore).Table(), nil
-}
-
-// Close releases the system's storage.
-func (s *System) Close() error { return s.Source.Close() }

@@ -13,15 +13,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/train"
+	"repro/marius"
 )
 
 // Scale globally shrinks experiment workloads; 1.0 is the default
@@ -92,25 +92,25 @@ func lpDataset(name string, sc Scale, seed int64) *graph.Graph {
 	}
 }
 
-// runSystem trains a system for epochs and returns mean epoch time, final
-// validation metric and total IO.
-func runSystem(sys *core.System, epochs int) (time.Duration, float64, int64, error) {
-	defer sys.Close()
-	var total time.Duration
-	var io int64
-	for e := 0; e < epochs; e++ {
-		st, err := sys.TrainEpoch()
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		total += st.Duration
-		io += st.IO.BytesRead + st.IO.BytesWritten
-	}
-	metric, err := sys.EvaluateValid()
+// runSession trains a session for epochs and returns mean epoch time,
+// final validation metric and total IO.
+func runSession(sess *marius.Session, epochs int) (time.Duration, float64, int64, error) {
+	defer sess.Close()
+	res, err := sess.Run(context.Background(), marius.Epochs(epochs))
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	return total / time.Duration(epochs), metric, io, nil
+	var total time.Duration
+	var io int64
+	for _, st := range res.Epochs {
+		total += st.Duration
+		io += st.IO.BytesRead + st.IO.BytesWritten
+	}
+	ev, err := sess.Evaluate(marius.ValidSplit)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return total / time.Duration(epochs), ev.Value, io, nil
 }
 
 func tempDir(prefix string) string {
@@ -143,24 +143,23 @@ func Table3(sc Scale, epochs int) ([]EndToEndRow, error) {
 	for _, ds := range []string{"Papers", "Mag"} {
 		for _, system := range []string{"M-GNN Mem", "M-GNN Disk", "DGL/PyG-sim"} {
 			g := ncDataset(ds, sc, 100)
-			cfg := core.Config{
-				Model: core.GraphSage, Layers: 3, Fanouts: []int{15, 10, 5},
-				Dim: 64, BatchSize: 512, Seed: 100,
+			opts := []marius.Option{
+				marius.WithModel(marius.GraphSage), marius.WithFanouts(15, 10, 5),
+				marius.WithDim(64), marius.WithBatchSize(512), marius.WithSeed(100),
 			}
 			switch system {
 			case "M-GNN Disk":
-				cfg.Storage = core.OnDisk
-				cfg.Dir = tempDir("t3")
-				cfg.Partitions, cfg.BufferCapacity = 16, 4
-				defer os.RemoveAll(cfg.Dir)
+				dir := tempDir("t3")
+				defer os.RemoveAll(dir)
+				opts = append(opts, marius.WithDisk(dir, marius.Partitions(16), marius.Capacity(4)))
 			case "DGL/PyG-sim":
-				cfg.Mode = train.ModeBaseline
+				opts = append(opts, marius.WithBaseline())
 			}
-			sys, err := core.NewNodeClassification(g, cfg)
+			sess, err := marius.New(marius.NodeClassification(), g, opts...)
 			if err != nil {
 				return nil, err
 			}
-			epoch, metric, io, err := runSystem(sys, epochs)
+			epoch, metric, io, err := runSession(sess, epochs)
 			if err != nil {
 				return nil, err
 			}
@@ -176,48 +175,49 @@ func Table3(sc Scale, epochs int) ([]EndToEndRow, error) {
 
 // Table4 reproduces the link-prediction end-to-end comparison (GraphSage).
 func Table4(sc Scale, epochs int) ([]EndToEndRow, error) {
-	return lpEndToEnd(sc, epochs, []string{"FB", "Wiki"}, core.GraphSage, "GS")
+	return lpEndToEnd(sc, epochs, []string{"FB", "Wiki"}, marius.GraphSage, "GS")
 }
 
 // Table5 compares GraphSage and GAT on the Freebase-like graph.
 func Table5(sc Scale, epochs int) ([]EndToEndRow, error) {
-	gs, err := lpEndToEnd(sc, epochs, []string{"FB"}, core.GraphSage, "GS")
+	gs, err := lpEndToEnd(sc, epochs, []string{"FB"}, marius.GraphSage, "GS")
 	if err != nil {
 		return nil, err
 	}
-	gat, err := lpEndToEnd(sc, epochs, []string{"FB"}, core.GAT, "GAT")
+	gat, err := lpEndToEnd(sc, epochs, []string{"FB"}, marius.GAT, "GAT")
 	if err != nil {
 		return nil, err
 	}
 	return append(gs, gat...), nil
 }
 
-func lpEndToEnd(sc Scale, epochs int, datasets []string, model core.ModelKind, modelName string) ([]EndToEndRow, error) {
+func lpEndToEnd(sc Scale, epochs int, datasets []string, model marius.ModelKind, modelName string) ([]EndToEndRow, error) {
 	var rows []EndToEndRow
 	for _, ds := range datasets {
 		for _, system := range []string{"M-GNN Mem", "M-GNN Disk", "DGL/PyG-sim"} {
 			g := lpDataset(ds, sc, 200)
-			cfg := core.Config{
-				Model: model, Layers: 1, Fanouts: []int{10},
-				Dim: 32, BatchSize: 1024, Negatives: 256, Seed: 200,
+			opts := []marius.Option{
+				marius.WithModel(model), marius.WithFanouts(10),
+				marius.WithDim(32), marius.WithBatchSize(1024),
+				marius.WithNegatives(256), marius.WithSeed(200),
 			}
 			switch system {
 			case "M-GNN Disk":
-				cfg.Storage = core.OnDisk
-				cfg.Dir = tempDir("t4")
-				cfg.Partitions, cfg.BufferCapacity, cfg.LogicalPartitions = 8, 4, 4
-				defer os.RemoveAll(cfg.Dir)
+				dir := tempDir("t4")
+				defer os.RemoveAll(dir)
+				opts = append(opts, marius.WithDisk(dir,
+					marius.Partitions(8), marius.Capacity(4), marius.LogicalPartitions(4)))
 			case "DGL/PyG-sim":
-				cfg.Mode = train.ModeBaseline
 				// DGL trains with 5x fewer negatives to avoid OOM (§7.1);
 				// keep negatives equal here so MRR is comparable and let
 				// runtime reflect execution strategy only.
+				opts = append(opts, marius.WithBaseline())
 			}
-			sys, err := core.NewLinkPrediction(g, cfg)
+			sess, err := marius.New(marius.LinkPrediction(), g, opts...)
 			if err != nil {
 				return nil, err
 			}
-			epoch, metric, io, err := runSystem(sys, epochs)
+			epoch, metric, io, err := runSession(sess, epochs)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"time"
@@ -88,7 +89,7 @@ func ExtremeScale(numNodes int, numEdges int64, dim int) (*ExtremeScaleResult, e
 		Workers: 4, Seed: 3,
 	}, src, policy.Comet{P: p, L: l, C: c})
 
-	st, err := tr.TrainEpoch()
+	st, err := tr.TrainEpoch(context.Background())
 	if err != nil {
 		return nil, err
 	}

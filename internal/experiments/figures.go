@@ -1,16 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"time"
 
 	"repro/internal/autotune"
-	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/graph"
 	"repro/internal/policy"
 	"repro/internal/train"
+	"repro/marius"
 )
 
 // BiasPoint is one (configuration, Edge Permutation Bias, MRR) sample for
@@ -61,24 +62,22 @@ func Figure6a(sc Scale, epochs int) ([]BiasPoint, error) {
 func diskLPMRR(g *graph.Graph, p, c int, pol policy.Policy, epochs int) (float64, error) {
 	dir := tempDir("fig6")
 	defer os.RemoveAll(dir)
-	sys, err := core.NewLinkPrediction(g, core.Config{
-		Storage: core.OnDisk, Dir: dir, Model: core.DistMultOnly,
-		Dim: 32, BatchSize: 1024, Negatives: 256,
-		Partitions: p, BufferCapacity: c, LogicalPartitions: p, // placeholder; overridden below
-		Seed: 500,
-	})
+	sess, err := marius.New(marius.LinkPrediction(), g,
+		marius.WithModel(marius.DistMultOnly),
+		marius.WithDim(32), marius.WithBatchSize(1024), marius.WithNegatives(256),
+		marius.WithDisk(dir, marius.Partitions(p), marius.Capacity(c)),
+		marius.WithPolicyImpl(pol), // the exact policy under test
+		marius.WithSeed(500),
+	)
 	if err != nil {
 		return 0, err
 	}
-	// Swap in the exact policy under test (core picked a default COMET).
-	sys.SetPolicy(pol)
-	defer sys.Close()
-	for e := 0; e < epochs; e++ {
-		if _, err := sys.TrainEpoch(); err != nil {
-			return 0, err
-		}
+	defer sess.Close()
+	if _, err := sess.Run(context.Background(), marius.Epochs(epochs)); err != nil {
+		return 0, err
 	}
-	return sys.EvaluateValid()
+	ev, err := sess.Evaluate(marius.ValidSplit)
+	return ev.Value, err
 }
 
 // PartitionEffect is one sweep point for Figures 6b and 6c.
@@ -165,46 +164,42 @@ type TimeToAccuracyPoint struct {
 }
 
 // Figure7 produces time-to-accuracy traces for node classification
-// (Papers-like) across the three execution configurations.
+// (Papers-like) across the three execution configurations, using the run
+// loop's per-epoch validation callback.
 func Figure7(sc Scale, epochs int) ([]TimeToAccuracyPoint, error) {
 	var points []TimeToAccuracyPoint
 	for _, system := range []string{"M-GNN Mem", "M-GNN Disk", "DGL/PyG-sim"} {
 		g := ncDataset("Papers", sc, 600)
-		cfg := core.Config{
-			Model: core.GraphSage, Layers: 3, Fanouts: []int{15, 10, 5},
-			Dim: 64, BatchSize: 512, Seed: 600,
+		opts := []marius.Option{
+			marius.WithModel(marius.GraphSage), marius.WithFanouts(15, 10, 5),
+			marius.WithDim(64), marius.WithBatchSize(512), marius.WithSeed(600),
 		}
 		switch system {
 		case "M-GNN Disk":
-			cfg.Storage = core.OnDisk
-			cfg.Dir = tempDir("fig7")
-			cfg.Partitions, cfg.BufferCapacity = 16, 4
-			defer os.RemoveAll(cfg.Dir)
+			dir := tempDir("fig7")
+			defer os.RemoveAll(dir)
+			opts = append(opts, marius.WithDisk(dir, marius.Partitions(16), marius.Capacity(4)))
 		case "DGL/PyG-sim":
-			cfg.Mode = train.ModeBaseline
+			opts = append(opts, marius.WithBaseline())
 		}
-		sys, err := core.NewNodeClassification(g, cfg)
+		sess, err := marius.New(marius.NodeClassification(), g, opts...)
 		if err != nil {
 			return nil, err
 		}
 		var elapsed time.Duration
-		for e := 1; e <= epochs; e++ {
-			st, err := sys.TrainEpoch()
-			if err != nil {
-				sys.Close()
-				return nil, err
-			}
-			elapsed += st.Duration
-			metric, err := sys.EvaluateValid()
-			if err != nil {
-				sys.Close()
-				return nil, err
-			}
-			points = append(points, TimeToAccuracyPoint{
-				System: system, Epoch: e, Elapsed: elapsed, Metric: metric,
-			})
+		_, err = sess.Run(context.Background(),
+			marius.Epochs(epochs), marius.EvalEvery(1),
+			marius.OnEpoch(func(p marius.Progress) error {
+				elapsed += p.Stats.Duration
+				points = append(points, TimeToAccuracyPoint{
+					System: system, Epoch: p.Epoch, Elapsed: elapsed, Metric: p.Valid.Value,
+				})
+				return nil
+			}))
+		sess.Close()
+		if err != nil {
+			return nil, err
 		}
-		sys.Close()
 	}
 	return points, nil
 }
@@ -252,36 +247,24 @@ func Figure8(sc Scale, epochs int) ([]TuningPoint, error) {
 		}
 		g := lpDataset("237", sc, 700)
 		dir := tempDir("fig8")
-		sys, err := core.NewLinkPrediction(g, core.Config{
-			Storage: core.OnDisk, Dir: dir, Model: core.GraphSage,
-			Layers: 1, Fanouts: []int{10}, Dim: dim,
-			BatchSize: 1024, Negatives: 256,
-			Partitions: gp.P, BufferCapacity: gp.C, LogicalPartitions: gp.L,
-			Seed: 700,
-		})
+		sess, err := marius.New(marius.LinkPrediction(), g,
+			marius.WithModel(marius.GraphSage), marius.WithFanouts(10),
+			marius.WithDim(dim), marius.WithBatchSize(1024), marius.WithNegatives(256),
+			marius.WithDisk(dir, marius.Partitions(gp.P), marius.Capacity(gp.C), marius.LogicalPartitions(gp.L)),
+			marius.WithSeed(700),
+		)
 		if err != nil {
 			os.RemoveAll(dir)
 			return nil, err
 		}
-		var total time.Duration
-		for e := 0; e < epochs; e++ {
-			st, err := sys.TrainEpoch()
-			if err != nil {
-				sys.Close()
-				os.RemoveAll(dir)
-				return nil, err
-			}
-			total += st.Duration
-		}
-		mrr, err := sys.EvaluateValid()
-		sys.Close()
+		epoch, mrr, _, err := runSession(sess, epochs)
 		os.RemoveAll(dir)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, TuningPoint{
 			P: gp.P, C: gp.C, L: gp.L,
-			Epoch: total / time.Duration(epochs), MRR: mrr,
+			Epoch: epoch, MRR: mrr,
 			AutoTuned: gp.P == tuned.P && gp.C == tuned.C && gp.L == tuned.L,
 		})
 	}

@@ -4,8 +4,8 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/policy"
+	"repro/marius"
 )
 
 // Table8Row compares COMET and BETA disk-based training for one
@@ -27,19 +27,19 @@ type Table8Row struct {
 // Freebase- and Wiki-like graphs (the full paper grid, scaled).
 func Table8(sc Scale, epochs int) ([]Table8Row, error) {
 	type combo struct {
-		model   core.ModelKind
+		model   marius.ModelKind
 		mName   string
 		dataset string
 	}
 	combos := []combo{
-		{core.DistMultOnly, "DM", "237"},
-		{core.DistMultOnly, "DM", "FB"},
-		{core.DistMultOnly, "DM", "Wiki"},
-		{core.GraphSage, "GS", "237"},
-		{core.GraphSage, "GS", "FB"},
-		{core.GraphSage, "GS", "Wiki"},
-		{core.GAT, "GAT", "237"},
-		{core.GAT, "GAT", "FB"},
+		{marius.DistMultOnly, "DM", "237"},
+		{marius.DistMultOnly, "DM", "FB"},
+		{marius.DistMultOnly, "DM", "Wiki"},
+		{marius.GraphSage, "GS", "237"},
+		{marius.GraphSage, "GS", "FB"},
+		{marius.GraphSage, "GS", "Wiki"},
+		{marius.GAT, "GAT", "237"},
+		{marius.GAT, "GAT", "FB"},
 	}
 	const p, c, l = 16, 4, 8 // buffer holds 1/4 of partitions, as in §7.5
 	var rows []Table8Row
@@ -47,20 +47,20 @@ func Table8(sc Scale, epochs int) ([]Table8Row, error) {
 		row := Table8Row{Model: cb.mName, Dataset: cb.dataset}
 
 		// In-memory reference.
-		memMRR, _, err := runTable8(cb.model, cb.dataset, sc, epochs, core.InMemory, nil, 0, 0, 0)
+		memMRR, _, err := runTable8(cb.model, cb.dataset, sc, epochs, marius.InMemory, nil, 0, 0, 0)
 		if err != nil {
 			return nil, err
 		}
 		row.MemMRR = memMRR
 
-		cometMRR, cometEpoch, err := runTable8(cb.model, cb.dataset, sc, epochs, core.OnDisk,
+		cometMRR, cometEpoch, err := runTable8(cb.model, cb.dataset, sc, epochs, marius.OnDisk,
 			policy.Comet{P: p, L: l, C: c}, p, c, l)
 		if err != nil {
 			return nil, err
 		}
 		row.CometMRR, row.CometEpoch = cometMRR, cometEpoch
 
-		betaMRR, betaEpoch, err := runTable8(cb.model, cb.dataset, sc, epochs, core.OnDisk,
+		betaMRR, betaEpoch, err := runTable8(cb.model, cb.dataset, sc, epochs, marius.OnDisk,
 			policy.Beta{P: p, C: c}, p, c, l)
 		if err != nil {
 			return nil, err
@@ -72,37 +72,28 @@ func Table8(sc Scale, epochs int) ([]Table8Row, error) {
 	return rows, nil
 }
 
-func runTable8(model core.ModelKind, dataset string, sc Scale, epochs int, st core.StorageMode, pol policy.Policy, p, c, l int) (float64, time.Duration, error) {
+func runTable8(model marius.ModelKind, dataset string, sc Scale, epochs int, st marius.StorageMode, pol policy.Policy, p, c, l int) (float64, time.Duration, error) {
 	g := lpDataset(dataset, sc, 800)
-	cfg := core.Config{
-		Storage: st, Model: model,
-		Layers: 1, Fanouts: []int{10}, Dim: 32,
-		BatchSize: 1024, Negatives: 256, Seed: 800,
+	opts := []marius.Option{
+		marius.WithModel(model), marius.WithFanouts(10), marius.WithDim(32),
+		marius.WithBatchSize(1024), marius.WithNegatives(256), marius.WithSeed(800),
 	}
-	if st == core.OnDisk {
-		cfg.Dir = tempDir("t8")
-		defer os.RemoveAll(cfg.Dir)
-		cfg.Partitions, cfg.BufferCapacity, cfg.LogicalPartitions = p, c, l
+	if st == marius.OnDisk {
+		dir := tempDir("t8")
+		defer os.RemoveAll(dir)
+		opts = append(opts, marius.WithDisk(dir,
+			marius.Partitions(p), marius.Capacity(c), marius.LogicalPartitions(l)))
 	}
-	sys, err := core.NewLinkPrediction(g, cfg)
-	if err != nil {
-		return 0, 0, err
-	}
-	defer sys.Close()
 	if pol != nil {
-		sys.SetPolicy(pol)
+		opts = append(opts, marius.WithPolicyImpl(pol))
 	}
-	var total time.Duration
-	for e := 0; e < epochs; e++ {
-		stt, err := sys.TrainEpoch()
-		if err != nil {
-			return 0, 0, err
-		}
-		total += stt.Duration
-	}
-	mrr, err := sys.EvaluateValid()
+	sess, err := marius.New(marius.LinkPrediction(), g, opts...)
 	if err != nil {
 		return 0, 0, err
 	}
-	return mrr, total / time.Duration(epochs), nil
+	epoch, mrr, _, err := runSession(sess, epochs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return mrr, epoch, nil
 }

@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ParamState is the serializable snapshot of one parameter: its value plus
+// the optimizer moments accumulated so far, so training resumed from a
+// checkpoint continues with identical optimizer dynamics.
+type ParamState struct {
+	Name       string
+	Rows, Cols int
+	Value      []float32
+	M, V       []float32 // first/second moments; nil when never allocated
+	Step       int
+}
+
+// State snapshots every parameter in registration order. The returned
+// slices are copies and stay valid across further training.
+func (ps *ParamSet) State() []ParamState {
+	out := make([]ParamState, 0, len(ps.params))
+	for _, p := range ps.params {
+		st := ParamState{
+			Name: p.Name, Rows: p.Value.Rows, Cols: p.Value.Cols,
+			Value: append([]float32(nil), p.Value.Data...),
+			Step:  p.step,
+		}
+		if p.m != nil {
+			st.M = append([]float32(nil), p.m.Data...)
+		}
+		if p.v != nil {
+			st.V = append([]float32(nil), p.v.Data...)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// LoadState restores a snapshot produced by State into the set's
+// registered parameters. Every snapshot entry must match a registered
+// parameter in name and shape (the model architecture must be rebuilt
+// identically before restoring).
+func (ps *ParamSet) LoadState(states []ParamState) error {
+	if len(states) != len(ps.params) {
+		return fmt.Errorf("nn: snapshot has %d parameters, model has %d", len(states), len(ps.params))
+	}
+	for _, st := range states {
+		p := ps.byName[st.Name]
+		if p == nil {
+			return fmt.Errorf("nn: snapshot parameter %q not registered", st.Name)
+		}
+		if p.Value.Rows != st.Rows || p.Value.Cols != st.Cols || len(st.Value) != len(p.Value.Data) {
+			return fmt.Errorf("nn: parameter %q shape mismatch: snapshot %dx%d, model %dx%d",
+				st.Name, st.Rows, st.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		copy(p.Value.Data, st.Value)
+		p.step = st.Step
+		p.m = restoreMoment(st.M, st.Rows, st.Cols)
+		p.v = restoreMoment(st.V, st.Rows, st.Cols)
+	}
+	return nil
+}
+
+func restoreMoment(data []float32, rows, cols int) *tensor.Tensor {
+	if data == nil {
+		return nil
+	}
+	t := tensor.New(rows, cols)
+	copy(t.Data, data)
+	return t
+}

@@ -23,6 +23,14 @@ type NodeStore interface {
 	// ApplyGrads applies sparse AdaGrad updates to the given rows
 	// (paper Fig. 2 step 6). ids may repeat.
 	ApplyGrads(ids []int32, grads *tensor.Tensor, opt *nn.SparseAdaGrad) error
+	// Snapshot returns a copy of the full representation table and the
+	// per-row sparse-AdaGrad accumulators (nil when the store maintains
+	// no per-row optimizer state), for checkpointing and full-table
+	// evaluation.
+	Snapshot() (*tensor.Tensor, []float32, error)
+	// Restore overwrites the table (and accumulators, when state is
+	// non-nil) from a snapshot taken on an identically-shaped store.
+	Restore(table *tensor.Tensor, state []float32) error
 	// Close releases resources, flushing any dirty state.
 	Close() error
 }
@@ -66,6 +74,31 @@ func (m *MemoryNodeStore) ApplyGrads(ids []int32, grads *tensor.Tensor, opt *nn.
 	defer m.mu.Unlock()
 	for i, id := range ids {
 		m.state[id] = opt.StepRow(m.table.Row(int(id)), grads.Row(i), m.state[id])
+	}
+	return nil
+}
+
+// Snapshot implements NodeStore.
+func (m *MemoryNodeStore) Snapshot() (*tensor.Tensor, []float32, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.table.Clone(), append([]float32(nil), m.state...), nil
+}
+
+// Restore implements NodeStore.
+func (m *MemoryNodeStore) Restore(table *tensor.Tensor, state []float32) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.table.SameShape(table) {
+		return fmt.Errorf("storage: restore shape %dx%d into %dx%d table",
+			table.Rows, table.Cols, m.table.Rows, m.table.Cols)
+	}
+	copy(m.table.Data, table.Data)
+	if state != nil {
+		if len(state) != len(m.state) {
+			return fmt.Errorf("storage: restore %d optimizer rows into %d", len(state), len(m.state))
+		}
+		copy(m.state, state)
 	}
 	return nil
 }
@@ -432,6 +465,65 @@ func (s *DiskNodeStore) ReadAll() (*tensor.Tensor, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// Snapshot implements NodeStore: dirty resident partitions are flushed,
+// then the full table and (for learnable stores) the per-row AdaGrad
+// accumulators are read back from disk.
+func (s *DiskNodeStore) Snapshot() (*tensor.Tensor, []float32, error) {
+	t, err := s.ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	var state []float32
+	if s.learnable {
+		state = make([]float32, s.pt.NumNodes)
+		if err := readFloats(s.sf, 0, state, &s.stats, s.throttle); err != nil {
+			return nil, nil, err
+		}
+	}
+	return t, state, nil
+}
+
+// Restore implements NodeStore: the on-disk table (and accumulators) are
+// overwritten and any resident partitions re-read so the buffer reflects
+// the restored state.
+func (s *DiskNodeStore) Restore(table *tensor.Tensor, state []float32) error {
+	s.pending.Wait()
+	s.stagedMu.Lock()
+	s.staged = make(map[int]*stagedPartition)
+	s.stagedMu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if table.Rows != s.pt.NumNodes || table.Cols != s.dim {
+		return fmt.Errorf("storage: restore shape %dx%d into %dx%d store",
+			table.Rows, table.Cols, s.pt.NumNodes, s.dim)
+	}
+	if err := writeFloats(s.f, 0, table.Data, &s.stats, s.throttle); err != nil {
+		return err
+	}
+	if s.learnable && state != nil {
+		if len(state) != s.pt.NumNodes {
+			return fmt.Errorf("storage: restore %d optimizer rows into %d", len(state), s.pt.NumNodes)
+		}
+		if err := writeFloats(s.sf, 0, state, &s.stats, s.throttle); err != nil {
+			return err
+		}
+	}
+	for p, slot := range s.resident {
+		base := slot * s.pt.PartSize * s.dim
+		count := s.pt.Rows(p) * s.dim
+		var opt []float32
+		if s.learnable {
+			opt = s.slotOpt[slot*s.pt.PartSize : slot*s.pt.PartSize+s.pt.Rows(p)]
+		}
+		if err := s.readPartition(p, s.slotData[base:base+count], opt); err != nil {
+			return err
+		}
+		s.dirty[slot] = false
+	}
+	return nil
 }
 
 // Close flushes and closes the underlying files.

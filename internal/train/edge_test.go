@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -35,13 +36,13 @@ func TestLPGATTrainsEndToEnd(t *testing.T) {
 		Workers: 2, Seed: 31,
 	}, src, policy.InMemory{P: 4})
 
-	first, err := tr.TrainEpoch()
+	first, err := tr.TrainEpoch(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	var last EpochStats
 	for e := 0; e < 3; e++ {
-		last, err = tr.TrainEpoch()
+		last, err = tr.TrainEpoch(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func TestThrottledDiskTrainingStillCorrect(t *testing.T) {
 		Workers: 2, Seed: 37,
 	}, src, policy.Comet{P: 4, L: 4, C: 2})
 
-	st, err := tr.TrainEpoch()
+	st, err := tr.TrainEpoch(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestNCEmptyVisitTargets(t *testing.T) {
 		Workers: 2, Seed: 41,
 	}, src, policy.NodeCache{P: 8, C: 3, TrainParts: trainParts}, g.Labels, g.TrainNodes)
 
-	st, err := tr.TrainEpoch()
+	st, err := tr.TrainEpoch(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestNCEmptyVisitTargets(t *testing.T) {
 func TestLPStatsAccounting(t *testing.T) {
 	tr, g, done := lpFixture(t, policy.InMemory{P: 4}, false, 4, 4, 43)
 	defer done()
-	st, err := tr.TrainEpoch()
+	st, err := tr.TrainEpoch(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

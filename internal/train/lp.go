@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -49,7 +50,6 @@ type LPTrainer struct {
 	Src *Source
 	Pol policy.Policy
 
-	rng   *rand.Rand
 	epoch int
 }
 
@@ -65,8 +65,16 @@ func NewLP(cfg LPConfig, src *Source, pol policy.Policy) *LPTrainer {
 		cfg.Workers = 1
 		cfg.PipelineDepth = 1
 	}
-	return &LPTrainer{Cfg: cfg, Src: src, Pol: pol, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &LPTrainer{Cfg: cfg, Src: src, Pol: pol}
 }
+
+// Epoch returns the number of completed epochs.
+func (t *LPTrainer) Epoch() int { return t.epoch }
+
+// SetEpoch overrides the epoch counter, so a trainer restored from a
+// checkpoint continues the epoch sequence (and its derived RNG stream)
+// where the checkpointed run left off.
+func (t *LPTrainer) SetEpoch(e int) { t.epoch = e }
 
 // preparedLP is a mini batch after the sampling stage (Fig. 2 steps 1-3).
 type preparedLP struct {
@@ -85,17 +93,24 @@ type preparedLP struct {
 	err          error
 }
 
-// TrainEpoch runs one epoch and returns its statistics.
-func (t *LPTrainer) TrainEpoch() (EpochStats, error) {
-	t.epoch++
-	stats := EpochStats{Epoch: t.epoch}
+// TrainEpoch runs one epoch and returns its statistics, checking ctx
+// between visits and batches for clean cancellation. The epoch counter
+// only advances when the epoch completes: a canceled or failed epoch is
+// retried from the same (seed, epoch)-derived RNG stream on the next call.
+func (t *LPTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
+	epoch := t.epoch + 1
+	stats := EpochStats{Epoch: epoch}
+	if err := ctxErr(ctx); err != nil {
+		return stats, err
+	}
 	var ioStart storage.StatsSnapshot
 	if t.Src.Disk != nil {
 		ioStart = t.Src.Disk.Stats().Snapshot()
 	}
 	start := time.Now()
 
-	plan := t.Pol.NewEpochPlan(t.rng)
+	rng := epochRNG(t.Cfg.Seed, epoch)
+	plan := t.Pol.NewEpochPlan(rng)
 	stats.Visits = len(plan.Visits)
 	var sampleNS, computeNS atomic.Int64
 	var lossSum float64
@@ -103,6 +118,9 @@ func (t *LPTrainer) TrainEpoch() (EpochStats, error) {
 	var mrrW float64
 
 	for vi := range plan.Visits {
+		if err := ctxErr(ctx); err != nil {
+			return stats, err
+		}
 		visit := &plan.Visits[vi]
 		memEdges, err := t.Src.loadVisit(visit)
 		if err != nil {
@@ -112,13 +130,13 @@ func (t *LPTrainer) TrainEpoch() (EpochStats, error) {
 			t.Src.Disk.Prefetch(plan.Visits[vi+1].Mem)
 		}
 		adj := graph.BuildAdjacency(t.Src.NumNodes, memEdges)
-		xEdges, err := t.Src.visitEdges(visit, t.rng)
+		xEdges, err := t.Src.visitEdges(visit, rng)
 		if err != nil {
 			return stats, err
 		}
 		pool := t.Src.residentNodePool(visit.Mem)
 
-		out := t.runVisit(adj, pool, xEdges, &sampleNS, &computeNS)
+		out := t.runVisit(ctx, rng, adj, pool, xEdges, &sampleNS, &computeNS)
 		if out.err != nil {
 			return stats, out.err
 		}
@@ -143,6 +161,7 @@ func (t *LPTrainer) TrainEpoch() (EpochStats, error) {
 	if t.Src.Disk != nil {
 		stats.IO = t.Src.Disk.Stats().Snapshot().Sub(ioStart)
 	}
+	t.epoch = epoch
 	return stats, nil
 }
 
@@ -158,12 +177,20 @@ type visitResult struct {
 }
 
 // runVisit trains on the visit's examples with a sampling worker pool
-// feeding a single compute stage through a bounded queue.
-func (t *LPTrainer) runVisit(adj *graph.Adjacency, pool []int32, xEdges []graph.Edge, sampleNS, computeNS *atomic.Int64) visitResult {
+// feeding a single compute stage through a bounded queue. With a single
+// worker the pipeline is skipped entirely: sampling and compute alternate
+// synchronously, which removes the bounded-staleness race between batch
+// k's representation write-back and batch k+1's gather and makes training
+// bit-reproducible (checkpoint resume then continues the exact
+// trajectory).
+func (t *LPTrainer) runVisit(ctx context.Context, rng *rand.Rand, adj *graph.Adjacency, pool []int32, xEdges []graph.Edge, sampleNS, computeNS *atomic.Int64) visitResult {
 	var res visitResult
 	nBatches := (len(xEdges) + t.Cfg.BatchSize - 1) / t.Cfg.BatchSize
 	if nBatches == 0 {
 		return res
+	}
+	if t.Cfg.Workers <= 1 {
+		return t.runVisitSync(ctx, rng, adj, pool, xEdges, sampleNS, computeNS)
 	}
 	jobs := make(chan []graph.Edge, nBatches)
 	for b := 0; b < nBatches; b++ {
@@ -177,10 +204,10 @@ func (t *LPTrainer) runVisit(adj *graph.Adjacency, pool []int32, xEdges []graph.
 	var wg sync.WaitGroup
 	for w := 0; w < t.Cfg.Workers; w++ {
 		wg.Add(1)
-		seed := t.rng.Int63()
+		seed := rng.Int63()
 		go func(seed int64) {
 			defer wg.Done()
-			t.sampleWorker(adj, pool, seed, jobs, prepared, sampleNS)
+			t.sampleWorker(ctx, adj, pool, seed, jobs, prepared, sampleNS)
 		}(seed)
 	}
 	go func() {
@@ -189,6 +216,12 @@ func (t *LPTrainer) runVisit(adj *graph.Adjacency, pool []int32, xEdges []graph.
 	}()
 
 	for pb := range prepared {
+		if err := ctxErr(ctx); err != nil {
+			if res.err == nil {
+				res.err = err
+			}
+			continue // drain so the workers can exit
+		}
 		if pb.err != nil {
 			if res.err == nil {
 				res.err = pb.err
@@ -215,55 +248,112 @@ func (t *LPTrainer) runVisit(adj *graph.Adjacency, pool []int32, xEdges []graph.
 	return res
 }
 
-// sampleWorker is the CPU sampling stage: negatives, multi-hop sampling,
-// and base-representation gathering (Fig. 2 steps 1-3).
-func (t *LPTrainer) sampleWorker(adj *graph.Adjacency, pool []int32, seed int64, jobs <-chan []graph.Edge, out chan<- *preparedLP, sampleNS *atomic.Int64) {
-	var smp *sampler.Sampler
-	var lsmp *sampler.LayeredSampler
+// runVisitSync is the single-worker path: sampling and compute alternate
+// in one goroutine, batch by batch, with no pipeline staleness.
+func (t *LPTrainer) runVisitSync(ctx context.Context, rng *rand.Rand, adj *graph.Adjacency, pool []int32, xEdges []graph.Edge, sampleNS, computeNS *atomic.Int64) visitResult {
+	var res visitResult
+	b := t.newBatcher(adj, pool, rng.Int63())
+	for lo := 0; lo < len(xEdges); lo += t.Cfg.BatchSize {
+		if err := ctxErr(ctx); err != nil {
+			res.err = err
+			return res
+		}
+		hi := min(lo+t.Cfg.BatchSize, len(xEdges))
+		pb := b.prepare(xEdges[lo:hi])
+		sampleNS.Add(pb.sampleNS)
+		if pb.err != nil {
+			res.err = pb.err
+			return res
+		}
+		c0 := time.Now()
+		loss, batchMRR, err := t.computeBatch(pb)
+		computeNS.Add(time.Since(c0).Nanoseconds())
+		if err != nil {
+			res.err = err
+			return res
+		}
+		res.lossSum += loss
+		res.mrrSum += batchMRR * float64(pb.n)
+		res.mrrWeight += float64(pb.n)
+		res.batches++
+		res.examples += pb.n
+		res.nodes += pb.nodesSampled
+		res.edges += pb.edgesSampled
+	}
+	return res
+}
+
+// lpBatcher runs the CPU sampling stage (Fig. 2 steps 1-3) over one
+// visit's adjacency and negative pool.
+type lpBatcher struct {
+	t    *LPTrainer
+	smp  *sampler.Sampler
+	lsmp *sampler.LayeredSampler
+	neg  *sampler.NegativeSampler
+}
+
+func (t *LPTrainer) newBatcher(adj *graph.Adjacency, pool []int32, seed int64) *lpBatcher {
+	b := &lpBatcher{t: t}
 	if t.Cfg.Encoder != nil {
 		if t.Cfg.Mode == ModeBaseline {
-			lsmp = sampler.NewLayered(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
+			b.lsmp = sampler.NewLayered(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
 		} else {
-			smp = sampler.New(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
+			b.smp = sampler.New(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
 		}
 	}
-	neg := sampler.NewNegativePool(pool, seed+1)
+	b.neg = sampler.NewNegativePool(pool, seed+1)
+	return b
+}
 
+// prepare samples one mini batch: negatives, multi-hop sampling, and
+// base-representation gathering.
+func (b *lpBatcher) prepare(edges []graph.Edge) *preparedLP {
+	t := b.t
+	s0 := time.Now()
+	pb := &preparedLP{n: len(edges)}
+	srcs := make([]int32, len(edges))
+	dsts := make([]int32, len(edges))
+	pb.rels = make([]int32, len(edges))
+	for i, e := range edges {
+		srcs[i], dsts[i], pb.rels[i] = e.Src, e.Dst, e.Rel
+	}
+	negs := b.neg.Sample(nil, t.Cfg.Negatives)
+	unique, idx := uniqueIndex(srcs, dsts, negs)
+	pb.srcIdx, pb.dstIdx, pb.negIdx = idx[0], idx[1], idx[2]
+
+	switch {
+	case b.smp != nil:
+		d := b.smp.Sample(unique)
+		pb.d = d
+		pb.ids = append([]int32(nil), d.NodeIDs...)
+		pb.nodesSampled = int64(len(d.NodeIDs))
+		pb.edgesSampled = int64(len(d.Nbrs))
+	case b.lsmp != nil:
+		ls := b.lsmp.Sample(unique)
+		pb.ls = ls
+		pb.ids = ls.Blocks[0].SrcNodes
+		pb.nodesSampled = int64(ls.NumNodesSampled())
+		pb.edgesSampled = int64(ls.NumEdgesSampled())
+	default:
+		pb.ids = unique
+		pb.nodesSampled = int64(len(unique))
+	}
+	pb.h0 = tensor.New(len(pb.ids), t.Cfg.Decoder.Dim())
+	if err := t.Src.Nodes.Gather(pb.ids, pb.h0); err != nil {
+		pb.err = err
+	}
+	pb.sampleNS = time.Since(s0).Nanoseconds()
+	return pb
+}
+
+// sampleWorker feeds the pipelined path from the shared job queue.
+func (t *LPTrainer) sampleWorker(ctx context.Context, adj *graph.Adjacency, pool []int32, seed int64, jobs <-chan []graph.Edge, out chan<- *preparedLP, sampleNS *atomic.Int64) {
+	b := t.newBatcher(adj, pool, seed)
 	for edges := range jobs {
-		s0 := time.Now()
-		pb := &preparedLP{n: len(edges)}
-		srcs := make([]int32, len(edges))
-		dsts := make([]int32, len(edges))
-		pb.rels = make([]int32, len(edges))
-		for i, e := range edges {
-			srcs[i], dsts[i], pb.rels[i] = e.Src, e.Dst, e.Rel
+		if ctxErr(ctx) != nil {
+			continue // canceled: drain the remaining jobs without sampling
 		}
-		negs := neg.Sample(nil, t.Cfg.Negatives)
-		unique, idx := uniqueIndex(srcs, dsts, negs)
-		pb.srcIdx, pb.dstIdx, pb.negIdx = idx[0], idx[1], idx[2]
-
-		switch {
-		case smp != nil:
-			d := smp.Sample(unique)
-			pb.d = d
-			pb.ids = append([]int32(nil), d.NodeIDs...)
-			pb.nodesSampled = int64(len(d.NodeIDs))
-			pb.edgesSampled = int64(len(d.Nbrs))
-		case lsmp != nil:
-			ls := lsmp.Sample(unique)
-			pb.ls = ls
-			pb.ids = ls.Blocks[0].SrcNodes
-			pb.nodesSampled = int64(ls.NumNodesSampled())
-			pb.edgesSampled = int64(ls.NumEdgesSampled())
-		default:
-			pb.ids = unique
-			pb.nodesSampled = int64(len(unique))
-		}
-		pb.h0 = tensor.New(len(pb.ids), t.Cfg.Decoder.Dim())
-		if err := t.Src.Nodes.Gather(pb.ids, pb.h0); err != nil {
-			pb.err = err
-		}
-		pb.sampleNS = time.Since(s0).Nanoseconds()
+		pb := b.prepare(edges)
 		sampleNS.Add(pb.sampleNS)
 		out <- pb
 	}

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -46,7 +47,6 @@ type NCTrainer struct {
 	Labels     []int32
 	TrainNodes []int32
 
-	rng   *rand.Rand
 	epoch int
 }
 
@@ -62,9 +62,16 @@ func NewNC(cfg NCConfig, src *Source, pol policy.Policy, labels []int32, trainNo
 		cfg.Workers = 1
 		cfg.PipelineDepth = 1
 	}
-	return &NCTrainer{Cfg: cfg, Src: src, Pol: pol, Labels: labels, TrainNodes: trainNodes,
-		rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &NCTrainer{Cfg: cfg, Src: src, Pol: pol, Labels: labels, TrainNodes: trainNodes}
 }
+
+// Epoch returns the number of completed epochs.
+func (t *NCTrainer) Epoch() int { return t.epoch }
+
+// SetEpoch overrides the epoch counter, so a trainer restored from a
+// checkpoint continues the epoch sequence (and its derived RNG stream)
+// where the checkpointed run left off.
+func (t *NCTrainer) SetEpoch(e int) { t.epoch = e }
 
 type preparedNC struct {
 	d      *sampler.DENSE
@@ -80,20 +87,27 @@ type preparedNC struct {
 	err          error
 }
 
-// TrainEpoch walks the policy plan once. Under the §5.2 NodeCache policy
-// training nodes appear in the first visit's partitions; under the
-// fallback rotation, each training node is consumed at the first visit
-// where its partition is resident.
-func (t *NCTrainer) TrainEpoch() (EpochStats, error) {
-	t.epoch++
-	stats := EpochStats{Epoch: t.epoch}
+// TrainEpoch walks the policy plan once, checking ctx between visits and
+// batches for clean cancellation. The epoch counter only advances when
+// the epoch completes: a canceled or failed epoch is retried from the
+// same (seed, epoch)-derived RNG stream on the next call. Under the §5.2
+// NodeCache policy training nodes appear in the first visit's partitions;
+// under the fallback rotation, each training node is consumed at the
+// first visit where its partition is resident.
+func (t *NCTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
+	epoch := t.epoch + 1
+	stats := EpochStats{Epoch: epoch}
+	if err := ctxErr(ctx); err != nil {
+		return stats, err
+	}
 	var ioStart storage.StatsSnapshot
 	if t.Src.Disk != nil {
 		ioStart = t.Src.Disk.Stats().Snapshot()
 	}
 	start := time.Now()
 
-	plan := t.Pol.NewEpochPlan(t.rng)
+	rng := epochRNG(t.Cfg.Seed, epoch)
+	plan := t.Pol.NewEpochPlan(rng)
 	stats.Visits = len(plan.Visits)
 	var sampleNS, computeNS atomic.Int64
 	var lossSum float64
@@ -101,6 +115,9 @@ func (t *NCTrainer) TrainEpoch() (EpochStats, error) {
 
 	donePart := make([]bool, t.Src.Part.NumPartitions)
 	for vi := range plan.Visits {
+		if err := ctxErr(ctx); err != nil {
+			return stats, err
+		}
 		visit := &plan.Visits[vi]
 		memEdges, err := t.Src.loadVisit(visit)
 		if err != nil {
@@ -127,9 +144,9 @@ func (t *NCTrainer) TrainEpoch() (EpochStats, error) {
 		for _, p := range visit.Mem {
 			donePart[p] = true
 		}
-		t.rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+		rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
 
-		out := t.runVisit(adj, targets, &sampleNS, &computeNS, &acc)
+		out := t.runVisit(ctx, rng, adj, targets, &sampleNS, &computeNS, &acc)
 		if out.err != nil {
 			return stats, out.err
 		}
@@ -150,14 +167,22 @@ func (t *NCTrainer) TrainEpoch() (EpochStats, error) {
 	if t.Src.Disk != nil {
 		stats.IO = t.Src.Disk.Stats().Snapshot().Sub(ioStart)
 	}
+	t.epoch = epoch
 	return stats, nil
 }
 
-func (t *NCTrainer) runVisit(adj *graph.Adjacency, targets []int32, sampleNS, computeNS *atomic.Int64, acc *eval.MeanAccumulator) visitResult {
+// runVisit trains on the visit's targets with a sampling worker pool
+// feeding the compute stage. With a single worker the pipeline is skipped:
+// sampling and compute alternate synchronously in one goroutine, making
+// the epoch bit-reproducible.
+func (t *NCTrainer) runVisit(ctx context.Context, rng *rand.Rand, adj *graph.Adjacency, targets []int32, sampleNS, computeNS *atomic.Int64, acc *eval.MeanAccumulator) visitResult {
 	var res visitResult
 	nBatches := (len(targets) + t.Cfg.BatchSize - 1) / t.Cfg.BatchSize
 	if nBatches == 0 {
 		return res
+	}
+	if t.Cfg.Workers <= 1 {
+		return t.runVisitSync(ctx, rng, adj, targets, sampleNS, computeNS, acc)
 	}
 	jobs := make(chan []int32, nBatches)
 	for b := 0; b < nBatches; b++ {
@@ -171,10 +196,10 @@ func (t *NCTrainer) runVisit(adj *graph.Adjacency, targets []int32, sampleNS, co
 	var wg sync.WaitGroup
 	for w := 0; w < t.Cfg.Workers; w++ {
 		wg.Add(1)
-		seed := t.rng.Int63()
+		seed := rng.Int63()
 		go func(seed int64) {
 			defer wg.Done()
-			t.sampleWorker(adj, seed, jobs, prepared, sampleNS)
+			t.sampleWorker(ctx, adj, seed, jobs, prepared, sampleNS)
 		}(seed)
 	}
 	go func() {
@@ -183,6 +208,12 @@ func (t *NCTrainer) runVisit(adj *graph.Adjacency, targets []int32, sampleNS, co
 	}()
 
 	for pb := range prepared {
+		if err := ctxErr(ctx); err != nil {
+			if res.err == nil {
+				res.err = err
+			}
+			continue // drain so the workers can exit
+		}
 		if pb.err != nil {
 			if res.err == nil {
 				res.err = pb.err
@@ -208,39 +239,96 @@ func (t *NCTrainer) runVisit(adj *graph.Adjacency, targets []int32, sampleNS, co
 	return res
 }
 
-func (t *NCTrainer) sampleWorker(adj *graph.Adjacency, seed int64, jobs <-chan []int32, out chan<- *preparedNC, sampleNS *atomic.Int64) {
-	var smp *sampler.Sampler
-	var lsmp *sampler.LayeredSampler
-	if t.Cfg.Mode == ModeBaseline {
-		lsmp = sampler.NewLayered(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
-	} else {
-		smp = sampler.New(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
+// runVisitSync is the single-worker path: sampling and compute alternate
+// in one goroutine, batch by batch.
+func (t *NCTrainer) runVisitSync(ctx context.Context, rng *rand.Rand, adj *graph.Adjacency, targets []int32, sampleNS, computeNS *atomic.Int64, acc *eval.MeanAccumulator) visitResult {
+	var res visitResult
+	b := t.newBatcher(adj, rng.Int63())
+	for lo := 0; lo < len(targets); lo += t.Cfg.BatchSize {
+		if err := ctxErr(ctx); err != nil {
+			res.err = err
+			return res
+		}
+		hi := min(lo+t.Cfg.BatchSize, len(targets))
+		pb := b.prepare(targets[lo:hi])
+		sampleNS.Add(pb.sampleNS)
+		if pb.err != nil {
+			res.err = pb.err
+			return res
+		}
+		c0 := time.Now()
+		loss, batchAcc, err := t.computeBatch(pb)
+		computeNS.Add(time.Since(c0).Nanoseconds())
+		if err != nil {
+			res.err = err
+			return res
+		}
+		res.lossSum += loss
+		acc.Add(batchAcc, float64(pb.n))
+		res.batches++
+		res.examples += pb.n
+		res.nodes += pb.nodesSampled
+		res.edges += pb.edgesSampled
 	}
+	return res
+}
+
+// ncBatcher runs the CPU sampling stage over one visit's adjacency.
+type ncBatcher struct {
+	t    *NCTrainer
+	smp  *sampler.Sampler
+	lsmp *sampler.LayeredSampler
+}
+
+func (t *NCTrainer) newBatcher(adj *graph.Adjacency, seed int64) *ncBatcher {
+	b := &ncBatcher{t: t}
+	if t.Cfg.Mode == ModeBaseline {
+		b.lsmp = sampler.NewLayered(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
+	} else {
+		b.smp = sampler.New(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
+	}
+	return b
+}
+
+// prepare samples one mini batch: multi-hop sampling plus feature
+// gathering.
+func (b *ncBatcher) prepare(targets []int32) *preparedNC {
+	t := b.t
+	s0 := time.Now()
+	pb := &preparedNC{n: len(targets)}
+	pb.labels = make([]int32, len(targets))
+	for i, v := range targets {
+		pb.labels[i] = t.Labels[v]
+	}
+	if b.smp != nil {
+		d := b.smp.Sample(targets)
+		pb.d = d
+		pb.ids = append([]int32(nil), d.NodeIDs...)
+		pb.nodesSampled = int64(len(d.NodeIDs))
+		pb.edgesSampled = int64(len(d.Nbrs))
+	} else {
+		ls := b.lsmp.Sample(targets)
+		pb.ls = ls
+		pb.ids = ls.Blocks[0].SrcNodes
+		pb.nodesSampled = int64(ls.NumNodesSampled())
+		pb.edgesSampled = int64(ls.NumEdgesSampled())
+	}
+	pb.h0 = tensor.New(len(pb.ids), t.Src.Nodes.Dim())
+	if err := t.Src.Nodes.Gather(pb.ids, pb.h0); err != nil {
+		pb.err = err
+	}
+	pb.sampleNS = time.Since(s0).Nanoseconds()
+	return pb
+}
+
+// sampleWorker feeds the pipelined path from the shared job queue.
+func (t *NCTrainer) sampleWorker(ctx context.Context, adj *graph.Adjacency, seed int64, jobs <-chan []int32, out chan<- *preparedNC, sampleNS *atomic.Int64) {
+	b := t.newBatcher(adj, seed)
 	for targets := range jobs {
-		s0 := time.Now()
-		pb := &preparedNC{n: len(targets)}
-		pb.labels = make([]int32, len(targets))
-		for i, v := range targets {
-			pb.labels[i] = t.Labels[v]
+		if ctxErr(ctx) != nil {
+			continue // canceled: drain the remaining jobs without sampling
 		}
-		if smp != nil {
-			d := smp.Sample(targets)
-			pb.d = d
-			pb.ids = append([]int32(nil), d.NodeIDs...)
-			pb.nodesSampled = int64(len(d.NodeIDs))
-			pb.edgesSampled = int64(len(d.Nbrs))
-		} else {
-			ls := lsmp.Sample(targets)
-			pb.ls = ls
-			pb.ids = ls.Blocks[0].SrcNodes
-			pb.nodesSampled = int64(ls.NumNodesSampled())
-			pb.edgesSampled = int64(ls.NumEdgesSampled())
-		}
-		pb.h0 = tensor.New(len(pb.ids), t.Src.Nodes.Dim())
-		if err := t.Src.Nodes.Gather(pb.ids, pb.h0); err != nil {
-			pb.err = err
-		}
-		pb.sampleNS = time.Since(s0).Nanoseconds()
+		pb := b.prepare(targets)
 		sampleNS.Add(pb.sampleNS)
 		out <- pb
 	}

@@ -6,6 +6,7 @@
 package train
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -15,6 +16,21 @@ import (
 	"repro/internal/policy"
 	"repro/internal/storage"
 )
+
+// epochRNG derives the RNG driving one epoch from (seed, epoch) alone, so
+// an epoch's plan, shuffles and worker seeds are reproducible from the
+// checkpointed seed and epoch counter with no serialized generator state.
+func epochRNG(seed int64, epoch int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(epoch)*0x9E3779B9))
+}
+
+// ctxErr reports the context's error; a nil context never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // Mode selects the execution strategy.
 type Mode int

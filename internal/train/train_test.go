@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestNCInMemoryLearns(t *testing.T) {
 	tr, g := ncFixture(t, ModeDense, 1)
 	var last EpochStats
 	for e := 0; e < 4; e++ {
-		st, err := tr.TrainEpoch()
+		st, err := tr.TrainEpoch(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func TestNCBaselineModeLearns(t *testing.T) {
 	tr, _ := ncFixture(t, ModeBaseline, 2)
 	var last EpochStats
 	for e := 0; e < 3; e++ {
-		st, err := tr.TrainEpoch()
+		st, err := tr.TrainEpoch(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func TestNCDiskMatchesMemoryQuality(t *testing.T) {
 	tr := NewNC(ncfg, src, pol, g.Labels, g.TrainNodes)
 	var last EpochStats
 	for e := 0; e < 8; e++ {
-		st, err := tr.TrainEpoch()
+		st, err := tr.TrainEpoch(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,13 +172,13 @@ func lpFixture(t *testing.T, pol policy.Policy, disk bool, p, c int, seed int64)
 func TestLPInMemoryLearns(t *testing.T) {
 	tr, _, done := lpFixture(t, policy.InMemory{P: 4}, false, 4, 4, 11)
 	defer done()
-	first, err := tr.TrainEpoch()
+	first, err := tr.TrainEpoch(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	var last EpochStats
 	for e := 0; e < 4; e++ {
-		last, err = tr.TrainEpoch()
+		last, err = tr.TrainEpoch(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -196,7 +197,7 @@ func TestLPDiskCometRunsAndLearns(t *testing.T) {
 	defer done()
 	var last EpochStats
 	for e := 0; e < 4; e++ {
-		st, err := tr.TrainEpoch()
+		st, err := tr.TrainEpoch(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -220,7 +221,7 @@ func TestLPDiskBetaRuns(t *testing.T) {
 	pol := policy.Beta{P: 8, C: 4}
 	tr, g, done := lpFixture(t, pol, true, 8, 4, 17)
 	defer done()
-	st, err := tr.TrainEpoch()
+	st, err := tr.TrainEpoch(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestLPDecoderOnlyDistMult(t *testing.T) {
 	tr := NewLP(cfg, src, policy.InMemory{P: 4})
 	var last EpochStats
 	for e := 0; e < 5; e++ {
-		st, err := tr.TrainEpoch()
+		st, err := tr.TrainEpoch(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

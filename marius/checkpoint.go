@@ -1,0 +1,119 @@
+package marius
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpoint is the serialized session state: everything needed to resume
+// training (or serve the trained model) on a freshly built session over an
+// identically generated graph and identical options.
+type checkpoint struct {
+	Version int
+	Task    string
+	Epoch   int
+	Seed    int64
+
+	Params []nn.ParamState
+
+	// TableRows/TableCols always record the store shape for validation;
+	// Table/OptState carry the data only for learnable representations
+	// (fixed feature tables are reproducible from the graph).
+	TableRows, TableCols int
+	Table                []float32
+	OptState             []float32
+}
+
+// Save writes the session's full training state — dense parameters with
+// optimizer moments, the learnable node representation table with its
+// sparse-AdaGrad accumulators, the RNG seed and the epoch counter — to
+// path, atomically (write-to-temp + rename).
+func (s *Session) Save(path string) error {
+	src := s.task.Source()
+	cp := checkpoint{
+		Version: checkpointVersion,
+		Task:    s.task.Name(),
+		Epoch:   s.task.Epoch(),
+		Seed:    s.opts.Seed,
+		Params:  s.task.Params().State(),
+
+		TableRows: src.Nodes.NumNodes(), TableCols: src.Nodes.Dim(),
+	}
+	if s.task.LearnableTable() {
+		table, state, err := src.Nodes.Snapshot()
+		if err != nil {
+			return err
+		}
+		cp.Table, cp.OptState = table.Data, state
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(&cp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("marius: encode checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Restore loads a checkpoint saved by Save into this session, which must
+// run the same task with the same model shape and seed over an identically
+// generated graph (construction is deterministic given the seed, so
+// rebuilding with the same generator and options reproduces the same
+// layout). Training continues from the checkpointed epoch; with
+// WithWorkers(1) it follows the exact trajectory the saved run would have
+// taken, while the default multi-worker pipeline is nondeterministic by
+// design.
+func (s *Session) Restore(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var cp checkpoint
+	if err := gob.NewDecoder(f).Decode(&cp); err != nil {
+		return fmt.Errorf("marius: decode checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("%w: checkpoint version %d, want %d", ErrTaskMismatch, cp.Version, checkpointVersion)
+	}
+	if cp.Task != s.task.Name() {
+		return fmt.Errorf("%w: checkpoint task %q, session task %q", ErrTaskMismatch, cp.Task, s.task.Name())
+	}
+	if cp.Seed != s.opts.Seed {
+		return fmt.Errorf("%w: checkpoint seed %d, session seed %d", ErrTaskMismatch, cp.Seed, s.opts.Seed)
+	}
+	src := s.task.Source()
+	if cp.TableRows != src.Nodes.NumNodes() || cp.TableCols != src.Nodes.Dim() {
+		return fmt.Errorf("%w: checkpoint table %dx%d, session store %dx%d", ErrTaskMismatch,
+			cp.TableRows, cp.TableCols, src.Nodes.NumNodes(), src.Nodes.Dim())
+	}
+	if s.task.LearnableTable() && cp.Table == nil {
+		return fmt.Errorf("%w: checkpoint carries no representation table", ErrTaskMismatch)
+	}
+	if err := s.task.Params().LoadState(cp.Params); err != nil {
+		return fmt.Errorf("%w: %v", ErrTaskMismatch, err)
+	}
+	if cp.Table != nil {
+		table := tensor.New(cp.TableRows, cp.TableCols)
+		copy(table.Data, cp.Table)
+		if err := src.Nodes.Restore(table, cp.OptState); err != nil {
+			return err
+		}
+	}
+	s.task.SetEpoch(cp.Epoch)
+	return nil
+}

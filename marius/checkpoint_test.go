@@ -1,0 +1,168 @@
+package marius_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/marius"
+)
+
+// lpSession builds an LP session over a freshly generated (identical)
+// graph; workers=1 keeps the batch order deterministic so resumed runs
+// reproduce the original trajectory exactly.
+func lpSession(t *testing.T, disk bool, dir string) *marius.Session {
+	t.Helper()
+	g := gen.KG(gen.KGConfig{
+		NumEntities: 800, NumRelations: 8, NumEdges: 10000,
+		ZipfS: 1.2, ValidFrac: 0.05, TestFrac: 0.05, Seed: 11,
+	})
+	opts := []marius.Option{
+		marius.WithModel(marius.GraphSage), marius.WithFanouts(8),
+		marius.WithDim(16), marius.WithBatchSize(512), marius.WithNegatives(64),
+		marius.WithWorkers(1), marius.WithSeed(11),
+	}
+	if disk {
+		opts = append(opts, marius.WithDisk(dir, marius.Partitions(8), marius.Capacity(4), marius.LogicalPartitions(4)))
+	}
+	sess, err := marius.New(marius.LinkPrediction(), g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func ncSession(t *testing.T) *marius.Session {
+	t.Helper()
+	g := gen.SBM(*smallNC(21))
+	sess, err := marius.New(marius.NodeClassification(), g,
+		marius.WithModel(marius.GraphSage), marius.WithFanouts(8, 8),
+		marius.WithDim(16), marius.WithBatchSize(256),
+		marius.WithWorkers(1), marius.WithSeed(21),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// The headline checkpoint property: save after training, restore into a
+// freshly built session over an identically generated graph, and the
+// evaluation metrics are bit-identical.
+func TestCheckpointRoundTripIdenticalMetrics(t *testing.T) {
+	for _, disk := range []bool{false, true} {
+		path := filepath.Join(t.TempDir(), "lp.ckpt")
+
+		orig := lpSession(t, disk, t.TempDir())
+		if _, err := orig.Run(context.Background(), marius.Epochs(2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := orig.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		want, err := orig.Evaluate(marius.ValidSplit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig.Close()
+
+		restored := lpSession(t, disk, t.TempDir())
+		defer restored.Close()
+		if err := restored.Restore(path); err != nil {
+			t.Fatal(err)
+		}
+		if restored.Task().Epoch() != 2 {
+			t.Fatalf("restored epoch %d, want 2", restored.Task().Epoch())
+		}
+		got, err := restored.Evaluate(marius.ValidSplit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Value != want.Value {
+			t.Fatalf("disk=%v: restored MRR %.6f != saved MRR %.6f", disk, got.Value, want.Value)
+		}
+	}
+}
+
+// Resuming training from a checkpoint must continue the exact trajectory:
+// 2 epochs + save + restore + 2 epochs == 4 straight epochs.
+func TestCheckpointResumeContinuesTrajectory(t *testing.T) {
+	straight := lpSession(t, false, "")
+	if _, err := straight.Run(context.Background(), marius.Epochs(4)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := straight.Evaluate(marius.ValidSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight.Close()
+
+	path := filepath.Join(t.TempDir(), "resume.ckpt")
+	first := lpSession(t, false, "")
+	if _, err := first.Run(context.Background(), marius.Epochs(2), marius.CheckpointTo(path, 2)); err != nil {
+		t.Fatal(err)
+	}
+	first.Close()
+
+	second := lpSession(t, false, "")
+	defer second.Close()
+	if err := second.Restore(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := second.Run(context.Background(), marius.Epochs(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := second.Evaluate(marius.ValidSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value {
+		t.Fatalf("resumed MRR %.6f != straight-through MRR %.6f", got.Value, want.Value)
+	}
+}
+
+func TestCheckpointNCRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nc.ckpt")
+	orig := ncSession(t)
+	if _, err := orig.Run(context.Background(), marius.Epochs(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	want, err := orig.Evaluate(marius.TestSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Close()
+
+	restored := ncSession(t)
+	defer restored.Close()
+	if err := restored.Restore(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Evaluate(marius.TestSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value {
+		t.Fatalf("restored accuracy %.6f != saved accuracy %.6f", got.Value, want.Value)
+	}
+}
+
+func TestCheckpointTaskMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lp.ckpt")
+	lp := lpSession(t, false, "")
+	if err := lp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	lp.Close()
+
+	nc := ncSession(t)
+	defer nc.Close()
+	if err := nc.Restore(path); !errors.Is(err, marius.ErrTaskMismatch) {
+		t.Fatalf("err = %v, want ErrTaskMismatch", err)
+	}
+}

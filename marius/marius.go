@@ -1,0 +1,190 @@
+// Package marius is the public MariusGNN API: a task-polymorphic Session
+// over the storage layer (partitioned node representations, edge buckets,
+// partition buffer), the processing layer (DENSE sampling, pipelined
+// mini-batch training) and the replacement policies (COMET, BETA,
+// NodeCache).
+//
+// A Session is built from a Task (node classification or link prediction),
+// a graph, and functional options; training runs through a context-aware
+// run loop with epoch callbacks, early stopping and checkpointing:
+//
+//	g := gen.SBM(gen.DefaultSBM(100_000, 1))
+//	sess, err := marius.New(marius.NodeClassification(), g,
+//		marius.WithModel(marius.GraphSage),
+//		marius.WithFanouts(15, 10, 5),
+//		marius.WithSeed(1),
+//	)
+//	if err != nil { ... }
+//	defer sess.Close()
+//
+//	res, err := sess.Run(ctx,
+//		marius.Epochs(10),
+//		marius.EarlyStopping(3, 0.001),
+//		marius.OnEpoch(func(p marius.Progress) error {
+//			fmt.Println(p.Stats)
+//			return nil
+//		}),
+//	)
+//	test, err := sess.Evaluate(marius.TestSplit)
+//	fmt.Printf("%s %s = %.4f\n", test.Split, test.Metric, test.Value)
+//
+// Disk-based out-of-core training, policies and the §6 auto-tuner are
+// selected the same way:
+//
+//	sess, err := marius.New(marius.LinkPrediction(), g,
+//		marius.WithDisk(dir, marius.Partitions(16), marius.Capacity(4)),
+//		marius.WithPolicy(marius.COMET),
+//		marius.WithAutotune(1<<30, 512<<10),
+//	)
+//
+// Long runs survive restarts through Save/Restore (or the CheckpointTo run
+// option): a checkpoint captures the dense parameters with optimizer
+// moments, the learnable node representation table with its sparse-AdaGrad
+// accumulators, the RNG seed and the epoch counter. A restored session
+// evaluates identically to the saved one; with WithWorkers(1) (synchronous
+// execution) continued training also reproduces the exact trajectory,
+// while the default multi-worker pipeline trades that determinism for
+// throughput (bounded staleness, as in the paper).
+package marius
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/policy"
+	"repro/internal/train"
+)
+
+// Task name constants.
+const (
+	TaskNC = "nc"
+	TaskLP = "lp"
+)
+
+// Split identifies an evaluation split.
+type Split int
+
+const (
+	// ValidSplit is the validation split.
+	ValidSplit Split = iota
+	// TestSplit is the held-out test split.
+	TestSplit
+)
+
+// String implements fmt.Stringer.
+func (s Split) String() string {
+	if s == TestSplit {
+		return "test"
+	}
+	return "valid"
+}
+
+// EvalResult is a structured evaluation outcome: which task produced it,
+// which metric it is, on which split, and its value.
+type EvalResult struct {
+	Task   string // "nc" or "lp"
+	Metric string // "accuracy" or "MRR"
+	Split  Split
+	Value  float64
+}
+
+func (r EvalResult) String() string {
+	return fmt.Sprintf("%s %s %s=%.4f", r.Task, r.Split, r.Metric, r.Value)
+}
+
+// Task is one trainable workload over a graph. NodeClassification and
+// LinkPrediction return the built-in implementations; a Session drives
+// whichever it is given, with no task-specific branching.
+type Task interface {
+	// Name returns the short task name ("nc", "lp").
+	Name() string
+	// Prepare validates g against the task's requirements, relabels it for
+	// partitioned training, and builds the trainer. Called once by New.
+	Prepare(g *graph.Graph, o *Options) error
+	// TrainEpoch runs one training epoch, honoring ctx cancellation
+	// between visits and mini batches.
+	TrainEpoch(ctx context.Context) (train.EpochStats, error)
+	// Evaluate computes the task metric on a split.
+	Evaluate(split Split) (EvalResult, error)
+	// Epoch returns the number of completed epochs; SetEpoch overrides it
+	// when restoring a checkpoint.
+	Epoch() int
+	SetEpoch(int)
+	// Params returns the dense trainable parameters.
+	Params() *nn.ParamSet
+	// Source returns the storage-layer handles.
+	Source() *train.Source
+	// LearnableTable reports whether the node representation table is
+	// trained (link prediction) and therefore belongs in checkpoints;
+	// fixed feature tables (node classification) are reproducible from
+	// the graph and are only shape-validated on restore.
+	LearnableTable() bool
+	// SetPolicy overrides the replacement policy (policy experiments).
+	SetPolicy(policy.Policy)
+}
+
+// Session is a configured training task over a graph: the unit the run
+// loop, evaluation and checkpointing operate on.
+type Session struct {
+	graph *graph.Graph
+	task  Task
+	opts  Options
+}
+
+// New builds a Session running task over g with the given options applied
+// on top of the paper defaults. Options are validated eagerly: the first
+// invalid option or invalid combination is returned as an *OptionError
+// wrapping one of the Err... sentinels. The graph is relabeled in place
+// for partitioned training (deterministically, given the same seed).
+func New(task Task, g *graph.Graph, opts ...Option) (*Session, error) {
+	if task == nil {
+		return nil, optErr("New", ErrBadValue, "nil task")
+	}
+	if g == nil {
+		return nil, optErr("New", ErrBadValue, "nil graph")
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if err := o.resolve(task.Name()); err != nil {
+		return nil, err
+	}
+	if err := task.Prepare(g, &o); err != nil {
+		return nil, err
+	}
+	return &Session{graph: g, task: task, opts: o}, nil
+}
+
+// Graph returns the (relabeled) graph the session trains on.
+func (s *Session) Graph() *graph.Graph { return s.graph }
+
+// Task returns the session's task.
+func (s *Session) Task() Task { return s.task }
+
+// Options returns the resolved configuration.
+func (s *Session) Options() Options { return s.opts }
+
+// Params returns the dense trainable parameters.
+func (s *Session) Params() *nn.ParamSet { return s.task.Params() }
+
+// TrainEpoch runs one training epoch. Most callers should prefer Run.
+func (s *Session) TrainEpoch(ctx context.Context) (train.EpochStats, error) {
+	return s.task.TrainEpoch(ctx)
+}
+
+// Evaluate computes the task metric on a split.
+func (s *Session) Evaluate(split Split) (EvalResult, error) {
+	return s.task.Evaluate(split)
+}
+
+// SetPolicy overrides the replacement policy (used by policy-comparison
+// experiments to swap COMET/BETA on an otherwise identical session).
+func (s *Session) SetPolicy(pol policy.Policy) { s.task.SetPolicy(pol) }
+
+// Close releases the session's storage.
+func (s *Session) Close() error { return s.task.Source().Close() }

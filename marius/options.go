@@ -1,0 +1,443 @@
+package marius
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/storage"
+	"repro/internal/train"
+)
+
+// StorageMode selects where base representations live.
+type StorageMode int
+
+const (
+	// InMemory keeps the whole graph in CPU memory (M-GNN_Mem).
+	InMemory StorageMode = iota
+	// OnDisk pages partitions through a buffer (M-GNN_Disk).
+	OnDisk
+)
+
+// ModelKind selects the encoder architecture.
+type ModelKind int
+
+const (
+	// GraphSage is the mean-aggregation GraphSage GNN (paper default).
+	GraphSage ModelKind = iota
+	// GAT is the graph attention network.
+	GAT
+	// GCN is a shared-weight graph convolution.
+	GCN
+	// DistMultOnly trains decoder-only knowledge-graph embeddings with no
+	// GNN encoder (the model class supported by Marius).
+	DistMultOnly
+)
+
+// PolicyKind selects the disk replacement policy for link prediction.
+type PolicyKind int
+
+const (
+	// COMET is MariusGNN's two-level randomized policy (paper §5.1).
+	COMET PolicyKind = iota
+	// BETA is the greedy Marius policy reimplemented for comparison.
+	BETA
+)
+
+// Paper defaults (§7.3 and the training setup of §7.1), the single source
+// of truth shared by the options API, cmd/mariusgnn flag defaults, and the
+// deprecated internal/core shim.
+const (
+	DefaultDim        = 32
+	DefaultBatchSize  = 1024
+	DefaultNegatives  = 500 // LP negatives per batch, as in §7.3
+	DefaultLR         = float32(0.01)
+	DefaultEmbLR      = float32(0.1)
+	DefaultCPUBytes   = int64(1 << 30)
+	DefaultBlockBytes = int64(512 << 10)
+	DefaultWorkers    = 4
+	DefaultNCLayers   = 3 // node classification (Papers100M setting)
+	DefaultLPLayers   = 1 // link prediction
+)
+
+// DefaultLayers returns the paper-default GNN depth for a task name
+// ("nc" or "lp").
+func DefaultLayers(task string) int {
+	if task == TaskNC {
+		return DefaultNCLayers
+	}
+	return DefaultLPLayers
+}
+
+// DefaultFanouts returns the paper-default per-layer fanouts for a task,
+// ordered away from the targets: 30/20/10 for NC (padded with 10 beyond
+// three layers), 20 per layer for LP.
+func DefaultFanouts(task string, layers int) []int {
+	if task == TaskNC {
+		all := []int{30, 20, 10}
+		f := append([]int(nil), all[:min(layers, 3)]...)
+		for len(f) < layers {
+			f = append(f, 10)
+		}
+		return f
+	}
+	f := make([]int, layers)
+	for i := range f {
+		f[i] = 20
+	}
+	return f
+}
+
+// Typed option/validation errors, matchable with errors.Is through the
+// *OptionError wrapper New returns.
+var (
+	// ErrMissingDir is returned when disk storage is requested without a
+	// directory.
+	ErrMissingDir = errors.New("disk storage requires a directory")
+	// ErrBadValue is returned for non-positive sizes, depths and rates.
+	ErrBadValue = errors.New("value out of range")
+	// ErrBadBuffer is returned for partition/buffer-capacity combinations
+	// the storage layer cannot honor (e.g. capacity exceeding partitions).
+	ErrBadBuffer = errors.New("invalid partition/buffer configuration")
+	// ErrTaskGraph is returned when the graph lacks the inputs the task
+	// needs (e.g. node classification without features or labels).
+	ErrTaskGraph = errors.New("graph does not satisfy task requirements")
+	// ErrTaskMismatch is returned when a checkpoint is restored into a
+	// session running a different task or model shape.
+	ErrTaskMismatch = errors.New("checkpoint does not match session")
+)
+
+// OptionError reports which option (or validation step) rejected the
+// configuration. It unwraps to one of the sentinel errors above.
+type OptionError struct {
+	Option string
+	Err    error
+}
+
+func (e *OptionError) Error() string { return fmt.Sprintf("marius: %s: %v", e.Option, e.Err) }
+
+// Unwrap implements errors.Unwrap.
+func (e *OptionError) Unwrap() error { return e.Err }
+
+func optErr(option string, err error, format string, args ...any) *OptionError {
+	return &OptionError{Option: option, Err: fmt.Errorf("%w: "+format, append([]any{err}, args...)...)}
+}
+
+// Options is the fully-resolved session configuration produced by applying
+// functional options over the paper defaults. Task implementations read it
+// in Prepare; most callers never touch it directly.
+type Options struct {
+	Storage StorageMode
+	Model   ModelKind
+	Policy  PolicyKind
+	// PolicyImpl, when non-nil, overrides Policy with an exact policy
+	// instance (used by the policy-comparison experiments).
+	PolicyImpl policy.Policy
+
+	// Dir is the directory for disk-based storage.
+	Dir string
+
+	Dim     int
+	Layers  int   // 0 resolves to the task default
+	Fanouts []int // empty resolves to the task default
+
+	BatchSize int
+	Negatives int
+
+	LR    float32
+	EmbLR float32
+
+	// Partitions (p), BufferCapacity (c), LogicalPartitions (l); 0 lets
+	// the §6 auto-tuner pick them from CPUBytes/BlockBytes.
+	Partitions        int
+	BufferCapacity    int
+	LogicalPartitions int
+	CPUBytes          int64
+	BlockBytes        int64
+
+	Throttle *storage.Throttle
+
+	Mode    train.Mode
+	Workers int
+	Seed    int64
+}
+
+func defaultOptions() Options {
+	return Options{
+		Dim:        DefaultDim,
+		BatchSize:  DefaultBatchSize,
+		Negatives:  DefaultNegatives,
+		LR:         DefaultLR,
+		EmbLR:      DefaultEmbLR,
+		CPUBytes:   DefaultCPUBytes,
+		BlockBytes: DefaultBlockBytes,
+		Workers:    DefaultWorkers,
+	}
+}
+
+// resolve fills task-dependent defaults and cross-validates the combined
+// configuration; it runs after every option has been applied.
+func (o *Options) resolve(task string) error {
+	if o.Layers == 0 {
+		o.Layers = DefaultLayers(task)
+	}
+	if len(o.Fanouts) == 0 {
+		o.Fanouts = DefaultFanouts(task, o.Layers)
+	}
+	if len(o.Fanouts) != o.Layers {
+		return optErr("WithFanouts", ErrBadValue, "%d fanouts for %d layers", len(o.Fanouts), o.Layers)
+	}
+	if o.Storage == OnDisk && o.Dir == "" {
+		return &OptionError{Option: "WithDisk", Err: ErrMissingDir}
+	}
+	if o.Partitions < 0 || o.BufferCapacity < 0 || o.LogicalPartitions < 0 {
+		return optErr("WithDisk", ErrBadValue, "negative partition counts")
+	}
+	if o.Partitions > 0 && o.BufferCapacity > o.Partitions {
+		return optErr("WithDisk", ErrBadBuffer, "buffer capacity %d exceeds %d partitions",
+			o.BufferCapacity, o.Partitions)
+	}
+	if o.Storage == OnDisk && o.Partitions > 0 && o.BufferCapacity > 0 && o.BufferCapacity < 2 {
+		return optErr("WithDisk", ErrBadBuffer, "disk buffer must hold at least 2 partitions")
+	}
+	if o.LogicalPartitions > 0 && o.Partitions > 0 && o.Partitions%o.LogicalPartitions != 0 {
+		return optErr("WithDisk", ErrBadBuffer, "logical partitions %d must divide physical %d",
+			o.LogicalPartitions, o.Partitions)
+	}
+	return nil
+}
+
+// Option configures a Session at construction; every option validates its
+// arguments eagerly and New surfaces the first failure as an *OptionError.
+type Option func(*Options) error
+
+// WithModel selects the encoder architecture.
+func WithModel(m ModelKind) Option {
+	return func(o *Options) error {
+		if m < GraphSage || m > DistMultOnly {
+			return optErr("WithModel", ErrBadValue, "unknown model kind %d", m)
+		}
+		o.Model = m
+		return nil
+	}
+}
+
+// WithDim sets the hidden/embedding dimensionality.
+func WithDim(d int) Option {
+	return func(o *Options) error {
+		if d <= 0 {
+			return optErr("WithDim", ErrBadValue, "dim %d", d)
+		}
+		o.Dim = d
+		return nil
+	}
+}
+
+// WithLayers sets the GNN depth.
+func WithLayers(n int) Option {
+	return func(o *Options) error {
+		if n <= 0 {
+			return optErr("WithLayers", ErrBadValue, "layers %d", n)
+		}
+		o.Layers = n
+		return nil
+	}
+}
+
+// WithFanouts sets the per-layer neighbor fanouts, ordered away from the
+// targets. It implies WithLayers(len(fanouts)) unless layers were set
+// explicitly (in which case the lengths must agree).
+func WithFanouts(fanouts ...int) Option {
+	return func(o *Options) error {
+		if len(fanouts) == 0 {
+			return optErr("WithFanouts", ErrBadValue, "no fanouts")
+		}
+		for _, f := range fanouts {
+			if f <= 0 {
+				return optErr("WithFanouts", ErrBadValue, "fanout %d", f)
+			}
+		}
+		o.Fanouts = append([]int(nil), fanouts...)
+		if o.Layers == 0 {
+			o.Layers = len(fanouts)
+		}
+		return nil
+	}
+}
+
+// WithBatchSize sets the mini-batch size.
+func WithBatchSize(n int) Option {
+	return func(o *Options) error {
+		if n <= 0 {
+			return optErr("WithBatchSize", ErrBadValue, "batch size %d", n)
+		}
+		o.BatchSize = n
+		return nil
+	}
+}
+
+// WithNegatives sets the number of shared negatives per link-prediction
+// batch.
+func WithNegatives(n int) Option {
+	return func(o *Options) error {
+		if n <= 0 {
+			return optErr("WithNegatives", ErrBadValue, "negatives %d", n)
+		}
+		o.Negatives = n
+		return nil
+	}
+}
+
+// WithLearningRates sets the dense-parameter Adam LR and the embedding
+// sparse-AdaGrad LR.
+func WithLearningRates(lr, embLR float32) Option {
+	return func(o *Options) error {
+		if lr <= 0 || embLR <= 0 {
+			return optErr("WithLearningRates", ErrBadValue, "lr %g embLR %g", lr, embLR)
+		}
+		o.LR, o.EmbLR = lr, embLR
+		return nil
+	}
+}
+
+// WithWorkers sets the number of sampling workers feeding the compute
+// stage. With a single worker the pipeline runs synchronously and training
+// is bit-reproducible (a resumed checkpoint continues the exact
+// trajectory); more workers pipeline sampling against compute with bounded
+// staleness, as the paper's execution engine does.
+func WithWorkers(n int) Option {
+	return func(o *Options) error {
+		if n <= 0 {
+			return optErr("WithWorkers", ErrBadValue, "workers %d", n)
+		}
+		o.Workers = n
+		return nil
+	}
+}
+
+// WithSeed seeds all randomness (partitioning, plans, sampling, init).
+func WithSeed(s int64) Option {
+	return func(o *Options) error {
+		o.Seed = s
+		return nil
+	}
+}
+
+// WithBaseline selects the DGL/PyG-like baseline execution (per-layer
+// re-sampling, per-edge aggregation, synchronous stages) for comparisons.
+func WithBaseline() Option {
+	return func(o *Options) error {
+		o.Mode = train.ModeBaseline
+		return nil
+	}
+}
+
+// WithPartitions sets the number of physical partitions for in-memory
+// training (disk training configures partitions through WithDisk).
+func WithPartitions(p int) Option {
+	return func(o *Options) error {
+		if p <= 0 {
+			return optErr("WithPartitions", ErrBadValue, "partitions %d", p)
+		}
+		o.Partitions = p
+		return nil
+	}
+}
+
+// WithPolicy selects the disk replacement policy kind.
+func WithPolicy(k PolicyKind) Option {
+	return func(o *Options) error {
+		if k != COMET && k != BETA {
+			return optErr("WithPolicy", ErrBadValue, "unknown policy kind %d", k)
+		}
+		o.Policy = k
+		return nil
+	}
+}
+
+// WithPolicyImpl installs an exact policy instance, bypassing the
+// kind-based construction (policy-comparison experiments).
+func WithPolicyImpl(p policy.Policy) Option {
+	return func(o *Options) error {
+		if p == nil {
+			return optErr("WithPolicyImpl", ErrBadValue, "nil policy")
+		}
+		o.PolicyImpl = p
+		return nil
+	}
+}
+
+// WithAutotune sets the CPU-memory and disk-block budgets the §6
+// auto-tuner uses to pick p, c and l when they are not set explicitly.
+func WithAutotune(cpuBytes, blockBytes int64) Option {
+	return func(o *Options) error {
+		if cpuBytes <= 0 || blockBytes <= 0 {
+			return optErr("WithAutotune", ErrBadValue, "cpuBytes %d blockBytes %d", cpuBytes, blockBytes)
+		}
+		o.CPUBytes, o.BlockBytes = cpuBytes, blockBytes
+		return nil
+	}
+}
+
+// DiskOption refines WithDisk.
+type DiskOption func(*Options) error
+
+// WithDisk stores base representations on disk under dir, paging them
+// through a partition buffer (M-GNN_Disk). Partition counts left unset are
+// chosen by the §6 auto-tuner.
+func WithDisk(dir string, opts ...DiskOption) Option {
+	return func(o *Options) error {
+		if dir == "" {
+			return &OptionError{Option: "WithDisk", Err: ErrMissingDir}
+		}
+		o.Storage = OnDisk
+		o.Dir = dir
+		for _, opt := range opts {
+			if err := opt(o); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Partitions sets the physical partition count p.
+func Partitions(p int) DiskOption {
+	return func(o *Options) error {
+		if p <= 0 {
+			return optErr("Partitions", ErrBadValue, "partitions %d", p)
+		}
+		o.Partitions = p
+		return nil
+	}
+}
+
+// Capacity sets the partition-buffer capacity c.
+func Capacity(c int) DiskOption {
+	return func(o *Options) error {
+		if c <= 0 {
+			return optErr("Capacity", ErrBadValue, "capacity %d", c)
+		}
+		o.BufferCapacity = c
+		return nil
+	}
+}
+
+// LogicalPartitions sets the logical partition count l used by COMET.
+func LogicalPartitions(l int) DiskOption {
+	return func(o *Options) error {
+		if l <= 0 {
+			return optErr("LogicalPartitions", ErrBadValue, "logical partitions %d", l)
+		}
+		o.LogicalPartitions = l
+		return nil
+	}
+}
+
+// Throttled simulates a bandwidth-limited disk.
+func Throttled(t *storage.Throttle) DiskOption {
+	return func(o *Options) error {
+		o.Throttle = t
+		return nil
+	}
+}

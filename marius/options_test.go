@@ -1,0 +1,135 @@
+package marius_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/marius"
+)
+
+func smallNC(seed int64) *gen.SBMConfig {
+	cfg := gen.SBMConfig{
+		NumNodes: 1200, NumClasses: 4, AvgDegree: 10, FeatureDim: 12,
+		Homophily: 0.85, FeatNoise: 2.0, TrainFrac: 0.2, ValidFrac: 0.1, TestFrac: 0.1,
+		Seed: seed,
+	}
+	return &cfg
+}
+
+func smallKG(seed int64) gen.KGConfig {
+	return gen.KGConfig{
+		NumEntities: 600, NumRelations: 8, NumEdges: 8000,
+		ZipfS: 1.2, ValidFrac: 0.05, TestFrac: 0.05, Seed: seed,
+	}
+}
+
+func TestOptionsValidateEagerly(t *testing.T) {
+	g := gen.SBM(*smallNC(1))
+	cases := []struct {
+		name     string
+		task     marius.Task
+		opts     []marius.Option
+		sentinel error
+		option   string
+	}{
+		{"zero dim", marius.NodeClassification(),
+			[]marius.Option{marius.WithDim(0)}, marius.ErrBadValue, "WithDim"},
+		{"negative layers", marius.NodeClassification(),
+			[]marius.Option{marius.WithLayers(-1)}, marius.ErrBadValue, "WithLayers"},
+		{"zero fanout", marius.NodeClassification(),
+			[]marius.Option{marius.WithFanouts(10, 0)}, marius.ErrBadValue, "WithFanouts"},
+		{"fanouts/layers mismatch", marius.NodeClassification(),
+			[]marius.Option{marius.WithLayers(3), marius.WithFanouts(10, 10)}, marius.ErrBadValue, "WithFanouts"},
+		{"disk without dir", marius.LinkPrediction(),
+			[]marius.Option{marius.WithDisk("")}, marius.ErrMissingDir, "WithDisk"},
+		{"capacity over partitions", marius.LinkPrediction(),
+			[]marius.Option{marius.WithDisk(t.TempDir(), marius.Partitions(4), marius.Capacity(8))},
+			marius.ErrBadBuffer, "WithDisk"},
+		{"bad learning rate", marius.LinkPrediction(),
+			[]marius.Option{marius.WithLearningRates(0, 0.1)}, marius.ErrBadValue, "WithLearningRates"},
+		{"bad autotune budget", marius.LinkPrediction(),
+			[]marius.Option{marius.WithAutotune(0, 0)}, marius.ErrBadValue, "WithAutotune"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := marius.New(tc.task, g, tc.opts...)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("error %v does not wrap %v", err, tc.sentinel)
+			}
+			var oe *marius.OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("error %T is not an *OptionError", err)
+			}
+			if oe.Option != tc.option {
+				t.Fatalf("blamed option %q, want %q", oe.Option, tc.option)
+			}
+		})
+	}
+}
+
+func TestCometComboRejected(t *testing.T) {
+	g := gen.KG(smallKG(2))
+	// l=4 does not divide p=6: COMET cannot be built.
+	_, err := marius.New(marius.LinkPrediction(), g,
+		marius.WithModel(marius.DistMultOnly), marius.WithDim(8),
+		marius.WithDisk(t.TempDir(), marius.Partitions(6), marius.Capacity(3), marius.LogicalPartitions(4)),
+	)
+	if !errors.Is(err, marius.ErrBadBuffer) {
+		t.Fatalf("err = %v, want ErrBadBuffer", err)
+	}
+}
+
+func TestNCRequiresLabeledGraph(t *testing.T) {
+	g := gen.KG(smallKG(3)) // knowledge graph: no features/labels
+	_, err := marius.New(marius.NodeClassification(), g)
+	if !errors.Is(err, marius.ErrTaskGraph) {
+		t.Fatalf("err = %v, want ErrTaskGraph", err)
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	g := gen.KG(smallKG(4))
+	sess, err := marius.New(marius.LinkPrediction(), g, marius.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	o := sess.Options()
+	if o.Negatives != 500 {
+		t.Fatalf("default negatives %d, want 500 (§7.3)", o.Negatives)
+	}
+	if o.Dim != 32 || o.BatchSize != 1024 || o.Layers != 1 {
+		t.Fatalf("LP defaults dim=%d batch=%d layers=%d", o.Dim, o.BatchSize, o.Layers)
+	}
+	if len(o.Fanouts) != 1 || o.Fanouts[0] != 20 {
+		t.Fatalf("LP default fanouts %v", o.Fanouts)
+	}
+
+	g2 := gen.SBM(*smallNC(5))
+	sess2, err := marius.New(marius.NodeClassification(), g2, marius.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess2.Close()
+	o2 := sess2.Options()
+	if o2.Layers != 3 || len(o2.Fanouts) != 3 || o2.Fanouts[0] != 30 {
+		t.Fatalf("NC defaults layers=%d fanouts=%v", o2.Layers, o2.Fanouts)
+	}
+}
+
+func TestTasksAreSingleUse(t *testing.T) {
+	g := gen.KG(smallKG(6))
+	task := marius.LinkPrediction()
+	sess, err := marius.New(task, g, marius.WithModel(marius.DistMultOnly), marius.WithDim(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := marius.New(task, g); err == nil {
+		t.Fatal("reusing a prepared task must fail")
+	}
+}

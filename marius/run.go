@@ -1,0 +1,239 @@
+package marius
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/train"
+)
+
+// ErrStop, returned from an OnEpoch callback, stops the run cleanly: Run
+// returns the result accumulated so far with StopReason StoppedByCallback
+// and a nil error.
+var ErrStop = errors.New("marius: stop run")
+
+// Progress is delivered to OnEpoch callbacks after every epoch.
+type Progress struct {
+	// Epoch is the trainer's epoch counter (it keeps counting across a
+	// checkpoint resume).
+	Epoch int
+	// Stats is the epoch's training statistics.
+	Stats train.EpochStats
+	// Valid is the validation result, when validation ran this epoch
+	// (EvalEvery or EarlyStopping); nil otherwise.
+	Valid *EvalResult
+}
+
+// StopReason records why Run returned.
+type StopReason string
+
+const (
+	// Completed: all requested epochs ran.
+	Completed StopReason = "completed"
+	// EarlyStopped: the validation metric plateaued for `patience` epochs.
+	EarlyStopped StopReason = "early-stopped"
+	// Canceled: the context was canceled or its deadline passed.
+	Canceled StopReason = "canceled"
+	// StoppedByCallback: an OnEpoch callback returned ErrStop.
+	StoppedByCallback StopReason = "callback"
+	// Failed: an epoch or evaluation returned an error.
+	Failed StopReason = "failed"
+)
+
+// RunResult summarizes a Run.
+type RunResult struct {
+	// Epochs holds one entry per completed epoch, in order.
+	Epochs []train.EpochStats
+	// Valid holds the validation results of epochs where validation ran.
+	Valid []EvalResult
+	// Best is the best validation result seen, when validation ran.
+	Best *EvalResult
+	// Stopped records why the run ended.
+	Stopped StopReason
+}
+
+type runConfig struct {
+	epochs    int
+	evalEvery int
+	onEpoch   []func(Progress) error
+	early     *earlyStopConfig
+	ckptPath  string
+	ckptEvery int
+}
+
+type earlyStopConfig struct {
+	patience int
+	minDelta float64
+}
+
+// RunOption configures one Run.
+type RunOption func(*runConfig) error
+
+// Epochs sets how many epochs to train (default 1).
+func Epochs(n int) RunOption {
+	return func(rc *runConfig) error {
+		if n <= 0 {
+			return optErr("Epochs", ErrBadValue, "epochs %d", n)
+		}
+		rc.epochs = n
+		return nil
+	}
+}
+
+// OnEpoch registers a callback invoked after every epoch (multiple
+// callbacks run in registration order). Returning ErrStop ends the run
+// cleanly; any other non-nil error aborts it.
+func OnEpoch(fn func(Progress) error) RunOption {
+	return func(rc *runConfig) error {
+		if fn == nil {
+			return optErr("OnEpoch", ErrBadValue, "nil callback")
+		}
+		rc.onEpoch = append(rc.onEpoch, fn)
+		return nil
+	}
+}
+
+// EvalEvery evaluates the validation split every n epochs, delivering the
+// result through Progress.Valid and RunResult.Valid.
+func EvalEvery(n int) RunOption {
+	return func(rc *runConfig) error {
+		if n <= 0 {
+			return optErr("EvalEvery", ErrBadValue, "eval interval %d", n)
+		}
+		rc.evalEvery = n
+		return nil
+	}
+}
+
+// EarlyStopping stops the run once the validation metric has not improved
+// by at least minDelta for patience consecutive evaluations. It implies
+// EvalEvery(1) unless a sparser interval was set explicitly.
+func EarlyStopping(patience int, minDelta float64) RunOption {
+	return func(rc *runConfig) error {
+		if patience <= 0 || minDelta < 0 {
+			return optErr("EarlyStopping", ErrBadValue, "patience %d minDelta %g", patience, minDelta)
+		}
+		rc.early = &earlyStopConfig{patience: patience, minDelta: minDelta}
+		return nil
+	}
+}
+
+// CheckpointTo saves a checkpoint to path every `every` epochs and when
+// the run ends cleanly (completion, early stopping, or ErrStop), so long
+// disk-mode runs survive restarts (resume with Session.Restore). A
+// canceled or failed run leaves the last interval checkpoint in place
+// rather than recording a partially-trained epoch.
+func CheckpointTo(path string, every int) RunOption {
+	return func(rc *runConfig) error {
+		if path == "" {
+			return optErr("CheckpointTo", ErrBadValue, "empty path")
+		}
+		if every <= 0 {
+			return optErr("CheckpointTo", ErrBadValue, "interval %d", every)
+		}
+		rc.ckptPath = path
+		rc.ckptEvery = every
+		return nil
+	}
+}
+
+// Run drives the training loop: train an epoch, optionally evaluate,
+// checkpoint, invoke callbacks, and check for cancellation and early
+// stopping — the Session analogue of the per-epoch loops every caller
+// used to hand-roll. A canceled context returns ctx.Err() with the
+// progress made so far in RunResult.
+func (s *Session) Run(ctx context.Context, opts ...RunOption) (*RunResult, error) {
+	rc := runConfig{epochs: 1}
+	for _, opt := range opts {
+		if err := opt(&rc); err != nil {
+			return nil, err
+		}
+	}
+	evalEvery := rc.evalEvery
+	if rc.early != nil && evalEvery == 0 {
+		evalEvery = 1
+	}
+
+	res := &RunResult{Stopped: Completed}
+	savedAt := -1
+	saveCkpt := func(e int) error {
+		if rc.ckptPath == "" || savedAt == e || e < 0 {
+			return nil
+		}
+		if err := s.Save(rc.ckptPath); err != nil {
+			res.Stopped = Failed
+			return fmt.Errorf("marius: checkpoint: %w", err)
+		}
+		savedAt = e
+		return nil
+	}
+
+	esBest := math.Inf(-1) // early-stopping reference: best metric so far
+	bad := 0
+	for e := 0; e < rc.epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			res.Stopped = Canceled
+			return res, err
+		}
+		st, err := s.task.TrainEpoch(ctx)
+		if err != nil {
+			res.Stopped = Failed
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				res.Stopped = Canceled
+			}
+			return res, err
+		}
+		res.Epochs = append(res.Epochs, st)
+
+		var valid *EvalResult
+		if evalEvery > 0 && (e+1)%evalEvery == 0 {
+			ev, err := s.Evaluate(ValidSplit)
+			if err != nil {
+				res.Stopped = Failed
+				return res, err
+			}
+			valid = &ev
+			res.Valid = append(res.Valid, ev)
+			if res.Best == nil || ev.Value > res.Best.Value {
+				best := ev
+				res.Best = &best
+			}
+		}
+
+		if rc.ckptEvery > 0 && (e+1)%rc.ckptEvery == 0 {
+			if err := saveCkpt(e); err != nil {
+				return res, err
+			}
+		}
+
+		p := Progress{Epoch: st.Epoch, Stats: st, Valid: valid}
+		for _, fn := range rc.onEpoch {
+			if err := fn(p); err != nil {
+				if errors.Is(err, ErrStop) {
+					res.Stopped = StoppedByCallback
+					return res, saveCkpt(e)
+				}
+				res.Stopped = Failed
+				return res, err
+			}
+		}
+
+		if rc.early != nil && valid != nil {
+			// Improvement means beating the best metric so far by minDelta
+			// (both task metrics — accuracy and MRR — are higher-better).
+			if valid.Value > esBest+rc.early.minDelta {
+				esBest = valid.Value
+				bad = 0
+			} else {
+				bad++
+				if bad >= rc.early.patience {
+					res.Stopped = EarlyStopped
+					return res, saveCkpt(e)
+				}
+			}
+		}
+	}
+	return res, saveCkpt(rc.epochs - 1)
+}

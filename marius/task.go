@@ -1,0 +1,346 @@
+package marius
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/autotune"
+	"repro/internal/decoder"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/policy"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func encoderDims(in, hidden, out, layers int) []int {
+	dims := []int{in}
+	for i := 0; i < layers-1; i++ {
+		dims = append(dims, hidden)
+	}
+	return append(dims, out)
+}
+
+func buildEncoder(kind ModelKind, ps *nn.ParamSet, dims []int, rng *rand.Rand) (*gnn.Encoder, error) {
+	switch kind {
+	case GraphSage:
+		return gnn.BuildSage(ps, dims, gnn.Mean, rng), nil
+	case GAT:
+		return gnn.BuildGAT(ps, dims, rng), nil
+	case GCN:
+		return gnn.BuildGCN(ps, dims, rng), nil
+	default:
+		return nil, optErr("WithModel", ErrBadValue, "model kind %d has no encoder", kind)
+	}
+}
+
+// NodeClassification returns the node-classification Task: GNN training
+// over fixed node features with the §5.2 training-node caching policy for
+// disk storage. The graph must carry Features, Labels and TrainNodes.
+func NodeClassification() Task { return &ncTask{} }
+
+type ncTask struct {
+	g    *graph.Graph
+	opts *Options
+
+	tr  *train.NCTrainer
+	src *train.Source
+	ps  *nn.ParamSet
+	enc *gnn.Encoder
+
+	fullAdj *graph.Adjacency // lazily built for evaluation
+}
+
+func (t *ncTask) Name() string { return TaskNC }
+
+func (t *ncTask) Prepare(g *graph.Graph, o *Options) error {
+	if t.tr != nil {
+		return optErr("New", ErrBadValue, "task already prepared; tasks are single-use")
+	}
+	if g.Features == nil || g.Labels == nil || len(g.TrainNodes) == 0 {
+		return &OptionError{Option: "NodeClassification",
+			Err: fmt.Errorf("%w: node classification needs features, labels and training nodes", ErrTaskGraph)}
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	p, c := o.Partitions, o.BufferCapacity
+	if o.Storage == InMemory {
+		if p == 0 {
+			p = 4
+		}
+		c = p
+	} else if p == 0 || c == 0 {
+		tuned, err := autotune.Tune(autotune.Input{
+			NumNodes: g.NumNodes, NumEdges: len(g.Edges), Dim: g.FeatureDim(),
+			CPUBytes: o.CPUBytes, BlockBytes: o.BlockBytes,
+		})
+		if err != nil {
+			return err
+		}
+		if p == 0 {
+			p = tuned.P
+		}
+		if c == 0 {
+			c = tuned.C
+		}
+	}
+
+	pt, trainParts := train.PrepareNC(g, p, o.Seed)
+	var src *train.Source
+	var err error
+	if o.Storage == OnDisk {
+		src, err = train.NewDiskSource(g, pt, g.FeatureDim(), train.DiskSourceConfig{
+			Dir: o.Dir, Capacity: c, InitTable: g.Features, Throttle: o.Throttle,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		src = train.NewMemorySource(g, pt, g.Features)
+	}
+
+	ps := nn.NewParamSet()
+	dims := encoderDims(g.FeatureDim(), o.Dim, g.NumClasses, o.Layers)
+	enc, err := buildEncoder(o.Model, ps, dims, rng)
+	if err != nil {
+		src.Close()
+		return err
+	}
+
+	var pol policy.Policy
+	if o.PolicyImpl != nil {
+		pol = o.PolicyImpl
+	} else if o.Storage == OnDisk {
+		pol = policy.NodeCache{P: p, C: c, TrainParts: trainParts}
+	} else {
+		pol = policy.InMemory{P: p}
+	}
+	ncfg := train.NCConfig{
+		Encoder: enc, Params: ps,
+		Fanouts: o.Fanouts, Dirs: graph.Both,
+		BatchSize: o.BatchSize, Opt: nn.NewAdam(o.LR), ClipNorm: 5,
+		Workers: o.Workers, Mode: o.Mode, Seed: o.Seed,
+	}
+	t.g, t.opts, t.src, t.ps, t.enc = g, o, src, ps, enc
+	t.tr = train.NewNC(ncfg, src, pol, g.Labels, g.TrainNodes)
+	return nil
+}
+
+func (t *ncTask) TrainEpoch(ctx context.Context) (train.EpochStats, error) {
+	return t.tr.TrainEpoch(ctx)
+}
+
+func (t *ncTask) adj() *graph.Adjacency {
+	if t.fullAdj == nil {
+		t.fullAdj = graph.BuildAdjacency(t.g.NumNodes, t.g.Edges)
+	}
+	return t.fullAdj
+}
+
+// Evaluate computes accuracy over the full graph; with disk storage the
+// feature table is first read back into memory (evaluation nodes may live
+// in partitions that are not resident).
+func (t *ncTask) Evaluate(split Split) (EvalResult, error) {
+	nodes, seed := t.g.ValidNodes, t.opts.Seed+1
+	if split == TestSplit {
+		nodes, seed = t.g.TestNodes, t.opts.Seed+2
+	}
+	res := EvalResult{Task: TaskNC, Metric: "accuracy", Split: split}
+	src := t.src
+	if t.src.Disk != nil {
+		table, err := t.src.Disk.ReadAll()
+		if err != nil {
+			return res, err
+		}
+		src = &train.Source{
+			Part: t.src.Part, NumNodes: t.src.NumNodes, NumRels: t.src.NumRels,
+			Nodes: storage.NewMemoryNodeStore(table), Edges: t.src.Edges,
+		}
+	}
+	acc, err := train.EvaluateNC(&t.tr.Cfg, src, t.adj(), t.g.Labels, nodes, seed)
+	if err != nil {
+		return res, err
+	}
+	res.Value = acc
+	return res, nil
+}
+
+func (t *ncTask) Epoch() int                { return t.tr.Epoch() }
+func (t *ncTask) SetEpoch(e int)            { t.tr.SetEpoch(e) }
+func (t *ncTask) Params() *nn.ParamSet      { return t.ps }
+func (t *ncTask) Source() *train.Source     { return t.src }
+func (t *ncTask) LearnableTable() bool      { return false }
+func (t *ncTask) SetPolicy(p policy.Policy) { t.tr.Pol = p }
+
+// LinkPrediction returns the link-prediction Task: learnable node
+// embeddings (optionally GNN-encoded) scored by a DistMult decoder, with
+// COMET/BETA replacement policies for disk storage.
+func LinkPrediction() Task { return &lpTask{} }
+
+type lpTask struct {
+	g    *graph.Graph
+	opts *Options
+
+	tr  *train.LPTrainer
+	src *train.Source
+	ps  *nn.ParamSet
+	enc *gnn.Encoder
+	dec *decoder.DistMult
+
+	fullAdj *graph.Adjacency
+}
+
+func (t *lpTask) Name() string { return TaskLP }
+
+func (t *lpTask) Prepare(g *graph.Graph, o *Options) error {
+	if t.tr != nil {
+		return optErr("New", ErrBadValue, "task already prepared; tasks are single-use")
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	p, c, l := o.Partitions, o.BufferCapacity, o.LogicalPartitions
+	if l == 0 && o.PolicyImpl != nil && p > 0 {
+		l = p // unused under an explicit policy; skip the auto-tuner
+	}
+	if o.Storage == InMemory {
+		if p == 0 {
+			p = 4
+		}
+		c, l = p, p
+	} else if p == 0 || c == 0 || l == 0 {
+		tuned, err := autotune.Tune(autotune.Input{
+			NumNodes: g.NumNodes, NumEdges: len(g.Edges), Dim: o.Dim,
+			CPUBytes: o.CPUBytes, BlockBytes: o.BlockBytes,
+		})
+		if err != nil {
+			return err
+		}
+		if p == 0 {
+			p = tuned.P
+		}
+		if c == 0 {
+			c = tuned.C
+		}
+		if l == 0 {
+			l = tuned.L
+		}
+	}
+
+	pt := train.PrepareLP(g, p, o.Seed)
+	emb := train.RandomEmbeddings(g.NumNodes, o.Dim, o.Seed)
+	var src *train.Source
+	var err error
+	if o.Storage == OnDisk {
+		src, err = train.NewDiskSource(g, pt, o.Dim, train.DiskSourceConfig{
+			Dir: o.Dir, Capacity: c, Learnable: true, InitTable: emb, Throttle: o.Throttle,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		src = train.NewMemorySource(g, pt, emb)
+	}
+
+	ps := nn.NewParamSet()
+	var enc *gnn.Encoder
+	if o.Model != DistMultOnly {
+		dims := encoderDims(o.Dim, o.Dim, o.Dim, o.Layers)
+		enc, err = buildEncoder(o.Model, ps, dims, rng)
+		if err != nil {
+			src.Close()
+			return err
+		}
+	}
+	dec := decoder.NewDistMult(ps, max(g.NumRels, 1), o.Dim, rng)
+
+	var pol policy.Policy
+	if o.PolicyImpl != nil {
+		pol = o.PolicyImpl
+	} else if o.Storage == OnDisk {
+		if o.Policy == BETA {
+			pol = policy.Beta{P: p, C: c}
+		} else {
+			comet := policy.Comet{P: p, L: l, C: c}
+			if err := comet.Validate(); err != nil {
+				src.Close()
+				return &OptionError{Option: "WithDisk", Err: fmt.Errorf("%w: %v", ErrBadBuffer, err)}
+			}
+			pol = comet
+		}
+	} else {
+		pol = policy.InMemory{P: p}
+	}
+
+	lcfg := train.LPConfig{
+		Encoder: enc, Params: ps, Decoder: dec,
+		Fanouts: o.Fanouts, Dirs: graph.Both,
+		BatchSize: o.BatchSize, Negatives: o.Negatives,
+		DenseOpt: nn.NewAdam(o.LR), EmbOpt: nn.NewSparseAdaGrad(o.EmbLR), ClipNorm: 5,
+		Workers: o.Workers, Mode: o.Mode, Seed: o.Seed,
+	}
+	t.g, t.opts, t.src, t.ps, t.enc, t.dec = g, o, src, ps, enc, dec
+	t.tr = train.NewLP(lcfg, src, pol)
+	return nil
+}
+
+func (t *lpTask) TrainEpoch(ctx context.Context) (train.EpochStats, error) {
+	return t.tr.TrainEpoch(ctx)
+}
+
+func (t *lpTask) adj() *graph.Adjacency {
+	if t.fullAdj == nil {
+		t.fullAdj = graph.BuildAdjacency(t.g.NumNodes, t.g.Edges)
+	}
+	return t.fullAdj
+}
+
+// Evaluate computes sampled-negative MRR (or full ranking for small
+// graphs, as the paper does on FB15k-237).
+func (t *lpTask) Evaluate(split Split) (EvalResult, error) {
+	edges := t.g.ValidEdges
+	if split == TestSplit {
+		edges = t.g.TestEdges
+	}
+	res := EvalResult{Task: TaskLP, Metric: "MRR", Split: split}
+	emb, err := t.embeddings()
+	if err != nil {
+		return res, err
+	}
+	negatives := 1000
+	if t.g.NumNodes <= 20000 {
+		negatives = 0 // rank against all entities
+	}
+	mrr, err := train.EvaluateLP(train.LPEvalConfig{
+		Encoder: t.enc, Params: t.ps, Decoder: t.dec,
+		Fanouts: t.opts.Fanouts, Dirs: graph.Both,
+		Negatives: negatives, BatchSize: t.opts.BatchSize, Seed: t.opts.Seed + 3,
+	}, emb, t.adj(), edges)
+	if err != nil {
+		return res, err
+	}
+	res.Value = mrr
+	return res, nil
+}
+
+// embeddings returns the full base-representation table, erroring (rather
+// than panicking) when the node store exposes no in-memory table.
+func (t *lpTask) embeddings() (*tensor.Tensor, error) {
+	if t.src.Disk != nil {
+		return t.src.Disk.ReadAll()
+	}
+	mem, ok := t.src.Nodes.(*storage.MemoryNodeStore)
+	if !ok {
+		return nil, fmt.Errorf("marius: node store %T exposes no in-memory table", t.src.Nodes)
+	}
+	return mem.Table(), nil
+}
+
+func (t *lpTask) Epoch() int                { return t.tr.Epoch() }
+func (t *lpTask) SetEpoch(e int)            { t.tr.SetEpoch(e) }
+func (t *lpTask) Params() *nn.ParamSet      { return t.ps }
+func (t *lpTask) Source() *train.Source     { return t.src }
+func (t *lpTask) LearnableTable() bool      { return true }
+func (t *lpTask) SetPolicy(p policy.Policy) { t.tr.Pol = p }
