@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race bench-kernels bench-baseline check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full-epoch NC/LP pipelines and the kernel fan-out under the race
+# detector (the kernels spawn real goroutines even at GOMAXPROCS=1).
+race:
+	$(GO) test -race ./...
+
+# Short-mode kernel benchmarks with hard floors: >=2x blocked-matmul
+# throughput at 4 workers vs the naive reference, and 0 allocs/batch in
+# the arena training step. Writes to /tmp so the checked-in full-shape
+# baseline is never clobbered with incomparable short-mode numbers.
+bench-kernels:
+	$(GO) run ./cmd/benchkernels -short -check -o /tmp/BENCH_kernels.json
+
+# Refresh the checked-in full-shape baseline (commit the result).
+bench-baseline:
+	$(GO) run ./cmd/benchkernels -check -o BENCH_kernels.json
+
+check: build test race bench-kernels

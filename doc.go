@@ -28,11 +28,49 @@
 // Disk-based out-of-core training (the paper's headline configuration)
 // swaps one option: marius.WithDisk(dir, marius.Partitions(16),
 // marius.Capacity(4)), with the §6 auto-tuner filling anything left
-// unset. The deprecated internal/core shim maps the old flat-Config
-// surface onto marius.
+// unset.
+//
+// # Kernel parallelism
+//
+// The compute substrate (internal/tensor) plays the role of the paper's
+// dense GPU kernels: blocked, multi-goroutine matmuls, fused
+// gather+segment reductions (Algorithm 3 with the gathered intermediate
+// never materialized), and a fused gather+matmul for embedding lookups
+// (DistMult negative scoring). marius.WithWorkers(n) is a single knob for
+// both pipeline stages: n sampling workers feed the compute stage, and
+// every kernel in the forward/backward pass may fan out to n goroutines.
+// Kernel parallelism only ever partitions output rows or segments — no
+// floating-point reduction is ever split — so kernel results are bitwise
+// identical at every worker count. cmd/benchkernels measures the kernels
+// against retained naive references and writes BENCH_kernels.json (the
+// checked-in baseline); `make bench-kernels` re-runs it with hard floors.
+//
+// # The arena
+//
+// Each trainer's compute stage owns a tensor.Arena: every activation and
+// gradient of a mini batch is carved from recycled slabs and released in
+// one Arena.Reset at batch end, so steady-state training performs zero
+// per-batch heap allocations on the kernel path. Ownership is strict:
+// arena-backed tensors (everything an arena-backed Tape produces) die at
+// Reset — optimizer updates, metrics, and representation write-back all
+// happen before the trainer resets; anything kept longer must be cloned.
+// The arena belongs to exactly one goroutine (the compute stage); sampling
+// workers heap-allocate their own batch buffers.
+//
+// # Determinism contract
+//
+// Kernels never reorder floating-point sums: parallel tiling, k-blocking,
+// unrolling, fusion, and the arena all preserve each output element's
+// exact accumulation order (enforced by exact-equality conformance tests
+// against the naive references). The only nondeterminism in training is
+// pipeline batch ordering with WithWorkers(n>1); with WithWorkers(1) the
+// stages alternate synchronously and training is bit-reproducible — two
+// equally-seeded runs write byte-identical checkpoints, and a restored
+// session continues the exact trajectory.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation section; `go run ./cmd/benchtables` prints them
 // at full scale in the paper's layout, and CHANGES.md records the old
-// internal/core → marius migration map.
+// internal/core → marius migration map (the shim itself was removed in
+// PR 2).
 package repro

@@ -30,23 +30,27 @@ func NewDistMult(ps *nn.ParamSet, numRels, dim int, rng *rand.Rand) *DistMult {
 func (d *DistMult) Dim() int { return d.dim }
 
 // Loss computes the batched link-prediction loss with shared negatives.
-// srcEnc and dstEnc are the encoded endpoint representations of the B
-// positive edges; rels are the edge relation IDs; negEnc holds N encoded
-// negative nodes shared across the batch. Both endpoints are corrupted
-// (source- and destination-side negatives), as in Marius. The returned
-// node is the scalar loss; posLogits/negLogits are returned for metric
-// computation.
-func (d *DistMult) Loss(tp *tensor.Tape, params map[string]*tensor.Node, srcEnc, dstEnc, negEnc *tensor.Node, rels []int32) (loss, posScores, negDst, negSrc *tensor.Node) {
+// enc holds the encoded node representations; srcIdx/dstIdx select the
+// endpoint rows of the B positive edges, rels are the edge relation IDs,
+// and negIdx selects the N negative nodes shared across the batch. Both
+// endpoints are corrupted (source- and destination-side negatives), as in
+// Marius. Negative scoring uses the fused gather+matmul kernel: the
+// looked-up negative embeddings are streamed straight out of enc, never
+// materialized as a [N x dim] matrix. The returned node is the scalar
+// loss; posScores/negDst/negSrc are returned for metric computation.
+func (d *DistMult) Loss(tp *tensor.Tape, params map[string]*tensor.Node, enc *tensor.Node, srcIdx, dstIdx, negIdx, rels []int32) (loss, posScores, negDst, negSrc *tensor.Node) {
 	relRows := tp.Gather(params[d.Rel.Name], rels) // [B x dim]
 
+	srcEnc := tp.Gather(enc, srcIdx)
+	dstEnc := tp.Gather(enc, dstIdx)
 	srcRel := tp.Mul(srcEnc, relRows) // [B x dim]
 	dstRel := tp.Mul(dstEnc, relRows)
 
-	posScores = tp.RowSum(tp.Mul(srcRel, dstEnc)) // [B x 1]
-	negDst = tp.MatMulTB(srcRel, negEnc)          // [B x N] corrupt destination
-	negSrc = tp.MatMulTB(dstRel, negEnc)          // [B x N] corrupt source
+	posScores = tp.RowSum(tp.Mul(srcRel, dstEnc))   // [B x 1]
+	negDst = tp.GatherMatMulTB(srcRel, enc, negIdx) // [B x N] corrupt destination
+	negSrc = tp.GatherMatMulTB(dstRel, enc, negIdx) // [B x N] corrupt source
 
-	labels := make([]int32, srcEnc.Value.Rows)
+	labels := make([]int32, len(srcIdx))
 	lossDst := tp.SoftmaxCrossEntropy(tp.ConcatCols(posScores, negDst), labels)
 	lossSrc := tp.SoftmaxCrossEntropy(tp.ConcatCols(posScores, negSrc), labels)
 	loss = tp.Scale(tp.Add(lossDst, lossSrc), 0.5)

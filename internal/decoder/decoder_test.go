@@ -14,17 +14,18 @@ func TestDistMultScoreMatchesDefinition(t *testing.T) {
 	ps := nn.NewParamSet()
 	d := NewDistMult(ps, 3, 4, rng)
 
-	src := tensor.New(2, 4)
-	dst := tensor.New(2, 4)
-	neg := tensor.New(3, 4)
-	src.RandNormal(rng, 1)
-	dst.RandNormal(rng, 1)
-	neg.RandNormal(rng, 1)
+	// Seven encoded rows: 2 sources, 2 destinations, 3 shared negatives.
+	enc := tensor.New(7, 4)
+	enc.RandNormal(rng, 1)
+	src := tensor.FromSlice(2, 4, enc.Data[0:8])
+	dst := tensor.FromSlice(2, 4, enc.Data[8:16])
+	neg := tensor.FromSlice(3, 4, enc.Data[16:28])
+	srcIdx, dstIdx, negIdx := []int32{0, 1}, []int32{2, 3}, []int32{4, 5, 6}
 	rels := []int32{0, 2}
 
 	tp := tensor.NewTape()
 	params := ps.Bind(tp)
-	_, pos, negD, negS := d.Loss(tp, params, tp.Constant(src), tp.Constant(dst), tp.Constant(neg), rels)
+	_, pos, negD, negS := d.Loss(tp, params, tp.Constant(enc), srcIdx, dstIdx, negIdx, rels)
 
 	relT := d.Rel.Value
 	for i := 0; i < 2; i++ {
@@ -55,20 +56,18 @@ func TestDistMultLossGradientsFlow(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	ps := nn.NewParamSet()
 	d := NewDistMult(ps, 2, 3, rng)
-	src := tensor.New(4, 3)
-	dst := tensor.New(4, 3)
-	neg := tensor.New(5, 3)
-	src.RandNormal(rng, 1)
-	dst.RandNormal(rng, 1)
-	neg.RandNormal(rng, 1)
+	// 13 encoded rows: 4 sources, 4 destinations, 5 negatives.
+	enc := tensor.New(13, 3)
+	enc.RandNormal(rng, 1)
 
 	tp := tensor.NewTape()
 	params := ps.Bind(tp)
-	srcN := tp.Leaf(src, true)
-	loss, _, _, _ := d.Loss(tp, params, srcN, tp.Constant(dst), tp.Constant(neg), []int32{0, 1, 0, 1})
+	encN := tp.Leaf(enc, true)
+	loss, _, _, _ := d.Loss(tp, params, encN,
+		[]int32{0, 1, 2, 3}, []int32{4, 5, 6, 7}, []int32{8, 9, 10, 11, 12}, []int32{0, 1, 0, 1})
 	tp.Backward(loss)
-	if srcN.Grad() == nil {
-		t.Fatal("no gradient to source embeddings")
+	if encN.Grad() == nil {
+		t.Fatal("no gradient to encoded embeddings")
 	}
 	if params[d.Rel.Name].Grad() == nil {
 		t.Fatal("no gradient to relation embeddings")

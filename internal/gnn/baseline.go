@@ -57,7 +57,7 @@ func baselineSage(tp *tensor.Tape, params map[string]*tensor.Node, l *SageLayer,
 	msg := tp.Gather(h, b.EdgeSrc)
 	agg := tp.ScatterAddRows(msg, b.EdgeDst, len(b.DstNodes))
 	if l.Agg == Mean {
-		agg = tp.MulColBroadcast(agg, tp.Constant(inverseCounts(b, 0)))
+		agg = tp.MulColBroadcast(agg, tp.Constant(inverseCounts(tp, b, 0)))
 	}
 	// SrcNodes begin with DstNodes, so self rows are the prefix.
 	selfRepr := tp.SliceRows(h, 0, len(b.DstNodes))
@@ -96,7 +96,7 @@ func baselineGCN(tp *tensor.Tape, params map[string]*tensor.Node, l *GCNLayer, b
 	agg := tp.ScatterAddRows(msg, b.EdgeDst, len(b.DstNodes))
 	selfRepr := tp.SliceRows(h, 0, len(b.DstNodes))
 	total := tp.Add(agg, selfRepr)
-	norm := tp.MulColBroadcast(total, tp.Constant(inverseCounts(b, 1)))
+	norm := tp.MulColBroadcast(total, tp.Constant(inverseCounts(tp, b, 1)))
 	out := l.W.Apply(tp, params, norm)
 	if l.Act {
 		out = tp.ReLU(out)
@@ -105,13 +105,14 @@ func baselineGCN(tp *tensor.Tape, params map[string]*tensor.Node, l *GCNLayer, b
 }
 
 // inverseCounts returns 1/(deg+bias) per destination node (0 for isolated
-// nodes when bias is 0).
-func inverseCounts(b *sampler.Block, bias int32) *tensor.Tensor {
+// nodes when bias is 0). The buffer is tape-owned so it recycles with the
+// batch on arena-backed tapes.
+func inverseCounts(tp *tensor.Tape, b *sampler.Block, bias int32) *tensor.Tensor {
 	counts := make([]int32, len(b.DstNodes))
 	for _, d := range b.EdgeDst {
 		counts[d]++
 	}
-	inv := tensor.New(len(b.DstNodes), 1)
+	inv := tp.Alloc(len(b.DstNodes), 1)
 	for v, c := range counts {
 		if c+bias > 0 {
 			inv.Data[v] = 1 / float32(c+bias)

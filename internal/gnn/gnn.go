@@ -61,14 +61,15 @@ func NewSage(ps *nn.ParamSet, name string, in, out int, agg Aggregation, act boo
 func (l *SageLayer) OutDim() int { return l.outDim }
 
 // Apply implements Layer using Algorithm 3: gather neighbor rows through
-// ReprMap, reduce them with a dense segment kernel, combine with self rows.
+// ReprMap and reduce them per segment in one fused kernel (the gathered
+// [|Nbrs| x d] matrix — the largest intermediate of the forward pass — is
+// never materialized), then combine with self rows.
 func (l *SageLayer) Apply(tp *tensor.Tape, params map[string]*tensor.Node, d *sampler.DENSE, h *tensor.Node) *tensor.Node {
-	nbrRepr := tp.Gather(h, d.ReprMap)
 	var nbrAgg *tensor.Node
 	if l.Agg == Mean {
-		nbrAgg = tp.SegmentMean(nbrRepr, d.SegmentOffsets())
+		nbrAgg = tp.GatherSegmentMean(h, d.ReprMap, d.SegmentOffsets())
 	} else {
-		nbrAgg = tp.SegmentSum(nbrRepr, d.SegmentOffsets())
+		nbrAgg = tp.GatherSegmentSum(h, d.ReprMap, d.SegmentOffsets())
 	}
 	selfRepr := tp.SliceRows(h, d.OutputStart(), h.Value.Rows)
 	out := tp.Add(l.Self.Apply(tp, params, selfRepr), l.Nbr.Apply(tp, params, nbrAgg))
@@ -169,12 +170,12 @@ func (l *GCNLayer) OutDim() int { return l.outDim }
 
 // Apply implements Layer.
 func (l *GCNLayer) Apply(tp *tensor.Tape, params map[string]*tensor.Node, d *sampler.DENSE, h *tensor.Node) *tensor.Node {
-	nbrSum := tp.SegmentSum(tp.Gather(h, d.ReprMap), d.SegmentOffsets())
+	nbrSum := tp.GatherSegmentSum(h, d.ReprMap, d.SegmentOffsets())
 	selfRepr := tp.SliceRows(h, d.OutputStart(), h.Value.Rows)
 	total := tp.Add(nbrSum, selfRepr)
 	// Normalize by closed-neighborhood size.
 	offs := d.SegmentOffsets()
-	inv := tensor.New(total.Value.Rows, 1)
+	inv := tp.Alloc(total.Value.Rows, 1)
 	for s := 0; s < total.Value.Rows; s++ {
 		end := len(d.Nbrs)
 		if s+1 < len(offs) {

@@ -71,11 +71,23 @@ func (ps *ParamSet) NumParams() int {
 // Bind registers every parameter on the tape as a gradient-tracked leaf and
 // returns the nodes keyed by parameter name. Call once per mini batch.
 func (ps *ParamSet) Bind(tp *tensor.Tape) map[string]*tensor.Node {
-	nodes := make(map[string]*tensor.Node, len(ps.params))
-	for _, p := range ps.params {
-		nodes[p.Name] = tp.Leaf(p.Value, true)
+	return ps.BindInto(tp, nil)
+}
+
+// BindInto is Bind with a caller-owned destination map: trainers reuse one
+// map across batches so steady-state binding allocates nothing. A nil dst
+// allocates a fresh map. On an arena-backed tape the bound nodes' gradients
+// are arena-owned — run Apply (and any write-back) before the arena resets.
+func (ps *ParamSet) BindInto(tp *tensor.Tape, dst map[string]*tensor.Node) map[string]*tensor.Node {
+	if dst == nil {
+		dst = make(map[string]*tensor.Node, len(ps.params))
+	} else {
+		clear(dst)
 	}
-	return nodes
+	for _, p := range ps.params {
+		dst[p.Name] = tp.Leaf(p.Value, true)
+	}
+	return dst
 }
 
 // Optimizer applies gradients to dense parameters.

@@ -26,23 +26,63 @@ func (n *Node) RequiresGrad() bool { return n.requiresGrad }
 
 // Tape records operations for reverse-mode differentiation. A Tape is not
 // safe for concurrent use; each training worker owns its own tape.
+//
+// A tape built with NewTapeWith runs every kernel on the given Compute
+// context: kernels fan out to at most its worker count, and every tensor
+// the tape produces — op outputs and gradients — is drawn from its Arena
+// when one is attached. Arena-backed tapes follow the arena's ownership
+// rules: all values and gradients are invalidated by Arena.Reset, so a
+// training step must consume them (optimizer updates, metrics, write-back)
+// before resetting. Tape.Reset additionally recycles the tape's node
+// bookkeeping, so the steady-state Reset/record cycle reuses memory
+// instead of growing it.
 type Tape struct {
+	c     *Compute
 	nodes []*Node
+	free  []*Node
 }
 
-// NewTape returns an empty tape.
+// NewTape returns an empty tape on the default compute context
+// (GOMAXPROCS workers, heap-allocated tensors).
 func NewTape() *Tape { return &Tape{} }
 
-// Reset discards all recorded nodes so the tape can be reused.
-func (tp *Tape) Reset() { tp.nodes = tp.nodes[:0] }
+// NewTapeWith returns an empty tape that runs kernels on c.
+func NewTapeWith(c *Compute) *Tape { return &Tape{c: c} }
+
+// Reset discards all recorded nodes so the tape can be reused. Node
+// structs are pooled and reused by subsequent records. Reset does NOT
+// reset an attached arena — the caller owns that ordering (reset the tape
+// first, then the arena).
+func (tp *Tape) Reset() {
+	for _, n := range tp.nodes {
+		*n = Node{}
+	}
+	tp.free = append(tp.free, tp.nodes...)
+	tp.nodes = tp.nodes[:0]
+}
 
 // Len returns the number of recorded nodes.
 func (tp *Tape) Len() int { return len(tp.nodes) }
 
+// Alloc returns a zeroed rows x cols tensor on the tape's compute context
+// (arena-owned when the context has an arena). Layers use it for
+// constant-valued per-batch buffers that should recycle with the batch.
+func (tp *Tape) Alloc(rows, cols int) *Tensor { return tp.c.alloc(rows, cols) }
+
+func (tp *Tape) newNode() *Node {
+	if k := len(tp.free); k > 0 {
+		n := tp.free[k-1]
+		tp.free = tp.free[:k-1]
+		return n
+	}
+	return &Node{}
+}
+
 // Leaf registers t as an input node. If requiresGrad is true, gradients
 // with respect to t accumulate in Grad() during Backward.
 func (tp *Tape) Leaf(t *Tensor, requiresGrad bool) *Node {
-	n := &Node{Value: t, requiresGrad: requiresGrad, tape: tp}
+	n := tp.newNode()
+	n.Value, n.requiresGrad, n.tape = t, requiresGrad, tp
 	tp.nodes = append(tp.nodes, n)
 	return n
 }
@@ -51,7 +91,8 @@ func (tp *Tape) Leaf(t *Tensor, requiresGrad bool) *Node {
 func (tp *Tape) Constant(t *Tensor) *Node { return tp.Leaf(t, false) }
 
 func (tp *Tape) record(value *Tensor, requiresGrad bool, backward func(grad *Tensor)) *Node {
-	n := &Node{Value: value, requiresGrad: requiresGrad, tape: tp}
+	n := tp.newNode()
+	n.Value, n.requiresGrad, n.tape = value, requiresGrad, tp
 	if requiresGrad {
 		n.backward = backward
 	}
@@ -59,16 +100,21 @@ func (tp *Tape) record(value *Tensor, requiresGrad bool, backward func(grad *Ten
 	return n
 }
 
+// ensureGrad returns n's gradient buffer, allocating it zeroed on first
+// use so backward passes can accumulate into it in place.
+func (n *Node) ensureGrad() *Tensor {
+	if n.grad == nil {
+		n.grad = n.tape.c.alloc(n.Value.Rows, n.Value.Cols)
+	}
+	return n.grad
+}
+
 // accumulate adds g into n's gradient buffer.
 func (n *Node) accumulate(g *Tensor) {
 	if !n.requiresGrad {
 		return
 	}
-	if n.grad == nil {
-		n.grad = g.Clone()
-		return
-	}
-	n.grad.AddInPlace(g)
+	n.ensureGrad().AddInPlace(g)
 }
 
 // Backward runs reverse-mode differentiation from root, which must be a
@@ -80,7 +126,7 @@ func (tp *Tape) Backward(root *Node) {
 	if root.tape != tp {
 		panic("tensor: Backward root recorded on a different tape")
 	}
-	seed := New(1, 1)
+	seed := tp.c.alloc(1, 1)
 	seed.Data[0] = 1
 	root.accumulate(seed)
 	// Nodes were appended in topological order, so a reverse sweep visits
@@ -93,16 +139,17 @@ func (tp *Tape) Backward(root *Node) {
 	}
 }
 
-// MatMul records a @ b.
+// MatMul records a @ b. Both backward products accumulate directly into
+// the operands' gradient buffers (no temporaries).
 func (tp *Tape) MatMul(a, b *Node) *Node {
-	out := MatMul(a.Value, b.Value)
+	out := tp.c.MatMul(a.Value, b.Value)
 	req := a.requiresGrad || b.requiresGrad
 	return tp.record(out, req, func(g *Tensor) {
 		if a.requiresGrad {
-			a.accumulate(MatMulTransposeB(g, b.Value))
+			tp.c.MatMulTransposeBInto(a.ensureGrad(), g, b.Value, true)
 		}
 		if b.requiresGrad {
-			b.accumulate(MatMulTransposeA(a.Value, g))
+			tp.c.MatMulTransposeAInto(b.ensureGrad(), a.Value, g, true)
 		}
 	})
 }
@@ -112,7 +159,7 @@ func (tp *Tape) Add(a, b *Node) *Node {
 	if !a.Value.SameShape(b.Value) {
 		panic("tensor: Add shape mismatch")
 	}
-	out := a.Value.Clone()
+	out := tp.c.clone(a.Value)
 	out.AddInPlace(b.Value)
 	req := a.requiresGrad || b.requiresGrad
 	return tp.record(out, req, func(g *Tensor) {
@@ -130,7 +177,7 @@ func (tp *Tape) Sub(a, b *Node) *Node {
 	if !a.Value.SameShape(b.Value) {
 		panic("tensor: Sub shape mismatch")
 	}
-	out := a.Value.Clone()
+	out := tp.c.clone(a.Value)
 	for i, v := range b.Value.Data {
 		out.Data[i] -= v
 	}
@@ -140,9 +187,10 @@ func (tp *Tape) Sub(a, b *Node) *Node {
 			a.accumulate(g)
 		}
 		if b.requiresGrad {
-			ng := g.Clone()
-			ng.ScaleInPlace(-1)
-			b.accumulate(ng)
+			gb := b.ensureGrad()
+			for i, v := range g.Data {
+				gb.Data[i] -= v
+			}
 		}
 	})
 }
@@ -152,37 +200,36 @@ func (tp *Tape) Mul(a, b *Node) *Node {
 	if !a.Value.SameShape(b.Value) {
 		panic("tensor: Mul shape mismatch")
 	}
-	out := a.Value.Clone()
+	out := tp.c.clone(a.Value)
 	for i, v := range b.Value.Data {
 		out.Data[i] *= v
 	}
 	req := a.requiresGrad || b.requiresGrad
 	return tp.record(out, req, func(g *Tensor) {
 		if a.requiresGrad {
-			ga := g.Clone()
+			ga := a.ensureGrad()
 			for i, v := range b.Value.Data {
-				ga.Data[i] *= v
+				ga.Data[i] += g.Data[i] * v
 			}
-			a.accumulate(ga)
 		}
 		if b.requiresGrad {
-			gb := g.Clone()
+			gb := b.ensureGrad()
 			for i, v := range a.Value.Data {
-				gb.Data[i] *= v
+				gb.Data[i] += g.Data[i] * v
 			}
-			b.accumulate(gb)
 		}
 	})
 }
 
 // Scale records a * s for scalar s.
 func (tp *Tape) Scale(a *Node, s float32) *Node {
-	out := a.Value.Clone()
+	out := tp.c.clone(a.Value)
 	out.ScaleInPlace(s)
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		ga := g.Clone()
-		ga.ScaleInPlace(s)
-		a.accumulate(ga)
+		ga := a.ensureGrad()
+		for i, v := range g.Data {
+			ga.Data[i] += v * s
+		}
 	})
 }
 
@@ -192,7 +239,7 @@ func (tp *Tape) AddBias(a, b *Node) *Node {
 	if b.Value.Rows != 1 || b.Value.Cols != a.Value.Cols {
 		panic("tensor: AddBias expects bias [1 x cols(a)]")
 	}
-	out := a.Value.Clone()
+	out := tp.c.clone(a.Value)
 	for i := 0; i < out.Rows; i++ {
 		row := out.Row(i)
 		for j, v := range b.Value.Data {
@@ -205,95 +252,90 @@ func (tp *Tape) AddBias(a, b *Node) *Node {
 			a.accumulate(g)
 		}
 		if b.requiresGrad {
-			gb := New(1, g.Cols)
+			gb := b.ensureGrad()
 			for i := 0; i < g.Rows; i++ {
 				row := g.Row(i)
 				for j, v := range row {
 					gb.Data[j] += v
 				}
 			}
-			b.accumulate(gb)
 		}
 	})
 }
 
 // ReLU records max(a, 0).
 func (tp *Tape) ReLU(a *Node) *Node {
-	out := a.Value.Clone()
+	out := tp.c.clone(a.Value)
 	for i, v := range out.Data {
 		if v < 0 {
 			out.Data[i] = 0
 		}
 	}
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		ga := g.Clone()
+		ga := a.ensureGrad()
 		for i, v := range a.Value.Data {
-			if v <= 0 {
-				ga.Data[i] = 0
+			if v > 0 {
+				ga.Data[i] += g.Data[i]
 			}
 		}
-		a.accumulate(ga)
 	})
 }
 
 // LeakyReLU records max(a, alpha*a) for 0 < alpha < 1.
 func (tp *Tape) LeakyReLU(a *Node, alpha float32) *Node {
-	out := a.Value.Clone()
+	out := tp.c.clone(a.Value)
 	for i, v := range out.Data {
 		if v < 0 {
 			out.Data[i] = v * alpha
 		}
 	}
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		ga := g.Clone()
+		ga := a.ensureGrad()
 		for i, v := range a.Value.Data {
 			if v < 0 {
-				ga.Data[i] *= alpha
+				ga.Data[i] += g.Data[i] * alpha
+			} else {
+				ga.Data[i] += g.Data[i]
 			}
 		}
-		a.accumulate(ga)
 	})
 }
 
 // Sigmoid records 1 / (1 + exp(-a)).
 func (tp *Tape) Sigmoid(a *Node) *Node {
-	out := New(a.Value.Rows, a.Value.Cols)
+	out := tp.c.alloc(a.Value.Rows, a.Value.Cols)
 	for i, v := range a.Value.Data {
 		out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		ga := g.Clone()
+		ga := a.ensureGrad()
 		for i, y := range out.Data {
-			ga.Data[i] *= y * (1 - y)
+			ga.Data[i] += g.Data[i] * y * (1 - y)
 		}
-		a.accumulate(ga)
 	})
 }
 
 // Tanh records tanh(a).
 func (tp *Tape) Tanh(a *Node) *Node {
-	out := New(a.Value.Rows, a.Value.Cols)
+	out := tp.c.alloc(a.Value.Rows, a.Value.Cols)
 	for i, v := range a.Value.Data {
 		out.Data[i] = float32(math.Tanh(float64(v)))
 	}
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		ga := g.Clone()
+		ga := a.ensureGrad()
 		for i, y := range out.Data {
-			ga.Data[i] *= 1 - y*y
+			ga.Data[i] += g.Data[i] * (1 - y*y)
 		}
-		a.accumulate(ga)
 	})
 }
 
 // Gather records row selection a[idx]. The backward pass scatter-adds the
-// output gradient into the selected rows, which is how gradients reach the
-// base-representation table (paper §3, step 6).
+// output gradient directly into the source node's gradient buffer, which
+// is how gradients reach the base-representation table (paper §3, step 6).
 func (tp *Tape) Gather(a *Node, idx []int32) *Node {
-	out := Gather(a.Value, idx)
+	out := tp.c.Gather(a.Value, idx)
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		ga := New(a.Value.Rows, a.Value.Cols)
-		ScatterAdd(ga, g, idx)
-		a.accumulate(ga)
+		ScatterAdd(a.ensureGrad(), g, idx)
 	})
 }
 
@@ -302,12 +344,15 @@ func (tp *Tape) SliceRows(a *Node, start, end int) *Node {
 	if start < 0 || end > a.Value.Rows || start > end {
 		panic(fmt.Sprintf("tensor: SliceRows [%d:%d] of %d rows", start, end, a.Value.Rows))
 	}
-	out := New(end-start, a.Value.Cols)
-	copy(out.Data, a.Value.Data[start*a.Value.Cols:end*a.Value.Cols])
+	cols := a.Value.Cols
+	out := tp.c.alloc(end-start, cols)
+	copy(out.Data, a.Value.Data[start*cols:end*cols])
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		ga := New(a.Value.Rows, a.Value.Cols)
-		copy(ga.Data[start*a.Value.Cols:end*a.Value.Cols], g.Data)
-		a.accumulate(ga)
+		ga := a.ensureGrad()
+		dst := ga.Data[start*cols : end*cols]
+		for i, v := range g.Data {
+			dst[i] += v
+		}
 	})
 }
 
@@ -316,20 +361,23 @@ func (tp *Tape) ConcatRows(a, b *Node) *Node {
 	if a.Value.Cols != b.Value.Cols {
 		panic("tensor: ConcatRows column mismatch")
 	}
-	out := New(a.Value.Rows+b.Value.Rows, a.Value.Cols)
+	out := tp.c.alloc(a.Value.Rows+b.Value.Rows, a.Value.Cols)
 	copy(out.Data, a.Value.Data)
 	copy(out.Data[len(a.Value.Data):], b.Value.Data)
 	req := a.requiresGrad || b.requiresGrad
 	return tp.record(out, req, func(g *Tensor) {
 		if a.requiresGrad {
-			ga := New(a.Value.Rows, a.Value.Cols)
-			copy(ga.Data, g.Data[:len(ga.Data)])
-			a.accumulate(ga)
+			ga := a.ensureGrad()
+			for i := range ga.Data {
+				ga.Data[i] += g.Data[i]
+			}
 		}
 		if b.requiresGrad {
-			gb := New(b.Value.Rows, b.Value.Cols)
-			copy(gb.Data, g.Data[len(a.Value.Data):])
-			b.accumulate(gb)
+			gb := b.ensureGrad()
+			off := len(a.Value.Data)
+			for i := range gb.Data {
+				gb.Data[i] += g.Data[off+i]
+			}
 		}
 	})
 }
@@ -340,7 +388,7 @@ func (tp *Tape) ConcatCols(a, b *Node) *Node {
 		panic("tensor: ConcatCols row mismatch")
 	}
 	ac, bc := a.Value.Cols, b.Value.Cols
-	out := New(a.Value.Rows, ac+bc)
+	out := tp.c.alloc(a.Value.Rows, ac+bc)
 	for i := 0; i < out.Rows; i++ {
 		copy(out.Row(i)[:ac], a.Value.Row(i))
 		copy(out.Row(i)[ac:], b.Value.Row(i))
@@ -348,45 +396,51 @@ func (tp *Tape) ConcatCols(a, b *Node) *Node {
 	req := a.requiresGrad || b.requiresGrad
 	return tp.record(out, req, func(g *Tensor) {
 		if a.requiresGrad {
-			ga := New(a.Value.Rows, ac)
+			ga := a.ensureGrad()
 			for i := 0; i < g.Rows; i++ {
-				copy(ga.Row(i), g.Row(i)[:ac])
+				garow, grow := ga.Row(i), g.Row(i)[:ac]
+				for j, v := range grow {
+					garow[j] += v
+				}
 			}
-			a.accumulate(ga)
 		}
 		if b.requiresGrad {
-			gb := New(b.Value.Rows, bc)
+			gb := b.ensureGrad()
 			for i := 0; i < g.Rows; i++ {
-				copy(gb.Row(i), g.Row(i)[ac:])
+				gbrow, grow := gb.Row(i), g.Row(i)[ac:]
+				for j, v := range grow {
+					gbrow[j] += v
+				}
 			}
-			b.accumulate(gb)
 		}
 	})
 }
 
 // SegmentSum records per-segment row sums (paper Algorithm 3, line 2).
 func (tp *Tape) SegmentSum(a *Node, offsets []int32) *Node {
-	out := SegmentSum(a.Value, offsets)
+	out := tp.c.SegmentSum(a.Value, offsets)
 	n := a.Value.Rows
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		ga := New(a.Value.Rows, a.Value.Cols)
+		ga := a.ensureGrad()
 		for s := 0; s < g.Rows; s++ {
 			grow := g.Row(s)
 			end := segmentEnd(offsets, s, n)
 			for r := int(offsets[s]); r < end; r++ {
-				copy(ga.Row(r), grow)
+				garow := ga.Row(r)
+				for j, v := range grow {
+					garow[j] += v
+				}
 			}
 		}
-		a.accumulate(ga)
 	})
 }
 
 // SegmentMean records per-segment row means; empty segments yield zeros.
 func (tp *Tape) SegmentMean(a *Node, offsets []int32) *Node {
-	out := SegmentMean(a.Value, offsets)
+	out := tp.c.SegmentMean(a.Value, offsets)
 	n := a.Value.Rows
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		ga := New(a.Value.Rows, a.Value.Cols)
+		ga := a.ensureGrad()
 		for s := 0; s < g.Rows; s++ {
 			start, end := int(offsets[s]), segmentEnd(offsets, s, n)
 			cnt := end - start
@@ -398,21 +452,20 @@ func (tp *Tape) SegmentMean(a *Node, offsets []int32) *Node {
 			for r := start; r < end; r++ {
 				garow := ga.Row(r)
 				for j, v := range grow {
-					garow[j] = v * inv
+					garow[j] += v * inv
 				}
 			}
 		}
-		a.accumulate(ga)
 	})
 }
 
 // SegmentSoftmax records a softmax within each contiguous segment of the
 // column vector a.
 func (tp *Tape) SegmentSoftmax(a *Node, offsets []int32) *Node {
-	out := SegmentSoftmax(a.Value, offsets)
+	out := tp.c.SegmentSoftmax(a.Value, offsets)
 	n := a.Value.Rows
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		ga := New(n, 1)
+		ga := a.ensureGrad()
 		for s := 0; s < len(offsets); s++ {
 			start, end := int(offsets[s]), segmentEnd(offsets, s, n)
 			var dot float64
@@ -420,10 +473,9 @@ func (tp *Tape) SegmentSoftmax(a *Node, offsets []int32) *Node {
 				dot += float64(g.Data[r]) * float64(out.Data[r])
 			}
 			for r := start; r < end; r++ {
-				ga.Data[r] = out.Data[r] * (g.Data[r] - float32(dot))
+				ga.Data[r] += out.Data[r] * (g.Data[r] - float32(dot))
 			}
 		}
-		a.accumulate(ga)
 	})
 }
 
@@ -433,7 +485,7 @@ func (tp *Tape) MulColBroadcast(a, w *Node) *Node {
 	if w.Value.Cols != 1 || w.Value.Rows != a.Value.Rows {
 		panic("tensor: MulColBroadcast expects w [rows(a) x 1]")
 	}
-	out := a.Value.Clone()
+	out := tp.c.clone(a.Value)
 	for i := 0; i < out.Rows; i++ {
 		wi := w.Value.Data[i]
 		row := out.Row(i)
@@ -444,34 +496,32 @@ func (tp *Tape) MulColBroadcast(a, w *Node) *Node {
 	req := a.requiresGrad || w.requiresGrad
 	return tp.record(out, req, func(g *Tensor) {
 		if a.requiresGrad {
-			ga := g.Clone()
+			ga := a.ensureGrad()
 			for i := 0; i < ga.Rows; i++ {
 				wi := w.Value.Data[i]
-				row := ga.Row(i)
-				for j := range row {
-					row[j] *= wi
+				garow, grow := ga.Row(i), g.Row(i)
+				for j, v := range grow {
+					garow[j] += v * wi
 				}
 			}
-			a.accumulate(ga)
 		}
 		if w.requiresGrad {
-			gw := New(w.Value.Rows, 1)
+			gw := w.ensureGrad()
 			for i := 0; i < g.Rows; i++ {
 				grow, arow := g.Row(i), a.Value.Row(i)
 				var s float32
 				for j, v := range grow {
 					s += v * arow[j]
 				}
-				gw.Data[i] = s
+				gw.Data[i] += s
 			}
-			w.accumulate(gw)
 		}
 	})
 }
 
 // RowSum records the per-row sum of a as an [n x 1] column vector.
 func (tp *Tape) RowSum(a *Node) *Node {
-	out := New(a.Value.Rows, 1)
+	out := tp.c.alloc(a.Value.Rows, 1)
 	for i := 0; i < a.Value.Rows; i++ {
 		var s float32
 		for _, v := range a.Value.Row(i) {
@@ -480,30 +530,28 @@ func (tp *Tape) RowSum(a *Node) *Node {
 		out.Data[i] = s
 	}
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		ga := New(a.Value.Rows, a.Value.Cols)
+		ga := a.ensureGrad()
 		for i := 0; i < ga.Rows; i++ {
 			gi := g.Data[i]
 			row := ga.Row(i)
 			for j := range row {
-				row[j] = gi
+				row[j] += gi
 			}
 		}
-		a.accumulate(ga)
 	})
 }
 
 // MeanAll records the scalar mean of all elements of a.
 func (tp *Tape) MeanAll(a *Node) *Node {
-	out := New(1, 1)
+	out := tp.c.alloc(1, 1)
 	out.Data[0] = float32(a.Value.Sum() / float64(len(a.Value.Data)))
 	inv := 1 / float32(len(a.Value.Data))
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		ga := New(a.Value.Rows, a.Value.Cols)
+		ga := a.ensureGrad()
 		gv := g.Data[0] * inv
 		for i := range ga.Data {
-			ga.Data[i] = gv
+			ga.Data[i] += gv
 		}
-		a.accumulate(ga)
 	})
 }
 
@@ -516,21 +564,20 @@ func (tp *Tape) Dropout(a *Node, p float32, rng *rand.Rand) *Node {
 	if p >= 1 {
 		panic("tensor: Dropout probability must be < 1")
 	}
-	mask := make([]float32, len(a.Value.Data))
+	mask := tp.c.alloc(a.Value.Rows, a.Value.Cols)
 	scale := 1 / (1 - p)
-	out := New(a.Value.Rows, a.Value.Cols)
+	out := tp.c.alloc(a.Value.Rows, a.Value.Cols)
 	for i, v := range a.Value.Data {
 		if rng.Float32() >= p {
-			mask[i] = scale
+			mask.Data[i] = scale
 			out.Data[i] = v * scale
 		}
 	}
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		ga := g.Clone()
-		for i := range ga.Data {
-			ga.Data[i] *= mask[i]
+		ga := a.ensureGrad()
+		for i, m := range mask.Data {
+			ga.Data[i] += g.Data[i] * m
 		}
-		a.accumulate(ga)
 	})
 }
 
@@ -541,8 +588,8 @@ func (tp *Tape) SoftmaxCrossEntropy(logits *Node, labels []int32) *Node {
 	if len(labels) != n {
 		panic(fmt.Sprintf("tensor: SoftmaxCrossEntropy %d labels for %d rows", len(labels), n))
 	}
-	probs := RowSoftmax(logits.Value)
-	out := New(1, 1)
+	probs := tp.c.RowSoftmax(logits.Value)
+	out := tp.c.alloc(1, 1)
 	var loss float64
 	for i, lab := range labels {
 		p := probs.At(i, int(lab))
@@ -553,11 +600,17 @@ func (tp *Tape) SoftmaxCrossEntropy(logits *Node, labels []int32) *Node {
 	}
 	out.Data[0] = float32(loss / float64(n))
 	return tp.record(out, logits.requiresGrad, func(g *Tensor) {
-		gl := probs.Clone()
+		gl := logits.ensureGrad()
+		scale := g.Data[0] / float32(n)
 		for i, lab := range labels {
-			gl.Data[i*gl.Cols+int(lab)] -= 1
+			grow, prow := gl.Row(i), probs.Row(i)
+			for j, pv := range prow {
+				if int32(j) == lab {
+					grow[j] += (pv - 1) * scale
+				} else {
+					grow[j] += pv * scale
+				}
+			}
 		}
-		gl.ScaleInPlace(g.Data[0] / float32(n))
-		logits.accumulate(gl)
 	})
 }

@@ -5,14 +5,77 @@ import "fmt"
 // MatMulTB records a @ bᵀ for a [n x k] and b [m x k], producing [n x m].
 // Used by the DistMult decoder to score a batch against shared negatives.
 func (tp *Tape) MatMulTB(a, b *Node) *Node {
-	out := MatMulTransposeB(a.Value, b.Value)
+	out := tp.c.MatMulTransposeB(a.Value, b.Value)
 	req := a.requiresGrad || b.requiresGrad
 	return tp.record(out, req, func(g *Tensor) {
 		if a.requiresGrad {
-			a.accumulate(MatMul(g, b.Value))
+			tp.c.MatMulInto(a.ensureGrad(), g, b.Value, true)
 		}
 		if b.requiresGrad {
-			b.accumulate(MatMulTransposeA(g, a.Value))
+			tp.c.MatMulTransposeAInto(b.ensureGrad(), g, a.Value, true)
+		}
+	})
+}
+
+// GatherMatMulTB records a @ table[idx]ᵀ — the fused gather+matmul used
+// for embedding lookups: scoring each row of a against looked-up rows of
+// an embedding table without materializing the gathered matrix. The
+// gradient to a streams the table rows again (fused), and the gradient to
+// the table scatter-adds gᵀ@a into the selected rows.
+func (tp *Tape) GatherMatMulTB(a, table *Node, idx []int32) *Node {
+	out := tp.c.GatherMatMulTB(a.Value, table.Value, idx)
+	req := a.requiresGrad || table.requiresGrad
+	return tp.record(out, req, func(g *Tensor) {
+		if a.requiresGrad {
+			tp.c.matMulGatherInto(a.ensureGrad(), g, table.Value, idx)
+		}
+		if table.requiresGrad {
+			gt := tp.c.MatMulTransposeA(g, a.Value) // [len(idx) x k]
+			ScatterAdd(table.ensureGrad(), gt, idx)
+		}
+	})
+}
+
+// GatherSegmentSum records the fused Gather + SegmentSum over a's rows
+// selected by idx (paper Algorithm 3, lines 1-2, fused). The backward pass
+// scatter-adds each segment's gradient row into the gathered source rows.
+func (tp *Tape) GatherSegmentSum(a *Node, idx []int32, offsets []int32) *Node {
+	out := tp.c.GatherSegmentSum(a.Value, idx, offsets)
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := a.ensureGrad()
+		for s := 0; s < g.Rows; s++ {
+			grow := g.Row(s)
+			end := segmentEnd(offsets, s, len(idx))
+			for r := int(offsets[s]); r < end; r++ {
+				garow := ga.Row(int(idx[r]))
+				for j, v := range grow {
+					garow[j] += v
+				}
+			}
+		}
+	})
+}
+
+// GatherSegmentMean records the fused Gather + SegmentMean; empty segments
+// yield zeros.
+func (tp *Tape) GatherSegmentMean(a *Node, idx []int32, offsets []int32) *Node {
+	out := tp.c.GatherSegmentMean(a.Value, idx, offsets)
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := a.ensureGrad()
+		for s := 0; s < g.Rows; s++ {
+			start, end := int(offsets[s]), segmentEnd(offsets, s, len(idx))
+			cnt := end - start
+			if cnt == 0 {
+				continue
+			}
+			inv := 1 / float32(cnt)
+			grow := g.Row(s)
+			for r := start; r < end; r++ {
+				garow := ga.Row(int(idx[r]))
+				for j, v := range grow {
+					garow[j] += v * inv
+				}
+			}
 		}
 	})
 }
@@ -24,9 +87,17 @@ func (tp *Tape) ScatterAddRows(a *Node, idx []int32, numRows int) *Node {
 	if len(idx) != a.Value.Rows {
 		panic(fmt.Sprintf("tensor: ScatterAddRows %d indices for %d rows", len(idx), a.Value.Rows))
 	}
-	out := New(numRows, a.Value.Cols)
+	out := tp.c.alloc(numRows, a.Value.Cols)
 	ScatterAdd(out, a.Value, idx)
 	return tp.record(out, a.requiresGrad, func(g *Tensor) {
-		a.accumulate(Gather(g, idx))
+		ga := a.ensureGrad()
+		cols := g.Cols
+		for i, id := range idx {
+			grow := g.Data[int(id)*cols : int(id)*cols+cols]
+			garow := ga.Data[i*cols : (i+1)*cols]
+			for j, v := range grow {
+				garow[j] += v
+			}
+		}
 	})
 }

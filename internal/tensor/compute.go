@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Compute is the execution context for the dense kernels: how many
+// goroutines a kernel may fan out to, and which Arena (if any) supplies its
+// output buffers. It is the CPU stand-in for the paper's GPU execution:
+// DENSE's layout lets every kernel split into independent row/segment
+// ranges (the property that makes it fast on SIMT hardware), whereas the
+// baseline's per-edge scatter-add must serialize its accumulation (the
+// property that makes sparse kernels underutilize GPUs). ScatterAdd is
+// therefore deliberately left single-threaded.
+//
+// Determinism: parallelism only ever partitions *output* rows or segments
+// across goroutines — no kernel splits a floating-point reduction. Every
+// output element is accumulated by exactly one goroutine in the same order
+// the serial kernel uses, so kernel results are bitwise identical at every
+// worker count. The worker knob trades latency, never numerics; the only
+// nondeterminism in multi-worker training is pipeline batch ordering.
+//
+// A nil *Compute is valid and behaves as the package default: up to
+// GOMAXPROCS workers, heap-allocated outputs. The free kernel functions
+// (MatMul, Gather, ...) run on this default context.
+type Compute struct {
+	workers int
+	arena   *Arena
+}
+
+// NewCompute returns a context that fans kernels out to at most workers
+// goroutines (workers <= 0 means GOMAXPROCS) and allocates kernel outputs
+// from arena (nil means the heap). The worker cap is authoritative: it is
+// not clamped to GOMAXPROCS, so a 4-worker context exercises real
+// concurrency — and the race detector — even on a single-CPU machine.
+func NewCompute(workers int, arena *Arena) *Compute {
+	return &Compute{workers: workers, arena: arena}
+}
+
+// Workers reports the configured worker cap (0 = GOMAXPROCS).
+func (c *Compute) Workers() int {
+	if c == nil {
+		return 0
+	}
+	return c.workers
+}
+
+// Arena returns the arena kernel outputs are drawn from, or nil.
+func (c *Compute) Arena() *Arena {
+	if c == nil {
+		return nil
+	}
+	return c.arena
+}
+
+func (c *Compute) maxWorkers() int {
+	if c == nil || c.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.workers
+}
+
+// alloc returns a zeroed rows x cols output buffer from the arena when one
+// is attached, else from the heap.
+func (c *Compute) alloc(rows, cols int) *Tensor {
+	if c == nil || c.arena == nil {
+		return New(rows, cols)
+	}
+	return c.arena.Alloc(rows, cols)
+}
+
+// clone copies t into a context-owned buffer.
+func (c *Compute) clone(t *Tensor) *Tensor {
+	out := c.alloc(t.Rows, t.Cols)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// parallelThreshold is the minimum amount of work (rows x cols x depth)
+// before a kernel fans out to multiple goroutines.
+const parallelThreshold = 1 << 14
+
+// serialFor reports whether a kernel over n independent ranges totalling
+// `work` element-operations should run inline. Kernels branch on this
+// BEFORE constructing the fan-out closure, so the serial path — the
+// single-worker deterministic configuration and anything under the work
+// threshold — performs zero heap allocations.
+func (c *Compute) serialFor(n, work int) bool {
+	return n < 2 || work < parallelThreshold || c.maxWorkers() <= 1
+}
+
+// fanOut splits [0, n) into contiguous chunks and runs fn on each
+// concurrently. fn must only write state owned by its range. Callers have
+// already ruled out the serial case via serialFor.
+func (c *Compute) fanOut(n int, fn func(start, end int)) {
+	workers := c.maxWorkers()
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

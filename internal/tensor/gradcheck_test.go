@@ -201,6 +201,102 @@ func TestGradComposite(t *testing.T) {
 	})
 }
 
+func TestGradGatherMatMulTB(t *testing.T) {
+	// Gradcheck for the fused gather+matmul op, including a duplicated
+	// index (row 4 looked up twice) so the scatter-add accumulation in the
+	// table gradient is exercised.
+	rng := rand.New(rand.NewSource(13))
+	a := randn(rng, 3, 4)
+	table := randn(rng, 6, 4)
+	idx := []int32{5, 0, 4, 4}
+	checkGrads(t, "gathermatmultb", []*Tensor{a, table}, func(tp *Tape, n []*Node) *Node {
+		return tp.MeanAll(tp.Tanh(tp.GatherMatMulTB(n[0], n[1], idx)))
+	})
+}
+
+func TestGradGatherSegmentOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randn(rng, 5, 3)
+	idx := []int32{4, 0, 0, 2, 3, 1, 2}
+	offsets := []int32{0, 2, 2, 5} // includes an empty segment
+	checkGrads(t, "gathersegmentsum", []*Tensor{a}, func(tp *Tape, n []*Node) *Node {
+		return tp.MeanAll(tp.Tanh(tp.GatherSegmentSum(n[0], idx, offsets)))
+	})
+	checkGrads(t, "gathersegmentmean", []*Tensor{a}, func(tp *Tape, n []*Node) *Node {
+		return tp.MeanAll(tp.Tanh(tp.GatherSegmentMean(n[0], idx, offsets)))
+	})
+}
+
+func TestFusedOpsMatchUnfusedOnTape(t *testing.T) {
+	// The fused tape ops must produce bitwise-identical values AND
+	// gradients to their unfused compositions.
+	rng := rand.New(rand.NewSource(15))
+	h := randn(rng, 6, 4)
+	idx := []int32{5, 0, 0, 2, 3, 1, 2, 4}
+	offsets := []int32{0, 3, 3, 6}
+	q := randn(rng, 3, 4)
+	lookup := []int32{1, 4, 4, 0}
+
+	run := func(fused bool) (*Tensor, *Tensor, *Tensor) {
+		tp := NewTape()
+		hn := tp.Leaf(h.Clone(), true)
+		qn := tp.Leaf(q.Clone(), true)
+		var agg, scores *Node
+		if fused {
+			agg = tp.GatherSegmentMean(hn, idx, offsets)
+			scores = tp.GatherMatMulTB(qn, hn, lookup)
+		} else {
+			agg = tp.SegmentMean(tp.Gather(hn, idx), offsets)
+			scores = tp.MatMulTB(qn, tp.Gather(hn, lookup))
+		}
+		loss := tp.Add(tp.MeanAll(tp.Tanh(agg)), tp.MeanAll(tp.Tanh(scores)))
+		tp.Backward(loss)
+		return loss.Value, hn.Grad(), qn.Grad()
+	}
+	lf, hf, qf := run(true)
+	lu, hu, qu := run(false)
+	if lf.Data[0] != lu.Data[0] {
+		t.Fatalf("fused loss %v != unfused %v", lf.Data[0], lu.Data[0])
+	}
+	if !hf.Equal(hu, 0) || !qf.Equal(qu, 0) {
+		t.Fatal("fused gradients differ from unfused composition")
+	}
+}
+
+func TestArenaTapeGradientsMatchHeapTape(t *testing.T) {
+	// The same graph built on an arena-backed multi-worker tape must yield
+	// bitwise-identical values and gradients to the default heap tape.
+	rng := rand.New(rand.NewSource(16))
+	x := randn(rng, 12, 6)
+	w := randn(rng, 6, 5)
+	idx := []int32{0, 3, 3, 7, 11, 5}
+	labels := []int32{0, 2, 1, 4, 3, 0}
+
+	build := func(tp *Tape) (*Tensor, *Tensor, *Tensor) {
+		xn := tp.Leaf(x, true)
+		wn := tp.Leaf(w, true)
+		h := tp.ReLU(tp.MatMul(xn, wn))
+		logits := tp.Gather(h, idx)
+		loss := tp.SoftmaxCrossEntropy(logits, labels)
+		tp.Backward(loss)
+		return loss.Value, xn.Grad(), wn.Grad()
+	}
+	lh, xh, wh := build(NewTape())
+	arena := NewArena()
+	tp := NewTapeWith(NewCompute(4, arena))
+	for pass := 0; pass < 3; pass++ {
+		tp.Reset()
+		arena.Reset()
+		la, xa, wa := build(tp)
+		if la.Data[0] != lh.Data[0] {
+			t.Fatalf("pass %d: arena loss %v != heap %v", pass, la.Data[0], lh.Data[0])
+		}
+		if !xa.Equal(xh, 0) || !wa.Equal(wh, 0) {
+			t.Fatalf("pass %d: arena gradients differ from heap gradients", pass)
+		}
+	}
+}
+
 func TestBackwardAccumulatesFanOut(t *testing.T) {
 	// A leaf used twice must receive the sum of both paths' gradients.
 	x := FromSlice(1, 1, []float32{3})

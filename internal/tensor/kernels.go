@@ -5,107 +5,239 @@ import (
 	"math"
 )
 
+// The kernels in this file come in two forms: methods on *Compute, which
+// honor the context's worker cap and arena, and package-level wrappers that
+// run on the default context (GOMAXPROCS workers, heap outputs). All of
+// them preserve floating-point summation order exactly — see the Compute
+// doc — so a kernel's result is bitwise independent of the worker count,
+// the arena, and the blocking, and matches the naive references in
+// reference.go.
+//
+// Each kernel's loop body lives in a named range function; the serial path
+// calls it directly so that single-worker execution — the deterministic
+// training path and the arena's zero-allocation contract — creates no
+// closure and touches the heap not at all. Only a multi-goroutine launch
+// pays the small closure allocation for the fan-out.
+
+// blockK is the k-dimension tile of the blocked matmul: blockK rows of b
+// are streamed repeatedly across a goroutine's row range so they stay
+// cache resident. Tiling over k does not reorder sums — for every output
+// element the p-index still ascends monotonically across tiles.
+const blockK = 64
+
 // MatMul returns a @ b for a [n x k] and b [k x m].
-func MatMul(a, b *Tensor) *Tensor {
+func MatMul(a, b *Tensor) *Tensor { return (*Compute)(nil).MatMul(a, b) }
+
+// MatMul returns a @ b for a [n x k] and b [k x m].
+func (c *Compute) MatMul(a, b *Tensor) *Tensor {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
-	matmulInto(out, a, b, false)
+	out := c.alloc(a.Rows, b.Cols)
+	c.MatMulInto(out, a, b, false)
 	return out
 }
 
-// matmulInto computes out += a@b (accumulate=true) or out = a@b using an
-// ikj loop order that streams rows of b for cache friendliness.
-func matmulInto(out, a, b *Tensor, accumulate bool) {
-	n, k, m := a.Rows, a.Cols, b.Cols
-	if !accumulate {
-		out.Zero()
-	}
-	parallelFor(n, n*k*m, func(start, end int) {
+// matmulRange computes out[start:end] += a[start:end] @ b with k-blocking.
+// For every output element the accumulation order over p is strictly
+// ascending, whether out starts zeroed or holds a prior value (the
+// accumulate case folds new terms onto it in the same ascending order).
+func matmulRange(out, a, b *Tensor, start, end int) {
+	k, m := a.Cols, b.Cols
+	for p0 := 0; p0 < k; p0 += blockK {
+		p1 := min(p0+blockK, k)
 		for i := start; i < end; i++ {
 			arow := a.Data[i*k : (i+1)*k]
 			orow := out.Data[i*m : (i+1)*m]
-			for p := 0; p < k; p++ {
+			for p := p0; p < p1; p++ {
 				av := arow[p]
 				if av == 0 {
 					continue
 				}
-				brow := b.Data[p*m : (p+1)*m]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
+				axpyUnrolled(orow, b.Data[p*m:(p+1)*m], av)
 			}
 		}
-	})
+	}
+}
+
+// axpyUnrolled computes orow[j] += av*brow[j] with 4-wide unrolling. Each
+// element is a single fused term, so unrolling cannot reorder any sum.
+func axpyUnrolled(orow, brow []float32, av float32) {
+	j := 0
+	for ; j+3 < len(brow); j += 4 {
+		o := orow[j : j+4 : j+4]
+		b4 := brow[j : j+4 : j+4]
+		o[0] += av * b4[0]
+		o[1] += av * b4[1]
+		o[2] += av * b4[2]
+		o[3] += av * b4[3]
+	}
+	for ; j < len(brow); j++ {
+		orow[j] += av * brow[j]
+	}
+}
+
+// MatMulInto computes out = a@b, or out += a@b when accumulate is true
+// (new terms fold onto the existing value in ascending-p order). out must
+// be [a.Rows x b.Cols] and must not alias a or b.
+func (c *Compute) MatMulInto(out, a, b *Tensor, accumulate bool) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %dx%d @ %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	n, k, m := a.Rows, a.Cols, b.Cols
+	if !accumulate {
+		out.Zero()
+	}
+	if c.serialFor(n, n*k*m) {
+		matmulRange(out, a, b, 0, n)
+		return
+	}
+	c.fanOut(n, func(s, e int) { matmulRange(out, a, b, s, e) })
 }
 
 // MatMulTransposeA returns aᵀ @ b for a [k x n] and b [k x m].
-func MatMulTransposeA(a, b *Tensor) *Tensor {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulTransposeA shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Cols, b.Cols)
-	k, n, m := a.Rows, a.Cols, b.Cols
-	parallelFor(n, n*k*m, func(start, end int) {
-		for p := 0; p < k; p++ {
-			arow := a.Data[p*n : (p+1)*n]
-			brow := b.Data[p*m : (p+1)*m]
-			for i := start; i < end; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				orow := out.Data[i*m : (i+1)*m]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	})
+func MatMulTransposeA(a, b *Tensor) *Tensor { return (*Compute)(nil).MatMulTransposeA(a, b) }
+
+// MatMulTransposeA returns aᵀ @ b for a [k x n] and b [k x m].
+func (c *Compute) MatMulTransposeA(a, b *Tensor) *Tensor {
+	out := c.alloc(a.Cols, b.Cols)
+	c.MatMulTransposeAInto(out, a, b, false)
 	return out
 }
 
-// MatMulTransposeB returns a @ bᵀ for a [n x k] and b [m x k].
-func MatMulTransposeB(a, b *Tensor) *Tensor {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulTransposeB shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Rows)
-	n, k, m := a.Rows, a.Cols, b.Rows
-	parallelFor(n, n*k*m, func(start, end int) {
+// matmulTARange computes out[start:end] += (aᵀ@b)[start:end] over the
+// columns of a (rows of out); each range walks all of k ascending.
+func matmulTARange(out, a, b *Tensor, start, end int) {
+	k, n, m := a.Rows, a.Cols, b.Cols
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*n : (p+1)*n]
+		brow := b.Data[p*m : (p+1)*m]
 		for i := start; i < end; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*m : (i+1)*m]
-			for j := 0; j < m; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				var s float32
-				for p, av := range arow {
-					s += av * brow[p]
-				}
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			axpyUnrolled(out.Data[i*m:(i+1)*m], brow, av)
+		}
+	}
+}
+
+// MatMulTransposeAInto computes out = aᵀ@b (or += with accumulate, new
+// terms folding onto the existing value in ascending-p order) for
+// a [k x n], b [k x m], out [n x m].
+func (c *Compute) MatMulTransposeAInto(out, a, b *Tensor, accumulate bool) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransposeAInto shape mismatch %dx%d, %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	k, n, m := a.Rows, a.Cols, b.Cols
+	if !accumulate {
+		out.Zero()
+	}
+	if c.serialFor(n, n*k*m) {
+		matmulTARange(out, a, b, 0, n)
+		return
+	}
+	c.fanOut(n, func(s, e int) { matmulTARange(out, a, b, s, e) })
+}
+
+// MatMulTransposeB returns a @ bᵀ for a [n x k] and b [m x k].
+func MatMulTransposeB(a, b *Tensor) *Tensor { return (*Compute)(nil).MatMulTransposeB(a, b) }
+
+// MatMulTransposeB returns a @ bᵀ for a [n x k] and b [m x k].
+func (c *Compute) MatMulTransposeB(a, b *Tensor) *Tensor {
+	out := c.alloc(a.Rows, b.Rows)
+	c.MatMulTransposeBInto(out, a, b, false)
+	return out
+}
+
+// matmulTBRange computes one zero-seeded dot product per output element
+// and either stores it or adds it to the existing value in one addition.
+// Output columns are processed in pairs — two independent dot products per
+// pass over arow — which doubles ILP without touching any element's own
+// ascending-p accumulation order.
+func matmulTBRange(out, a, b *Tensor, accumulate bool, start, end int) {
+	k, m := a.Cols, b.Rows
+	for i := start; i < end; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*m : (i+1)*m]
+		j := 0
+		for ; j+1 < m; j += 2 {
+			b0 := b.Data[j*k : (j+1)*k : (j+1)*k]
+			b1 := b.Data[(j+1)*k : (j+2)*k : (j+2)*k]
+			var s0, s1 float32
+			for p, av := range arow {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+			}
+			if accumulate {
+				orow[j] += s0
+				orow[j+1] += s1
+			} else {
+				orow[j] = s0
+				orow[j+1] = s1
+			}
+		}
+		if j < m {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			if accumulate {
+				orow[j] += s
+			} else {
 				orow[j] = s
 			}
 		}
-	})
-	return out
+	}
+}
+
+// MatMulTransposeBInto computes out = a@bᵀ for a [n x k], b [m x k],
+// out [n x m]. With accumulate, each element's complete dot product is
+// added to the existing value in a single addition.
+func (c *Compute) MatMulTransposeBInto(out, a, b *Tensor, accumulate bool) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransposeBInto shape mismatch %dx%d, %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	n, k, m := a.Rows, a.Cols, b.Rows
+	if c.serialFor(n, n*k*m) {
+		matmulTBRange(out, a, b, accumulate, 0, n)
+		return
+	}
+	c.fanOut(n, func(s, e int) { matmulTBRange(out, a, b, accumulate, s, e) })
 }
 
 // Gather returns the rows of a selected by idx, in order. This is the
 // dense index_select kernel used by DENSE's repr_map (paper Algorithm 3,
 // line 1).
-func Gather(a *Tensor, idx []int32) *Tensor {
-	out := New(len(idx), a.Cols)
-	c := a.Cols
-	parallelFor(len(idx), len(idx)*c, func(start, end int) {
-		for i := start; i < end; i++ {
-			id := int(idx[i])
-			copy(out.Data[i*c:(i+1)*c], a.Data[id*c:id*c+c])
-		}
-	})
+func Gather(a *Tensor, idx []int32) *Tensor { return (*Compute)(nil).Gather(a, idx) }
+
+func gatherRange(out, a *Tensor, idx []int32, start, end int) {
+	cl := a.Cols
+	for i := start; i < end; i++ {
+		id := int(idx[i])
+		copy(out.Data[i*cl:(i+1)*cl], a.Data[id*cl:id*cl+cl])
+	}
+}
+
+// Gather returns the rows of a selected by idx, in order.
+func (c *Compute) Gather(a *Tensor, idx []int32) *Tensor {
+	out := c.alloc(len(idx), a.Cols)
+	if c.serialFor(len(idx), len(idx)*a.Cols) {
+		gatherRange(out, a, idx, 0, len(idx))
+		return out
+	}
+	c.fanOut(len(idx), func(s, e int) { gatherRange(out, a, idx, s, e) })
 	return out
 }
 
-// ScatterAdd accumulates each row of src into row idx[i] of dst.
+// ScatterAdd accumulates each row of src into row idx[i] of dst. It is
+// single-threaded by design: duplicate indices make per-edge scatter an
+// inherently serialized reduction (the baseline-kernel property the paper
+// contrasts DENSE against).
 func ScatterAdd(dst, src *Tensor, idx []int32) {
 	if src.Rows != len(idx) || src.Cols != dst.Cols {
 		panic("tensor: ScatterAdd shape mismatch")
@@ -116,6 +248,162 @@ func ScatterAdd(dst, src *Tensor, idx []int32) {
 		srow := src.Data[i*c : (i+1)*c]
 		for j, v := range srow {
 			drow[j] += v
+		}
+	}
+}
+
+// GatherMatMulTB returns the fused gather+matmul used for embedding
+// lookups: for a [n x k] and table [N x k], the result [n x len(idx)] has
+// out[i][j] = ⟨a[i], table[idx[j]]⟩. It is MatMulTransposeB(a,
+// Gather(table, idx)) without materializing the gathered matrix — the
+// kernel the DistMult decoder uses to score a batch against shared
+// negatives.
+func GatherMatMulTB(a, table *Tensor, idx []int32) *Tensor {
+	return (*Compute)(nil).GatherMatMulTB(a, table, idx)
+}
+
+// gatherMatMulTBRange iterates looked-up rows in the outer loop, in pairs,
+// so each scattered table row is fetched once (m row-jumps total instead
+// of (end-start)*m) and the rows of a stream sequentially with two
+// independent dot products per pass. Each output element remains one
+// zero-seeded ascending-p dot product.
+func gatherMatMulTBRange(out, a, table *Tensor, idx []int32, start, end int) {
+	k, m := a.Cols, len(idx)
+	j := 0
+	for ; j+1 < m; j += 2 {
+		t0 := table.Data[int(idx[j])*k : int(idx[j])*k+k : int(idx[j])*k+k]
+		t1 := table.Data[int(idx[j+1])*k : int(idx[j+1])*k+k : int(idx[j+1])*k+k]
+		for i := start; i < end; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			var s0, s1 float32
+			for p, av := range arow {
+				s0 += av * t0[p]
+				s1 += av * t1[p]
+			}
+			out.Data[i*m+j] = s0
+			out.Data[i*m+j+1] = s1
+		}
+	}
+	if j < m {
+		trow := table.Data[int(idx[j])*k : int(idx[j])*k+k]
+		for i := start; i < end; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * trow[p]
+			}
+			out.Data[i*m+j] = s
+		}
+	}
+}
+
+// GatherMatMulTB computes out[i][j] = ⟨a[i], table[idx[j]]⟩ fused.
+func (c *Compute) GatherMatMulTB(a, table *Tensor, idx []int32) *Tensor {
+	if a.Cols != table.Cols {
+		panic(fmt.Sprintf("tensor: GatherMatMulTB width mismatch %d vs %d", a.Cols, table.Cols))
+	}
+	n, k, m := a.Rows, a.Cols, len(idx)
+	out := c.alloc(n, m)
+	if c.serialFor(n, n*k*m) {
+		gatherMatMulTBRange(out, a, table, idx, 0, n)
+		return out
+	}
+	c.fanOut(n, func(s, e int) { gatherMatMulTBRange(out, a, table, idx, s, e) })
+	return out
+}
+
+func matMulGatherRange(out, g, table *Tensor, idx []int32, start, end int) {
+	m, k := len(idx), table.Cols
+	for i := start; i < end; i++ {
+		grow := g.Data[i*m : (i+1)*m]
+		orow := out.Data[i*k : (i+1)*k]
+		for j, gv := range grow {
+			if gv == 0 {
+				continue
+			}
+			trow := table.Data[int(idx[j])*k : int(idx[j])*k+k]
+			for p, tv := range trow {
+				orow[p] += gv * tv
+			}
+		}
+	}
+}
+
+// matMulGatherInto accumulates out[i] += Σ_j g[i][j] · table[idx[j]] — the
+// gradient of GatherMatMulTB with respect to a, again without
+// materializing the gathered matrix. out is [n x k], g [n x len(idx)],
+// table [N x k].
+func (c *Compute) matMulGatherInto(out, g, table *Tensor, idx []int32) {
+	n, m, k := g.Rows, len(idx), table.Cols
+	if out.Rows != n || out.Cols != k || g.Cols != m {
+		panic("tensor: matMulGatherInto shape mismatch")
+	}
+	if c.serialFor(n, n*k*m) {
+		matMulGatherRange(out, g, table, idx, 0, n)
+		return
+	}
+	c.fanOut(n, func(s, e int) { matMulGatherRange(out, g, table, idx, s, e) })
+}
+
+// GatherSegmentSum fuses Gather + SegmentSum (paper Algorithm 3, lines
+// 1-2): out[s] = Σ_{r in segment s} a[idx[r]], never materializing the
+// [len(idx) x cols] gathered matrix — the largest intermediate of a GNN
+// forward pass. offsets follow the SegmentSum convention over len(idx)
+// rows.
+func GatherSegmentSum(a *Tensor, idx []int32, offsets []int32) *Tensor {
+	return (*Compute)(nil).GatherSegmentSum(a, idx, offsets)
+}
+
+func gatherSegmentSumRange(out, a *Tensor, idx, offsets []int32, lo, hi int) {
+	cl := a.Cols
+	for s := lo; s < hi; s++ {
+		orow := out.Data[s*cl : (s+1)*cl]
+		end := segmentEnd(offsets, s, len(idx))
+		for r := int(offsets[s]); r < end; r++ {
+			arow := a.Data[int(idx[r])*cl : int(idx[r])*cl+cl]
+			for j, v := range arow {
+				orow[j] += v
+			}
+		}
+	}
+}
+
+// GatherSegmentSum fuses Gather + SegmentSum; see the package function.
+func (c *Compute) GatherSegmentSum(a *Tensor, idx []int32, offsets []int32) *Tensor {
+	ns := checkOffsets(offsets, len(idx))
+	out := c.alloc(ns, a.Cols)
+	if c.serialFor(ns, len(idx)*a.Cols) {
+		gatherSegmentSumRange(out, a, idx, offsets, 0, ns)
+		return out
+	}
+	c.fanOut(ns, func(lo, hi int) { gatherSegmentSumRange(out, a, idx, offsets, lo, hi) })
+	return out
+}
+
+// GatherSegmentMean fuses Gather + SegmentMean; empty segments yield a
+// zero row.
+func GatherSegmentMean(a *Tensor, idx []int32, offsets []int32) *Tensor {
+	return (*Compute)(nil).GatherSegmentMean(a, idx, offsets)
+}
+
+// GatherSegmentMean fuses Gather + SegmentMean; see the package function.
+func (c *Compute) GatherSegmentMean(a *Tensor, idx []int32, offsets []int32) *Tensor {
+	out := c.GatherSegmentSum(a, idx, offsets)
+	scaleSegmentMean(out, offsets, len(idx))
+	return out
+}
+
+// scaleSegmentMean divides each summed segment row by its row count,
+// matching SegmentMean's arithmetic exactly.
+func scaleSegmentMean(out *Tensor, offsets []int32, n int) {
+	for s := 0; s < out.Rows; s++ {
+		cnt := segmentEnd(offsets, s, n) - int(offsets[s])
+		if cnt > 1 {
+			inv := 1 / float32(cnt)
+			orow := out.Row(s)
+			for j := range orow {
+				orow[j] *= inv
+			}
 		}
 	}
 }
@@ -155,51 +443,53 @@ func segmentEnd(offsets []int32, s, n int) int {
 
 // SegmentSum sums contiguous row segments of a. The result has one row per
 // segment. This is the dense segment_sum of paper Algorithm 3, line 2.
-func SegmentSum(a *Tensor, offsets []int32) *Tensor {
-	ns := checkOffsets(offsets, a.Rows)
-	out := New(ns, a.Cols)
-	c := a.Cols
-	parallelFor(ns, a.Rows*c, func(lo, hi int) {
-		for s := lo; s < hi; s++ {
-			orow := out.Data[s*c : (s+1)*c]
-			end := segmentEnd(offsets, s, a.Rows)
-			for r := int(offsets[s]); r < end; r++ {
-				arow := a.Data[r*c : (r+1)*c]
-				for j, v := range arow {
-					orow[j] += v
-				}
+func SegmentSum(a *Tensor, offsets []int32) *Tensor { return (*Compute)(nil).SegmentSum(a, offsets) }
+
+func segmentSumRange(out, a *Tensor, offsets []int32, lo, hi int) {
+	cl := a.Cols
+	for s := lo; s < hi; s++ {
+		orow := out.Data[s*cl : (s+1)*cl]
+		end := segmentEnd(offsets, s, a.Rows)
+		for r := int(offsets[s]); r < end; r++ {
+			arow := a.Data[r*cl : (r+1)*cl]
+			for j, v := range arow {
+				orow[j] += v
 			}
 		}
-	})
+	}
+}
+
+// SegmentSum sums contiguous row segments of a.
+func (c *Compute) SegmentSum(a *Tensor, offsets []int32) *Tensor {
+	ns := checkOffsets(offsets, a.Rows)
+	out := c.alloc(ns, a.Cols)
+	if c.serialFor(ns, a.Rows*a.Cols) {
+		segmentSumRange(out, a, offsets, 0, ns)
+		return out
+	}
+	c.fanOut(ns, func(lo, hi int) { segmentSumRange(out, a, offsets, lo, hi) })
 	return out
 }
 
 // SegmentMean averages contiguous row segments of a; empty segments yield a
 // zero row.
-func SegmentMean(a *Tensor, offsets []int32) *Tensor {
-	out := SegmentSum(a, offsets)
-	for s := 0; s < out.Rows; s++ {
-		cnt := segmentEnd(offsets, s, a.Rows) - int(offsets[s])
-		if cnt > 1 {
-			inv := 1 / float32(cnt)
-			orow := out.Row(s)
-			for j := range orow {
-				orow[j] *= inv
-			}
-		}
-	}
+func SegmentMean(a *Tensor, offsets []int32) *Tensor { return (*Compute)(nil).SegmentMean(a, offsets) }
+
+// SegmentMean averages contiguous row segments of a.
+func (c *Compute) SegmentMean(a *Tensor, offsets []int32) *Tensor {
+	out := c.SegmentSum(a, offsets)
+	scaleSegmentMean(out, offsets, a.Rows)
 	return out
 }
 
 // SegmentSoftmax applies a numerically-stable softmax within each contiguous
 // row segment of a column vector a [n x 1]. Used for GAT attention weights.
 func SegmentSoftmax(a *Tensor, offsets []int32) *Tensor {
-	if a.Cols != 1 {
-		panic("tensor: SegmentSoftmax expects a column vector")
-	}
-	ns := checkOffsets(offsets, a.Rows)
-	out := New(a.Rows, 1)
-	for s := 0; s < ns; s++ {
+	return (*Compute)(nil).SegmentSoftmax(a, offsets)
+}
+
+func segmentSoftmaxRange(out, a *Tensor, offsets []int32, lo, hi int) {
+	for s := lo; s < hi; s++ {
 		start, end := int(offsets[s]), segmentEnd(offsets, s, a.Rows)
 		if start == end {
 			continue
@@ -221,13 +511,29 @@ func SegmentSoftmax(a *Tensor, offsets []int32) *Tensor {
 			out.Data[r] *= inv
 		}
 	}
+}
+
+// SegmentSoftmax applies a per-segment softmax; segments are independent,
+// so they split across goroutines.
+func (c *Compute) SegmentSoftmax(a *Tensor, offsets []int32) *Tensor {
+	if a.Cols != 1 {
+		panic("tensor: SegmentSoftmax expects a column vector")
+	}
+	ns := checkOffsets(offsets, a.Rows)
+	out := c.alloc(a.Rows, 1)
+	if c.serialFor(ns, a.Rows*8) {
+		segmentSoftmaxRange(out, a, offsets, 0, ns)
+		return out
+	}
+	c.fanOut(ns, func(lo, hi int) { segmentSoftmaxRange(out, a, offsets, lo, hi) })
 	return out
 }
 
 // RowSoftmax applies a numerically-stable softmax along each row of a.
-func RowSoftmax(a *Tensor) *Tensor {
-	out := New(a.Rows, a.Cols)
-	for i := 0; i < a.Rows; i++ {
+func RowSoftmax(a *Tensor) *Tensor { return (*Compute)(nil).RowSoftmax(a) }
+
+func rowSoftmaxRange(out, a *Tensor, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow, orow := a.Row(i), out.Row(i)
 		maxV := arow[0]
 		for _, v := range arow[1:] {
@@ -246,5 +552,16 @@ func RowSoftmax(a *Tensor) *Tensor {
 			orow[j] *= inv
 		}
 	}
+}
+
+// RowSoftmax applies a softmax along each row; rows split across
+// goroutines.
+func (c *Compute) RowSoftmax(a *Tensor) *Tensor {
+	out := c.alloc(a.Rows, a.Cols)
+	if c.serialFor(a.Rows, a.Rows*a.Cols*8) {
+		rowSoftmaxRange(out, a, 0, a.Rows)
+		return out
+	}
+	c.fanOut(a.Rows, func(lo, hi int) { rowSoftmaxRange(out, a, lo, hi) })
 	return out
 }

@@ -1,0 +1,112 @@
+package tensor
+
+// Naive reference kernels, retained on purpose: the conformance tests check
+// every parallel, blocked, and fused kernel against these on randomized
+// shapes, and cmd/benchkernels reports optimized-vs-naive throughput so the
+// speedup of the real kernels stays measured rather than assumed.
+//
+// Each reference accumulates in the same element order as its optimized
+// counterpart (ascending reduction index), so conformance can demand exact
+// equality, not epsilon closeness.
+
+// RefMatMul is the textbook ijp triple loop with strided element access.
+func RefMatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic("tensor: RefMatMul shape mismatch")
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float32
+			for p := 0; p < a.Cols; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// RefMatMulTransposeA computes aᵀ @ b naively.
+func RefMatMulTransposeA(a, b *Tensor) *Tensor {
+	if a.Rows != b.Rows {
+		panic("tensor: RefMatMulTransposeA shape mismatch")
+	}
+	out := New(a.Cols, b.Cols)
+	for i := 0; i < a.Cols; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float32
+			for p := 0; p < a.Rows; p++ {
+				s += a.At(p, i) * b.At(p, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// RefMatMulTransposeB computes a @ bᵀ naively.
+func RefMatMulTransposeB(a, b *Tensor) *Tensor {
+	if a.Cols != b.Cols {
+		panic("tensor: RefMatMulTransposeB shape mismatch")
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var s float32
+			for p := 0; p < a.Cols; p++ {
+				s += a.At(i, p) * b.At(j, p)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// RefGather selects rows one element at a time.
+func RefGather(a *Tensor, idx []int32) *Tensor {
+	out := New(len(idx), a.Cols)
+	for i, id := range idx {
+		for j := 0; j < a.Cols; j++ {
+			out.Set(i, j, a.At(int(id), j))
+		}
+	}
+	return out
+}
+
+// RefSegmentSum sums segments row by row.
+func RefSegmentSum(a *Tensor, offsets []int32) *Tensor {
+	ns := checkOffsets(offsets, a.Rows)
+	out := New(ns, a.Cols)
+	for s := 0; s < ns; s++ {
+		end := segmentEnd(offsets, s, a.Rows)
+		for r := int(offsets[s]); r < end; r++ {
+			for j := 0; j < a.Cols; j++ {
+				out.Set(s, j, out.At(s, j)+a.At(r, j))
+			}
+		}
+	}
+	return out
+}
+
+// RefSegmentMean averages segments via RefSegmentSum.
+func RefSegmentMean(a *Tensor, offsets []int32) *Tensor {
+	out := RefSegmentSum(a, offsets)
+	scaleSegmentMean(out, offsets, a.Rows)
+	return out
+}
+
+// RefGatherSegmentSum is the unfused composition the fused kernel replaces.
+func RefGatherSegmentSum(a *Tensor, idx []int32, offsets []int32) *Tensor {
+	return RefSegmentSum(RefGather(a, idx), offsets)
+}
+
+// RefGatherSegmentMean is the unfused composition the fused kernel replaces.
+func RefGatherSegmentMean(a *Tensor, idx []int32, offsets []int32) *Tensor {
+	return RefSegmentMean(RefGather(a, idx), offsets)
+}
+
+// RefGatherMatMulTB is the unfused composition the fused kernel replaces.
+func RefGatherMatMulTB(a, table *Tensor, idx []int32) *Tensor {
+	return RefMatMulTransposeB(a, RefGather(table, idx))
+}

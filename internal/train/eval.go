@@ -25,17 +25,23 @@ func EvaluateNC(cfg *NCConfig, src *Source, adj *graph.Adjacency, labels []int32
 	if batch <= 0 {
 		batch = 1024
 	}
+	// Evaluation reuses one arena-backed tape across batches, like the
+	// training compute stage, with kernel parallelism from cfg.Workers.
+	arena := tensor.NewArena()
+	tp := tensor.NewTapeWith(tensor.NewCompute(cfg.Workers, arena))
+	var binds map[string]*tensor.Node
 	for lo := 0; lo < len(nodes); lo += batch {
 		hi := min(lo+batch, len(nodes))
 		targets := nodes[lo:hi]
 		d := smp.Sample(targets)
-		h0t := tensor.New(len(d.NodeIDs), src.Nodes.Dim())
+		tp.Reset()
+		arena.Reset()
+		h0t := tp.Alloc(len(d.NodeIDs), src.Nodes.Dim())
 		if err := src.Nodes.Gather(d.NodeIDs, h0t); err != nil {
 			return 0, err
 		}
-		tp := tensor.NewTape()
-		params := cfg.Params.Bind(tp)
-		logits := cfg.Encoder.Forward(tp, params, d, tp.Constant(h0t))
+		binds = cfg.Params.BindInto(tp, binds)
+		logits := cfg.Encoder.Forward(tp, binds, d, tp.Constant(h0t))
 		batchLabels := make([]int32, len(targets))
 		for i, v := range targets {
 			batchLabels[i] = labels[v]
@@ -54,6 +60,7 @@ type LPEvalConfig struct {
 	Dirs      graph.Directions
 	Negatives int // negatives per batch; 0 ranks against all entities
 	BatchSize int
+	Workers   int // kernel parallelism; <= 0 means GOMAXPROCS
 	Seed      int64
 }
 
@@ -96,6 +103,9 @@ func EvaluateLP(cfg LPEvalConfig, emb *tensor.Tensor, adj *graph.Adjacency, edge
 		smp = sampler.New(adj, cfg.Fanouts, cfg.Dirs, cfg.Seed)
 	}
 	store := tensorStore{emb}
+	arena := tensor.NewArena()
+	tp := tensor.NewTapeWith(tensor.NewCompute(cfg.Workers, arena))
+	var binds map[string]*tensor.Node
 	for lo := 0; lo < len(edges); lo += cfg.BatchSize {
 		hi := min(lo+cfg.BatchSize, len(edges))
 		batch := edges[lo:hi]
@@ -119,8 +129,9 @@ func EvaluateLP(cfg LPEvalConfig, emb *tensor.Tensor, adj *graph.Adjacency, edge
 		}
 		unique, idx := uniqueIndex(srcs, dsts, negs)
 
-		tp := tensor.NewTape()
-		params := cfg.Params.Bind(tp)
+		tp.Reset()
+		arena.Reset()
+		binds = cfg.Params.BindInto(tp, binds)
 		var ids []int32
 		var d *sampler.DENSE
 		if cfg.Encoder != nil {
@@ -129,20 +140,17 @@ func EvaluateLP(cfg LPEvalConfig, emb *tensor.Tensor, adj *graph.Adjacency, edge
 		} else {
 			ids = unique
 		}
-		h0t := tensor.New(len(ids), emb.Cols)
+		h0t := tp.Alloc(len(ids), emb.Cols)
 		if err := store.Gather(ids, h0t); err != nil {
 			return 0, err
 		}
 		var enc *tensor.Node
 		if cfg.Encoder != nil {
-			enc = cfg.Encoder.Forward(tp, params, d, tp.Constant(h0t))
+			enc = cfg.Encoder.Forward(tp, binds, d, tp.Constant(h0t))
 		} else {
 			enc = tp.Constant(h0t)
 		}
-		srcEnc := tp.Gather(enc, idx[0])
-		dstEnc := tp.Gather(enc, idx[1])
-		negEnc := tp.Gather(enc, idx[2])
-		_, pos, negD, _ := cfg.Decoder.Loss(tp, params, srcEnc, dstEnc, negEnc, rels)
+		_, pos, negD, _ := cfg.Decoder.Loss(tp, binds, enc, idx[0], idx[1], idx[2], rels)
 		mrr.Add(decoder.BatchMRR(pos.Value, negD.Value), float64(len(batch)))
 	}
 	return mrr.Mean(), nil

@@ -51,6 +51,13 @@ type LPTrainer struct {
 	Pol policy.Policy
 
 	epoch int
+
+	// The compute stage owns one arena and one tape, recycled every batch:
+	// steady-state forward/backward allocates from the arena, not the heap.
+	// Kernel parallelism follows Cfg.Workers (the marius.WithWorkers knob).
+	arena *tensor.Arena
+	tape  *tensor.Tape
+	binds map[string]*tensor.Node
 }
 
 // NewLP returns a trainer; cfg defaults are applied (workers=4, depth=4).
@@ -65,7 +72,10 @@ func NewLP(cfg LPConfig, src *Source, pol policy.Policy) *LPTrainer {
 		cfg.Workers = 1
 		cfg.PipelineDepth = 1
 	}
-	return &LPTrainer{Cfg: cfg, Src: src, Pol: pol}
+	t := &LPTrainer{Cfg: cfg, Src: src, Pol: pol}
+	t.arena = tensor.NewArena()
+	t.tape = tensor.NewTapeWith(tensor.NewCompute(cfg.Workers, t.arena))
+	return t
 }
 
 // Epoch returns the number of completed epochs.
@@ -363,8 +373,14 @@ func (t *LPTrainer) sampleWorker(ctx context.Context, adj *graph.Adjacency, pool
 // DENSE, loss/gradients, dense parameter update, and write-back of
 // base-representation updates.
 func (t *LPTrainer) computeBatch(pb *preparedLP) (loss float64, batchMRR float64, err error) {
-	tp := tensor.NewTape()
-	params := t.Cfg.Params.Bind(tp)
+	// Recycle the previous batch's tape nodes and arena buffers. Everything
+	// the tape produces below is arena-owned and fully consumed (optimizer
+	// step, representation write-back, loss, MRR) before returning.
+	tp := t.tape
+	tp.Reset()
+	t.arena.Reset()
+	t.binds = t.Cfg.Params.BindInto(tp, t.binds)
+	params := t.binds
 	h0 := tp.Leaf(pb.h0, true)
 
 	var enc *tensor.Node
@@ -376,11 +392,7 @@ func (t *LPTrainer) computeBatch(pb *preparedLP) (loss float64, batchMRR float64
 	default:
 		enc = h0
 	}
-	srcEnc := tp.Gather(enc, pb.srcIdx)
-	dstEnc := tp.Gather(enc, pb.dstIdx)
-	negEnc := tp.Gather(enc, pb.negIdx)
-
-	lossNode, pos, negD, _ := t.Cfg.Decoder.Loss(tp, params, srcEnc, dstEnc, negEnc, pb.rels)
+	lossNode, pos, negD, _ := t.Cfg.Decoder.Loss(tp, params, enc, pb.srcIdx, pb.dstIdx, pb.negIdx, pb.rels)
 	tp.Backward(lossNode)
 
 	nn.Apply(t.Cfg.DenseOpt, t.Cfg.Params, params, t.Cfg.ClipNorm)

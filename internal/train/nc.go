@@ -48,6 +48,13 @@ type NCTrainer struct {
 	TrainNodes []int32
 
 	epoch int
+
+	// The compute stage owns one arena and one tape, recycled every batch:
+	// steady-state forward/backward allocates from the arena, not the heap.
+	// Kernel parallelism follows Cfg.Workers (the marius.WithWorkers knob).
+	arena *tensor.Arena
+	tape  *tensor.Tape
+	binds map[string]*tensor.Node
 }
 
 // NewNC returns a trainer with defaults applied.
@@ -62,7 +69,10 @@ func NewNC(cfg NCConfig, src *Source, pol policy.Policy, labels []int32, trainNo
 		cfg.Workers = 1
 		cfg.PipelineDepth = 1
 	}
-	return &NCTrainer{Cfg: cfg, Src: src, Pol: pol, Labels: labels, TrainNodes: trainNodes}
+	t := &NCTrainer{Cfg: cfg, Src: src, Pol: pol, Labels: labels, TrainNodes: trainNodes}
+	t.arena = tensor.NewArena()
+	t.tape = tensor.NewTapeWith(tensor.NewCompute(cfg.Workers, t.arena))
+	return t
 }
 
 // Epoch returns the number of completed epochs.
@@ -335,8 +345,14 @@ func (t *NCTrainer) sampleWorker(ctx context.Context, adj *graph.Adjacency, seed
 }
 
 func (t *NCTrainer) computeBatch(pb *preparedNC) (loss, accuracy float64, err error) {
-	tp := tensor.NewTape()
-	params := t.Cfg.Params.Bind(tp)
+	// Recycle the previous batch's tape nodes and arena buffers. Everything
+	// the tape produces below is arena-owned and fully consumed (optimizer
+	// step, loss, accuracy) before this function returns.
+	tp := t.tape
+	tp.Reset()
+	t.arena.Reset()
+	t.binds = t.Cfg.Params.BindInto(tp, t.binds)
+	params := t.binds
 	h0 := tp.Leaf(pb.h0, false) // fixed features: no base-representation updates
 
 	var logits *tensor.Node

@@ -1,0 +1,92 @@
+package marius_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/marius"
+)
+
+// Determinism regression for the PR 1 contract, now guarding the parallel
+// kernel rebuild: with WithWorkers(1), two independently constructed
+// sessions with the same seed must produce byte-identical checkpoints, and
+// a session restored from one of them must continue to the exact same
+// evaluation value as an uninterrupted run. The tensor kernels promise
+// bitwise-identical results at every worker count (parallelism never
+// reorders floating-point sums), so any drift here means a kernel, the
+// arena, or the tape recycling broke the deterministic path.
+
+func trainAndSave(t *testing.T, epochs int, path string) *marius.Session {
+	t.Helper()
+	sess := lpSession(t, false, "")
+	if _, err := sess.Run(context.Background(), marius.Epochs(epochs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func TestSeededSingleWorkerCheckpointsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.ckpt")
+	p2 := filepath.Join(dir, "b.ckpt")
+	s1 := trainAndSave(t, 2, p1)
+	defer s1.Close()
+	s2 := trainAndSave(t, 2, p2)
+	defer s2.Close()
+
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) == 0 {
+		t.Fatal("empty checkpoint")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("checkpoints differ (%d vs %d bytes): single-worker training is no longer bit-reproducible", len(b1), len(b2))
+	}
+}
+
+func TestRestoredSessionContinuesToSameEval(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "resume.ckpt")
+
+	// Uninterrupted reference: 3 epochs straight.
+	ref := lpSession(t, false, "")
+	defer ref.Close()
+	if _, err := ref.Run(context.Background(), marius.Epochs(3)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Evaluate(marius.ValidSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: 2 epochs, save, restore into a fresh session, 1 more.
+	saved := trainAndSave(t, 2, ckpt)
+	saved.Close()
+	resumed := lpSession(t, false, "")
+	defer resumed.Close()
+	if err := resumed.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.Run(context.Background(), marius.Epochs(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Evaluate(marius.ValidSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value {
+		t.Fatalf("resumed eval %v != uninterrupted eval %v: restore no longer continues the exact trajectory", got.Value, want.Value)
+	}
+}

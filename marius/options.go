@@ -45,8 +45,7 @@ const (
 )
 
 // Paper defaults (§7.3 and the training setup of §7.1), the single source
-// of truth shared by the options API, cmd/mariusgnn flag defaults, and the
-// deprecated internal/core shim.
+// of truth shared by the options API and the cmd/mariusgnn flag defaults.
 const (
 	DefaultDim        = 32
 	DefaultBatchSize  = 1024
@@ -300,11 +299,14 @@ func WithLearningRates(lr, embLR float32) Option {
 	}
 }
 
-// WithWorkers sets the number of sampling workers feeding the compute
-// stage. With a single worker the pipeline runs synchronously and training
-// is bit-reproducible (a resumed checkpoint continues the exact
-// trajectory); more workers pipeline sampling against compute with bounded
-// staleness, as the paper's execution engine does.
+// WithWorkers sets the compute-parallelism knob: n sampling workers feed
+// the compute stage, and the tensor kernels of the forward/backward pass
+// may fan out to n goroutines. Kernels are bitwise deterministic at every
+// worker count (parallelism never reorders floating-point sums), so the
+// only nondeterminism more workers introduce is pipeline batch ordering
+// with bounded staleness, as the paper's execution engine does. With a
+// single worker the stages alternate synchronously and training is
+// bit-reproducible (a resumed checkpoint continues the exact trajectory).
 func WithWorkers(n int) Option {
 	return func(o *Options) error {
 		if n <= 0 {

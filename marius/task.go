@@ -316,7 +316,8 @@ func (t *lpTask) Evaluate(split Split) (EvalResult, error) {
 	mrr, err := train.EvaluateLP(train.LPEvalConfig{
 		Encoder: t.enc, Params: t.ps, Decoder: t.dec,
 		Fanouts: t.opts.Fanouts, Dirs: graph.Both,
-		Negatives: negatives, BatchSize: t.opts.BatchSize, Seed: t.opts.Seed + 3,
+		Negatives: negatives, BatchSize: t.opts.BatchSize,
+		Workers: t.opts.Workers, Seed: t.opts.Seed + 3,
 	}, emb, t.adj(), edges)
 	if err != nil {
 		return res, err
