@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-kernels bench-baseline check
+.PHONY: build test race race-pipeline bench-kernels bench-pipeline bench-baseline check
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,23 @@ race:
 bench-kernels:
 	$(GO) run ./cmd/benchkernels -short -check -o /tmp/BENCH_kernels.json
 
-# Refresh the checked-in full-shape baseline (commit the result).
+# Race coverage focused on the pipelined epoch executor: the executor's
+# own ordering/bounding/abort tests plus full NC and LP epochs with
+# WithPipeline(2) and WithWorkers(4).
+race-pipeline:
+	$(GO) test -race ./internal/pipeline/
+	$(GO) test -race -run Pipeline ./marius/
+
+# Short-mode pipeline benchmark with hard floors: >=1.5x epoch speedup
+# over the serial loop under a calibrated disk throttle, and a loss
+# trajectory identical to the serial run (the equivalence contract).
+# Writes to /tmp so the checked-in full-size baseline is never clobbered.
+bench-pipeline:
+	$(GO) run ./cmd/benchpipeline -short -check -o /tmp/BENCH_pipeline.json
+
+# Refresh the checked-in full-shape baselines (commit the results).
 bench-baseline:
 	$(GO) run ./cmd/benchkernels -check -o BENCH_kernels.json
+	$(GO) run ./cmd/benchpipeline -check -o BENCH_pipeline.json
 
-check: build test race bench-kernels
+check: build test race bench-kernels bench-pipeline

@@ -44,6 +44,8 @@ func main() {
 		capacity = flag.Int("capacity", 0, "buffer capacity (0 = auto-tune)")
 		logical  = flag.Int("logical", 0, "logical partitions (0 = auto-tune)")
 		baseline = flag.Bool("baseline", false, "use DGL/PyG-style baseline execution")
+		pipeline = flag.Int("pipeline", 0, "visits prefetched ahead of the trainer (0 = serial epoch loop)")
+		workers  = flag.Int("workers", marius.DefaultWorkers, "batch-construction workers / kernel fan-out")
 		mbps     = flag.Float64("disk-mbps", 0, "simulated disk bandwidth in MB/s (0 = unlimited)")
 		patience = flag.Int("patience", 0, "early-stopping patience in epochs (0 = off)")
 		ckpt     = flag.String("checkpoint", "", "save a resumable checkpoint here every epoch")
@@ -102,6 +104,10 @@ func main() {
 	}
 	if *baseline {
 		opts = append(opts, marius.WithBaseline())
+	}
+	opts = append(opts, marius.WithWorkers(*workers))
+	if *pipeline > 0 {
+		opts = append(opts, marius.WithPipeline(*pipeline))
 	}
 
 	var g *graph.Graph

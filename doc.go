@@ -57,16 +57,44 @@
 // The arena belongs to exactly one goroutine (the compute stage); sampling
 // workers heap-allocate their own batch buffers.
 //
+// # The pipeline
+//
+// internal/pipeline is the pipelined epoch executor (paper Fig. 2, steps
+// A-D): every epoch runs as three bounded-queue produce/consume stages.
+// The prefetcher — one goroutine walking the policy plan through a
+// lookahead iterator (policy.Lookahead), up to WithPipeline(depth) visits
+// ahead of the trainer — issues async node-partition loads into a small
+// pool of reusable staging buffers (storage.DiskNodeStore.Prefetch),
+// reads the visit's edge buckets, builds its adjacency, and derives its
+// batch seeds. The batch-construction stage — WithWorkers(n) goroutines —
+// runs DENSE multi-hop and negative sampling on loaded visits, at most
+// workers+depth batches in flight. The compute stage — the trainer's
+// goroutine — admits each visit (the partition-buffer swap, consuming
+// staged data; dirty evictions are written back by a background goroutine,
+// double-buffering both sides of the admit/evict schedule) and consumes
+// batches through the arena/tape trainer. EpochStats.Pipeline reports the
+// depth, prefetched visits, and stall times; EpochStats.IO counts
+// partition prefetch hits and misses. cmd/benchpipeline measures the
+// executor against the serial loop under a calibrated disk throttle and
+// writes BENCH_pipeline.json (the checked-in baseline, >=1.5x epoch
+// speedup enforced by `make bench-pipeline`).
+//
 // # Determinism contract
 //
 // Kernels never reorder floating-point sums: parallel tiling, k-blocking,
 // unrolling, fusion, and the arena all preserve each output element's
 // exact accumulation order (enforced by exact-equality conformance tests
-// against the naive references). The only nondeterminism in training is
-// pipeline batch ordering with WithWorkers(n>1); with WithWorkers(1) the
-// stages alternate synchronously and training is bit-reproducible — two
-// equally-seeded runs write byte-identical checkpoints, and a restored
-// session continues the exact trajectory.
+// against the naive references). The pipeline preserves the trajectory on
+// top of that: batches compute in exact plan order; each visit and batch
+// draws from its own pre-derived seed (so construction can run early, on
+// any worker, without touching a shared RNG stream); and base
+// representations are gathered at compute time, never at build time (so
+// batch k+1 always sees batch k's embedding write-back — no staleness).
+// Training is therefore bit-reproducible at every WithWorkers and
+// WithPipeline setting — two equally-seeded runs write byte-identical
+// checkpoints, a pipelined run's checkpoint is byte-identical to the
+// serial run's, and a restored session continues the exact trajectory.
+// Concurrency only changes wall-clock overlap.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation section; `go run ./cmd/benchtables` prints them

@@ -157,6 +157,100 @@ func TestNodeCacheFallbackRotatesThroughAll(t *testing.T) {
 	}
 }
 
+func TestLookaheadIterator(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pl := Beta{P: 8, C: 3}.NewEpochPlan(rng)
+	la := NewLookahead(pl)
+
+	// Before consuming anything, NextK(2) previews visits 0 and 1.
+	win := la.NextK(2)
+	if len(win) != 2 || win[0] != &pl.Visits[0] || win[1] != &pl.Visits[1] {
+		t.Fatalf("initial window wrong: %v", win)
+	}
+	if la.NextK(0) != nil || la.NextK(-1) != nil {
+		t.Fatal("non-positive window must be empty")
+	}
+
+	for i := range pl.Visits {
+		// The window never includes consumed visits and shrinks at the end.
+		win := la.NextK(3)
+		wantLen := min(3, len(pl.Visits)-i)
+		if len(win) != wantLen {
+			t.Fatalf("pos %d: window %d, want %d", i, len(win), wantLen)
+		}
+		for j, v := range win {
+			if v != &pl.Visits[i+j] {
+				t.Fatalf("pos %d: window[%d] is not visit %d", i, j, i+j)
+			}
+		}
+		v, vi, ok := la.Next()
+		if !ok || vi != i || v != &pl.Visits[i] {
+			t.Fatalf("Next at %d returned (%v,%d,%v)", i, v, vi, ok)
+		}
+		if la.Pos() != i+1 {
+			t.Fatalf("Pos = %d, want %d", la.Pos(), i+1)
+		}
+	}
+	if _, _, ok := la.Next(); ok {
+		t.Fatal("iterator must be exhausted")
+	}
+	if la.NextK(5) != nil {
+		t.Fatal("window past the end must be empty")
+	}
+}
+
+func TestVerifyLookahead(t *testing.T) {
+	// One-swap cover plans stage exactly one partition per future visit:
+	// lookahead k needs at most k staged partitions.
+	rng := rand.New(rand.NewSource(10))
+	pl := Beta{P: 10, C: 4}.NewEpochPlan(rng)
+	for k := 1; k <= 3; k++ {
+		if err := pl.VerifyLookahead(k, k); err != nil {
+			t.Fatalf("lookahead %d with %d staging buffers: %v", k, k, err)
+		}
+	}
+	if err := pl.VerifyLookahead(0, 0); err != nil {
+		t.Fatalf("zero lookahead needs no staging: %v", err)
+	}
+	if err := pl.VerifyLookahead(-1, 4); err == nil {
+		t.Fatal("negative lookahead must be rejected")
+	}
+
+	// A hand-built plan that swaps the entire buffer each visit: one
+	// visit of lookahead already demands a full buffer of staging.
+	full := &Plan{NumPartitions: 4, Visits: []Visit{
+		{Mem: []int{0, 1}},
+		{Mem: []int{2, 3}},
+	}}
+	if err := full.VerifyLookahead(1, 1); err == nil {
+		t.Fatal("full-buffer swap with 1 staging buffer must fail")
+	}
+	if err := full.VerifyLookahead(1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// NodeCache plans carry no buckets but must still verify lookahead.
+	ncPl := NodeCache{P: 10, C: 3, TrainParts: 5}.NewEpochPlan(rand.New(rand.NewSource(11)))
+	if err := ncPl.VerifyLookahead(1, 1); err != nil {
+		t.Fatalf("rotation plan swaps one partition per visit: %v", err)
+	}
+}
+
+func TestMaxLookahead(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pl := Beta{P: 8, C: 3}.NewEpochPlan(rng)
+	if got := pl.MaxLookahead(2); got < 2 {
+		t.Fatalf("one-swap plan with 2 staging buffers should allow lookahead >= 2, got %d", got)
+	}
+	full := &Plan{NumPartitions: 4, Visits: []Visit{
+		{Mem: []int{0, 1}},
+		{Mem: []int{2, 3}},
+	}}
+	if got := full.MaxLookahead(1); got != 0 {
+		t.Fatalf("full swap with 1 buffer: MaxLookahead = %d, want 0", got)
+	}
+}
+
 func TestTotalLoadsNearLowerBound(t *testing.T) {
 	// The cover traversal's IO should be within a modest factor of the
 	// p²/(2(c-1)) pairwise lower bound (paper cites near-minimal IO).

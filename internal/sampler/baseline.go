@@ -65,6 +65,10 @@ func NewLayered(adj *graph.Adjacency, fanouts []int, dirs graph.Directions, seed
 	return &LayeredSampler{Adj: adj, Fanouts: fanouts, Dirs: dirs, rng: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed re-seeds the sampler's RNG in place (per-batch determinism, as
+// Sampler.Reseed).
+func (s *LayeredSampler) Reseed(seed int64) { s.rng.Seed(seed) }
+
 // Sample builds the layered blocks for the given unique targets.
 func (s *LayeredSampler) Sample(targets []int32) *LayeredSample {
 	k := len(s.Fanouts)

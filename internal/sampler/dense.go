@@ -176,6 +176,12 @@ func New(adj *graph.Adjacency, fanouts []int, dirs graph.Directions, seed int64)
 	}
 }
 
+// Reseed re-seeds the sampler's RNG in place. The pipelined trainer
+// derives one seed per mini batch and reseeds before sampling it, so a
+// batch's sample is a pure function of (adjacency, targets, seed) — the
+// same no matter which worker builds it or in what order.
+func (s *Sampler) Reseed(seed int64) { s.rng.Seed(seed) }
+
 // Reset swaps in a new adjacency (e.g., after a partition-buffer swap).
 func (s *Sampler) Reset(adj *graph.Adjacency) {
 	s.Adj = adj

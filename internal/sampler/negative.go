@@ -34,6 +34,10 @@ func NewNegativePool(candidates []int32, seed int64) *NegativeSampler {
 // SetPool replaces the candidate pool (used after partition swaps).
 func (ns *NegativeSampler) SetPool(candidates []int32) { ns.candidates = candidates }
 
+// Reseed re-seeds the sampler's RNG in place (per-batch determinism, as
+// Sampler.Reseed).
+func (ns *NegativeSampler) Reseed(seed int64) { ns.rng.Seed(seed) }
+
 // Sample appends n negative node IDs to dst and returns the extended slice.
 func (ns *NegativeSampler) Sample(dst []int32, n int) []int32 {
 	for i := 0; i < n; i++ {

@@ -12,13 +12,27 @@ import (
 // EdgeStore serves edge buckets. Bucket (i,j) holds all edges with source
 // in partition i and destination in partition j; each bucket's edges are
 // stored contiguously (paper §3).
+//
+// Buffer-reuse contract for ReadBucket, identical across backends: the
+// bucket's edges are appended to dst (by value — never views of store
+// internals) and the possibly-reallocated slice is returned; the store
+// retains no reference to dst, so callers may recycle one buffer across
+// calls with dst[:0]. ReadBucket is safe for concurrent use with other
+// reads (the pipeline prefetcher reads buckets while the trainer
+// computes).
 type EdgeStore interface {
-	// ReadBucket appends the edges of bucket (i,j) to dst.
+	// ReadBucket appends the edges of bucket (i,j) to dst and returns the
+	// extended slice, per the buffer-reuse contract above.
 	ReadBucket(i, j int, dst []graph.Edge) ([]graph.Edge, error)
 	// BucketLen returns the number of edges in bucket (i,j).
 	BucketLen(i, j int) int
 	// NumPartitions returns p.
 	NumPartitions() int
+	// Stats returns the store's cumulative read counters. For disk
+	// stores these are real IO; for memory stores, logical bytes served
+	// (len(bucket) * 12 bytes/edge), so callers can reason about edge
+	// traffic uniformly across backends.
+	Stats() *Stats
 	Close() error
 }
 
@@ -26,6 +40,7 @@ type EdgeStore interface {
 type MemoryEdgeStore struct {
 	pt      partition.Partitioning
 	buckets [][]graph.Edge
+	stats   Stats
 }
 
 // NewMemoryEdgeStore buckets edges in memory.
@@ -33,9 +48,17 @@ func NewMemoryEdgeStore(pt partition.Partitioning, edges []graph.Edge) *MemoryEd
 	return &MemoryEdgeStore{pt: pt, buckets: pt.Buckets(edges)}
 }
 
-// ReadBucket implements EdgeStore.
+// ReadBucket implements EdgeStore. Empty buckets are not counted, so the
+// Reads/BytesRead counters match DiskEdgeStore's (which early-returns
+// before performing IO) for identical access patterns.
 func (m *MemoryEdgeStore) ReadBucket(i, j int, dst []graph.Edge) ([]graph.Edge, error) {
-	return append(dst, m.buckets[m.pt.BucketID(i, j)]...), nil
+	b := m.buckets[m.pt.BucketID(i, j)]
+	if len(b) == 0 {
+		return dst, nil
+	}
+	m.stats.Reads.Add(1)
+	m.stats.BytesRead.Add(int64(len(b)) * edgeBytes)
+	return append(dst, b...), nil
 }
 
 // BucketLen implements EdgeStore.
@@ -43,6 +66,9 @@ func (m *MemoryEdgeStore) BucketLen(i, j int) int { return len(m.buckets[m.pt.Bu
 
 // NumPartitions implements EdgeStore.
 func (m *MemoryEdgeStore) NumPartitions() int { return m.pt.NumPartitions }
+
+// Stats implements EdgeStore: logical read counters (no real IO happens).
+func (m *MemoryEdgeStore) Stats() *Stats { return &m.stats }
 
 // Close implements EdgeStore.
 func (m *MemoryEdgeStore) Close() error { return nil }

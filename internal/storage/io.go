@@ -30,36 +30,49 @@ type Stats struct {
 	Reads        atomic.Int64
 	Writes       atomic.Int64
 	Swaps        atomic.Int64
+	// PrefetchHits counts partition loads served from already-completed
+	// prefetch staging (or an in-flight write-back buffer) — the IO
+	// genuinely overlapped compute. PrefetchMisses counts loads whose
+	// read time landed on the critical path: synchronous reads and
+	// blocked waits on still-in-flight staged reads.
+	PrefetchHits   atomic.Int64
+	PrefetchMisses atomic.Int64
 }
 
 // Snapshot returns a plain-value copy of the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		BytesRead:    s.BytesRead.Load(),
-		BytesWritten: s.BytesWritten.Load(),
-		Reads:        s.Reads.Load(),
-		Writes:       s.Writes.Load(),
-		Swaps:        s.Swaps.Load(),
+		BytesRead:      s.BytesRead.Load(),
+		BytesWritten:   s.BytesWritten.Load(),
+		Reads:          s.Reads.Load(),
+		Writes:         s.Writes.Load(),
+		Swaps:          s.Swaps.Load(),
+		PrefetchHits:   s.PrefetchHits.Load(),
+		PrefetchMisses: s.PrefetchMisses.Load(),
 	}
 }
 
 // StatsSnapshot is an immutable copy of Stats.
 type StatsSnapshot struct {
-	BytesRead    int64
-	BytesWritten int64
-	Reads        int64
-	Writes       int64
-	Swaps        int64
+	BytesRead      int64
+	BytesWritten   int64
+	Reads          int64
+	Writes         int64
+	Swaps          int64
+	PrefetchHits   int64
+	PrefetchMisses int64
 }
 
 // Sub returns s - o component-wise.
 func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
-		BytesRead:    s.BytesRead - o.BytesRead,
-		BytesWritten: s.BytesWritten - o.BytesWritten,
-		Reads:        s.Reads - o.Reads,
-		Writes:       s.Writes - o.Writes,
-		Swaps:        s.Swaps - o.Swaps,
+		BytesRead:      s.BytesRead - o.BytesRead,
+		BytesWritten:   s.BytesWritten - o.BytesWritten,
+		Reads:          s.Reads - o.Reads,
+		Writes:         s.Writes - o.Writes,
+		Swaps:          s.Swaps - o.Swaps,
+		PrefetchHits:   s.PrefetchHits - o.PrefetchHits,
+		PrefetchMisses: s.PrefetchMisses - o.PrefetchMisses,
 	}
 }
 

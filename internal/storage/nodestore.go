@@ -130,9 +130,34 @@ type DiskNodeStore struct {
 	stagedMu sync.Mutex
 	staged   map[int]*stagedPartition
 	pending  sync.WaitGroup
+	// Reusable staging buffers (data sized PartSize*dim, opt sized
+	// PartSize): Prefetch pops, LoadSet pushes back after consuming the
+	// staged bytes, bounded to capacity buffers so the pool stays small
+	// even when a pipeline prefetches aggressively. The async write-back
+	// path borrows from the same pool.
+	stagePool    [][]float32
+	stageOptPool [][]float32
+
+	// Evict-side double buffering: dirty evicted partitions are copied
+	// into a staging buffer and written back by a background goroutine,
+	// so the write leaves the trainer's critical path. A load of a
+	// partition with an in-flight write is served from the write buffer
+	// (it is the newest data). wbErr latches the first async write
+	// failure and is surfaced by the next LoadSet/Flush/Close.
+	wbMu      sync.Mutex
+	writeback map[int]*pendingWrite
+	wbPending sync.WaitGroup
+	wbErr     error
 
 	stats    Stats
 	throttle *Throttle
+}
+
+// pendingWrite is one in-flight asynchronous partition write-back.
+type pendingWrite struct {
+	done chan struct{}
+	data []float32
+	opt  []float32
 }
 
 type stagedPartition struct {
@@ -176,6 +201,7 @@ func CreateDiskNodeStore(cfg DiskStoreConfig) (*DiskNodeStore, error) {
 		slotPart:  make([]int, cfg.Capacity),
 		dirty:     make([]bool, cfg.Capacity),
 		staged:    make(map[int]*stagedPartition),
+		writeback: make(map[int]*pendingWrite),
 		throttle:  cfg.Throttle,
 	}
 	for i := range s.slotPart {
@@ -230,6 +256,11 @@ func (s *DiskNodeStore) NumNodes() int { return s.pt.NumNodes }
 // Stats returns the store's IO counters.
 func (s *DiskNodeStore) Stats() *Stats { return &s.stats }
 
+// Capacity returns the buffer capacity c in physical partitions, which
+// also bounds the reusable staging pool (the pipeline clamps its
+// lookahead so staging demand fits — policy.Plan.MaxLookahead).
+func (s *DiskNodeStore) Capacity() int { return s.capacity }
+
 // Resident returns the sorted list of partitions currently buffered.
 func (s *DiskNodeStore) Resident() []int {
 	s.mu.RLock()
@@ -272,24 +303,133 @@ func (s *DiskNodeStore) readPartition(p int, data, opt []float32) error {
 
 // writePartition flushes slot contents for partition p back to disk.
 func (s *DiskNodeStore) writePartition(p, slot int) error {
-	off, count := s.partFloatRange(p)
 	base := slot * s.pt.PartSize * s.dim
-	if err := writeFloats(s.f, off, s.slotData[base:base+count], &s.stats, s.throttle); err != nil {
+	count := s.pt.Rows(p) * s.dim
+	var opt []float32
+	if s.learnable {
+		ob := slot * s.pt.PartSize
+		opt = s.slotOpt[ob : ob+s.pt.Rows(p)]
+	}
+	return s.writePartitionFrom(p, s.slotData[base:base+count], opt)
+}
+
+// writePartitionFrom writes partition p's representation rows (and, for
+// learnable stores, optimizer state) from the given buffers.
+func (s *DiskNodeStore) writePartitionFrom(p int, data, opt []float32) error {
+	off, _ := s.partFloatRange(p)
+	if err := writeFloats(s.f, off, data, &s.stats, s.throttle); err != nil {
 		return fmt.Errorf("storage: write partition %d: %w", p, err)
 	}
 	if s.learnable {
-		start, end := s.pt.Range(p)
-		ob := slot * s.pt.PartSize
-		if err := writeFloats(s.sf, int64(start)*4, s.slotOpt[ob:ob+int(end-start)], &s.stats, s.throttle); err != nil {
+		start, _ := s.pt.Range(p)
+		if err := writeFloats(s.sf, int64(start)*4, opt, &s.stats, s.throttle); err != nil {
 			return fmt.Errorf("storage: write opt state %d: %w", p, err)
 		}
 	}
 	return nil
 }
 
+// waitWriteback blocks until no write-back for p is in flight. Safe to
+// call while holding s.mu: the writer goroutines never take it.
+func (s *DiskNodeStore) waitWriteback(p int) {
+	for {
+		s.wbMu.Lock()
+		wb := s.writeback[p]
+		s.wbMu.Unlock()
+		if wb == nil {
+			return
+		}
+		<-wb.done
+	}
+}
+
+// takeWbErr reports the sticky first async write-back failure.
+func (s *DiskNodeStore) takeWbErr() error {
+	s.wbMu.Lock()
+	defer s.wbMu.Unlock()
+	return s.wbErr
+}
+
+// evictAsync double-buffers the evict side of a swap: partition p's slot
+// contents are copied into staging buffers and written back by a
+// background goroutine, so the (throttled) write happens off the
+// trainer's critical path, overlapped with the next visit's compute. The
+// caller must hold s.mu.
+func (s *DiskNodeStore) evictAsync(p, slot int) {
+	s.waitWriteback(p) // an earlier evict of p must land first (write order)
+	rows := s.pt.Rows(p)
+	s.stagedMu.Lock()
+	data, opt := s.getStageBufs(p)
+	s.stagedMu.Unlock()
+	base := slot * s.pt.PartSize * s.dim
+	copy(data, s.slotData[base:base+rows*s.dim])
+	if s.learnable {
+		ob := slot * s.pt.PartSize
+		copy(opt, s.slotOpt[ob:ob+rows])
+	}
+	wb := &pendingWrite{done: make(chan struct{}), data: data, opt: opt}
+	s.wbMu.Lock()
+	s.writeback[p] = wb
+	s.wbMu.Unlock()
+	s.wbPending.Add(1)
+	go func() {
+		defer s.wbPending.Done()
+		err := s.writePartitionFrom(p, data, opt)
+		// Delete the entry and signal completion in one critical section:
+		// a LoadSet serving a load from wb.data copies under wbMu, so the
+		// buffers cannot be recycled mid-copy.
+		s.wbMu.Lock()
+		if err != nil && s.wbErr == nil {
+			s.wbErr = err
+		}
+		delete(s.writeback, p)
+		close(wb.done)
+		s.wbMu.Unlock()
+		s.stagedMu.Lock()
+		s.putStageBufs(data, opt)
+		s.stagedMu.Unlock()
+	}()
+}
+
+// getStageBufs pops (or allocates) staging buffers for partition p; the
+// caller must hold stagedMu.
+func (s *DiskNodeStore) getStageBufs(p int) (data, opt []float32) {
+	rows := s.pt.Rows(p)
+	if k := len(s.stagePool); k > 0 {
+		data = s.stagePool[k-1][:rows*s.dim]
+		s.stagePool = s.stagePool[:k-1]
+	} else {
+		data = make([]float32, rows*s.dim, s.pt.PartSize*s.dim)
+	}
+	if s.learnable {
+		if k := len(s.stageOptPool); k > 0 {
+			opt = s.stageOptPool[k-1][:rows]
+			s.stageOptPool = s.stageOptPool[:k-1]
+		} else {
+			opt = make([]float32, rows, s.pt.PartSize)
+		}
+	}
+	return data, opt
+}
+
+// putStageBufs returns consumed staging buffers to the pool, keeping at
+// most capacity of each; the caller must hold stagedMu.
+func (s *DiskNodeStore) putStageBufs(data, opt []float32) {
+	if data != nil && len(s.stagePool) < s.capacity {
+		s.stagePool = append(s.stagePool, data[:cap(data)])
+	}
+	if opt != nil && len(s.stageOptPool) < s.capacity {
+		s.stageOptPool = append(s.stageOptPool, opt[:cap(opt)])
+	}
+}
+
 // Prefetch begins loading the given partitions into staging memory in the
 // background (paper Fig. 2 step A: the buffer and IO manager prefetch the
-// next partition set while training proceeds on the current one).
+// next partition set while training proceeds on the current one). Staging
+// memory comes from a small reusable buffer pool; a later LoadSet of the
+// same partitions consumes the staged bytes off the critical path and
+// recycles the buffers. Safe to call concurrently with reads and with
+// LoadSet (the pipeline prefetcher runs it ahead of the trainer).
 func (s *DiskNodeStore) Prefetch(parts []int) {
 	s.mu.RLock()
 	need := make([]int, 0, len(parts))
@@ -306,13 +446,21 @@ func (s *DiskNodeStore) Prefetch(parts []int) {
 		if _, ok := s.staged[p]; ok {
 			continue
 		}
-		sp := &stagedPartition{
-			done: make(chan struct{}),
-			data: make([]float32, s.pt.Rows(p)*s.dim),
+		// Partitions with an in-flight write-back are not staged: the
+		// disk bytes are mid-rewrite, and a later LoadSet serves them
+		// straight from the write buffer anyway. The check lives inside
+		// the stagedMu section that inserts the entry so it cannot race
+		// an eviction: a write-back registered after this check implies
+		// the eviction's staged-entry invalidation (which needs stagedMu)
+		// runs after our insert and removes it.
+		s.wbMu.Lock()
+		_, busy := s.writeback[p]
+		s.wbMu.Unlock()
+		if busy {
+			continue
 		}
-		if s.learnable {
-			sp.opt = make([]float32, s.pt.Rows(p))
-		}
+		sp := &stagedPartition{done: make(chan struct{})}
+		sp.data, sp.opt = s.getStageBufs(p)
 		s.staged[p] = sp
 		s.pending.Add(1)
 		go func(p int, sp *stagedPartition) {
@@ -336,23 +484,35 @@ func (s *DiskNodeStore) LoadSet(parts []int) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// Evict partitions not wanted.
+	if err := s.takeWbErr(); err != nil {
+		return err
+	}
+	// Evict partitions not wanted; dirty ones are written back
+	// asynchronously (the evict side of the double buffer).
 	for p, slot := range s.resident {
 		if want[p] {
 			continue
 		}
 		if s.dirty[slot] {
-			if err := s.writePartition(p, slot); err != nil {
-				return err
-			}
+			s.evictAsync(p, slot)
 		}
 		s.dirty[slot] = false
 		s.slotPart[slot] = -1
 		s.free = append(s.free, slot)
 		delete(s.resident, p)
 		s.stats.Swaps.Add(1)
+		// A prefetch raced with this partition's residency (staged while
+		// it was in the buffer): its bytes predate the write-back above,
+		// so the entry must never be consumed. Drop it; the in-flight
+		// read goroutine still owns the buffer, which is simply not
+		// returned to the pool.
+		s.stagedMu.Lock()
+		delete(s.staged, p)
+		s.stagedMu.Unlock()
 	}
-	// Load missing partitions, preferring staged (prefetched) data.
+	// Load missing partitions: an in-flight write-back buffer is the
+	// freshest copy, then staged (prefetched) data, then a synchronous
+	// read.
 	for _, p := range parts {
 		if _, ok := s.resident[p]; ok {
 			continue
@@ -362,6 +522,22 @@ func (s *DiskNodeStore) LoadSet(parts []int) error {
 		base := slot * s.pt.PartSize * s.dim
 		count := s.pt.Rows(p) * s.dim
 
+		s.wbMu.Lock()
+		if wb := s.writeback[p]; wb != nil {
+			// Copy under wbMu: the writer only recycles wb's buffers
+			// after deleting the entry in its own wbMu section.
+			copy(s.slotData[base:base+count], wb.data)
+			if s.learnable {
+				copy(s.slotOpt[slot*s.pt.PartSize:], wb.opt)
+			}
+			s.wbMu.Unlock()
+			s.stats.PrefetchHits.Add(1)
+			s.resident[p] = slot
+			s.slotPart[slot] = p
+			continue
+		}
+		s.wbMu.Unlock()
+
 		s.stagedMu.Lock()
 		sp := s.staged[p]
 		if sp != nil {
@@ -370,13 +546,31 @@ func (s *DiskNodeStore) LoadSet(parts []int) error {
 		s.stagedMu.Unlock()
 
 		if sp != nil {
-			<-sp.done
+			// A hit means the staged read genuinely overlapped compute:
+			// it had already finished when the swap consumed it. A load
+			// that must block on an in-flight staged read spent the IO on
+			// the critical path and counts as a miss.
+			finished := false
+			select {
+			case <-sp.done:
+				finished = true
+			default:
+				<-sp.done
+			}
 			if sp.err != nil {
 				return sp.err
 			}
 			copy(s.slotData[base:base+count], sp.data)
 			if s.learnable {
 				copy(s.slotOpt[slot*s.pt.PartSize:], sp.opt)
+			}
+			s.stagedMu.Lock()
+			s.putStageBufs(sp.data, sp.opt)
+			s.stagedMu.Unlock()
+			if finished {
+				s.stats.PrefetchHits.Add(1)
+			} else {
+				s.stats.PrefetchMisses.Add(1)
 			}
 		} else {
 			var opt []float32
@@ -386,6 +580,7 @@ func (s *DiskNodeStore) LoadSet(parts []int) error {
 			if err := s.readPartition(p, s.slotData[base:base+count], opt); err != nil {
 				return err
 			}
+			s.stats.PrefetchMisses.Add(1)
 		}
 		s.resident[p] = slot
 		s.slotPart[slot] = p
@@ -438,8 +633,14 @@ func (s *DiskNodeStore) ApplyGrads(ids []int32, grads *tensor.Tensor, opt *nn.Sp
 	return nil
 }
 
-// Flush writes all dirty resident partitions back to disk.
+// Flush writes all dirty resident partitions back to disk and waits for
+// in-flight asynchronous write-backs, so on return every update is
+// durable.
 func (s *DiskNodeStore) Flush() error {
+	s.wbPending.Wait()
+	if err := s.takeWbErr(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for p, slot := range s.resident {
@@ -490,6 +691,7 @@ func (s *DiskNodeStore) Snapshot() (*tensor.Tensor, []float32, error) {
 // the restored state.
 func (s *DiskNodeStore) Restore(table *tensor.Tensor, state []float32) error {
 	s.pending.Wait()
+	s.wbPending.Wait()
 	s.stagedMu.Lock()
 	s.staged = make(map[int]*stagedPartition)
 	s.stagedMu.Unlock()
@@ -526,7 +728,8 @@ func (s *DiskNodeStore) Restore(table *tensor.Tensor, state []float32) error {
 	return nil
 }
 
-// Close flushes and closes the underlying files.
+// Close flushes (including pending asynchronous write-backs) and closes
+// the underlying files.
 func (s *DiskNodeStore) Close() error {
 	s.pending.Wait()
 	err := s.Flush()

@@ -246,6 +246,168 @@ func TestEdgeStoreDiskMatchesMemory(t *testing.T) {
 	}
 }
 
+func TestEdgeStoreStatsUnified(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	const n, p = 60, 3
+	pt := partition.New(n, p)
+	edges := make([]graph.Edge, 200)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n))}
+	}
+	disk, err := CreateDiskEdgeStore(dir, pt, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	// Both backends satisfy the interface and expose identical counters
+	// for identical access patterns: one non-empty ReadBucket accounts
+	// one read of len(bucket)*12 bytes on either store (empty buckets
+	// are skipped by both).
+	var snaps []StatsSnapshot
+	for _, store := range []EdgeStore{NewMemoryEdgeStore(pt, edges), disk} {
+		var buf []graph.Edge
+		var want int64
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				buf = buf[:0] // documented reuse pattern
+				buf, err = store.ReadBucket(i, j, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if store.BucketLen(i, j) > 0 {
+					want += int64(store.BucketLen(i, j)) * edgeBytes
+				}
+			}
+		}
+		snap := store.Stats().Snapshot()
+		if snap.BytesRead != want {
+			t.Fatalf("%T: bytes read %d, want %d", store, snap.BytesRead, want)
+		}
+		if snap.Reads == 0 {
+			t.Fatalf("%T: no reads counted", store)
+		}
+		snaps = append(snaps, snap)
+	}
+	if snaps[0].Reads != snaps[1].Reads || snaps[0].BytesRead != snaps[1].BytesRead {
+		t.Fatalf("backends diverge: memory %+v vs disk %+v", snaps[0], snaps[1])
+	}
+}
+
+func TestPrefetchHitMissCountersAndStagingPool(t *testing.T) {
+	dir := t.TempDir()
+	const n, dim, p, c = 80, 6, 8, 3
+	pt := partition.New(n, p)
+	store, err := CreateDiskNodeStore(DiskStoreConfig{Dir: dir, Part: pt, Dim: dim, Capacity: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	// Initial fill with nothing staged: all misses.
+	if err := store.LoadSet([]int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	snap := store.Stats().Snapshot()
+	if snap.PrefetchMisses != 3 || snap.PrefetchHits != 0 {
+		t.Fatalf("initial fill: hits=%d misses=%d, want 0/3", snap.PrefetchHits, snap.PrefetchMisses)
+	}
+
+	// Completed prefetches count as hits when consumed (a load that
+	// blocks on a still-in-flight staged read would count as a miss, so
+	// wait for the staging reads to land first).
+	store.Prefetch([]int{4, 5})
+	store.pending.Wait()
+	if err := store.LoadSet([]int{2, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	d := store.Stats().Snapshot().Sub(snap)
+	if d.PrefetchHits != 2 || d.PrefetchMisses != 0 {
+		t.Fatalf("after prefetch: hits=%d misses=%d, want 2/0", d.PrefetchHits, d.PrefetchMisses)
+	}
+
+	// The staging buffers were recycled: further prefetch cycles must not
+	// grow the pool beyond capacity.
+	for round := 0; round < 5; round++ {
+		a, b := (round*2)%p, (round*2+1)%p
+		store.Prefetch([]int{a, b})
+		store.pending.Wait()
+		if err := store.LoadSet([]int{a, b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store.stagedMu.Lock()
+	poolLen := len(store.stagePool)
+	store.stagedMu.Unlock()
+	if poolLen == 0 {
+		t.Fatal("staging pool never recycled a buffer")
+	}
+	if poolLen > c {
+		t.Fatalf("staging pool grew to %d buffers, capacity is %d", poolLen, c)
+	}
+}
+
+// A partition staged while resident must never be consumed after a dirty
+// eviction wrote newer bytes: the eviction drops the stale entry.
+func TestStaleStagedEntryDroppedOnEvict(t *testing.T) {
+	dir := t.TempDir()
+	const n, dim, p, c = 40, 4, 4, 2
+	pt := partition.New(n, p)
+	store, err := CreateDiskNodeStore(DiskStoreConfig{Dir: dir, Part: pt, Dim: dim, Capacity: c, Learnable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	opt := nn.NewSparseAdaGrad(1.0)
+
+	if err := store.LoadSet([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Stage partition 0 while it is resident (simulates a prefetcher
+	// racing LoadSet), then dirty it and evict it.
+	store.stagedMu.Lock()
+	delete(store.staged, 0)
+	store.stagedMu.Unlock()
+	store.mu.Lock()
+	delete(store.resident, 0) // make Prefetch believe 0 is not resident
+	store.mu.Unlock()
+	store.Prefetch([]int{0})
+	store.pending.Wait()
+	store.mu.Lock()
+	store.resident[0] = store.slotPart[0] // restore residency (slot 0 holds partition 0)
+	for slot, part := range store.slotPart {
+		if part == 0 {
+			store.resident[0] = slot
+		}
+	}
+	store.mu.Unlock()
+
+	grads := tensor.New(1, dim)
+	grads.Fill(1)
+	if err := store.ApplyGrads([]int32{0}, grads, opt); err != nil {
+		t.Fatal(err)
+	}
+	updated := tensor.New(1, dim)
+	if err := store.Gather([]int32{0}, updated); err != nil {
+		t.Fatal(err)
+	}
+	// Evict 0 (write-back) and bring it back: the stale staged bytes
+	// (pre-update zeros) must not resurface.
+	if err := store.LoadSet([]int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.LoadSet([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	back := tensor.New(1, dim)
+	if err := store.Gather([]int32{0}, back); err != nil {
+		t.Fatal(err)
+	}
+	if !updated.Equal(back, 0) {
+		t.Fatalf("stale staged data resurfaced: %v vs %v", updated, back)
+	}
+}
+
 func TestThrottleEnforcesBandwidth(t *testing.T) {
 	th := NewThrottle(1 << 20) // 1 MiB/s
 	start := time.Now()

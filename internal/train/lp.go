@@ -3,7 +3,6 @@ package train
 import (
 	"context"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,6 +10,7 @@ import (
 	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/nn"
+	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/sampler"
 	"repro/internal/storage"
@@ -35,8 +35,11 @@ type LPConfig struct {
 	EmbOpt   *nn.SparseAdaGrad
 	ClipNorm float64
 
-	// Workers is the number of sampling workers; PipelineDepth bounds the
-	// prepared-batch queue. Both are forced to 1 in ModeBaseline.
+	// Workers is the number of batch-construction goroutines (also the
+	// kernel fan-out of the compute stage). PipelineDepth is how many
+	// visits the prefetcher loads ahead of the trainer; 0 (the default)
+	// is the serial path. Both collapse to the synchronous single-worker
+	// loop in ModeBaseline.
 	Workers       int
 	PipelineDepth int
 
@@ -51,6 +54,7 @@ type LPTrainer struct {
 	Pol policy.Policy
 
 	epoch int
+	edges edgePool
 
 	// The compute stage owns one arena and one tape, recycled every batch:
 	// steady-state forward/backward allocates from the arena, not the heap.
@@ -60,17 +64,18 @@ type LPTrainer struct {
 	binds map[string]*tensor.Node
 }
 
-// NewLP returns a trainer; cfg defaults are applied (workers=4, depth=4).
+// NewLP returns a trainer with defaults applied (workers=4, serial
+// pipeline depth 0).
 func NewLP(cfg LPConfig, src *Source, pol policy.Policy) *LPTrainer {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
-	if cfg.PipelineDepth <= 0 {
-		cfg.PipelineDepth = 4
+	if cfg.PipelineDepth < 0 {
+		cfg.PipelineDepth = 0
 	}
 	if cfg.Mode == ModeBaseline {
 		cfg.Workers = 1
-		cfg.PipelineDepth = 1
+		cfg.PipelineDepth = 0
 	}
 	t := &LPTrainer{Cfg: cfg, Src: src, Pol: pol}
 	t.arena = tensor.NewArena()
@@ -86,27 +91,45 @@ func (t *LPTrainer) Epoch() int { return t.epoch }
 // where the checkpointed run left off.
 func (t *LPTrainer) SetEpoch(e int) { t.epoch = e }
 
-// preparedLP is a mini batch after the sampling stage (Fig. 2 steps 1-3).
+// lpVisit is a visit after the prefetch/load stage: adjacency built,
+// training edges read and shuffled, negative pool and per-batch seeds
+// derived.
+type lpVisit struct {
+	vi         int
+	mem        []int
+	adj        *graph.Adjacency
+	pool       []int32
+	xEdges     []graph.Edge // pooled; recycled by release
+	batchSeeds []int64
+}
+
+// preparedLP is a mini batch after the construction stage (Fig. 2 steps
+// 1-3 minus representation gathering: the compute stage gathers base
+// representations at consumption time, so a batch built ahead of its
+// turn still sees every earlier batch's embedding update — pipelining
+// introduces no staleness).
 type preparedLP struct {
 	d   *sampler.DENSE
 	ls  *sampler.LayeredSample
 	ids []int32 // rows of h0: DENSE NodeIDs / layered input nodes / unique targets
-	h0  *tensor.Tensor
 
 	srcIdx, dstIdx, negIdx []int32
 	rels                   []int32
 	n                      int
 
-	sampleNS     int64
 	nodesSampled int64
 	edgesSampled int64
-	err          error
 }
 
-// TrainEpoch runs one epoch and returns its statistics, checking ctx
-// between visits and batches for clean cancellation. The epoch counter
-// only advances when the epoch completes: a canceled or failed epoch is
-// retried from the same (seed, epoch)-derived RNG stream on the next call.
+// TrainEpoch runs one epoch through the pipeline executor and returns
+// its statistics, checking ctx between visits and batches for clean
+// cancellation. The epoch counter only advances when the epoch
+// completes: a canceled or failed epoch is retried from the same
+// (seed, epoch)-derived RNG stream on the next call.
+//
+// Batches always compute in plan order with per-batch derived seeds, so
+// the epoch's trajectory is identical at every PipelineDepth and Workers
+// setting; concurrency only changes wall-clock overlap.
 func (t *LPTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 	epoch := t.epoch + 1
 	stats := EpochStats{Epoch: epoch}
@@ -122,41 +145,100 @@ func (t *LPTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 	rng := epochRNG(t.Cfg.Seed, epoch)
 	plan := t.Pol.NewEpochPlan(rng)
 	stats.Visits = len(plan.Visits)
+	seeds := visitSeeds(rng, len(plan.Visits))
 	var sampleNS, computeNS atomic.Int64
 	var lossSum float64
-	var mrr float64
-	var mrrW float64
+	var mrr, mrrW float64
 
-	for vi := range plan.Visits {
-		if err := ctxErr(ctx); err != nil {
-			return stats, err
-		}
-		visit := &plan.Visits[vi]
-		memEdges, err := t.Src.loadVisit(visit)
-		if err != nil {
-			return stats, err
-		}
-		if t.Src.Disk != nil && vi+1 < len(plan.Visits) {
-			t.Src.Disk.Prefetch(plan.Visits[vi+1].Mem)
-		}
-		adj := graph.BuildAdjacency(t.Src.NumNodes, memEdges)
-		xEdges, err := t.Src.visitEdges(visit, rng)
-		if err != nil {
-			return stats, err
-		}
-		pool := t.Src.residentNodePool(visit.Mem)
+	depth := clampDepth(t.Cfg.PipelineDepth, plan, t.Src.Disk)
+	pipelined := depth > 0
+	la := policy.NewLookahead(plan)
+	batchers := make([]*lpBatcher, t.Cfg.Workers)
 
-		out := t.runVisit(ctx, rng, adj, pool, xEdges, &sampleNS, &computeNS)
-		if out.err != nil {
-			return stats, out.err
-		}
-		lossSum += out.lossSum
-		mrr += out.mrrSum
-		mrrW += out.mrrWeight
-		stats.Batches += out.batches
-		stats.Examples += out.examples
-		stats.NodesSampled += out.nodes
-		stats.EdgesSampled += out.edges
+	ep := pipeline.Epoch[*lpVisit, *preparedLP]{
+		NumVisits: len(plan.Visits),
+		// Load runs in the prefetcher: async node-partition staging, edge
+		// bucket reads (adjacency + training examples), shuffling and
+		// seed derivation — everything except the buffer swap.
+		Load: func(vi int) (*lpVisit, error) {
+			visit, _, _ := la.Next()
+			if t.Src.Disk != nil && pipelined {
+				// Stage this visit's partitions and those of the whole
+				// lookahead window, so node IO for upcoming visits runs
+				// while earlier visits compute.
+				t.Src.Disk.Prefetch(visit.Mem)
+				for _, nv := range la.NextK(depth) {
+					t.Src.Disk.Prefetch(nv.Mem)
+				}
+			}
+			memEdges, err := t.Src.readMemEdges(visit, &t.edges)
+			if err != nil {
+				return nil, err
+			}
+			xEdges, err := t.Src.readVisitEdges(visit, &t.edges)
+			if err != nil {
+				t.edges.put(memEdges)
+				return nil, err
+			}
+			vrng := rand.New(rand.NewSource(seeds[vi]))
+			vrng.Shuffle(len(xEdges), func(i, j int) { xEdges[i], xEdges[j] = xEdges[j], xEdges[i] })
+
+			v := &lpVisit{vi: vi, mem: visit.Mem, xEdges: xEdges}
+			v.adj = graph.BuildAdjacency(t.Src.NumNodes, memEdges)
+			t.edges.put(memEdges)
+			v.pool = t.Src.residentNodePool(visit.Mem)
+			nBatches := (len(xEdges) + t.Cfg.BatchSize - 1) / t.Cfg.BatchSize
+			v.batchSeeds = batchSeeds(vrng, nBatches)
+			return v, nil
+		},
+		Admit: func(vi int, v *lpVisit) error {
+			if t.Src.Disk == nil {
+				return nil
+			}
+			if err := t.Src.Disk.LoadSet(v.mem); err != nil {
+				return err
+			}
+			if !pipelined && vi+1 < len(plan.Visits) {
+				t.Src.Disk.Prefetch(plan.Visits[vi+1].Mem)
+			}
+			return nil
+		},
+		NumBatches: func(v *lpVisit) int { return len(v.batchSeeds) },
+		Build: func(w int, v *lpVisit, bi int) (*preparedLP, error) {
+			b := batchers[w]
+			if b == nil {
+				b = t.newBatcher()
+				batchers[w] = b
+			}
+			s0 := time.Now()
+			pb := b.prepare(v, bi)
+			sampleNS.Add(time.Since(s0).Nanoseconds())
+			return pb, nil
+		},
+		Compute: func(v *lpVisit, bi int, pb *preparedLP) error {
+			c0 := time.Now()
+			loss, batchMRR, err := t.computeBatch(pb)
+			computeNS.Add(time.Since(c0).Nanoseconds())
+			if err != nil {
+				return err
+			}
+			lossSum += loss
+			mrr += batchMRR * float64(pb.n)
+			mrrW += float64(pb.n)
+			stats.Batches++
+			stats.Examples += pb.n
+			stats.NodesSampled += pb.nodesSampled
+			stats.EdgesSampled += pb.edgesSampled
+			return nil
+		},
+		Release: func(v *lpVisit) {
+			t.edges.put(v.xEdges)
+			v.xEdges = nil
+		},
+	}
+	err := pipeline.Run(ctx, pipeline.Config{Depth: depth, Workers: t.Cfg.Workers}, ep, &stats.Pipeline)
+	if err != nil {
+		return stats, err
 	}
 
 	stats.Duration = time.Since(start)
@@ -175,151 +257,55 @@ func (t *LPTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 	return stats, nil
 }
 
-type visitResult struct {
-	lossSum   float64
-	mrrSum    float64
-	mrrWeight float64
-	batches   int
-	examples  int
-	nodes     int64
-	edges     int64
-	err       error
-}
-
-// runVisit trains on the visit's examples with a sampling worker pool
-// feeding a single compute stage through a bounded queue. With a single
-// worker the pipeline is skipped entirely: sampling and compute alternate
-// synchronously, which removes the bounded-staleness race between batch
-// k's representation write-back and batch k+1's gather and makes training
-// bit-reproducible (checkpoint resume then continues the exact
-// trajectory).
-func (t *LPTrainer) runVisit(ctx context.Context, rng *rand.Rand, adj *graph.Adjacency, pool []int32, xEdges []graph.Edge, sampleNS, computeNS *atomic.Int64) visitResult {
-	var res visitResult
-	nBatches := (len(xEdges) + t.Cfg.BatchSize - 1) / t.Cfg.BatchSize
-	if nBatches == 0 {
-		return res
-	}
-	if t.Cfg.Workers <= 1 {
-		return t.runVisitSync(ctx, rng, adj, pool, xEdges, sampleNS, computeNS)
-	}
-	jobs := make(chan []graph.Edge, nBatches)
-	for b := 0; b < nBatches; b++ {
-		lo := b * t.Cfg.BatchSize
-		hi := min(lo+t.Cfg.BatchSize, len(xEdges))
-		jobs <- xEdges[lo:hi]
-	}
-	close(jobs)
-
-	prepared := make(chan *preparedLP, t.Cfg.PipelineDepth)
-	var wg sync.WaitGroup
-	for w := 0; w < t.Cfg.Workers; w++ {
-		wg.Add(1)
-		seed := rng.Int63()
-		go func(seed int64) {
-			defer wg.Done()
-			t.sampleWorker(ctx, adj, pool, seed, jobs, prepared, sampleNS)
-		}(seed)
-	}
-	go func() {
-		wg.Wait()
-		close(prepared)
-	}()
-
-	for pb := range prepared {
-		if err := ctxErr(ctx); err != nil {
-			if res.err == nil {
-				res.err = err
-			}
-			continue // drain so the workers can exit
-		}
-		if pb.err != nil {
-			if res.err == nil {
-				res.err = pb.err
-			}
-			continue
-		}
-		c0 := time.Now()
-		loss, batchMRR, err := t.computeBatch(pb)
-		computeNS.Add(time.Since(c0).Nanoseconds())
-		if err != nil {
-			if res.err == nil {
-				res.err = err
-			}
-			continue
-		}
-		res.lossSum += loss
-		res.mrrSum += batchMRR * float64(pb.n)
-		res.mrrWeight += float64(pb.n)
-		res.batches++
-		res.examples += pb.n
-		res.nodes += pb.nodesSampled
-		res.edges += pb.edgesSampled
-	}
-	return res
-}
-
-// runVisitSync is the single-worker path: sampling and compute alternate
-// in one goroutine, batch by batch, with no pipeline staleness.
-func (t *LPTrainer) runVisitSync(ctx context.Context, rng *rand.Rand, adj *graph.Adjacency, pool []int32, xEdges []graph.Edge, sampleNS, computeNS *atomic.Int64) visitResult {
-	var res visitResult
-	b := t.newBatcher(adj, pool, rng.Int63())
-	for lo := 0; lo < len(xEdges); lo += t.Cfg.BatchSize {
-		if err := ctxErr(ctx); err != nil {
-			res.err = err
-			return res
-		}
-		hi := min(lo+t.Cfg.BatchSize, len(xEdges))
-		pb := b.prepare(xEdges[lo:hi])
-		sampleNS.Add(pb.sampleNS)
-		if pb.err != nil {
-			res.err = pb.err
-			return res
-		}
-		c0 := time.Now()
-		loss, batchMRR, err := t.computeBatch(pb)
-		computeNS.Add(time.Since(c0).Nanoseconds())
-		if err != nil {
-			res.err = err
-			return res
-		}
-		res.lossSum += loss
-		res.mrrSum += batchMRR * float64(pb.n)
-		res.mrrWeight += float64(pb.n)
-		res.batches++
-		res.examples += pb.n
-		res.nodes += pb.nodesSampled
-		res.edges += pb.edgesSampled
-	}
-	return res
-}
-
-// lpBatcher runs the CPU sampling stage (Fig. 2 steps 1-3) over one
-// visit's adjacency and negative pool.
+// lpBatcher runs the batch-construction stage (Fig. 2 steps 1-3). Each
+// pipeline worker owns one; its samplers are re-bound to the visit's
+// adjacency/pool and re-seeded per batch, so a batch's sample does not
+// depend on which worker builds it.
 type lpBatcher struct {
 	t    *LPTrainer
 	smp  *sampler.Sampler
 	lsmp *sampler.LayeredSampler
 	neg  *sampler.NegativeSampler
+	adj  *graph.Adjacency // adjacency the samplers are currently bound to
 }
 
-func (t *LPTrainer) newBatcher(adj *graph.Adjacency, pool []int32, seed int64) *lpBatcher {
-	b := &lpBatcher{t: t}
+func (t *LPTrainer) newBatcher() *lpBatcher {
+	return &lpBatcher{t: t, neg: sampler.NewNegativePool(nil, 0)}
+}
+
+// bind points the batcher's samplers at the visit's adjacency and
+// negative pool, creating them on first use.
+func (b *lpBatcher) bind(v *lpVisit) {
+	if b.adj == v.adj {
+		return
+	}
+	t := b.t
 	if t.Cfg.Encoder != nil {
 		if t.Cfg.Mode == ModeBaseline {
-			b.lsmp = sampler.NewLayered(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
+			if b.lsmp == nil {
+				b.lsmp = sampler.NewLayered(v.adj, t.Cfg.Fanouts, t.Cfg.Dirs, 0)
+			}
+			b.lsmp.Adj = v.adj
 		} else {
-			b.smp = sampler.New(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
+			if b.smp == nil {
+				b.smp = sampler.New(v.adj, t.Cfg.Fanouts, t.Cfg.Dirs, 0)
+			}
+			b.smp.Reset(v.adj)
 		}
 	}
-	b.neg = sampler.NewNegativePool(pool, seed+1)
-	return b
+	b.neg.SetPool(v.pool)
+	b.adj = v.adj
 }
 
-// prepare samples one mini batch: negatives, multi-hop sampling, and
-// base-representation gathering.
-func (b *lpBatcher) prepare(edges []graph.Edge) *preparedLP {
+// prepare samples mini batch bi of visit v: negatives and multi-hop
+// sampling (base-representation gathering happens in the compute stage).
+func (b *lpBatcher) prepare(v *lpVisit, bi int) *preparedLP {
 	t := b.t
-	s0 := time.Now()
+	b.bind(v)
+	lo := bi * t.Cfg.BatchSize
+	hi := min(lo+t.Cfg.BatchSize, len(v.xEdges))
+	edges := v.xEdges[lo:hi]
+
 	pb := &preparedLP{n: len(edges)}
 	srcs := make([]int32, len(edges))
 	dsts := make([]int32, len(edges))
@@ -327,18 +313,22 @@ func (b *lpBatcher) prepare(edges []graph.Edge) *preparedLP {
 	for i, e := range edges {
 		srcs[i], dsts[i], pb.rels[i] = e.Src, e.Dst, e.Rel
 	}
+	seed := v.batchSeeds[bi]
+	b.neg.Reseed(seed + 1)
 	negs := b.neg.Sample(nil, t.Cfg.Negatives)
 	unique, idx := uniqueIndex(srcs, dsts, negs)
 	pb.srcIdx, pb.dstIdx, pb.negIdx = idx[0], idx[1], idx[2]
 
 	switch {
 	case b.smp != nil:
+		b.smp.Reseed(seed)
 		d := b.smp.Sample(unique)
 		pb.d = d
 		pb.ids = append([]int32(nil), d.NodeIDs...)
 		pb.nodesSampled = int64(len(d.NodeIDs))
 		pb.edgesSampled = int64(len(d.Nbrs))
 	case b.lsmp != nil:
+		b.lsmp.Reseed(seed)
 		ls := b.lsmp.Sample(unique)
 		pb.ls = ls
 		pb.ids = ls.Blocks[0].SrcNodes
@@ -348,30 +338,14 @@ func (b *lpBatcher) prepare(edges []graph.Edge) *preparedLP {
 		pb.ids = unique
 		pb.nodesSampled = int64(len(unique))
 	}
-	pb.h0 = tensor.New(len(pb.ids), t.Cfg.Decoder.Dim())
-	if err := t.Src.Nodes.Gather(pb.ids, pb.h0); err != nil {
-		pb.err = err
-	}
-	pb.sampleNS = time.Since(s0).Nanoseconds()
 	return pb
 }
 
-// sampleWorker feeds the pipelined path from the shared job queue.
-func (t *LPTrainer) sampleWorker(ctx context.Context, adj *graph.Adjacency, pool []int32, seed int64, jobs <-chan []graph.Edge, out chan<- *preparedLP, sampleNS *atomic.Int64) {
-	b := t.newBatcher(adj, pool, seed)
-	for edges := range jobs {
-		if ctxErr(ctx) != nil {
-			continue // canceled: drain the remaining jobs without sampling
-		}
-		pb := b.prepare(edges)
-		sampleNS.Add(pb.sampleNS)
-		out <- pb
-	}
-}
-
-// computeBatch is the compute stage (Fig. 2 steps 4-6): forward pass over
-// DENSE, loss/gradients, dense parameter update, and write-back of
-// base-representation updates.
+// computeBatch is the compute stage (Fig. 2 steps 4-6): gather current
+// base representations, forward pass over DENSE, loss/gradients, dense
+// parameter update, and write-back of representation updates. Gathering
+// here (not at build time) keeps the pipelined trajectory identical to
+// the serial one: batch k+1 always sees batch k's write-back.
 func (t *LPTrainer) computeBatch(pb *preparedLP) (loss float64, batchMRR float64, err error) {
 	// Recycle the previous batch's tape nodes and arena buffers. Everything
 	// the tape produces below is arena-owned and fully consumed (optimizer
@@ -381,7 +355,12 @@ func (t *LPTrainer) computeBatch(pb *preparedLP) (loss float64, batchMRR float64
 	t.arena.Reset()
 	t.binds = t.Cfg.Params.BindInto(tp, t.binds)
 	params := t.binds
-	h0 := tp.Leaf(pb.h0, true)
+
+	h0t := tp.Alloc(len(pb.ids), t.Cfg.Decoder.Dim())
+	if err := t.Src.Nodes.Gather(pb.ids, h0t); err != nil {
+		return 0, 0, err
+	}
+	h0 := tp.Leaf(h0t, true)
 
 	var enc *tensor.Node
 	switch {

@@ -3,7 +3,6 @@ package train
 import (
 	"context"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,6 +10,7 @@ import (
 	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/nn"
+	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/sampler"
 	"repro/internal/storage"
@@ -30,6 +30,11 @@ type NCConfig struct {
 	Opt       nn.Optimizer
 	ClipNorm  float64
 
+	// Workers is the number of batch-construction goroutines (also the
+	// kernel fan-out of the compute stage). PipelineDepth is how many
+	// visits the prefetcher loads ahead of the trainer; 0 (the default)
+	// is the serial path. Both collapse to the synchronous single-worker
+	// loop in ModeBaseline.
 	Workers       int
 	PipelineDepth int
 
@@ -48,6 +53,7 @@ type NCTrainer struct {
 	TrainNodes []int32
 
 	epoch int
+	edges edgePool
 
 	// The compute stage owns one arena and one tape, recycled every batch:
 	// steady-state forward/backward allocates from the arena, not the heap.
@@ -62,12 +68,12 @@ func NewNC(cfg NCConfig, src *Source, pol policy.Policy, labels []int32, trainNo
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
-	if cfg.PipelineDepth <= 0 {
-		cfg.PipelineDepth = 4
+	if cfg.PipelineDepth < 0 {
+		cfg.PipelineDepth = 0
 	}
 	if cfg.Mode == ModeBaseline {
 		cfg.Workers = 1
-		cfg.PipelineDepth = 1
+		cfg.PipelineDepth = 0
 	}
 	t := &NCTrainer{Cfg: cfg, Src: src, Pol: pol, Labels: labels, TrainNodes: trainNodes}
 	t.arena = tensor.NewArena()
@@ -83,27 +89,42 @@ func (t *NCTrainer) Epoch() int { return t.epoch }
 // where the checkpointed run left off.
 func (t *NCTrainer) SetEpoch(e int) { t.epoch = e }
 
+// ncVisit is a visit after the prefetch/load stage: adjacency built,
+// targets assigned and shuffled, per-batch seeds derived.
+type ncVisit struct {
+	vi         int
+	mem        []int
+	adj        *graph.Adjacency
+	targets    []int32
+	batchSeeds []int64
+}
+
+// preparedNC is a mini batch after the construction stage. Base
+// representations are gathered by the compute stage (not here), so a
+// batch built ahead of time never reads stale features.
 type preparedNC struct {
 	d      *sampler.DENSE
 	ls     *sampler.LayeredSample
 	ids    []int32
-	h0     *tensor.Tensor
 	labels []int32
 	n      int
 
-	sampleNS     int64
 	nodesSampled int64
 	edgesSampled int64
-	err          error
 }
 
-// TrainEpoch walks the policy plan once, checking ctx between visits and
-// batches for clean cancellation. The epoch counter only advances when
-// the epoch completes: a canceled or failed epoch is retried from the
-// same (seed, epoch)-derived RNG stream on the next call. Under the §5.2
-// NodeCache policy training nodes appear in the first visit's partitions;
-// under the fallback rotation, each training node is consumed at the
-// first visit where its partition is resident.
+// TrainEpoch walks the policy plan once through the pipeline executor,
+// checking ctx between visits and batches for clean cancellation. The
+// epoch counter only advances when the epoch completes: a canceled or
+// failed epoch is retried from the same (seed, epoch)-derived RNG stream
+// on the next call. Under the §5.2 NodeCache policy training nodes appear
+// in the first visit's partitions; under the fallback rotation, each
+// training node is consumed at the first visit where its partition is
+// resident.
+//
+// Batches always compute in plan order with per-batch derived seeds, so
+// the epoch's trajectory is identical at every PipelineDepth and Workers
+// setting; concurrency only changes wall-clock overlap.
 func (t *NCTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 	epoch := t.epoch + 1
 	stats := EpochStats{Epoch: epoch}
@@ -119,52 +140,108 @@ func (t *NCTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 	rng := epochRNG(t.Cfg.Seed, epoch)
 	plan := t.Pol.NewEpochPlan(rng)
 	stats.Visits = len(plan.Visits)
+	seeds := visitSeeds(rng, len(plan.Visits))
 	var sampleNS, computeNS atomic.Int64
 	var lossSum float64
 	acc := eval.MeanAccumulator{}
 
+	depth := clampDepth(t.Cfg.PipelineDepth, plan, t.Src.Disk)
+	pipelined := depth > 0
+	la := policy.NewLookahead(plan)
 	donePart := make([]bool, t.Src.Part.NumPartitions)
-	for vi := range plan.Visits {
-		if err := ctxErr(ctx); err != nil {
-			return stats, err
-		}
-		visit := &plan.Visits[vi]
-		memEdges, err := t.Src.loadVisit(visit)
-		if err != nil {
-			return stats, err
-		}
-		if t.Src.Disk != nil && vi+1 < len(plan.Visits) {
-			t.Src.Disk.Prefetch(plan.Visits[vi+1].Mem)
-		}
-		adj := graph.BuildAdjacency(t.Src.NumNodes, memEdges)
+	batchers := make([]*ncBatcher, t.Cfg.Workers)
 
-		// Targets: training nodes whose partition became resident and has
-		// not been trained on yet this epoch.
-		resident := make(map[int]bool, len(visit.Mem))
-		for _, p := range visit.Mem {
-			resident[p] = true
-		}
-		var targets []int32
-		for _, v := range t.TrainNodes {
-			p := t.Src.Part.Of(v)
-			if resident[p] && !donePart[p] {
-				targets = append(targets, v)
+	ep := pipeline.Epoch[*ncVisit, *preparedNC]{
+		NumVisits: len(plan.Visits),
+		// Load runs in the prefetcher: async node-partition staging, edge
+		// bucket reads, adjacency construction, and target assignment
+		// (donePart carries in-order state across Load calls, which the
+		// executor guarantees run sequentially).
+		Load: func(vi int) (*ncVisit, error) {
+			visit, _, _ := la.Next()
+			if t.Src.Disk != nil && pipelined {
+				// Stage this visit's partitions and those of the whole
+				// lookahead window, so node IO for upcoming visits runs
+				// while earlier visits compute.
+				t.Src.Disk.Prefetch(visit.Mem)
+				for _, nv := range la.NextK(depth) {
+					t.Src.Disk.Prefetch(nv.Mem)
+				}
 			}
-		}
-		for _, p := range visit.Mem {
-			donePart[p] = true
-		}
-		rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+			memEdges, err := t.Src.readMemEdges(visit, &t.edges)
+			if err != nil {
+				return nil, err
+			}
+			vrng := rand.New(rand.NewSource(seeds[vi]))
 
-		out := t.runVisit(ctx, rng, adj, targets, &sampleNS, &computeNS, &acc)
-		if out.err != nil {
-			return stats, out.err
-		}
-		lossSum += out.lossSum
-		stats.Batches += out.batches
-		stats.Examples += out.examples
-		stats.NodesSampled += out.nodes
-		stats.EdgesSampled += out.edges
+			// Targets: training nodes whose partition became resident and
+			// has not been trained on yet this epoch.
+			resident := make(map[int]bool, len(visit.Mem))
+			for _, p := range visit.Mem {
+				resident[p] = true
+			}
+			var targets []int32
+			for _, v := range t.TrainNodes {
+				p := t.Src.Part.Of(v)
+				if resident[p] && !donePart[p] {
+					targets = append(targets, v)
+				}
+			}
+			for _, p := range visit.Mem {
+				donePart[p] = true
+			}
+			vrng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+
+			v := &ncVisit{vi: vi, mem: visit.Mem, targets: targets}
+			v.adj = graph.BuildAdjacency(t.Src.NumNodes, memEdges)
+			t.edges.put(memEdges)
+			nBatches := (len(targets) + t.Cfg.BatchSize - 1) / t.Cfg.BatchSize
+			v.batchSeeds = batchSeeds(vrng, nBatches)
+			return v, nil
+		},
+		Admit: func(vi int, v *ncVisit) error {
+			if t.Src.Disk == nil {
+				return nil
+			}
+			if err := t.Src.Disk.LoadSet(v.mem); err != nil {
+				return err
+			}
+			if !pipelined && vi+1 < len(plan.Visits) {
+				t.Src.Disk.Prefetch(plan.Visits[vi+1].Mem)
+			}
+			return nil
+		},
+		NumBatches: func(v *ncVisit) int { return len(v.batchSeeds) },
+		Build: func(w int, v *ncVisit, bi int) (*preparedNC, error) {
+			b := batchers[w]
+			if b == nil {
+				b = t.newBatcher()
+				batchers[w] = b
+			}
+			s0 := time.Now()
+			pb := b.prepare(v, bi)
+			sampleNS.Add(time.Since(s0).Nanoseconds())
+			return pb, nil
+		},
+		Compute: func(v *ncVisit, bi int, pb *preparedNC) error {
+			c0 := time.Now()
+			loss, batchAcc, err := t.computeBatch(pb)
+			computeNS.Add(time.Since(c0).Nanoseconds())
+			if err != nil {
+				return err
+			}
+			lossSum += loss
+			acc.Add(batchAcc, float64(pb.n))
+			stats.Batches++
+			stats.Examples += pb.n
+			stats.NodesSampled += pb.nodesSampled
+			stats.EdgesSampled += pb.edgesSampled
+			return nil
+		},
+	}
+	err := pipeline.Run(ctx, pipeline.Config{Depth: depth, Workers: t.Cfg.Workers}, ep, &stats.Pipeline)
+	if err != nil {
+		return stats, err
 	}
 
 	stats.Duration = time.Since(start)
@@ -181,169 +258,78 @@ func (t *NCTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 	return stats, nil
 }
 
-// runVisit trains on the visit's targets with a sampling worker pool
-// feeding the compute stage. With a single worker the pipeline is skipped:
-// sampling and compute alternate synchronously in one goroutine, making
-// the epoch bit-reproducible.
-func (t *NCTrainer) runVisit(ctx context.Context, rng *rand.Rand, adj *graph.Adjacency, targets []int32, sampleNS, computeNS *atomic.Int64, acc *eval.MeanAccumulator) visitResult {
-	var res visitResult
-	nBatches := (len(targets) + t.Cfg.BatchSize - 1) / t.Cfg.BatchSize
-	if nBatches == 0 {
-		return res
-	}
-	if t.Cfg.Workers <= 1 {
-		return t.runVisitSync(ctx, rng, adj, targets, sampleNS, computeNS, acc)
-	}
-	jobs := make(chan []int32, nBatches)
-	for b := 0; b < nBatches; b++ {
-		lo := b * t.Cfg.BatchSize
-		hi := min(lo+t.Cfg.BatchSize, len(targets))
-		jobs <- targets[lo:hi]
-	}
-	close(jobs)
-
-	prepared := make(chan *preparedNC, t.Cfg.PipelineDepth)
-	var wg sync.WaitGroup
-	for w := 0; w < t.Cfg.Workers; w++ {
-		wg.Add(1)
-		seed := rng.Int63()
-		go func(seed int64) {
-			defer wg.Done()
-			t.sampleWorker(ctx, adj, seed, jobs, prepared, sampleNS)
-		}(seed)
-	}
-	go func() {
-		wg.Wait()
-		close(prepared)
-	}()
-
-	for pb := range prepared {
-		if err := ctxErr(ctx); err != nil {
-			if res.err == nil {
-				res.err = err
-			}
-			continue // drain so the workers can exit
-		}
-		if pb.err != nil {
-			if res.err == nil {
-				res.err = pb.err
-			}
-			continue
-		}
-		c0 := time.Now()
-		loss, batchAcc, err := t.computeBatch(pb)
-		computeNS.Add(time.Since(c0).Nanoseconds())
-		if err != nil {
-			if res.err == nil {
-				res.err = err
-			}
-			continue
-		}
-		res.lossSum += loss
-		acc.Add(batchAcc, float64(pb.n))
-		res.batches++
-		res.examples += pb.n
-		res.nodes += pb.nodesSampled
-		res.edges += pb.edgesSampled
-	}
-	return res
-}
-
-// runVisitSync is the single-worker path: sampling and compute alternate
-// in one goroutine, batch by batch.
-func (t *NCTrainer) runVisitSync(ctx context.Context, rng *rand.Rand, adj *graph.Adjacency, targets []int32, sampleNS, computeNS *atomic.Int64, acc *eval.MeanAccumulator) visitResult {
-	var res visitResult
-	b := t.newBatcher(adj, rng.Int63())
-	for lo := 0; lo < len(targets); lo += t.Cfg.BatchSize {
-		if err := ctxErr(ctx); err != nil {
-			res.err = err
-			return res
-		}
-		hi := min(lo+t.Cfg.BatchSize, len(targets))
-		pb := b.prepare(targets[lo:hi])
-		sampleNS.Add(pb.sampleNS)
-		if pb.err != nil {
-			res.err = pb.err
-			return res
-		}
-		c0 := time.Now()
-		loss, batchAcc, err := t.computeBatch(pb)
-		computeNS.Add(time.Since(c0).Nanoseconds())
-		if err != nil {
-			res.err = err
-			return res
-		}
-		res.lossSum += loss
-		acc.Add(batchAcc, float64(pb.n))
-		res.batches++
-		res.examples += pb.n
-		res.nodes += pb.nodesSampled
-		res.edges += pb.edgesSampled
-	}
-	return res
-}
-
-// ncBatcher runs the CPU sampling stage over one visit's adjacency.
+// ncBatcher runs the batch-construction stage. Each pipeline worker owns
+// one; its samplers are re-bound to the visit's adjacency and re-seeded
+// per batch, so a batch's sample does not depend on which worker builds
+// it.
 type ncBatcher struct {
 	t    *NCTrainer
 	smp  *sampler.Sampler
 	lsmp *sampler.LayeredSampler
+	adj  *graph.Adjacency // adjacency the samplers are currently bound to
 }
 
-func (t *NCTrainer) newBatcher(adj *graph.Adjacency, seed int64) *ncBatcher {
-	b := &ncBatcher{t: t}
-	if t.Cfg.Mode == ModeBaseline {
-		b.lsmp = sampler.NewLayered(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
-	} else {
-		b.smp = sampler.New(adj, t.Cfg.Fanouts, t.Cfg.Dirs, seed)
+func (t *NCTrainer) newBatcher() *ncBatcher {
+	return &ncBatcher{t: t}
+}
+
+// bind points the batcher's samplers at the visit's adjacency, creating
+// them on first use.
+func (b *ncBatcher) bind(v *ncVisit) {
+	if b.adj == v.adj {
+		return
 	}
-	return b
+	t := b.t
+	if t.Cfg.Mode == ModeBaseline {
+		if b.lsmp == nil {
+			b.lsmp = sampler.NewLayered(v.adj, t.Cfg.Fanouts, t.Cfg.Dirs, 0)
+		}
+		b.lsmp.Adj = v.adj
+	} else {
+		if b.smp == nil {
+			b.smp = sampler.New(v.adj, t.Cfg.Fanouts, t.Cfg.Dirs, 0)
+		}
+		b.smp.Reset(v.adj)
+	}
+	b.adj = v.adj
 }
 
-// prepare samples one mini batch: multi-hop sampling plus feature
-// gathering.
-func (b *ncBatcher) prepare(targets []int32) *preparedNC {
+// prepare samples mini batch bi of visit v: multi-hop sampling plus label
+// lookup (feature gathering happens in the compute stage).
+func (b *ncBatcher) prepare(v *ncVisit, bi int) *preparedNC {
 	t := b.t
-	s0 := time.Now()
+	b.bind(v)
+	lo := bi * t.Cfg.BatchSize
+	hi := min(lo+t.Cfg.BatchSize, len(v.targets))
+	targets := v.targets[lo:hi]
+
 	pb := &preparedNC{n: len(targets)}
 	pb.labels = make([]int32, len(targets))
-	for i, v := range targets {
-		pb.labels[i] = t.Labels[v]
+	for i, id := range targets {
+		pb.labels[i] = t.Labels[id]
 	}
+	seed := v.batchSeeds[bi]
 	if b.smp != nil {
+		b.smp.Reseed(seed)
 		d := b.smp.Sample(targets)
 		pb.d = d
 		pb.ids = append([]int32(nil), d.NodeIDs...)
 		pb.nodesSampled = int64(len(d.NodeIDs))
 		pb.edgesSampled = int64(len(d.Nbrs))
 	} else {
+		b.lsmp.Reseed(seed)
 		ls := b.lsmp.Sample(targets)
 		pb.ls = ls
 		pb.ids = ls.Blocks[0].SrcNodes
 		pb.nodesSampled = int64(ls.NumNodesSampled())
 		pb.edgesSampled = int64(ls.NumEdgesSampled())
 	}
-	pb.h0 = tensor.New(len(pb.ids), t.Src.Nodes.Dim())
-	if err := t.Src.Nodes.Gather(pb.ids, pb.h0); err != nil {
-		pb.err = err
-	}
-	pb.sampleNS = time.Since(s0).Nanoseconds()
 	return pb
 }
 
-// sampleWorker feeds the pipelined path from the shared job queue.
-func (t *NCTrainer) sampleWorker(ctx context.Context, adj *graph.Adjacency, seed int64, jobs <-chan []int32, out chan<- *preparedNC, sampleNS *atomic.Int64) {
-	b := t.newBatcher(adj, seed)
-	for targets := range jobs {
-		if ctxErr(ctx) != nil {
-			continue // canceled: drain the remaining jobs without sampling
-		}
-		pb := b.prepare(targets)
-		sampleNS.Add(pb.sampleNS)
-		out <- pb
-	}
-}
-
+// computeBatch is the compute stage: base representations are gathered
+// here (the visit is resident by Admit), then forward/backward and the
+// parameter update run on the arena-backed tape.
 func (t *NCTrainer) computeBatch(pb *preparedNC) (loss, accuracy float64, err error) {
 	// Recycle the previous batch's tape nodes and arena buffers. Everything
 	// the tape produces below is arena-owned and fully consumed (optimizer
@@ -353,7 +339,12 @@ func (t *NCTrainer) computeBatch(pb *preparedNC) (loss, accuracy float64, err er
 	t.arena.Reset()
 	t.binds = t.Cfg.Params.BindInto(tp, t.binds)
 	params := t.binds
-	h0 := tp.Leaf(pb.h0, false) // fixed features: no base-representation updates
+
+	h0t := tp.Alloc(len(pb.ids), t.Src.Nodes.Dim())
+	if err := t.Src.Nodes.Gather(pb.ids, h0t); err != nil {
+		return 0, 0, err
+	}
+	h0 := tp.Leaf(h0t, false) // fixed features: no base-representation updates
 
 	var logits *tensor.Node
 	if pb.d != nil {

@@ -1,8 +1,12 @@
 // Package train implements MariusGNN's processing layer: the mini-batch
-// lifecycle of paper Fig. 2 (steps 1-6), the pipelined execution of
-// sampling, compute, and representation write-back, and the epoch driver
-// that walks a policy's partition-visit plan (steps A-D), prefetching the
-// next partition set while training on the current one.
+// lifecycle of paper Fig. 2 (steps 1-6) expressed as explicit
+// produce/consume stages over the internal/pipeline executor. Each epoch
+// walks a policy's partition-visit plan (steps A-D) with a prefetcher
+// loading visits (partition staging, edge buckets, adjacency) ahead of
+// the trainer, worker goroutines constructing batches from per-batch
+// derived seeds, and the compute stage consuming them in plan order —
+// serial when PipelineDepth is 0, overlapped otherwise, with an
+// identical trajectory either way.
 package train
 
 import (
@@ -11,9 +15,8 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/graph"
 	"repro/internal/partition"
-	"repro/internal/policy"
+	"repro/internal/pipeline"
 	"repro/internal/storage"
 )
 
@@ -68,10 +71,15 @@ type EpochStats struct {
 	// NodesSampled/EdgesSampled count sampled entries across batches.
 	NodesSampled int64
 	EdgesSampled int64
-	// IO is the node-store IO performed during the epoch (disk mode).
+	// IO is the node-store IO performed during the epoch (disk mode),
+	// including prefetch hit/miss counts for the partition buffer.
 	IO storage.StatsSnapshot
 	// Visits is the number of partition sets |S| walked.
 	Visits int
+	// Pipeline reports the pipelined execution of the epoch: effective
+	// depth and workers, visits prefetched, and how long the compute
+	// stage stalled waiting on loads or batch construction.
+	Pipeline pipeline.Stats
 }
 
 func (s EpochStats) String() string {
@@ -91,42 +99,6 @@ type Source struct {
 	// partition loading and prefetching through it.
 	Disk  *storage.DiskNodeStore
 	Edges storage.EdgeStore
-}
-
-// loadVisit makes the partitions of v resident and returns the in-memory
-// edge set (all pairwise buckets among v.Mem) for adjacency construction.
-func (src *Source) loadVisit(v *policy.Visit) ([]graph.Edge, error) {
-	if src.Disk != nil {
-		if err := src.Disk.LoadSet(v.Mem); err != nil {
-			return nil, err
-		}
-	}
-	var edges []graph.Edge
-	var err error
-	for _, i := range v.Mem {
-		for _, j := range v.Mem {
-			edges, err = src.Edges.ReadBucket(i, j, edges)
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-	return edges, nil
-}
-
-// visitEdges reads the training-example edges assigned to the visit (X_i)
-// and shuffles them.
-func (src *Source) visitEdges(v *policy.Visit, rng *rand.Rand) ([]graph.Edge, error) {
-	var edges []graph.Edge
-	var err error
-	for _, b := range v.Buckets {
-		edges, err = src.Edges.ReadBucket(int(b[0]), int(b[1]), edges)
-		if err != nil {
-			return nil, err
-		}
-	}
-	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
-	return edges, nil
 }
 
 // residentNodePool lists every node ID whose partition is in mem, used to

@@ -37,14 +37,23 @@
 //		marius.WithAutotune(1<<30, 512<<10),
 //	)
 //
+// Out-of-core training can be pipelined with WithPipeline(depth): a
+// prefetcher walks the partition-visit plan up to depth visits ahead of
+// the trainer, staging node partitions and edge buckets off the critical
+// path while worker goroutines construct batches, so the compute stage
+// never stalls on the disk. Pipelining is trajectory-preserving: batches
+// compute in exact plan order with per-batch derived seeds, so a
+// pipelined run produces the same losses and checkpoints as the serial
+// (depth 0) default.
+//
 // Long runs survive restarts through Save/Restore (or the CheckpointTo run
 // option): a checkpoint captures the dense parameters with optimizer
 // moments, the learnable node representation table with its sparse-AdaGrad
 // accumulators, the RNG seed and the epoch counter. A restored session
-// evaluates identically to the saved one; with WithWorkers(1) (synchronous
-// execution) continued training also reproduces the exact trajectory,
-// while the default multi-worker pipeline trades that determinism for
-// throughput (bounded staleness, as in the paper).
+// evaluates identically to the saved one, and continued training
+// reproduces the exact trajectory at every worker count and pipeline
+// depth (kernels are bitwise deterministic and batch order is fixed by
+// the plan).
 package marius
 
 import (

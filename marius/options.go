@@ -156,9 +156,13 @@ type Options struct {
 
 	Throttle *storage.Throttle
 
-	Mode    train.Mode
-	Workers int
-	Seed    int64
+	Mode train.Mode
+	// Workers is the batch-construction worker count and kernel fan-out;
+	// PipelineDepth is how many partition visits the prefetcher loads
+	// ahead of the trainer (0 = serial epoch loop).
+	Workers       int
+	PipelineDepth int
+	Seed          int64
 }
 
 func defaultOptions() Options {
@@ -299,20 +303,45 @@ func WithLearningRates(lr, embLR float32) Option {
 	}
 }
 
-// WithWorkers sets the compute-parallelism knob: n sampling workers feed
-// the compute stage, and the tensor kernels of the forward/backward pass
-// may fan out to n goroutines. Kernels are bitwise deterministic at every
-// worker count (parallelism never reorders floating-point sums), so the
-// only nondeterminism more workers introduce is pipeline batch ordering
-// with bounded staleness, as the paper's execution engine does. With a
-// single worker the stages alternate synchronously and training is
-// bit-reproducible (a resumed checkpoint continues the exact trajectory).
+// WithWorkers sets the compute-parallelism knob: n batch-construction
+// workers feed the compute stage, and the tensor kernels of the
+// forward/backward pass may fan out to n goroutines. Kernels are bitwise
+// deterministic at every worker count (parallelism never reorders
+// floating-point sums), batches always compute in plan order with
+// per-batch derived seeds, and base representations are gathered at
+// compute time — so training is bit-reproducible at every worker count
+// and pipeline depth (a resumed checkpoint continues the exact
+// trajectory). Workers only change wall-clock overlap.
 func WithWorkers(n int) Option {
 	return func(o *Options) error {
 		if n <= 0 {
 			return optErr("WithWorkers", ErrBadValue, "workers %d", n)
 		}
 		o.Workers = n
+		return nil
+	}
+}
+
+// WithPipeline enables pipelined out-of-core execution: the epoch runs
+// as three overlapped stages (partition prefetch, mini-batch
+// construction, compute), with the prefetcher walking the policy plan up
+// to depth visits ahead of the trainer and staging partition IO and edge
+// buckets off the critical path. depth 0 (the default) keeps the serial
+// epoch loop.
+//
+// Pipelining never changes the training trajectory: batches compute in
+// exact plan order with per-batch derived RNG seeds, and base
+// representations are gathered at compute time, so a pipelined epoch
+// produces the same losses (and, combined with the bitwise-deterministic
+// kernels, the same checkpoints) as the serial path at every depth and
+// worker count. Per-epoch pipeline behavior is reported in
+// EpochStats.Pipeline.
+func WithPipeline(depth int) Option {
+	return func(o *Options) error {
+		if depth < 0 {
+			return optErr("WithPipeline", ErrBadValue, "pipeline depth %d", depth)
+		}
+		o.PipelineDepth = depth
 		return nil
 	}
 }

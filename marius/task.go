@@ -122,7 +122,7 @@ func (t *ncTask) Prepare(g *graph.Graph, o *Options) error {
 		Encoder: enc, Params: ps,
 		Fanouts: o.Fanouts, Dirs: graph.Both,
 		BatchSize: o.BatchSize, Opt: nn.NewAdam(o.LR), ClipNorm: 5,
-		Workers: o.Workers, Mode: o.Mode, Seed: o.Seed,
+		Workers: o.Workers, PipelineDepth: o.PipelineDepth, Mode: o.Mode, Seed: o.Seed,
 	}
 	t.g, t.opts, t.src, t.ps, t.enc = g, o, src, ps, enc
 	t.tr = train.NewNC(ncfg, src, pol, g.Labels, g.TrainNodes)
@@ -279,7 +279,7 @@ func (t *lpTask) Prepare(g *graph.Graph, o *Options) error {
 		Fanouts: o.Fanouts, Dirs: graph.Both,
 		BatchSize: o.BatchSize, Negatives: o.Negatives,
 		DenseOpt: nn.NewAdam(o.LR), EmbOpt: nn.NewSparseAdaGrad(o.EmbLR), ClipNorm: 5,
-		Workers: o.Workers, Mode: o.Mode, Seed: o.Seed,
+		Workers: o.Workers, PipelineDepth: o.PipelineDepth, Mode: o.Mode, Seed: o.Seed,
 	}
 	t.g, t.opts, t.src, t.ps, t.enc, t.dec = g, o, src, ps, enc, dec
 	t.tr = train.NewLP(lcfg, src, pol)
