@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-pipeline bench-kernels bench-pipeline bench-baseline check
+.PHONY: build test race race-pipeline bench-kernels bench-pipeline bench-sampler bench-baseline check
 
 build:
 	$(GO) build ./...
@@ -34,9 +34,18 @@ race-pipeline:
 bench-pipeline:
 	$(GO) run ./cmd/benchpipeline -short -check -o /tmp/BENCH_pipeline.json
 
+# Short-mode sampling benchmark with hard floors: >=2x per-visit
+# adjacency refresh via the incremental bucket-segmented index vs the
+# from-scratch rebuild (at buffer capacity 4), and 0 allocs/batch on the
+# steady-state DENSE sampling path. Writes to /tmp so the checked-in
+# full-shape baseline is never clobbered.
+bench-sampler:
+	$(GO) run ./cmd/benchsampler -short -check -o /tmp/BENCH_sampler.json
+
 # Refresh the checked-in full-shape baselines (commit the results).
 bench-baseline:
 	$(GO) run ./cmd/benchkernels -check -o BENCH_kernels.json
 	$(GO) run ./cmd/benchpipeline -check -o BENCH_pipeline.json
+	$(GO) run ./cmd/benchsampler -check -o BENCH_sampler.json
 
-check: build test race bench-kernels bench-pipeline
+check: build test race bench-kernels bench-pipeline bench-sampler

@@ -57,6 +57,40 @@
 // The arena belongs to exactly one goroutine (the compute stage); sampling
 // workers heap-allocate their own batch buffers.
 //
+// # The adjacency index and sampling
+//
+// Neighborhood sampling (paper §4.1) runs over a bucket-segmented CSR
+// index built incrementally instead of from scratch per visit. Each edge
+// bucket (i, j) is counting-sorted once into an immutable CSR fragment
+// (graph.BucketFrag, out view over partition i's nodes, in view over
+// partition j's) and cached by the storage layer (storage.FragCache,
+// LRU-bounded, hit/miss counters). A visit's index is a graph.Segmented
+// view composing the resident c² fragment pointers; Segmented.Swap
+// derives the next visit's view by reconciling partition sets, fetching
+// only the admitted rows' and columns' fragments — a one-partition
+// BETA/COMET swap touches O(c) buckets instead of rebuilding O(c²), and
+// views are immutable so pipelined in-flight visits keep sampling from
+// theirs. The ordering contract makes the index swap invisible to
+// training: a node's neighbor list is its per-bucket segments
+// concatenated in ascending resident-partition order, exactly the order
+// graph.BuildAdjacency produces over the flattened buckets (counting
+// sort is stable), so samplers draw identical sequences from either
+// index for the same RNG state — enforced by differential tests over
+// randomized swap sequences, which keeps trajectories and checkpoints
+// byte-identical.
+//
+// The sampling hot path is allocation-free at steady state: Floyd
+// subset sampling uses a caller-owned generation-stamped scratch
+// (graph.SampleScratch) instead of a per-call map, and sampler.Sampler
+// owns per-hop frontier/neighbor workspaces plus a free list of recycled
+// DENSE results (Sampler.Recycle) so batch construction — including the
+// trainers' label gather, endpoint/negative dedup (stamp-based, not
+// map-based) and prepared-batch structs — performs zero allocations once
+// warm (enforced by testing.AllocsPerRun tests). cmd/benchsampler
+// measures the incremental refresh against the from-scratch rebuild and
+// writes BENCH_sampler.json (the checked-in baseline; >=2x per-visit
+// refresh and 0 allocs/batch enforced by `make bench-sampler`).
+//
 // # The pipeline
 //
 // internal/pipeline is the pipelined epoch executor (paper Fig. 2, steps
@@ -65,8 +99,9 @@
 // lookahead iterator (policy.Lookahead), up to WithPipeline(depth) visits
 // ahead of the trainer — issues async node-partition loads into a small
 // pool of reusable staging buffers (storage.DiskNodeStore.Prefetch),
-// reads the visit's edge buckets, builds its adjacency, and derives its
-// batch seeds. The batch-construction stage — WithWorkers(n) goroutines —
+// reads the visit's training-example buckets, refreshes the incremental
+// adjacency view (building at most the swapped partitions' fragments
+// ahead of the trainer), and derives its batch seeds. The batch-construction stage — WithWorkers(n) goroutines —
 // runs DENSE multi-hop and negative sampling on loaded visits, at most
 // workers+depth batches in flight. The compute stage — the trainer's
 // goroutine — admits each visit (the partition-buffer swap, consuming

@@ -148,6 +148,16 @@ func (a *Adjacency) OutDegree(v int32) int { return int(a.outOff[v+1] - a.outOff
 // InDegree returns the incoming degree of v.
 func (a *Adjacency) InDegree(v int32) int { return int(a.inOff[v+1] - a.inOff[v]) }
 
+// AppendOutNeighbors appends the outgoing neighbor list of v to dst.
+func (a *Adjacency) AppendOutNeighbors(dst []int32, v int32) []int32 {
+	return append(dst, a.OutNeighbors(v)...)
+}
+
+// AppendInNeighbors appends the incoming neighbor list of v to dst.
+func (a *Adjacency) AppendInNeighbors(dst []int32, v int32) []int32 {
+	return append(dst, a.InNeighbors(v)...)
+}
+
 // Directions selects which edge directions a sampler follows.
 type Directions int
 
@@ -160,37 +170,109 @@ const (
 	Both = Outgoing | Incoming
 )
 
+// Index is the neighborhood-sampling interface shared by the from-scratch
+// CSR (*Adjacency) and the incremental bucket-segmented view (*Segmented).
+// Both expose identical neighbor ordering for the same in-memory edge set,
+// so samplers driven through this interface produce identical samples for
+// a given RNG state regardless of which index backs them.
+type Index interface {
+	NumNodes() int
+	NumEdges() int
+	OutDegree(v int32) int
+	InDegree(v int32) int
+	AppendOutNeighbors(dst []int32, v int32) []int32
+	AppendInNeighbors(dst []int32, v int32) []int32
+	SampleNeighbors(dst []int32, v int32, fanout int, dirs Directions, rng *rand.Rand, sc *SampleScratch) []int32
+}
+
+// SampleScratch is the caller-owned workspace of Floyd sampling: a
+// generation-stamped membership test over candidate indices (replacing
+// the per-call map allocation) plus the segment-gather buffer of the
+// bucket-segmented index. The zero value is ready to use; a scratch is
+// not safe for concurrent use (each sampler owns one).
+type SampleScratch struct {
+	stamp []uint32
+	gen   uint32
+	segs  [][]int32 // non-empty per-bucket segments of the current node
+	flat  []int32   // small segmented pools flattened for direct indexing
+}
+
+// begin starts a fresh selection over a pool of n candidates.
+func (sc *SampleScratch) begin(n int) {
+	if len(sc.stamp) < n {
+		grown := make([]uint32, n+n/2+8)
+		copy(grown, sc.stamp)
+		sc.stamp = grown
+	}
+	sc.gen++
+	if sc.gen == 0 { // wrapped: invalidate every stamp
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.gen = 1
+	}
+}
+
+// taken reports whether candidate t was already chosen, marking it chosen.
+func (sc *SampleScratch) taken(t int32) bool {
+	if sc.stamp[t] == sc.gen {
+		return true
+	}
+	sc.stamp[t] = sc.gen
+	return false
+}
+
 // SampleNeighbors appends up to fanout uniformly-sampled distinct neighbors
 // of v per enabled direction to dst and returns the extended slice. When a
 // direction has no more than fanout neighbors, all of them are returned
-// (paper §4.1 semantics).
-func (a *Adjacency) SampleNeighbors(dst []int32, v int32, fanout int, dirs Directions, rng *rand.Rand) []int32 {
+// (paper §4.1 semantics). sc is the caller's reusable scratch; nil is
+// allowed and allocates a temporary.
+func (a *Adjacency) SampleNeighbors(dst []int32, v int32, fanout int, dirs Directions, rng *rand.Rand, sc *SampleScratch) []int32 {
+	if sc == nil {
+		sc = &SampleScratch{}
+	}
 	if dirs&Outgoing != 0 {
-		dst = sampleFrom(dst, a.OutNeighbors(v), fanout, rng)
+		dst = sampleFrom(dst, a.OutNeighbors(v), fanout, rng, sc)
 	}
 	if dirs&Incoming != 0 {
-		dst = sampleFrom(dst, a.InNeighbors(v), fanout, rng)
+		dst = sampleFrom(dst, a.InNeighbors(v), fanout, rng, sc)
 	}
 	return dst
 }
 
 // sampleFrom appends min(fanout, len(pool)) distinct elements of pool to
 // dst using Floyd's sampling algorithm for the subsampled case.
-func sampleFrom(dst []int32, pool []int32, fanout int, rng *rand.Rand) []int32 {
-	n := len(pool)
-	if n <= fanout {
+func sampleFrom(dst []int32, pool []int32, fanout int, rng *rand.Rand, sc *SampleScratch) []int32 {
+	if len(pool) <= fanout {
 		return append(dst, pool...)
 	}
-	// Floyd's algorithm: for j in [n-fanout, n), pick t in [0, j]; take t
-	// unless already taken, else take j. Yields a uniform fanout-subset.
-	chosen := make(map[int32]struct{}, fanout)
+	return floydSample(dst, flatPool(pool), len(pool), fanout, rng, sc)
+}
+
+// neighborPool is random access into a (possibly segmented) neighbor list.
+type neighborPool interface {
+	at(t int32) int32
+}
+
+// flatPool adapts a contiguous neighbor slice to neighborPool.
+type flatPool []int32
+
+func (p flatPool) at(t int32) int32 { return p[t] }
+
+// floydSample appends a uniform fanout-subset of the n-element pool to dst
+// via Floyd's algorithm: for j in [n-fanout, n), pick t in [0, j]; take t
+// unless already taken, else take j. The generic pool keeps the hot path
+// free of interface boxing; the pick sequence for a given rng state is
+// identical for every pool backing the same element order.
+func floydSample[P neighborPool](dst []int32, pool P, n, fanout int, rng *rand.Rand, sc *SampleScratch) []int32 {
+	sc.begin(n)
 	for j := n - fanout; j < n; j++ {
 		t := int32(rng.Intn(j + 1))
-		if _, ok := chosen[t]; ok {
+		if sc.taken(t) {
 			t = int32(j)
+			sc.taken(t)
 		}
-		chosen[t] = struct{}{}
-		dst = append(dst, pool[t])
+		dst = append(dst, pool.at(t))
 	}
 	return dst
 }

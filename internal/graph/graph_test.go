@@ -65,7 +65,7 @@ func TestSampleNeighborsRespectsFanoutAndMembership(t *testing.T) {
 	a := BuildAdjacency(20, edges)
 	for v := int32(0); v < 20; v++ {
 		for _, fanout := range []int{1, 3, 10, 1000} {
-			got := a.SampleNeighbors(nil, v, fanout, Outgoing, rng)
+			got := a.SampleNeighbors(nil, v, fanout, Outgoing, rng, nil)
 			wantLen := min(fanout, a.OutDegree(v))
 			if len(got) != wantLen {
 				t.Fatalf("node %d fanout %d: got %d, want %d", v, fanout, len(got), wantLen)
@@ -87,7 +87,7 @@ func TestSampleNeighborsRespectsFanoutAndMembership(t *testing.T) {
 func TestSampleNeighborsBothDirections(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	a := BuildAdjacency(3, []Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 0}})
-	got := a.SampleNeighbors(nil, 0, 5, Both, rng)
+	got := a.SampleNeighbors(nil, 0, 5, Both, rng, nil)
 	if len(got) != 2 {
 		t.Fatalf("both dirs = %v", got)
 	}
@@ -105,7 +105,7 @@ func TestSampleIsApproximatelyUniform(t *testing.T) {
 	counts := make([]int, 11)
 	const trials = 20000
 	for i := 0; i < trials; i++ {
-		for _, u := range a.SampleNeighbors(nil, 0, 2, Outgoing, rng) {
+		for _, u := range a.SampleNeighbors(nil, 0, 2, Outgoing, rng, nil) {
 			counts[u]++
 		}
 	}

@@ -1,0 +1,352 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements the incremental, bucket-segmented adjacency index.
+//
+// The trainer's partition buffer holds c resident partitions; the
+// in-memory edge set is the c² edge buckets among them. The from-scratch
+// path (BuildAdjacency over the flattened buckets) redoes O(c²) buckets of
+// counting-sort work on every visit even though a BETA/COMET swap replaces
+// only one or two partitions. Here each bucket is counting-sorted into a
+// small immutable CSR fragment (BucketFrag) exactly once — fragments are
+// built per bucket read and cached by the storage layer — and a visit's
+// index is a Segmented view composing the resident c² fragment pointers.
+// Swap reconciles the view against the next visit's partition set, reusing
+// every fragment whose row and column partitions stay resident, so a
+// one-partition swap touches only the O(c) affected row and column.
+//
+// Ordering contract: a node's neighbor list is the concatenation of its
+// per-bucket segments in ascending resident-partition order, which is
+// byte-for-byte the order BuildAdjacency produces over edges read
+// bucket-by-bucket in ascending (i, j) order (counting sort is stable).
+// Samplers therefore draw identical neighbor sequences from either index
+// for the same RNG state.
+
+// BucketFrag is the immutable CSR fragment of one edge bucket (i, j): the
+// bucket's edges sorted by source over partition i's node range (out view)
+// and by destination over partition j's node range (in view). Fragments
+// are safe for concurrent readers and are shared across Segmented views.
+type BucketFrag struct {
+	srcLo, srcHi int32 // node range [srcLo, srcHi) of the source partition
+	dstLo, dstHi int32 // node range [dstLo, dstHi) of the destination partition
+	outOff       []int32
+	outDst       []int32
+	inOff        []int32
+	inSrc        []int32
+}
+
+// BuildBucketFrag counting-sorts a bucket's edges into a fragment. Every
+// edge must have Src in [srcLo, srcHi) and Dst in [dstLo, dstHi) — the
+// edge-bucket contract of partition.Buckets. The sort is stable, so
+// within-bucket neighbor order matches BuildAdjacency's.
+func BuildBucketFrag(srcLo, srcHi, dstLo, dstHi int32, edges []Edge) *BucketFrag {
+	f := &BucketFrag{
+		srcLo: srcLo, srcHi: srcHi, dstLo: dstLo, dstHi: dstHi,
+		outOff: make([]int32, srcHi-srcLo+1),
+		inOff:  make([]int32, dstHi-dstLo+1),
+		outDst: make([]int32, len(edges)),
+		inSrc:  make([]int32, len(edges)),
+	}
+	for _, e := range edges {
+		f.outOff[e.Src-srcLo+1]++
+		f.inOff[e.Dst-dstLo+1]++
+	}
+	for i := 1; i < len(f.outOff); i++ {
+		f.outOff[i] += f.outOff[i-1]
+	}
+	for i := 1; i < len(f.inOff); i++ {
+		f.inOff[i] += f.inOff[i-1]
+	}
+	outCur := make([]int32, srcHi-srcLo)
+	inCur := make([]int32, dstHi-dstLo)
+	for _, e := range edges {
+		s, d := e.Src-srcLo, e.Dst-dstLo
+		f.outDst[f.outOff[s]+outCur[s]] = e.Dst
+		outCur[s]++
+		f.inSrc[f.inOff[d]+inCur[d]] = e.Src
+		inCur[d]++
+	}
+	return f
+}
+
+// NumEdges returns the number of edges in the fragment.
+func (f *BucketFrag) NumEdges() int { return len(f.outDst) }
+
+// outNbrs returns v's outgoing-neighbor segment (empty outside the range).
+func (f *BucketFrag) outNbrs(v int32) []int32 {
+	if v < f.srcLo || v >= f.srcHi {
+		return nil
+	}
+	return f.outNbrsIn(v)
+}
+
+// outNbrsIn is outNbrs without the range check, for fragments reached
+// through the node's own partition row (v ∈ [srcLo, srcHi) by
+// construction).
+func (f *BucketFrag) outNbrsIn(v int32) []int32 {
+	i := v - f.srcLo
+	return f.outDst[f.outOff[i]:f.outOff[i+1]]
+}
+
+// inNbrs returns v's incoming-neighbor segment (empty outside the range).
+func (f *BucketFrag) inNbrs(v int32) []int32 {
+	if v < f.dstLo || v >= f.dstHi {
+		return nil
+	}
+	return f.inNbrsIn(v)
+}
+
+// inNbrsIn is inNbrs without the range check, for fragments reached
+// through the node's own partition column.
+func (f *BucketFrag) inNbrsIn(v int32) []int32 {
+	i := v - f.dstLo
+	return f.inSrc[f.inOff[i]:f.inOff[i+1]]
+}
+
+// FragSource provides bucket fragments on demand (the storage layer's
+// fragment cache). Frag must return an immutable fragment for bucket
+// (i, j); repeated calls for the same bucket should be cheap.
+type FragSource interface {
+	// NumNodes is the global node-ID space size.
+	NumNodes() int
+	// NumPartitions is p, the physical partition count.
+	NumPartitions() int
+	// PartSize is the contiguous per-partition node count.
+	PartSize() int
+	// Frag returns the fragment of edge bucket (i, j).
+	Frag(i, j int) (*BucketFrag, error)
+}
+
+// Segmented is a visit-level adjacency view over the resident partitions'
+// bucket fragments. A view is immutable once built (safe for concurrent
+// samplers); Swap derives the next visit's view from it, sharing every
+// fragment both visits have resident. It implements Index with the same
+// neighbor ordering as BuildAdjacency over the equivalent edge set.
+type Segmented struct {
+	src      FragSource
+	numNodes int
+	partSize int
+	mem      []int   // sorted resident partitions
+	memIdx   []int32 // partition -> index into mem, -1 when absent
+	// rows[a] lists frag(mem[a], mem[b]) for b ascending — node v in
+	// partition mem[a] draws its outgoing segments from rows[a] in order.
+	// cols[a] lists frag(mem[b], mem[a]) for b ascending — the incoming
+	// segments of nodes in partition mem[a]. Both share frag pointers.
+	rows     [][]*BucketFrag
+	cols     [][]*BucketFrag
+	numEdges int
+}
+
+// NewSegmented returns an empty view (no resident partitions) over src;
+// Swap builds the first visit's view from it.
+func NewSegmented(src FragSource) *Segmented {
+	return &Segmented{
+		src:      src,
+		numNodes: src.NumNodes(),
+		partSize: src.PartSize(),
+		memIdx:   newMemIdx(src.NumPartitions(), nil),
+	}
+}
+
+func newMemIdx(p int, mem []int) []int32 {
+	idx := make([]int32, p)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for a, m := range mem {
+		idx[m] = int32(a)
+	}
+	return idx
+}
+
+// Swap returns the view for the given resident partition set, reusing
+// every fragment of s whose bucket stays resident and fetching only the
+// fragments of admitted rows and columns from the source. mem must be
+// sorted ascending (as policy visits are); s is left untouched, so views
+// of in-flight pipelined visits remain valid.
+func (s *Segmented) Swap(mem []int) (*Segmented, error) {
+	p := len(s.memIdx)
+	ns := &Segmented{
+		src:      s.src,
+		numNodes: s.numNodes,
+		partSize: s.partSize,
+		mem:      append([]int(nil), mem...),
+		rows:     make([][]*BucketFrag, len(mem)),
+		cols:     make([][]*BucketFrag, len(mem)),
+	}
+	for a, m := range mem {
+		if m < 0 || m >= p {
+			return nil, fmt.Errorf("graph: partition %d out of range [0,%d)", m, p)
+		}
+		if a > 0 && mem[a-1] >= m {
+			return nil, fmt.Errorf("graph: resident set %v not sorted unique", mem)
+		}
+	}
+	ns.memIdx = newMemIdx(p, ns.mem)
+	for a := range ns.mem {
+		ns.rows[a] = make([]*BucketFrag, len(mem))
+		ns.cols[a] = make([]*BucketFrag, len(mem))
+	}
+	for a, i := range ns.mem {
+		oi := int32(-1)
+		if i < len(s.memIdx) {
+			oi = s.memIdx[i]
+		}
+		for b, j := range ns.mem {
+			var f *BucketFrag
+			if oi >= 0 {
+				if oj := s.memIdx[j]; oj >= 0 {
+					f = s.rows[oi][oj]
+				}
+			}
+			if f == nil {
+				var err error
+				f, err = s.src.Frag(i, j)
+				if err != nil {
+					return nil, fmt.Errorf("graph: fragment (%d,%d): %w", i, j, err)
+				}
+			}
+			ns.rows[a][b] = f
+			ns.cols[b][a] = f
+			ns.numEdges += f.NumEdges()
+		}
+	}
+	return ns, nil
+}
+
+// Mem returns the sorted resident partition set (a view; do not mutate).
+func (s *Segmented) Mem() []int { return s.mem }
+
+// NumNodes implements Index: the global node-ID space size.
+func (s *Segmented) NumNodes() int { return s.numNodes }
+
+// NumEdges implements Index: edges across all resident buckets.
+func (s *Segmented) NumEdges() int { return s.numEdges }
+
+// segsOf returns the ordered fragment list serving v for the given
+// direction, or nil when v's partition is not resident.
+func (s *Segmented) segsOf(v int32, out bool) []*BucketFrag {
+	a := s.memIdx[int(v)/s.partSize]
+	if a < 0 {
+		return nil
+	}
+	if out {
+		return s.rows[a]
+	}
+	return s.cols[a]
+}
+
+// OutDegree implements Index.
+func (s *Segmented) OutDegree(v int32) int {
+	n := 0
+	for _, f := range s.segsOf(v, true) {
+		n += len(f.outNbrs(v))
+	}
+	return n
+}
+
+// InDegree implements Index.
+func (s *Segmented) InDegree(v int32) int {
+	n := 0
+	for _, f := range s.segsOf(v, false) {
+		n += len(f.inNbrs(v))
+	}
+	return n
+}
+
+// AppendOutNeighbors implements Index: segments concatenate in ascending
+// resident-partition order, matching BuildAdjacency's neighbor order.
+func (s *Segmented) AppendOutNeighbors(dst []int32, v int32) []int32 {
+	for _, f := range s.segsOf(v, true) {
+		dst = append(dst, f.outNbrs(v)...)
+	}
+	return dst
+}
+
+// AppendInNeighbors implements Index.
+func (s *Segmented) AppendInNeighbors(dst []int32, v int32) []int32 {
+	for _, f := range s.segsOf(v, false) {
+		dst = append(dst, f.inNbrs(v)...)
+	}
+	return dst
+}
+
+// segPool is random access into a node's concatenated non-empty
+// neighbor segments (gathered once per node by sampleDir).
+type segPool [][]int32
+
+func (p segPool) at(t int32) int32 {
+	for _, seg := range p {
+		if int(t) < len(seg) {
+			return seg[t]
+		}
+		t -= int32(len(seg))
+	}
+	panic("graph: segmented pool index out of range")
+}
+
+// SampleNeighbors implements Index with the same semantics and — for a
+// given rng state — the same pick sequence as (*Adjacency).SampleNeighbors
+// over the equivalent edge set.
+func (s *Segmented) SampleNeighbors(dst []int32, v int32, fanout int, dirs Directions, rng *rand.Rand, sc *SampleScratch) []int32 {
+	if sc == nil {
+		sc = &SampleScratch{}
+	}
+	if dirs&Outgoing != 0 {
+		dst = s.sampleDir(dst, v, fanout, true, rng, sc)
+	}
+	if dirs&Incoming != 0 {
+		dst = s.sampleDir(dst, v, fanout, false, rng, sc)
+	}
+	return dst
+}
+
+func (s *Segmented) sampleDir(dst []int32, v int32, fanout int, out bool, rng *rand.Rand, sc *SampleScratch) []int32 {
+	// Gather the node's non-empty segments once; most nodes touch far
+	// fewer than c buckets, and single-segment nodes sample at flat-CSR
+	// speed below.
+	segs := sc.segs[:0]
+	n := 0
+	for _, f := range s.segsOf(v, out) {
+		var seg []int32
+		if out {
+			seg = f.outNbrsIn(v)
+		} else {
+			seg = f.inNbrsIn(v)
+		}
+		if len(seg) > 0 {
+			segs = append(segs, seg)
+			n += len(seg)
+		}
+	}
+	sc.segs = segs
+	if n <= fanout {
+		for _, seg := range segs {
+			dst = append(dst, seg...)
+		}
+		return dst
+	}
+	if len(segs) == 1 {
+		return floydSample(dst, flatPool(segs[0]), n, fanout, rng, sc)
+	}
+	if n <= flattenThreshold {
+		// Small multi-segment pools (the common case under power-law
+		// degrees) are cheaper to copy once than to scan per draw.
+		flat := sc.flat[:0]
+		for _, seg := range segs {
+			flat = append(flat, seg...)
+		}
+		sc.flat = flat
+		return floydSample(dst, flatPool(flat), n, fanout, rng, sc)
+	}
+	return floydSample(dst, segPool(segs), n, fanout, rng, sc)
+}
+
+// flattenThreshold is the pool size below which a multi-segment neighbor
+// list is copied contiguous before Floyd sampling instead of scanned
+// per draw.
+const flattenThreshold = 256

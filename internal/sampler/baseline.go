@@ -54,14 +54,15 @@ func (ls *LayeredSample) NumEdgesSampled() int {
 // within one layer each unique node is sampled once, but nodes re-sample
 // their neighbors in every layer they appear in.
 type LayeredSampler struct {
-	Adj     *graph.Adjacency
+	Adj     graph.Index
 	Fanouts []int // ordered away from the targets, as in Sampler
 	Dirs    graph.Directions
 	rng     *rand.Rand
+	floyd   graph.SampleScratch
 }
 
 // NewLayered returns a baseline sampler over adj.
-func NewLayered(adj *graph.Adjacency, fanouts []int, dirs graph.Directions, seed int64) *LayeredSampler {
+func NewLayered(adj graph.Index, fanouts []int, dirs graph.Directions, seed int64) *LayeredSampler {
 	return &LayeredSampler{Adj: adj, Fanouts: fanouts, Dirs: dirs, rng: rand.New(rand.NewSource(seed))}
 }
 
@@ -86,7 +87,7 @@ func (s *LayeredSampler) Sample(targets []int32) *LayeredSample {
 		var edgeSrc, edgeDst []int32
 		scratch := make([]int32, 0, 2*fanout)
 		for di, v := range dst {
-			scratch = s.Adj.SampleNeighbors(scratch[:0], v, fanout, s.Dirs, s.rng)
+			scratch = s.Adj.SampleNeighbors(scratch[:0], v, fanout, s.Dirs, s.rng, &s.floyd)
 			for _, u := range scratch {
 				si, ok := index[u]
 				if !ok {
@@ -113,10 +114,11 @@ func (s *LayeredSampler) Sample(targets []int32) *LayeredSample {
 // but the sample size grows exponentially with depth, matching its
 // disadvantage at four and five layers.
 type KHopSampler struct {
-	Adj     *graph.Adjacency
+	Adj     graph.Index
 	Fanouts []int
 	Dirs    graph.Directions
 	rng     *rand.Rand
+	floyd   graph.SampleScratch
 
 	// Budget caps the total number of sampled entries, standing in for
 	// accelerator memory; Sample returns ErrBudget when exceeded.
@@ -133,7 +135,7 @@ func (errBudget) Error() string { return "sampler: k-hop sample exceeds device m
 
 // NewKHop returns an independent k-hop sampler with the given entry budget
 // (0 means unlimited).
-func NewKHop(adj *graph.Adjacency, fanouts []int, dirs graph.Directions, budget int, seed int64) *KHopSampler {
+func NewKHop(adj graph.Index, fanouts []int, dirs graph.Directions, budget int, seed int64) *KHopSampler {
 	return &KHopSampler{Adj: adj, Fanouts: fanouts, Dirs: dirs, Budget: budget, rng: rand.New(rand.NewSource(seed))}
 }
 
@@ -163,7 +165,7 @@ func (s *KHopSampler) Sample(targets []int32) (*KHopSample, error) {
 		fanout := s.Fanouts[hop]
 		next := make([]int32, 0, len(cur)*fanout)
 		for _, v := range cur {
-			next = s.Adj.SampleNeighbors(next, v, fanout, s.Dirs, s.rng)
+			next = s.Adj.SampleNeighbors(next, v, fanout, s.Dirs, s.rng, &s.floyd)
 		}
 		total += len(next)
 		if s.Budget > 0 && total > s.Budget {

@@ -12,6 +12,7 @@ package sampler
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -36,6 +37,17 @@ type DENSE struct {
 	Layers int
 	// layer tracks how many AdvanceLayer calls have been applied.
 	layer int
+
+	// buf retains the full-capacity backing arrays across reuse:
+	// AdvanceLayer re-slices and shifts the public slices in place, so a
+	// recycled DENSE restores them from buf and refills without
+	// allocating (see Sampler.Recycle).
+	buf denseBuf
+}
+
+// denseBuf is the private backing storage of a pooled DENSE.
+type denseBuf struct {
+	nodeIDOffsets, nodeIDs, nbrOffsets, nbrs, reprMap []int32
 }
 
 // NumNodes returns the current number of node IDs in the structure.
@@ -143,13 +155,19 @@ func (d *DENSE) Validate() error {
 	return nil
 }
 
-// Sampler builds DENSE structures from an adjacency index.
+// Sampler builds DENSE structures from an adjacency index (either the
+// from-scratch *graph.Adjacency or the incremental *graph.Segmented — both
+// expose identical neighbor ordering through graph.Index).
 //
-// It keeps a reusable per-node position workspace so repeated batches on
-// large graphs avoid per-batch map allocation; a Sampler is therefore not
-// safe for concurrent use — each pipeline worker owns one.
+// It keeps reusable workspaces — a per-node position/stamp table, per-hop
+// frontier and neighbor arenas, and a Floyd sampling scratch — plus a
+// free list of recycled DENSE results, so steady-state Sample calls
+// allocate nothing once capacities are warm. A Sampler is not safe for
+// concurrent Sample calls — each pipeline worker owns one — but Recycle
+// may be called from another goroutine (the compute stage returns
+// consumed batches there).
 type Sampler struct {
-	Adj     *graph.Adjacency
+	Adj     graph.Index
 	Fanouts []int // per layer, ordered away from the targets: Fanouts[0] is the layer closest to the targets (hop 1)
 	Dirs    graph.Directions
 	rng     *rand.Rand
@@ -158,11 +176,30 @@ type Sampler struct {
 	posDelta []int16  // node ID -> sampling-order delta index, valid when stamp matches
 	stamp    []uint32 // generation stamp per node
 	curGen   uint32
+
+	floyd   graph.SampleScratch // Floyd sampling workspace
+	scratch []int32             // one-hop neighbor scratch
+
+	// Per-hop workspaces, in sampling order (Δk first): deltas holds the
+	// k+1 frontier headers (deltas[0] aliases the caller's targets),
+	// hopDeltas/hopNbrs/hopCounts own the grown buffers for hops 1..k.
+	deltas     [][]int32
+	hopDeltas  [][]int32
+	hopNbrs    [][]int32
+	hopCounts  [][]int32
+	deltaStart []int32
+
+	mu   sync.Mutex
+	free []*DENSE
 }
+
+// freeCap bounds the recycled-DENSE free list; the pipeline keeps at most
+// Workers+Depth batches in flight, so a small pool reaches steady state.
+const freeCap = 16
 
 // New returns a DENSE sampler over adj. fanouts[i] is the maximum number of
 // neighbors per node per direction at hop i+1 from the targets.
-func New(adj *graph.Adjacency, fanouts []int, dirs graph.Directions, seed int64) *Sampler {
+func New(adj graph.Index, fanouts []int, dirs graph.Directions, seed int64) *Sampler {
 	if len(fanouts) == 0 {
 		panic("sampler: need at least one fanout")
 	}
@@ -183,7 +220,7 @@ func New(adj *graph.Adjacency, fanouts []int, dirs graph.Directions, seed int64)
 func (s *Sampler) Reseed(seed int64) { s.rng.Seed(seed) }
 
 // Reset swaps in a new adjacency (e.g., after a partition-buffer swap).
-func (s *Sampler) Reset(adj *graph.Adjacency) {
+func (s *Sampler) Reset(adj graph.Index) {
 	s.Adj = adj
 	if len(s.pos) < adj.NumNodes() {
 		s.pos = make([]int32, adj.NumNodes())
@@ -192,9 +229,46 @@ func (s *Sampler) Reset(adj *graph.Adjacency) {
 	}
 }
 
+// Recycle returns a consumed DENSE to the sampler's free list so the next
+// Sample call reuses its backing arrays. The caller must not touch d (or
+// any view into it) afterward. Safe to call from a different goroutine
+// than Sample; recycling is optional — unrecycled results fall to GC.
+func (s *Sampler) Recycle(d *DENSE) {
+	if d == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.free) < freeCap {
+		s.free = append(s.free, d)
+	}
+	s.mu.Unlock()
+}
+
+// take pops a recycled DENSE or makes a fresh one.
+func (s *Sampler) take() *DENSE {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.free); n > 0 {
+		d := s.free[n-1]
+		s.free = s.free[:n-1]
+		return d
+	}
+	return &DENSE{}
+}
+
+// ensureInt32 returns a slice of length n reusing buf's capacity.
+func ensureInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n, n+n/2+8)
+	}
+	return buf[:n]
+}
+
 // Sample implements paper Algorithm 1 for the given unique target node
 // IDs: k rounds of one-hop sampling over the shrinking delta frontier,
-// reusing previously-sampled neighbors, plus ReprMap construction.
+// reusing previously-sampled neighbors, plus ReprMap construction. The
+// result's arrays belong to the sampler's recycle pool: they are valid
+// until the DENSE is passed back to Recycle.
 func (s *Sampler) Sample(targets []int32) *DENSE {
 	k := len(s.Fanouts)
 	s.curGen++
@@ -206,12 +280,12 @@ func (s *Sampler) Sample(targets []int32) *DENSE {
 	}
 
 	// deltas[0] corresponds to Δk (targets); deltas[j] to Δ_{k-j}.
-	deltas := make([][]int32, 1, k+1)
-	deltas[0] = targets
-	// Per-delta flat neighbor arrays and per-node neighbor counts,
-	// in sampling order (Δk first).
-	deltaNbrs := make([][]int32, 0, k)
-	deltaCounts := make([][]int32, 0, k)
+	for len(s.hopDeltas) < k {
+		s.hopDeltas = append(s.hopDeltas, nil)
+		s.hopNbrs = append(s.hopNbrs, nil)
+		s.hopCounts = append(s.hopCounts, nil)
+	}
+	s.deltas = append(s.deltas[:0], targets)
 
 	if len(s.posDelta) < s.Adj.NumNodes() {
 		s.posDelta = make([]int16, s.Adj.NumNodes())
@@ -222,18 +296,16 @@ func (s *Sampler) Sample(targets []int32) *DENSE {
 		s.posDelta[v] = 0
 	}
 
-	scratch := make([]int32, 0, 64)
 	for hop := 0; hop < k; hop++ {
-		frontier := deltas[hop]
+		frontier := s.deltas[hop]
 		fanout := s.Fanouts[hop]
-		nbrs := make([]int32, 0, len(frontier)*fanout)
-		counts := make([]int32, len(frontier))
-		var next []int32
-		for i, v := range frontier {
-			scratch = scratch[:0]
-			scratch = s.Adj.SampleNeighbors(scratch, v, fanout, s.Dirs, s.rng)
-			counts[i] = int32(len(scratch))
-			for _, u := range scratch {
+		nbrs := s.hopNbrs[hop][:0]
+		counts := s.hopCounts[hop][:0]
+		next := s.hopDeltas[hop][:0]
+		for _, v := range frontier {
+			s.scratch = s.Adj.SampleNeighbors(s.scratch[:0], v, fanout, s.Dirs, s.rng, &s.floyd)
+			counts = append(counts, int32(len(s.scratch)))
+			for _, u := range s.scratch {
 				nbrs = append(nbrs, u)
 				if s.stamp[u] != s.curGen {
 					// First time this node appears anywhere in the sample:
@@ -245,63 +317,66 @@ func (s *Sampler) Sample(targets []int32) *DENSE {
 				}
 			}
 		}
-		deltaNbrs = append(deltaNbrs, nbrs)
-		deltaCounts = append(deltaCounts, counts)
-		deltas = append(deltas, next)
+		s.hopNbrs[hop] = nbrs
+		s.hopCounts[hop] = counts
+		s.hopDeltas[hop] = next
+		s.deltas = append(s.deltas, next)
 	}
 
-	// Finalize: lay out NodeIDs as [Δ0, Δ1, …, Δk] = reverse of sampling
-	// order, compute absolute positions, then build NbrOffsets/Nbrs for
-	// [Δ1 … Δk] and ReprMap.
-	numDeltas := len(deltas) // k+1
-	deltaStart := make([]int32, numDeltas)
+	// Finalize into a pooled DENSE: lay out NodeIDs as [Δ0, Δ1, …, Δk] =
+	// reverse of sampling order, compute absolute positions, then build
+	// NbrOffsets/Nbrs for [Δ1 … Δk] and ReprMap.
+	d := s.take()
+	numDeltas := len(s.deltas) // k+1
+	s.deltaStart = ensureInt32(s.deltaStart, numDeltas)
 	total := int32(0)
 	// deltas[j] holds Δ_{k-j}; final order is deltas[k], deltas[k-1], …, deltas[0].
 	for j := numDeltas - 1; j >= 0; j-- {
-		deltaStart[j] = total
-		total += int32(len(deltas[j]))
+		s.deltaStart[j] = total
+		total += int32(len(s.deltas[j]))
 	}
-	nodeIDs := make([]int32, total)
-	nodeIDOffsets := make([]int32, numDeltas+1)
+	nodeIDs := ensureInt32(d.buf.nodeIDs, int(total))
+	nodeIDOffsets := ensureInt32(d.buf.nodeIDOffsets, numDeltas+1)
 	for j := numDeltas - 1; j >= 0; j-- {
-		copy(nodeIDs[deltaStart[j]:], deltas[j])
+		copy(nodeIDs[s.deltaStart[j]:], s.deltas[j])
 	}
-	for d := 0; d < numDeltas; d++ {
-		// Group d in final order is deltas[numDeltas-1-d].
-		nodeIDOffsets[d] = deltaStart[numDeltas-1-d]
+	for g := 0; g < numDeltas; g++ {
+		// Group g in final order is deltas[numDeltas-1-g].
+		nodeIDOffsets[g] = s.deltaStart[numDeltas-1-g]
 	}
 	nodeIDOffsets[numDeltas] = total
 
 	// Neighbor groups in final order: Δ1's nbrs first … Δk's last, i.e.
-	// sampling order reversed (deltaNbrs[k-1] first).
+	// sampling order reversed (hopNbrs[k-1] first).
 	var totalNbrs int
-	for _, nb := range deltaNbrs {
-		totalNbrs += len(nb)
+	for hop := 0; hop < k; hop++ {
+		totalNbrs += len(s.hopNbrs[hop])
 	}
-	nbrs := make([]int32, 0, totalNbrs)
-	nbrOffsets := make([]int32, 0, int(total)-len(deltas[numDeltas-1]))
-	for j := len(deltaNbrs) - 1; j >= 0; j-- {
-		base := int32(len(nbrs))
-		running := base
-		for _, c := range deltaCounts[j] {
+	nbrs := ensureInt32(d.buf.nbrs, totalNbrs)[:0]
+	nbrOffsets := ensureInt32(d.buf.nbrOffsets, int(total)-len(s.deltas[numDeltas-1]))[:0]
+	for j := k - 1; j >= 0; j-- {
+		running := int32(len(nbrs))
+		for _, c := range s.hopCounts[j] {
 			nbrOffsets = append(nbrOffsets, running)
 			running += c
 		}
-		nbrs = append(nbrs, deltaNbrs[j]...)
+		nbrs = append(nbrs, s.hopNbrs[j]...)
 	}
-	// Shift offsets so the first equals 0 (they already do by construction)
-	// and build ReprMap.
-	reprMap := make([]int32, len(nbrs))
+	reprMap := ensureInt32(d.buf.reprMap, len(nbrs))
 	for i, u := range nbrs {
-		reprMap[i] = deltaStart[int(s.posDelta[u])] + s.pos[u]
+		reprMap[i] = s.deltaStart[int(s.posDelta[u])] + s.pos[u]
 	}
 
-	return &DENSE{
-		NodeIDOffsets: nodeIDOffsets,
-		NodeIDs:       nodeIDs,
-		NbrOffsets:    nbrOffsets,
-		Nbrs:          nbrs,
-		ReprMap:       reprMap,
-		Layers:        k,
+	d.buf = denseBuf{
+		nodeIDOffsets: nodeIDOffsets, nodeIDs: nodeIDs,
+		nbrOffsets: nbrOffsets, nbrs: nbrs, reprMap: reprMap,
 	}
+	d.NodeIDOffsets = nodeIDOffsets
+	d.NodeIDs = nodeIDs
+	d.NbrOffsets = nbrOffsets
+	d.Nbrs = nbrs
+	d.ReprMap = reprMap
+	d.Layers = k
+	d.layer = 0
+	return d
 }

@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func fragTestEdges(n, m int, seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: int32(rng.Intn(n)), Rel: int32(rng.Intn(3)), Dst: int32(rng.Intn(n))}
+	}
+	return edges
+}
+
+func TestFragCacheServesHitsWithoutRereads(t *testing.T) {
+	edges := fragTestEdges(100, 2000, 1)
+	pt := partition.New(100, 4)
+	es := NewMemoryEdgeStore(pt, edges)
+	fc := NewFragCache(es, pt, 16)
+
+	f1, err := fc.Frag(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := es.Stats().Snapshot().Reads
+	f2, err := fc.Frag(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != f1 {
+		t.Fatal("cache hit returned a different fragment")
+	}
+	if got := es.Stats().Snapshot().Reads; got != reads {
+		t.Fatalf("cache hit re-read the store (%d -> %d reads)", reads, got)
+	}
+	hits, misses := fc.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestFragCacheEvictsLRU(t *testing.T) {
+	edges := fragTestEdges(100, 2000, 2)
+	pt := partition.New(100, 4)
+	fc := NewFragCache(NewMemoryEdgeStore(pt, edges), pt, 2)
+
+	mustFrag := func(i, j int) *graph.BucketFrag {
+		t.Helper()
+		f, err := fc.Frag(i, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	f00 := mustFrag(0, 0)
+	mustFrag(1, 1)
+	mustFrag(0, 0) // refresh (0,0): (1,1) is now LRU
+	mustFrag(2, 2) // evicts (1,1)
+	if fc.Len() != 2 {
+		t.Fatalf("cache holds %d fragments, want 2", fc.Len())
+	}
+	if got := mustFrag(0, 0); got != f00 {
+		t.Fatal("recently-used fragment was evicted")
+	}
+	_, missesBefore := fc.Stats()
+	mustFrag(1, 1) // must rebuild
+	if _, misses := fc.Stats(); misses != missesBefore+1 {
+		t.Fatal("evicted fragment served without a rebuild")
+	}
+}
+
+func TestFragCacheMatchesBucketsOnDisk(t *testing.T) {
+	edges := fragTestEdges(120, 3000, 3)
+	pt := partition.New(120, 5)
+	es, err := CreateDiskEdgeStore(t.TempDir(), pt, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	fc := NewFragCache(es, pt, pt.NumPartitions*pt.NumPartitions)
+
+	for i := 0; i < pt.NumPartitions; i++ {
+		for j := 0; j < pt.NumPartitions; j++ {
+			f, err := fc.Frag(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bucket, err := es.ReadBucket(i, j, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.NumEdges() != len(bucket) {
+				t.Fatalf("frag (%d,%d) has %d edges, bucket %d", i, j, f.NumEdges(), len(bucket))
+			}
+		}
+	}
+}

@@ -48,20 +48,20 @@ func batchSeeds(vrng *rand.Rand, nBatches int) []int64 {
 	return seeds
 }
 
-// edgePool recycles edge-read buffers across visits so the prefetcher
-// does not allocate a fresh slice per visit. It is shared between the
-// prefetcher and compute goroutines (Release may run on either side), so
-// it is mutex-guarded; the pool is bounded — overflow buffers fall to GC.
-type edgePool struct {
+// slicePool recycles buffers across visits so the prefetcher does not
+// allocate a fresh slice per visit. It is shared between the prefetcher
+// and compute goroutines (Release may run on either side), so it is
+// mutex-guarded; the pool is bounded — overflow buffers fall to GC.
+type slicePool[T any] struct {
 	mu   sync.Mutex
-	bufs [][]graph.Edge
+	bufs [][]T
 }
 
-const edgePoolCap = 8
+const slicePoolCap = 8
 
 // get returns an empty buffer with whatever capacity a prior visit left
 // behind (nil when the pool is empty — append grows it).
-func (p *edgePool) get() []graph.Edge {
+func (p *slicePool[T]) get() []T {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if n := len(p.bufs); n > 0 {
@@ -73,37 +73,20 @@ func (p *edgePool) get() []graph.Edge {
 }
 
 // put returns a buffer to the pool.
-func (p *edgePool) put(b []graph.Edge) {
+func (p *slicePool[T]) put(b []T) {
 	if cap(b) == 0 {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.bufs) < edgePoolCap {
+	if len(p.bufs) < slicePoolCap {
 		p.bufs = append(p.bufs, b)
 	}
 }
 
-// readMemEdges reads all pairwise buckets among v.Mem (the in-memory
-// edge set used for adjacency construction) into a pooled buffer.
-func (src *Source) readMemEdges(v *policy.Visit, pool *edgePool) ([]graph.Edge, error) {
-	edges := pool.get()
-	var err error
-	for _, i := range v.Mem {
-		for _, j := range v.Mem {
-			edges, err = src.Edges.ReadBucket(i, j, edges)
-			if err != nil {
-				pool.put(edges)
-				return nil, err
-			}
-		}
-	}
-	return edges, nil
-}
-
 // readVisitEdges reads the training-example buckets assigned to the
 // visit (X_i) into a pooled buffer, unshuffled.
-func (src *Source) readVisitEdges(v *policy.Visit, pool *edgePool) ([]graph.Edge, error) {
+func (src *Source) readVisitEdges(v *policy.Visit, pool *slicePool[graph.Edge]) ([]graph.Edge, error) {
 	edges := pool.get()
 	var err error
 	for _, b := range v.Buckets {

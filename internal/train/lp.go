@@ -3,6 +3,7 @@ package train
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -54,7 +55,21 @@ type LPTrainer struct {
 	Pol policy.Policy
 
 	epoch int
-	edges edgePool
+	edges slicePool[graph.Edge]
+
+	// seg carries the incremental bucket-segmented visit index across
+	// Load calls; each visit's view swaps only the changed partitions
+	// instead of rebuilding the full in-memory adjacency. nodePool
+	// recycles the per-visit resident negative-sampling pools.
+	seg      segTracker
+	nodePool slicePool[int32]
+
+	// batchers persist across epochs: worker w always uses batchers[w],
+	// keeping its sampler and dedup workspaces warm. pbFree recycles
+	// prepared batches after the compute stage consumes them.
+	batchers []*lpBatcher
+	pbMu     sync.Mutex
+	pbFree   []*preparedLP
 
 	// The compute stage owns one arena and one tape, recycled every batch:
 	// steady-state forward/backward allocates from the arena, not the heap.
@@ -78,9 +93,37 @@ func NewLP(cfg LPConfig, src *Source, pol policy.Policy) *LPTrainer {
 		cfg.PipelineDepth = 0
 	}
 	t := &LPTrainer{Cfg: cfg, Src: src, Pol: pol}
+	t.batchers = make([]*lpBatcher, cfg.Workers)
 	t.arena = tensor.NewArena()
 	t.tape = tensor.NewTapeWith(tensor.NewCompute(cfg.Workers, t.arena))
 	return t
+}
+
+// getPB returns a recycled prepared batch (or a fresh one).
+func (t *LPTrainer) getPB() *preparedLP {
+	t.pbMu.Lock()
+	defer t.pbMu.Unlock()
+	if n := len(t.pbFree); n > 0 {
+		pb := t.pbFree[n-1]
+		t.pbFree = t.pbFree[:n-1]
+		return pb
+	}
+	return &preparedLP{}
+}
+
+// putPB recycles a consumed batch: the DENSE goes back to the sampler
+// that built it and the struct (with its index buffers) to the trainer's
+// free list.
+func (t *LPTrainer) putPB(pb *preparedLP) {
+	if pb.smp != nil {
+		pb.smp.Recycle(pb.d)
+	}
+	pb.d, pb.ls, pb.smp, pb.ids = nil, nil, nil, nil
+	t.pbMu.Lock()
+	if len(t.pbFree) < freeBatchCap {
+		t.pbFree = append(t.pbFree, pb)
+	}
+	t.pbMu.Unlock()
 }
 
 // Epoch returns the number of completed epochs.
@@ -91,15 +134,15 @@ func (t *LPTrainer) Epoch() int { return t.epoch }
 // where the checkpointed run left off.
 func (t *LPTrainer) SetEpoch(e int) { t.epoch = e }
 
-// lpVisit is a visit after the prefetch/load stage: adjacency built,
-// training edges read and shuffled, negative pool and per-batch seeds
-// derived.
+// lpVisit is a visit after the prefetch/load stage: incremental index
+// refreshed, training edges read and shuffled, negative pool and
+// per-batch seeds derived.
 type lpVisit struct {
 	vi         int
 	mem        []int
-	adj        *graph.Adjacency
-	pool       []int32
-	xEdges     []graph.Edge // pooled; recycled by release
+	adj        graph.Index
+	pool       []int32      // pooled; recycled by Release
+	xEdges     []graph.Edge // pooled; recycled by Release
 	batchSeeds []int64
 }
 
@@ -107,12 +150,16 @@ type lpVisit struct {
 // 1-3 minus representation gathering: the compute stage gathers base
 // representations at consumption time, so a batch built ahead of its
 // turn still sees every earlier batch's embedding update — pipelining
-// introduces no staleness).
+// introduces no staleness). The struct and its buffers are recycled
+// through the trainer's free list; ids aliases the pooled DENSE's
+// NodeIDs (or the batch's uniq buffer) until the batch is consumed.
 type preparedLP struct {
 	d   *sampler.DENSE
 	ls  *sampler.LayeredSample
-	ids []int32 // rows of h0: DENSE NodeIDs / layered input nodes / unique targets
+	smp *sampler.Sampler // owner of d, for recycling
+	ids []int32          // rows of h0: DENSE NodeIDs / layered input nodes / unique targets
 
+	uniq                   []int32
 	srcIdx, dstIdx, negIdx []int32
 	rels                   []int32
 	n                      int
@@ -153,12 +200,12 @@ func (t *LPTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 	depth := clampDepth(t.Cfg.PipelineDepth, plan, t.Src.Disk)
 	pipelined := depth > 0
 	la := policy.NewLookahead(plan)
-	batchers := make([]*lpBatcher, t.Cfg.Workers)
 
 	ep := pipeline.Epoch[*lpVisit, *preparedLP]{
 		NumVisits: len(plan.Visits),
-		// Load runs in the prefetcher: async node-partition staging, edge
-		// bucket reads (adjacency + training examples), shuffling and
+		// Load runs in the prefetcher: async node-partition staging,
+		// incremental index refresh (only the swapped partitions' bucket
+		// fragments are built), training-example reads, shuffling and
 		// seed derivation — everything except the buffer swap.
 		Load: func(vi int) (*lpVisit, error) {
 			visit, _, _ := la.Next()
@@ -171,22 +218,19 @@ func (t *LPTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 					t.Src.Disk.Prefetch(nv.Mem)
 				}
 			}
-			memEdges, err := t.Src.readMemEdges(visit, &t.edges)
+			adj, err := t.seg.refresh(t.Src, visit.Mem)
 			if err != nil {
 				return nil, err
 			}
 			xEdges, err := t.Src.readVisitEdges(visit, &t.edges)
 			if err != nil {
-				t.edges.put(memEdges)
 				return nil, err
 			}
 			vrng := rand.New(rand.NewSource(seeds[vi]))
 			vrng.Shuffle(len(xEdges), func(i, j int) { xEdges[i], xEdges[j] = xEdges[j], xEdges[i] })
 
-			v := &lpVisit{vi: vi, mem: visit.Mem, xEdges: xEdges}
-			v.adj = graph.BuildAdjacency(t.Src.NumNodes, memEdges)
-			t.edges.put(memEdges)
-			v.pool = t.Src.residentNodePool(visit.Mem)
+			v := &lpVisit{vi: vi, mem: visit.Mem, adj: adj, xEdges: xEdges}
+			v.pool = t.Src.residentNodePool(t.nodePool.get(), visit.Mem)
 			nBatches := (len(xEdges) + t.Cfg.BatchSize - 1) / t.Cfg.BatchSize
 			v.batchSeeds = batchSeeds(vrng, nBatches)
 			return v, nil
@@ -205,10 +249,10 @@ func (t *LPTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 		},
 		NumBatches: func(v *lpVisit) int { return len(v.batchSeeds) },
 		Build: func(w int, v *lpVisit, bi int) (*preparedLP, error) {
-			b := batchers[w]
+			b := t.batchers[w]
 			if b == nil {
 				b = t.newBatcher()
-				batchers[w] = b
+				t.batchers[w] = b
 			}
 			s0 := time.Now()
 			pb := b.prepare(v, bi)
@@ -229,11 +273,13 @@ func (t *LPTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 			stats.Examples += pb.n
 			stats.NodesSampled += pb.nodesSampled
 			stats.EdgesSampled += pb.edgesSampled
+			t.putPB(pb)
 			return nil
 		},
 		Release: func(v *lpVisit) {
 			t.edges.put(v.xEdges)
-			v.xEdges = nil
+			t.nodePool.put(v.pool)
+			v.xEdges, v.pool = nil, nil
 		},
 	}
 	err := pipeline.Run(ctx, pipeline.Config{Depth: depth, Workers: t.Cfg.Workers}, ep, &stats.Pipeline)
@@ -260,13 +306,17 @@ func (t *LPTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 // lpBatcher runs the batch-construction stage (Fig. 2 steps 1-3). Each
 // pipeline worker owns one; its samplers are re-bound to the visit's
 // adjacency/pool and re-seeded per batch, so a batch's sample does not
-// depend on which worker builds it.
+// depend on which worker builds it. The negative scratch and the dedup
+// table are reused across batches.
 type lpBatcher struct {
 	t    *LPTrainer
 	smp  *sampler.Sampler
 	lsmp *sampler.LayeredSampler
 	neg  *sampler.NegativeSampler
-	adj  *graph.Adjacency // adjacency the samplers are currently bound to
+	adj  graph.Index // adjacency the samplers are currently bound to
+
+	negs []int32
+	ded  deduper
 }
 
 func (t *LPTrainer) newBatcher() *lpBatcher {
@@ -299,6 +349,8 @@ func (b *lpBatcher) bind(v *lpVisit) {
 
 // prepare samples mini batch bi of visit v: negatives and multi-hop
 // sampling (base-representation gathering happens in the compute stage).
+// The returned batch comes from the trainer's recycle pool and allocates
+// nothing once capacities are warm.
 func (b *lpBatcher) prepare(v *lpVisit, bi int) *preparedLP {
 	t := b.t
 	b.bind(v)
@@ -306,37 +358,50 @@ func (b *lpBatcher) prepare(v *lpVisit, bi int) *preparedLP {
 	hi := min(lo+t.Cfg.BatchSize, len(v.xEdges))
 	edges := v.xEdges[lo:hi]
 
-	pb := &preparedLP{n: len(edges)}
-	srcs := make([]int32, len(edges))
-	dsts := make([]int32, len(edges))
-	pb.rels = make([]int32, len(edges))
-	for i, e := range edges {
-		srcs[i], dsts[i], pb.rels[i] = e.Src, e.Dst, e.Rel
+	pb := t.getPB()
+	pb.n = len(edges)
+	pb.rels = pb.rels[:0]
+	for _, e := range edges {
+		pb.rels = append(pb.rels, e.Rel)
 	}
 	seed := v.batchSeeds[bi]
 	b.neg.Reseed(seed + 1)
-	negs := b.neg.Sample(nil, t.Cfg.Negatives)
-	unique, idx := uniqueIndex(srcs, dsts, negs)
-	pb.srcIdx, pb.dstIdx, pb.negIdx = idx[0], idx[1], idx[2]
+	b.negs = b.neg.Sample(b.negs[:0], t.Cfg.Negatives)
+
+	// Dedup endpoints and negatives into the batch's uniq/index buffers,
+	// preserving first-occurrence order (as uniqueIndex does: all sources,
+	// then all destinations, then the negatives).
+	b.ded.reset(t.Src.NumNodes)
+	pb.uniq = pb.uniq[:0]
+	pb.srcIdx, pb.dstIdx, pb.negIdx = pb.srcIdx[:0], pb.dstIdx[:0], pb.negIdx[:0]
+	for _, e := range edges {
+		pb.srcIdx = append(pb.srcIdx, b.ded.index(e.Src, &pb.uniq))
+	}
+	for _, e := range edges {
+		pb.dstIdx = append(pb.dstIdx, b.ded.index(e.Dst, &pb.uniq))
+	}
+	for _, id := range b.negs {
+		pb.negIdx = append(pb.negIdx, b.ded.index(id, &pb.uniq))
+	}
 
 	switch {
 	case b.smp != nil:
 		b.smp.Reseed(seed)
-		d := b.smp.Sample(unique)
-		pb.d = d
-		pb.ids = append([]int32(nil), d.NodeIDs...)
+		d := b.smp.Sample(pb.uniq)
+		pb.d, pb.smp = d, b.smp
+		pb.ids = d.NodeIDs
 		pb.nodesSampled = int64(len(d.NodeIDs))
 		pb.edgesSampled = int64(len(d.Nbrs))
 	case b.lsmp != nil:
 		b.lsmp.Reseed(seed)
-		ls := b.lsmp.Sample(unique)
+		ls := b.lsmp.Sample(pb.uniq)
 		pb.ls = ls
 		pb.ids = ls.Blocks[0].SrcNodes
 		pb.nodesSampled = int64(ls.NumNodesSampled())
 		pb.edgesSampled = int64(ls.NumEdgesSampled())
 	default:
-		pb.ids = unique
-		pb.nodesSampled = int64(len(unique))
+		pb.ids = pb.uniq
+		pb.nodesSampled = int64(len(pb.uniq))
 	}
 	return pb
 }

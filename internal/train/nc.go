@@ -3,6 +3,7 @@ package train
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -53,7 +54,23 @@ type NCTrainer struct {
 	TrainNodes []int32
 
 	epoch int
-	edges edgePool
+
+	// seg carries the incremental bucket-segmented visit index across
+	// Load calls; each visit's view swaps only the changed partitions
+	// instead of rebuilding the full in-memory adjacency.
+	seg segTracker
+	// trainByPart caches TrainNodes grouped by partition (the
+	// partitioning is fixed per trainer), so Load collects a visit's
+	// targets without scanning all training nodes.
+	trainByPart [][]int32
+	targetPool  slicePool[int32]
+
+	// batchers persist across epochs: worker w always uses batchers[w],
+	// keeping its sampler workspaces warm. pbFree recycles prepared
+	// batches after the compute stage consumes them.
+	batchers []*ncBatcher
+	pbMu     sync.Mutex
+	pbFree   []*preparedNC
 
 	// The compute stage owns one arena and one tape, recycled every batch:
 	// steady-state forward/backward allocates from the arena, not the heap.
@@ -76,10 +93,42 @@ func NewNC(cfg NCConfig, src *Source, pol policy.Policy, labels []int32, trainNo
 		cfg.PipelineDepth = 0
 	}
 	t := &NCTrainer{Cfg: cfg, Src: src, Pol: pol, Labels: labels, TrainNodes: trainNodes}
+	t.batchers = make([]*ncBatcher, cfg.Workers)
 	t.arena = tensor.NewArena()
 	t.tape = tensor.NewTapeWith(tensor.NewCompute(cfg.Workers, t.arena))
 	return t
 }
+
+// getPB returns a recycled prepared batch (or a fresh one).
+func (t *NCTrainer) getPB() *preparedNC {
+	t.pbMu.Lock()
+	defer t.pbMu.Unlock()
+	if n := len(t.pbFree); n > 0 {
+		pb := t.pbFree[n-1]
+		t.pbFree = t.pbFree[:n-1]
+		return pb
+	}
+	return &preparedNC{}
+}
+
+// putPB recycles a consumed batch: the DENSE goes back to the sampler
+// that built it and the struct (with its label buffer) to the trainer's
+// free list.
+func (t *NCTrainer) putPB(pb *preparedNC) {
+	if pb.smp != nil {
+		pb.smp.Recycle(pb.d)
+	}
+	pb.d, pb.ls, pb.smp, pb.ids = nil, nil, nil, nil
+	t.pbMu.Lock()
+	if len(t.pbFree) < freeBatchCap {
+		t.pbFree = append(t.pbFree, pb)
+	}
+	t.pbMu.Unlock()
+}
+
+// freeBatchCap bounds the prepared-batch free lists; the pipeline keeps
+// at most Workers+Depth batches in flight.
+const freeBatchCap = 32
 
 // Epoch returns the number of completed epochs.
 func (t *NCTrainer) Epoch() int { return t.epoch }
@@ -89,22 +138,25 @@ func (t *NCTrainer) Epoch() int { return t.epoch }
 // where the checkpointed run left off.
 func (t *NCTrainer) SetEpoch(e int) { t.epoch = e }
 
-// ncVisit is a visit after the prefetch/load stage: adjacency built,
-// targets assigned and shuffled, per-batch seeds derived.
+// ncVisit is a visit after the prefetch/load stage: incremental index
+// refreshed, targets assigned and shuffled, per-batch seeds derived.
 type ncVisit struct {
 	vi         int
 	mem        []int
-	adj        *graph.Adjacency
-	targets    []int32
+	adj        graph.Index
+	targets    []int32 // pooled; recycled by Release
 	batchSeeds []int64
 }
 
 // preparedNC is a mini batch after the construction stage. Base
 // representations are gathered by the compute stage (not here), so a
-// batch built ahead of time never reads stale features.
+// batch built ahead of time never reads stale features. The struct and
+// its buffers are recycled through the trainer's free list; ids aliases
+// the pooled DENSE's NodeIDs until the batch is consumed.
 type preparedNC struct {
 	d      *sampler.DENSE
 	ls     *sampler.LayeredSample
+	smp    *sampler.Sampler // owner of d, for recycling
 	ids    []int32
 	labels []int32
 	n      int
@@ -149,13 +201,20 @@ func (t *NCTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 	pipelined := depth > 0
 	la := policy.NewLookahead(plan)
 	donePart := make([]bool, t.Src.Part.NumPartitions)
-	batchers := make([]*ncBatcher, t.Cfg.Workers)
+	if t.trainByPart == nil {
+		t.trainByPart = make([][]int32, t.Src.Part.NumPartitions)
+		for _, v := range t.TrainNodes {
+			p := t.Src.Part.Of(v)
+			t.trainByPart[p] = append(t.trainByPart[p], v)
+		}
+	}
 
 	ep := pipeline.Epoch[*ncVisit, *preparedNC]{
 		NumVisits: len(plan.Visits),
-		// Load runs in the prefetcher: async node-partition staging, edge
-		// bucket reads, adjacency construction, and target assignment
-		// (donePart carries in-order state across Load calls, which the
+		// Load runs in the prefetcher: async node-partition staging,
+		// incremental index refresh (only the swapped partitions' bucket
+		// fragments are built), and target assignment (donePart and the
+		// seg tracker carry in-order state across Load calls, which the
 		// executor guarantees run sequentially).
 		Load: func(vi int) (*ncVisit, error) {
 			visit, _, _ := la.Next()
@@ -168,7 +227,7 @@ func (t *NCTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 					t.Src.Disk.Prefetch(nv.Mem)
 				}
 			}
-			memEdges, err := t.Src.readMemEdges(visit, &t.edges)
+			adj, err := t.seg.refresh(t.Src, visit.Mem)
 			if err != nil {
 				return nil, err
 			}
@@ -176,25 +235,16 @@ func (t *NCTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 
 			// Targets: training nodes whose partition became resident and
 			// has not been trained on yet this epoch.
-			resident := make(map[int]bool, len(visit.Mem))
+			targets := t.targetPool.get()
 			for _, p := range visit.Mem {
-				resident[p] = true
-			}
-			var targets []int32
-			for _, v := range t.TrainNodes {
-				p := t.Src.Part.Of(v)
-				if resident[p] && !donePart[p] {
-					targets = append(targets, v)
+				if !donePart[p] {
+					donePart[p] = true
+					targets = append(targets, t.trainByPart[p]...)
 				}
-			}
-			for _, p := range visit.Mem {
-				donePart[p] = true
 			}
 			vrng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
 
-			v := &ncVisit{vi: vi, mem: visit.Mem, targets: targets}
-			v.adj = graph.BuildAdjacency(t.Src.NumNodes, memEdges)
-			t.edges.put(memEdges)
+			v := &ncVisit{vi: vi, mem: visit.Mem, targets: targets, adj: adj}
 			nBatches := (len(targets) + t.Cfg.BatchSize - 1) / t.Cfg.BatchSize
 			v.batchSeeds = batchSeeds(vrng, nBatches)
 			return v, nil
@@ -213,10 +263,10 @@ func (t *NCTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 		},
 		NumBatches: func(v *ncVisit) int { return len(v.batchSeeds) },
 		Build: func(w int, v *ncVisit, bi int) (*preparedNC, error) {
-			b := batchers[w]
+			b := t.batchers[w]
 			if b == nil {
 				b = t.newBatcher()
-				batchers[w] = b
+				t.batchers[w] = b
 			}
 			s0 := time.Now()
 			pb := b.prepare(v, bi)
@@ -236,7 +286,12 @@ func (t *NCTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 			stats.Examples += pb.n
 			stats.NodesSampled += pb.nodesSampled
 			stats.EdgesSampled += pb.edgesSampled
+			t.putPB(pb)
 			return nil
+		},
+		Release: func(v *ncVisit) {
+			t.targetPool.put(v.targets)
+			v.targets = nil
 		},
 	}
 	err := pipeline.Run(ctx, pipeline.Config{Depth: depth, Workers: t.Cfg.Workers}, ep, &stats.Pipeline)
@@ -266,7 +321,7 @@ type ncBatcher struct {
 	t    *NCTrainer
 	smp  *sampler.Sampler
 	lsmp *sampler.LayeredSampler
-	adj  *graph.Adjacency // adjacency the samplers are currently bound to
+	adj  graph.Index // adjacency the samplers are currently bound to
 }
 
 func (t *NCTrainer) newBatcher() *ncBatcher {
@@ -295,7 +350,9 @@ func (b *ncBatcher) bind(v *ncVisit) {
 }
 
 // prepare samples mini batch bi of visit v: multi-hop sampling plus label
-// lookup (feature gathering happens in the compute stage).
+// lookup (feature gathering happens in the compute stage). The returned
+// batch comes from the trainer's recycle pool and allocates nothing once
+// capacities are warm.
 func (b *ncBatcher) prepare(v *ncVisit, bi int) *preparedNC {
 	t := b.t
 	b.bind(v)
@@ -303,17 +360,18 @@ func (b *ncBatcher) prepare(v *ncVisit, bi int) *preparedNC {
 	hi := min(lo+t.Cfg.BatchSize, len(v.targets))
 	targets := v.targets[lo:hi]
 
-	pb := &preparedNC{n: len(targets)}
-	pb.labels = make([]int32, len(targets))
-	for i, id := range targets {
-		pb.labels[i] = t.Labels[id]
+	pb := t.getPB()
+	pb.n = len(targets)
+	pb.labels = pb.labels[:0]
+	for _, id := range targets {
+		pb.labels = append(pb.labels, t.Labels[id])
 	}
 	seed := v.batchSeeds[bi]
 	if b.smp != nil {
 		b.smp.Reseed(seed)
 		d := b.smp.Sample(targets)
-		pb.d = d
-		pb.ids = append([]int32(nil), d.NodeIDs...)
+		pb.d, pb.smp = d, b.smp
+		pb.ids = d.NodeIDs
 		pb.nodesSampled = int64(len(d.NodeIDs))
 		pb.edgesSampled = int64(len(d.Nbrs))
 	} else {

@@ -43,13 +43,15 @@ func RandomEmbeddings(numNodes, dim int, seed int64) *tensor.Tensor {
 // configuration. table is the base-representation table (features for NC,
 // embeddings for LP).
 func NewMemorySource(g *graph.Graph, pt partition.Partitioning, table *tensor.Tensor) *Source {
-	return &Source{
+	src := &Source{
 		Part:     pt,
 		NumNodes: g.NumNodes,
 		NumRels:  g.NumRels,
 		Nodes:    storage.NewMemoryNodeStore(table),
 		Edges:    storage.NewMemoryEdgeStore(pt, g.Edges),
 	}
+	src.FragCache()
+	return src
 }
 
 // DiskSourceConfig configures NewDiskSource.
@@ -87,14 +89,16 @@ func NewDiskSource(g *graph.Graph, pt partition.Partitioning, dim int, cfg DiskS
 		nodes.Close()
 		return nil, err
 	}
-	return &Source{
+	src := &Source{
 		Part:     pt,
 		NumNodes: g.NumNodes,
 		NumRels:  g.NumRels,
 		Nodes:    nodes,
 		Disk:     nodes,
 		Edges:    edges,
-	}, nil
+	}
+	src.FragCache()
+	return src, nil
 }
 
 // Close releases a source's stores.

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/pipeline"
 	"repro/internal/storage"
@@ -99,23 +100,101 @@ type Source struct {
 	// partition loading and prefetching through it.
 	Disk  *storage.DiskNodeStore
 	Edges storage.EdgeStore
+	// Frags caches per-bucket CSR fragments over Edges; the trainers
+	// compose their incremental visit indexes from it. Created by the
+	// source constructors (or lazily by FragCache for hand-built sources).
+	Frags *storage.FragCache
 }
 
-// residentNodePool lists every node ID whose partition is in mem, used to
-// restrict negative sampling to in-memory nodes (paper §3).
-func (src *Source) residentNodePool(mem []int) []int32 {
-	var total int
-	for _, p := range mem {
-		total += src.Part.Rows(p)
+// FragCache returns the source's fragment cache, creating one sized to
+// the training window when the source was built without one: (2c)²
+// buckets for a disk buffer of capacity c (resident set plus maximal
+// prefetch lookahead), everything for in-memory sources.
+func (src *Source) FragCache() *storage.FragCache {
+	if src.Frags == nil {
+		p := src.Part.NumPartitions
+		capBuckets := p * p
+		if src.Disk != nil {
+			c := src.Disk.Capacity()
+			if w := (2*c)*(2*c) + 8; w < capBuckets {
+				capBuckets = w
+			}
+		}
+		src.Frags = storage.NewFragCache(src.Edges, src.Part, capBuckets)
 	}
-	pool := make([]int32, 0, total)
+	return src.Frags
+}
+
+// segTracker carries a trainer's incremental visit index across Load
+// calls. Load runs in strict plan order on a single goroutine (the
+// pipeline contract), so each visit's view derives from the previous
+// visit's by swapping only the changed partitions; views are immutable,
+// so in-flight pipelined visits keep sampling from theirs.
+type segTracker struct {
+	seg *graph.Segmented
+}
+
+// refresh returns the view for mem, reusing every fragment shared with
+// the previous visit.
+func (st *segTracker) refresh(src *Source, mem []int) (*graph.Segmented, error) {
+	if st.seg == nil {
+		st.seg = graph.NewSegmented(src.FragCache())
+	}
+	seg, err := st.seg.Swap(mem)
+	if err != nil {
+		return nil, err
+	}
+	st.seg = seg
+	return seg, nil
+}
+
+// residentNodePool appends every node ID whose partition is in mem to
+// dst, used to restrict negative sampling to in-memory nodes (paper §3).
+func (src *Source) residentNodePool(dst []int32, mem []int) []int32 {
 	for _, p := range mem {
 		start, end := src.Part.Range(p)
 		for id := start; id < end; id++ {
-			pool = append(pool, id)
+			dst = append(dst, id)
 		}
 	}
-	return pool
+	return dst
+}
+
+// deduper assigns dense first-occurrence indices to node IDs using a
+// generation-stamped table, the allocation-free counterpart of
+// uniqueIndex for the batch-construction hot path.
+type deduper struct {
+	pos   []int32
+	stamp []uint32
+	gen   uint32
+}
+
+// reset starts a fresh index over the ID space [0, n).
+func (d *deduper) reset(n int) {
+	if len(d.pos) < n {
+		d.pos = make([]int32, n)
+		d.stamp = make([]uint32, n)
+		d.gen = 0
+	}
+	d.gen++
+	if d.gen == 0 { // wrapped: invalidate everything
+		for i := range d.stamp {
+			d.stamp[i] = 0
+		}
+		d.gen = 1
+	}
+}
+
+// index returns id's dense index, appending id to *uniq on first sight.
+func (d *deduper) index(id int32, uniq *[]int32) int32 {
+	if d.stamp[id] == d.gen {
+		return d.pos[id]
+	}
+	d.stamp[id] = d.gen
+	u := int32(len(*uniq))
+	d.pos[id] = u
+	*uniq = append(*uniq, id)
+	return u
 }
 
 // uniqueIndex deduplicates ids preserving first-occurrence order and
