@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-pipeline bench-kernels bench-pipeline bench-sampler bench-baseline check
+.PHONY: build test race race-pipeline bench-kernels bench-pipeline bench-sampler bench-ingest bench-baseline check
 
 build:
 	$(GO) build ./...
@@ -42,10 +42,24 @@ bench-pipeline:
 bench-sampler:
 	$(GO) run ./cmd/benchsampler -short -check -o /tmp/BENCH_sampler.json
 
+# Short-mode end-to-end ingestion gate: export a seeded graph to raw
+# TSV, preprocess it with the streaming ingester under a memory cap
+# small enough to force a multi-run external sort, validate every
+# checksum, then train pipelined COMET straight from the prepared
+# directory. Hard floors: >=2 spill runs under the cap, and per-epoch
+# losses plus the final checkpoint byte-identical to a serial session
+# over the equivalent in-memory graph. Same target as the CI ingest job,
+# so CI and local runs gate one configuration.
+bench-ingest:
+	$(GO) run ./cmd/benchingest -short -check -o /tmp/BENCH_ingest.json
+
 # Refresh the checked-in full-shape baselines (commit the results).
 bench-baseline:
 	$(GO) run ./cmd/benchkernels -check -o BENCH_kernels.json
 	$(GO) run ./cmd/benchpipeline -check -o BENCH_pipeline.json
 	$(GO) run ./cmd/benchsampler -check -o BENCH_sampler.json
+	$(GO) run ./cmd/benchingest -check -o BENCH_ingest.json
 
-check: build test race bench-kernels bench-pipeline bench-sampler
+# The full local gate: everything CI runs (test, race, race-pipeline,
+# and every benchmark floor including the end-to-end ingest path).
+check: build test race race-pipeline bench-kernels bench-pipeline bench-sampler bench-ingest

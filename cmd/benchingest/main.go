@@ -1,0 +1,261 @@
+// Command benchingest exercises the full ingest → train path end to end
+// and emits BENCH_ingest.json, the repo's ingestion baseline: a seeded
+// knowledge graph is exported to a raw TSV edge list, preprocessed by
+// the streaming ingester (internal/dataset, the engine behind mariusprep
+// prep) under a memory cap small enough to force a multi-run external
+// sort, integrity-validated, and then trained with the pipelined COMET
+// out-of-core configuration straight from the prepared directory.
+//
+//	go run ./cmd/benchingest                  # full size
+//	go run ./cmd/benchingest -short -check    # CI: small size, enforce gates
+//
+// -check enforces the ingestion contract: the external sort must spill
+// (>= 2 runs) while its peak working set stays under the cap, validation
+// must pass, and the pipelined dataset run's per-epoch losses and final
+// checkpoint must be byte-identical to a serial session trained on the
+// equivalent in-memory graph at the same seed — ingestion is exact, not
+// approximate.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/marius"
+)
+
+// Report is the schema of BENCH_ingest.json.
+type Report struct {
+	Schema     int     `json:"schema"`
+	Go         string  `json:"go"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Short      bool    `json:"short"`
+	Config     Config  `json:"config"`
+	Ingest     Ingest  `json:"ingest"`
+	Reference  RunStat `json:"reference_inmemory_serial"`
+	Dataset    RunStat `json:"dataset_pipelined"`
+	Summary    Summary `json:"summary"`
+}
+
+// Config records the benchmark workload.
+type Config struct {
+	Entities   int     `json:"entities"`
+	Edges      int     `json:"edges"`
+	Relations  int     `json:"relations"`
+	Dim        int     `json:"dim"`
+	Partitions int     `json:"partitions"`
+	Capacity   int     `json:"capacity"`
+	Logical    int     `json:"logical_partitions"`
+	BatchSize  int     `json:"batch_size"`
+	Negatives  int     `json:"negatives"`
+	Epochs     int     `json:"epochs"`
+	Depth      int     `json:"pipeline_depth"`
+	Workers    int     `json:"workers"`
+	Seed       int64   `json:"seed"`
+	MemCapMB   float64 `json:"mem_cap_mb"`
+}
+
+// Ingest records the preprocessing measurements.
+type Ingest struct {
+	Seconds          float64 `json:"seconds"`
+	EdgesPerSec      float64 `json:"edges_per_sec"`
+	SpillRuns        int     `json:"spill_runs"`
+	PeakWorkingSetMB float64 `json:"peak_working_set_mb"`
+	SpilledMB        float64 `json:"spilled_mb"`
+	ValidateSeconds  float64 `json:"validate_seconds"`
+}
+
+// RunStat records one training configuration.
+type RunStat struct {
+	EpochSec []float64 `json:"epoch_sec"`
+	Loss     []float64 `json:"loss"`
+	Visits   int       `json:"visits"`
+}
+
+// Summary is what -check gates on.
+type Summary struct {
+	Spilled          bool `json:"external_sort_spilled"`
+	UnderCap         bool `json:"peak_under_cap"`
+	Validated        bool `json:"validated"`
+	LossesMatch      bool `json:"losses_match_reference"`
+	CheckpointsMatch bool `json:"checkpoints_match_reference"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_ingest.json", "output JSON path")
+	short := flag.Bool("short", false, "small dataset for CI")
+	check := flag.Bool("check", false, "enforce gates (>=2 spill runs under the cap, exact loss and checkpoint equivalence)")
+	epochs := flag.Int("epochs", 2, "training epochs per configuration")
+	flag.Parse()
+
+	cfg := Config{
+		Entities: 12000, Edges: 200000, Relations: 32, Dim: 16,
+		Partitions: 8, Capacity: 4, Logical: 4,
+		BatchSize: 1024, Negatives: 250,
+		Epochs: *epochs, Depth: 2, Workers: 4, Seed: 42,
+	}
+	if *short {
+		cfg.Entities, cfg.Edges, cfg.Relations = 2500, 30000, 12
+		cfg.Negatives = 64
+	}
+	// A cap around a fifth of the total sort working set (24 B/edge)
+	// forces a genuinely multi-run external sort.
+	memCap := int64(cfg.Edges) * 24 / 5
+	cfg.MemCapMB = float64(memCap) / 1e6
+
+	kg := gen.KGConfig{
+		NumEntities: cfg.Entities, NumRelations: cfg.Relations, NumEdges: cfg.Edges,
+		ZipfS: 1.2, ValidFrac: 0.02, TestFrac: 0.02, Seed: cfg.Seed,
+	}
+	rep := Report{Schema: 1, Go: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0), Short: *short, Config: cfg}
+
+	work, err := os.MkdirTemp("", "benchingest-")
+	must(err)
+	defer os.RemoveAll(work)
+
+	// Export a fresh graph to raw TSV (before any session relabels it).
+	exp, err := dataset.Export(gen.KG(kg), filepath.Join(work, "raw"), "tsv")
+	must(err)
+
+	// Ingest under the cap — the same engine mariusprep prep drives.
+	dsDir := filepath.Join(work, "prep")
+	icfg := exp.Config(dsDir, "lp", cfg.Seed, cfg.Partitions)
+	icfg.MemLimit = memCap
+	t0 := time.Now()
+	st, err := dataset.Ingest(icfg)
+	must(err)
+	rep.Ingest = Ingest{
+		Seconds:          time.Since(t0).Seconds(),
+		EdgesPerSec:      float64(st.NumEdges) / time.Since(t0).Seconds(),
+		SpillRuns:        st.SpillRuns,
+		PeakWorkingSetMB: float64(st.MaxBufferedBytes) / 1e6,
+		SpilledMB:        float64(st.BytesSpilled) / 1e6,
+	}
+	rep.Summary.Spilled = st.SpillRuns >= 2
+	rep.Summary.UnderCap = st.MaxBufferedBytes <= memCap
+
+	t0 = time.Now()
+	_, verr := dataset.Validate(dsDir)
+	rep.Ingest.ValidateSeconds = time.Since(t0).Seconds()
+	rep.Summary.Validated = verr == nil
+	if verr != nil {
+		fmt.Fprintf(os.Stderr, "benchingest: validate: %v\n", verr)
+	}
+
+	common := []marius.Option{
+		marius.WithSeed(cfg.Seed), marius.WithModel(marius.DistMultOnly),
+		marius.WithDim(cfg.Dim), marius.WithBatchSize(cfg.BatchSize),
+		marius.WithNegatives(cfg.Negatives), marius.WithWorkers(cfg.Workers),
+	}
+
+	// Reference: serial disk COMET training over the equivalent
+	// in-memory-generated graph.
+	refCkpt := filepath.Join(work, "ref.ckpt")
+	must(os.Mkdir(filepath.Join(work, "ref"), 0o755))
+	ref, err := marius.New(marius.LinkPrediction(), gen.KG(kg), append(common,
+		marius.WithDisk(filepath.Join(work, "ref"),
+			marius.Partitions(cfg.Partitions), marius.Capacity(cfg.Capacity),
+			marius.LogicalPartitions(cfg.Logical)))...)
+	must(err)
+	rep.Reference = trainRun(ref, cfg.Epochs)
+	must(ref.Save(refCkpt))
+	must(ref.Close())
+
+	// Candidate: pipelined COMET training straight from the prepared
+	// directory.
+	dsCkpt := filepath.Join(work, "ds.ckpt")
+	must(os.Mkdir(filepath.Join(work, "scratch"), 0o755))
+	ds, err := marius.FromDataset(dsDir, append(common,
+		marius.WithDisk(filepath.Join(work, "scratch"),
+			marius.Capacity(cfg.Capacity), marius.LogicalPartitions(cfg.Logical)),
+		marius.WithPipeline(cfg.Depth))...)
+	must(err)
+	rep.Dataset = trainRun(ds, cfg.Epochs)
+	must(ds.Save(dsCkpt))
+	must(ds.Close())
+
+	rep.Summary.LossesMatch = len(rep.Reference.Loss) == len(rep.Dataset.Loss)
+	for i := range rep.Reference.Loss {
+		if rep.Reference.Loss[i] != rep.Dataset.Loss[i] {
+			rep.Summary.LossesMatch = false
+		}
+	}
+	refBytes, err := os.ReadFile(refCkpt)
+	must(err)
+	dsBytes, err := os.ReadFile(dsCkpt)
+	must(err)
+	rep.Summary.CheckpointsMatch = bytes.Equal(refBytes, dsBytes)
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	must(err)
+	must(os.WriteFile(*out, append(buf, '\n'), 0o644))
+	fmt.Printf("ingest: %d edges in %.2fs (%.2fM edges/s), %d spill runs, peak %.2f MB under %.2f MB cap\n",
+		cfg.Edges, rep.Ingest.Seconds, rep.Ingest.EdgesPerSec/1e6,
+		rep.Ingest.SpillRuns, rep.Ingest.PeakWorkingSetMB, cfg.MemCapMB)
+	fmt.Printf("train: reference %.2fs, dataset(pipelined) %.2fs; losses match=%v checkpoints match=%v\n",
+		sum(rep.Reference.EpochSec), sum(rep.Dataset.EpochSec),
+		rep.Summary.LossesMatch, rep.Summary.CheckpointsMatch)
+
+	if *check {
+		s := rep.Summary
+		if !s.Spilled {
+			fail("external sort completed in %d run(s); the cap did not force spilling", rep.Ingest.SpillRuns)
+		}
+		if !s.UnderCap {
+			fail("peak working set %.2f MB exceeds the %.2f MB cap", rep.Ingest.PeakWorkingSetMB, cfg.MemCapMB)
+		}
+		if !s.Validated {
+			fail("dataset validation failed: %v", verr)
+		}
+		if !s.LossesMatch {
+			fail("pipelined dataset losses diverge from the in-memory reference")
+		}
+		if !s.CheckpointsMatch {
+			fail("pipelined dataset checkpoint differs from the in-memory reference")
+		}
+		fmt.Println("check: all ingestion gates passed")
+	}
+}
+
+// trainRun trains epochs epochs and collects exact losses.
+func trainRun(sess *marius.Session, epochs int) RunStat {
+	var rs RunStat
+	for i := 0; i < epochs; i++ {
+		t0 := time.Now()
+		st, err := sess.TrainEpoch(context.Background())
+		must(err)
+		rs.EpochSec = append(rs.EpochSec, time.Since(t0).Seconds())
+		rs.Loss = append(rs.Loss, st.Loss)
+		rs.Visits = st.Visits
+	}
+	return rs
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchingest: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchingest: CHECK FAILED: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@
 //	mariusgnn -task lp -dataset fb15k237 -storage disk -policy comet -epochs 5
 //	mariusgnn -task lp -model distmult -storage disk -policy beta
 //	mariusgnn -task lp -epochs 20 -checkpoint run.ckpt   # later: -resume run.ckpt
+//	mariusgnn -data data/fb -storage disk -pipeline 2    # mariusprep-prepared directory
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 	var (
 		task     = flag.String("task", "nc", "nc (node classification) or lp (link prediction)")
 		dataset  = flag.String("dataset", "", "nc: sbm; lp: fb15k237, freebase, wiki (default per task)")
+		data     = flag.String("data", "", "train from a mariusprep-prepared dataset directory (task, seed and partitions come from its manifest)")
 		nodes    = flag.Int("nodes", 20000, "graph size for generated datasets")
 		model    = flag.String("model", "graphsage", "graphsage, gat, gcn, distmult")
 		storageF = flag.String("storage", "mem", "mem or disk")
@@ -47,16 +49,35 @@ func main() {
 		pipeline = flag.Int("pipeline", 0, "visits prefetched ahead of the trainer (0 = serial epoch loop)")
 		workers  = flag.Int("workers", marius.DefaultWorkers, "batch-construction workers / kernel fan-out")
 		mbps     = flag.Float64("disk-mbps", 0, "simulated disk bandwidth in MB/s (0 = unlimited)")
+		noEval   = flag.Bool("no-eval", false, "skip final valid/test evaluation (it materializes the full graph — use for larger-than-RAM -data runs)")
 		patience = flag.Int("patience", 0, "early-stopping patience in epochs (0 = off)")
 		ckpt     = flag.String("checkpoint", "", "save a resumable checkpoint here every epoch")
 		resume   = flag.String("resume", "", "restore training state from this checkpoint before running")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	seedSet := explicit["seed"]
+	if *data != "" {
+		// A prepared dataset fixes the task and the graph; silently
+		// dropping these flags would train something other than what the
+		// user asked for.
+		for _, name := range []string{"task", "dataset", "nodes"} {
+			if explicit[name] {
+				log.Fatalf("-%s conflicts with -data: the prepared dataset's manifest decides it", name)
+			}
+		}
+	}
 
 	opts := []marius.Option{
 		marius.WithDim(*dim), marius.WithBatchSize(*batch),
-		marius.WithNegatives(*negs), marius.WithSeed(*seed),
+		marius.WithNegatives(*negs),
+	}
+	// A prepared dataset carries its prep seed; only override it when
+	// the flag was given explicitly.
+	if *data == "" || seedSet {
+		opts = append(opts, marius.WithSeed(*seed))
 	}
 	if *layers > 0 {
 		opts = append(opts, marius.WithLayers(*layers))
@@ -110,35 +131,46 @@ func main() {
 		opts = append(opts, marius.WithPipeline(*pipeline))
 	}
 
-	var g *graph.Graph
-	var mtask marius.Task
-	switch *task {
-	case "nc":
-		g = gen.SBM(gen.DefaultSBM(*nodes, *seed))
-		fmt.Printf("SBM graph: %d nodes, %d edges, %d classes, %d train nodes\n",
-			g.NumNodes, len(g.Edges), g.NumClasses, len(g.TrainNodes))
-		mtask = marius.NodeClassification()
-	case "lp":
-		switch *dataset {
-		case "", "fb15k237":
-			g = gen.KG(gen.FB15k237Scale(float64(*nodes)/14541.0, *seed))
-		case "freebase":
-			g = gen.KG(gen.FreebaseScale(86_000_000 / *nodes, *seed))
-		case "wiki":
-			g = gen.KG(gen.WikiScale(91_000_000 / *nodes, *seed))
-		default:
-			log.Fatalf("unknown lp dataset %q", *dataset)
+	var sess *marius.Session
+	var err error
+	if *data != "" {
+		sess, err = marius.FromDataset(*data, opts...)
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("KG: %d entities, %d relations, %d train edges\n",
-			g.NumNodes, g.NumRels, len(g.Edges))
-		mtask = marius.LinkPrediction()
-	default:
-		log.Fatalf("unknown task %q", *task)
-	}
-
-	sess, err := marius.New(mtask, g, opts...)
-	if err != nil {
-		log.Fatal(err)
+		o := sess.Options()
+		fmt.Printf("dataset %s: task %s, %d nodes, %d partitions, seed %d\n",
+			*data, sess.Task().Name(), sess.Graph().NumNodes, o.Partitions, o.Seed)
+	} else {
+		var g *graph.Graph
+		var mtask marius.Task
+		switch *task {
+		case "nc":
+			g = gen.SBM(gen.DefaultSBM(*nodes, *seed))
+			fmt.Printf("SBM graph: %d nodes, %d edges, %d classes, %d train nodes\n",
+				g.NumNodes, len(g.Edges), g.NumClasses, len(g.TrainNodes))
+			mtask = marius.NodeClassification()
+		case "lp":
+			switch *dataset {
+			case "", "fb15k237":
+				g = gen.KG(gen.FB15k237Scale(float64(*nodes)/14541.0, *seed))
+			case "freebase":
+				g = gen.KG(gen.FreebaseScale(86_000_000 / *nodes, *seed))
+			case "wiki":
+				g = gen.KG(gen.WikiScale(91_000_000 / *nodes, *seed))
+			default:
+				log.Fatalf("unknown lp dataset %q", *dataset)
+			}
+			fmt.Printf("KG: %d entities, %d relations, %d train edges\n",
+				g.NumNodes, g.NumRels, len(g.Edges))
+			mtask = marius.LinkPrediction()
+		default:
+			log.Fatalf("unknown task %q", *task)
+		}
+		sess, err = marius.New(mtask, g, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	defer sess.Close()
 	if *resume != "" {
@@ -183,6 +215,9 @@ func main() {
 		fmt.Printf("run stopped: %s\n", res.Stopped)
 	}
 
+	if *noEval {
+		return
+	}
 	valid, err := sess.Evaluate(marius.ValidSplit)
 	if err != nil {
 		log.Fatal(err)

@@ -114,6 +114,60 @@
 // writes BENCH_pipeline.json (the checked-in baseline, >=1.5x epoch
 // speedup enforced by `make bench-pipeline`).
 //
+// # Datasets on disk
+//
+// Real (or externally generated) graphs enter through cmd/mariusprep,
+// the streaming preprocessing CLI over internal/dataset (paper §4–5:
+// raw edge lists are partitioned into on-disk edge buckets before
+// out-of-core training). `mariusprep prep` converts raw inputs —
+// TSV/CSV or packed-binary edge lists, optional node/feature/label and
+// split files — into a self-describing dataset directory:
+//
+//	manifest.json           versioned metadata + per-bucket edge counts
+//	                        and CRC32 checksums + (size, CRC32) for every
+//	                        payload file
+//	edges.bin               train edges bucket-sorted by (src partition,
+//	                        dst partition); 12-byte little-endian
+//	                        (src, rel, dst) triples, bucket (i,j) at the
+//	                        offset implied by the manifest counts —
+//	                        byte-compatible with storage.DiskEdgeStore
+//	features.bin            float32 rows in node-ID order (NC) —
+//	                        byte-compatible with DiskNodeStore's table
+//	labels.bin              int32 class per node (NC)
+//	{train,valid,test}_nodes.bin   int32 split lists, order preserved
+//	{valid,test}_edges.bin  held-out edge triples, order preserved (LP)
+//	dict.tsv                raw source ID of each final node ID
+//
+// Ingestion is memory-bounded and never materializes the edge list:
+// edges stream through an external counting/bucket sort (buffer up to
+// the -mem cap, stable-sort each full buffer by bucket, spill it as a
+// run, then merge runs run-major so every bucket keeps global input
+// order), while the node dictionary and relabeling stay O(nodes). The
+// ingest step applies the same seeded partition relabeling marius.New
+// applies to an in-memory graph (partition.RandomOrder for LP,
+// TrainFirstOrder for NC), so node IDs — and therefore bucket bytes —
+// come out exactly as the in-memory path would lay them out.
+//
+// storage.OpenDataset(dir) opens a prepared directory (validating the
+// manifest and every payload file's exact size, so truncation is a
+// typed *storage.CorruptError at open instead of an io.ErrUnexpectedEOF
+// mid-epoch); marius.FromDataset(dir, opts...) builds a Session on top,
+// serving edge buckets straight off the preprocessed file — the
+// fragment cache warms from disk on demand, nothing is re-sorted — and
+// cmd/mariusgnn -data trains from it. `mariusprep validate` runs the
+// full integrity pass (per-bucket and per-file checksums plus semantic
+// checks); `mariusprep inspect` summarizes the manifest. Layout changes
+// bump storage.DatasetVersion, and readers reject other versions with
+// ErrDatasetVersion — there is no in-place migration; re-run prep.
+//
+// The contract is exactness, not approximation: ingest(export(graph))
+// trains byte-identically — same per-epoch losses, same checkpoints —
+// to training the original in-memory graph at the same seed, serial and
+// pipelined (enforced by the internal/dataset round-trip tests and by
+// cmd/benchingest, whose `make bench-ingest` gate also requires the
+// external sort to spill >= 2 runs while staying under its memory cap;
+// BENCH_ingest.json is the checked-in baseline).
+//
 // # Determinism contract
 //
 // Kernels never reorder floating-point sums: parallel tiling, k-blocking,

@@ -1,0 +1,220 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// ExportFiles names the raw files Export wrote, ready to feed back into
+// Ingest (or mariusprep prep) as the matching Config fields.
+type ExportFiles struct {
+	Edges, ValidEdges, TestEdges      string
+	Nodes, Features                   string
+	TrainNodes, ValidNodes, TestNodes string
+	NumRels, NumClasses, FeatureDim   int
+}
+
+// Config returns an Ingest configuration over the exported files,
+// reproducing g's task data exactly when ingested with the same seed the
+// training session uses.
+func (f *ExportFiles) Config(out, task string, seed int64, partitions int) Config {
+	return Config{
+		Out:        out,
+		Edges:      f.Edges,
+		ValidEdges: f.ValidEdges,
+		TestEdges:  f.TestEdges,
+		Nodes:      f.Nodes,
+		Features:   f.Features,
+		TrainNodes: f.TrainNodes,
+		ValidNodes: f.ValidNodes,
+		TestNodes:  f.TestNodes,
+		Task:       task,
+		Seed:       seed,
+		Partitions: partitions,
+		NumRels:    f.NumRels,
+		NumClasses: f.NumClasses,
+		FeatureDim: f.FeatureDim,
+	}
+}
+
+// Export writes g as raw ingestion inputs under dir: an edge list in the
+// given format ("tsv", "csv" or "bin"), a nodes file enumerating IDs
+// 0..n-1 in order (with labels when present), a float32 feature table,
+// split files, and held-out edge lists. Export must run on a freshly
+// generated graph — before any session relabels it — so that the node
+// dictionary maps IDs identically and a subsequent Ingest at the same
+// seed reproduces the session's exact layout.
+func Export(g *graph.Graph, dir, format string) (*ExportFiles, error) {
+	var ext string
+	switch format {
+	case "tsv":
+		ext = ".tsv"
+	case "csv":
+		ext = ".csv"
+	case "bin":
+		ext = ".bin"
+	default:
+		return nil, fmt.Errorf("dataset: %w: export format %q (want tsv, csv or bin)", ErrBadInput, format)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	out := &ExportFiles{NumRels: g.NumRels, NumClasses: g.NumClasses}
+
+	writeEdges := func(edges []graph.Edge, name string) (string, error) {
+		if len(edges) == 0 {
+			return "", nil
+		}
+		path := filepath.Join(dir, name+ext)
+		f, err := os.Create(path)
+		if err != nil {
+			return "", err
+		}
+		w := bufio.NewWriterSize(f, 1<<20)
+		if format == "bin" {
+			var rec [edgeBytes]byte
+			for _, e := range edges {
+				encodeEdge(e, rec[:])
+				if _, err := w.Write(rec[:]); err != nil {
+					f.Close()
+					return "", err
+				}
+			}
+		} else {
+			sep := byte('\t')
+			if format == "csv" {
+				sep = ','
+			}
+			var line []byte
+			for _, e := range edges {
+				line = strconv.AppendInt(line[:0], int64(e.Src), 10)
+				line = append(line, sep)
+				line = strconv.AppendInt(line, int64(e.Rel), 10)
+				line = append(line, sep)
+				line = strconv.AppendInt(line, int64(e.Dst), 10)
+				line = append(line, '\n')
+				if _, err := w.Write(line); err != nil {
+					f.Close()
+					return "", err
+				}
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return "", err
+		}
+		return path, f.Close()
+	}
+	var err error
+	if out.Edges, err = writeEdges(g.Edges, "edges"); err != nil {
+		return nil, err
+	}
+	if out.Edges == "" {
+		return nil, fmt.Errorf("dataset: %w: graph has no training edges", ErrBadInput)
+	}
+	if out.ValidEdges, err = writeEdges(g.ValidEdges, "valid_edges"); err != nil {
+		return nil, err
+	}
+	if out.TestEdges, err = writeEdges(g.TestEdges, "test_edges"); err != nil {
+		return nil, err
+	}
+
+	// Nodes file: IDs 0..n-1 in order, so the ingest dictionary is the
+	// identity mapping (labels ride along for node classification).
+	out.Nodes = filepath.Join(dir, "nodes.tsv")
+	nf, err := os.Create(out.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(nf, 1<<20)
+	var line []byte
+	for v := 0; v < g.NumNodes; v++ {
+		line = strconv.AppendInt(line[:0], int64(v), 10)
+		// Unlabeled nodes (-1) export as a bare ID; readNodesFile maps
+		// the missing column back to -1.
+		if g.Labels != nil && g.Labels[v] >= 0 {
+			line = append(line, '\t')
+			line = strconv.AppendInt(line, int64(g.Labels[v]), 10)
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			nf.Close()
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		nf.Close()
+		return nil, err
+	}
+	if err := nf.Close(); err != nil {
+		return nil, err
+	}
+
+	if g.Features != nil {
+		out.FeatureDim = g.Features.Cols
+		out.Features = filepath.Join(dir, "features.bin")
+		ff, err := os.Create(out.Features)
+		if err != nil {
+			return nil, err
+		}
+		fw := bufio.NewWriterSize(ff, 1<<20)
+		var rec [4]byte
+		for _, v := range g.Features.Data {
+			binary.LittleEndian.PutUint32(rec[:], math.Float32bits(v))
+			if _, err := fw.Write(rec[:]); err != nil {
+				ff.Close()
+				return nil, err
+			}
+		}
+		if err := fw.Flush(); err != nil {
+			ff.Close()
+			return nil, err
+		}
+		if err := ff.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	writeSplit := func(ids []int32, name string) (string, error) {
+		if len(ids) == 0 {
+			return "", nil
+		}
+		path := filepath.Join(dir, name+".tsv")
+		f, err := os.Create(path)
+		if err != nil {
+			return "", err
+		}
+		w := bufio.NewWriterSize(f, 1<<20)
+		var line []byte
+		for _, id := range ids {
+			line = strconv.AppendInt(line[:0], int64(id), 10)
+			line = append(line, '\n')
+			if _, err := w.Write(line); err != nil {
+				f.Close()
+				return "", err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return "", err
+		}
+		return path, f.Close()
+	}
+	if out.TrainNodes, err = writeSplit(g.TrainNodes, "train_nodes"); err != nil {
+		return nil, err
+	}
+	if out.ValidNodes, err = writeSplit(g.ValidNodes, "valid_nodes"); err != nil {
+		return nil, err
+	}
+	if out.TestNodes, err = writeSplit(g.TestNodes, "test_nodes"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

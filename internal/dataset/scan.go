@@ -1,0 +1,300 @@
+package dataset
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Typed input errors, matchable with errors.Is.
+var (
+	// ErrBadInput is returned for malformed raw input files (unparseable
+	// lines, wrong field counts, out-of-range values).
+	ErrBadInput = errors.New("malformed input")
+	// ErrUnknownNode is returned when an edge or split references a node
+	// absent from the node dictionary (only possible with an explicit
+	// nodes file; first-seen dictionaries admit every endpoint).
+	ErrUnknownNode = errors.New("unknown node")
+)
+
+func badInput(path string, line int64, detail string, args ...any) error {
+	return fmt.Errorf("dataset: %w: %s:%d: %s", ErrBadInput, path, line, fmt.Sprintf(detail, args...))
+}
+
+// dict maps raw source node IDs to dense internal IDs in assignment
+// order. Raw IDs are arbitrary byte strings (TSV/CSV fields, or the
+// decimal form of binary int32 IDs).
+type dict struct {
+	ids map[string]int32
+	raw []string // raw ID per internal ID
+}
+
+func newDict() *dict { return &dict{ids: make(map[string]int32)} }
+
+func (d *dict) len() int { return len(d.raw) }
+
+// lookup returns the internal ID of raw (no allocation on hit).
+func (d *dict) lookup(raw []byte) (int32, bool) {
+	id, ok := d.ids[string(raw)]
+	return id, ok
+}
+
+// add returns raw's internal ID, assigning the next dense ID on first
+// sight.
+func (d *dict) add(raw []byte) int32 {
+	if id, ok := d.ids[string(raw)]; ok {
+		return id
+	}
+	id := int32(len(d.raw))
+	s := string(raw)
+	d.ids[s] = id
+	d.raw = append(d.raw, s)
+	return id
+}
+
+// edgeFormat selects the raw edge-list encoding.
+type edgeFormat int
+
+const (
+	formatWS  edgeFormat = iota // whitespace/tab-separated text (TSV)
+	formatCSV                   // comma-separated text
+	formatBin                   // packed 12-byte little-endian int32 triples
+)
+
+// formatOf infers the encoding from a file extension: .csv, .bin, and
+// everything else (tsv/txt) as whitespace-separated text.
+func formatOf(path string) edgeFormat {
+	switch filepath.Ext(path) {
+	case ".csv":
+		return formatCSV
+	case ".bin":
+		return formatBin
+	default:
+		return formatWS
+	}
+}
+
+// scanEdges streams the raw edge list at path, calling fn once per edge
+// with the raw endpoint fields and the relation (0 when the file has two
+// columns). Text lines hold "src dst" or "src rel dst"; empty lines and
+// '#' comments are skipped. Binary files hold packed int32 triples whose
+// endpoint IDs are presented in decimal form, so every format feeds one
+// dictionary. fn's field slices are only valid during the call.
+func scanEdges(path string, fn func(src, dst []byte, rel int32) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if formatOf(path) == formatBin {
+		return scanBinEdges(path, f, fn)
+	}
+	sep := byte(0) // whitespace
+	if formatOf(path) == formatCSV {
+		sep = ','
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var line int64
+	var fields [4][]byte
+	for sc.Scan() {
+		line++
+		nf, err := splitFields(sc.Bytes(), sep, &fields)
+		if err != nil {
+			return badInput(path, line, "%v", err)
+		}
+		switch nf {
+		case 0:
+			continue // blank or comment
+		case 2:
+			if err := fn(fields[0], fields[1], 0); err != nil {
+				return err
+			}
+		case 3:
+			rel, err := strconv.ParseInt(string(fields[1]), 10, 32)
+			if err != nil || rel < 0 {
+				return badInput(path, line, "relation %q is not a non-negative integer", fields[1])
+			}
+			if err := fn(fields[0], fields[2], int32(rel)); err != nil {
+				return err
+			}
+		default:
+			return badInput(path, line, "%d fields, want 2 (src dst) or 3 (src rel dst)", nf)
+		}
+	}
+	return sc.Err()
+}
+
+// splitFields splits a text line into at most 4 fields on sep (0 = any
+// run of spaces/tabs), returning 0 fields for blanks and '#' comments.
+func splitFields(b []byte, sep byte, out *[4][]byte) (int, error) {
+	b = bytes.TrimSpace(b)
+	if len(b) == 0 || b[0] == '#' {
+		return 0, nil
+	}
+	n := 0
+	for len(b) > 0 {
+		if n == len(out) {
+			return 0, fmt.Errorf("more than %d fields", len(out))
+		}
+		var i int
+		if sep == 0 {
+			i = bytes.IndexAny(b, " \t")
+		} else {
+			i = bytes.IndexByte(b, sep)
+		}
+		if i < 0 {
+			out[n] = b
+			n++
+			break
+		}
+		out[n] = bytes.TrimSpace(b[:i])
+		if len(out[n]) == 0 {
+			if sep != 0 {
+				return 0, fmt.Errorf("empty field")
+			}
+			b = b[i+1:]
+			continue
+		}
+		n++
+		b = bytes.TrimSpace(b[i+1:])
+		if sep != 0 && len(b) == 0 {
+			return 0, fmt.Errorf("trailing separator")
+		}
+	}
+	return n, nil
+}
+
+// scanBinEdges streams packed little-endian (src, rel, dst) int32
+// triples.
+func scanBinEdges(path string, f *os.File, fn func(src, dst []byte, rel int32) error) error {
+	r := bufio.NewReaderSize(f, 1<<20)
+	var rec [edgeBytes]byte
+	var srcBuf, dstBuf []byte
+	var n int64
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return fmt.Errorf("dataset: %w: %s: truncated record after %d edges", ErrBadInput, path, n)
+			}
+			return err
+		}
+		src := int32(uint32(rec[0]) | uint32(rec[1])<<8 | uint32(rec[2])<<16 | uint32(rec[3])<<24)
+		rel := int32(uint32(rec[4]) | uint32(rec[5])<<8 | uint32(rec[6])<<16 | uint32(rec[7])<<24)
+		dst := int32(uint32(rec[8]) | uint32(rec[9])<<8 | uint32(rec[10])<<16 | uint32(rec[11])<<24)
+		if src < 0 || dst < 0 || rel < 0 {
+			return fmt.Errorf("dataset: %w: %s: negative field in record %d", ErrBadInput, path, n)
+		}
+		srcBuf = strconv.AppendInt(srcBuf[:0], int64(src), 10)
+		dstBuf = strconv.AppendInt(dstBuf[:0], int64(dst), 10)
+		if err := fn(srcBuf, dstBuf, rel); err != nil {
+			return err
+		}
+		n++
+	}
+}
+
+// readNodesFile reads the node dictionary file: one raw node ID per
+// line, optionally followed by an integer class label ("id" or
+// "id<TAB>label"). Dictionary order is line order. Returns the labels
+// slice (nil when no line carried a label; -1 for unlabeled nodes).
+func readNodesFile(path string, d *dict) (labels []int32, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var line int64
+	var fields [4][]byte
+	for sc.Scan() {
+		line++
+		nf, err := splitFields(sc.Bytes(), 0, &fields)
+		if err != nil {
+			return nil, badInput(path, line, "%v", err)
+		}
+		if nf == 0 {
+			continue
+		}
+		if nf > 2 {
+			return nil, badInput(path, line, "%d fields, want 1 (id) or 2 (id label)", nf)
+		}
+		before := d.len()
+		id := d.add(fields[0])
+		if int(id) < before {
+			return nil, badInput(path, line, "duplicate node %q", fields[0])
+		}
+		if nf == 2 {
+			lab, err := strconv.ParseInt(string(fields[1]), 10, 32)
+			if err != nil || lab < 0 {
+				return nil, badInput(path, line, "label %q is not a non-negative integer", fields[1])
+			}
+			for len(labels) < int(id) {
+				labels = append(labels, -1)
+			}
+			labels = append(labels, int32(lab))
+		} else if labels != nil {
+			labels = append(labels, -1)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for labels != nil && len(labels) < d.len() {
+		labels = append(labels, -1)
+	}
+	return labels, nil
+}
+
+// readNodeList reads a split file (one raw node ID per line) into
+// internal IDs, preserving line order. Unknown IDs are an ErrUnknownNode
+// error when the dictionary is sealed (explicit nodes file), and are
+// added to the dictionary otherwise.
+func readNodeList(path string, d *dict, sealed bool) ([]int32, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []int32
+	var line int64
+	var fields [4][]byte
+	for sc.Scan() {
+		line++
+		nf, err := splitFields(sc.Bytes(), 0, &fields)
+		if err != nil {
+			return nil, badInput(path, line, "%v", err)
+		}
+		if nf == 0 {
+			continue
+		}
+		if nf != 1 {
+			return nil, badInput(path, line, "%d fields, want 1", nf)
+		}
+		if sealed {
+			id, ok := d.lookup(fields[0])
+			if !ok {
+				return nil, fmt.Errorf("dataset: %w: %s:%d: node %q not in the nodes file",
+					ErrUnknownNode, path, line, fields[0])
+			}
+			out = append(out, id)
+		} else {
+			out = append(out, d.add(fields[0]))
+		}
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,463 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// This file is the read side of the preprocessed on-disk dataset layout
+// produced by internal/dataset (cmd/mariusprep). A dataset directory is
+// self-describing:
+//
+//	manifest.json    versioned metadata: task, seed, partitioning, per-
+//	                 bucket edge counts and CRC32 checksums, and an entry
+//	                 (name, byte size, CRC32) for every payload file
+//	edges.bin        train edges bucket-sorted by (src partition, dst
+//	                 partition), 12-byte little-endian (src, rel, dst)
+//	                 triples — byte-compatible with DiskEdgeStore
+//	features.bin     float32 node base representations, row-major in
+//	                 final node-ID order — byte-compatible with
+//	                 DiskNodeStore's table file (NC only)
+//	labels.bin       int32 class per node in final node-ID order (NC only)
+//	{train,valid,test}_nodes.bin   int32 node-ID lists, split order
+//	                               preserved (NC only)
+//	{valid,test}_edges.bin         held-out edge triples, order preserved
+//	                               (LP only)
+//	dict.tsv         raw source ID of each final node ID, one per line
+//
+// Node IDs in every file are *final* IDs: the ingest step already applied
+// the same seeded partition relabeling (partition.RandomOrder or
+// TrainFirstOrder) that marius.New applies to an in-memory graph, so
+// training from a dataset follows the identical trajectory.
+//
+// Versioning: Manifest.Version is DatasetVersion; OpenDataset rejects any
+// other value with ErrDatasetVersion — layout changes bump the version
+// (there is no in-place migration; re-run mariusprep prep).
+
+// DatasetVersion is the current on-disk dataset layout version.
+const DatasetVersion = 1
+
+// ManifestName is the manifest file name inside a dataset directory.
+const ManifestName = "manifest.json"
+
+// Typed dataset errors, matchable with errors.Is.
+var (
+	// ErrNoDataset is returned when dir holds no dataset manifest.
+	ErrNoDataset = errors.New("no dataset manifest")
+	// ErrDatasetVersion is returned for a manifest with an unsupported
+	// layout version.
+	ErrDatasetVersion = errors.New("unsupported dataset version")
+	// ErrCorruptDataset is returned (wrapped in *CorruptError) when a
+	// payload file is missing, truncated, or fails its checksum.
+	ErrCorruptDataset = errors.New("corrupt dataset")
+)
+
+// CorruptError pinpoints a corrupt dataset payload: which file, and for
+// edge storage which bucket, failed validation. It unwraps to
+// ErrCorruptDataset.
+type CorruptError struct {
+	Path   string
+	Bucket [2]int // bucket coordinates, or {-1,-1} for whole-file failures
+	Detail string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	if e.Bucket[0] >= 0 {
+		return fmt.Sprintf("storage: %v: %s bucket (%d,%d): %s",
+			ErrCorruptDataset, e.Path, e.Bucket[0], e.Bucket[1], e.Detail)
+	}
+	return fmt.Sprintf("storage: %v: %s: %s", ErrCorruptDataset, e.Path, e.Detail)
+}
+
+// Unwrap implements errors.Unwrap.
+func (e *CorruptError) Unwrap() error { return ErrCorruptDataset }
+
+func corrupt(path string, detail string, args ...any) *CorruptError {
+	return &CorruptError{Path: path, Bucket: [2]int{-1, -1}, Detail: fmt.Sprintf(detail, args...)}
+}
+
+// DatasetFile records one payload file: its name inside the dataset
+// directory, exact byte size, and IEEE CRC32 of its contents.
+type DatasetFile struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+// Manifest is the dataset's metadata, serialized as manifest.json.
+type Manifest struct {
+	Version    int    `json:"version"`
+	Task       string `json:"task"` // "nc" or "lp"
+	Seed       int64  `json:"seed"`
+	Partitions int    `json:"partitions"`
+
+	NumNodes   int   `json:"num_nodes"`
+	NumRels    int   `json:"num_rels"`
+	NumEdges   int64 `json:"num_edges"`
+	FeatureDim int   `json:"feature_dim,omitempty"`
+	NumClasses int   `json:"num_classes,omitempty"`
+
+	// BucketCounts[i*p+j] is the edge count of bucket (i,j);
+	// BucketCRCs[i*p+j] the IEEE CRC32 of that bucket's encoded bytes in
+	// edges.bin. Per-bucket checksums let validation (and mariusprep
+	// validate) localize corruption to a bucket instead of surfacing a
+	// raw io.ErrUnexpectedEOF mid-epoch.
+	BucketCounts []int64  `json:"bucket_counts"`
+	BucketCRCs   []uint32 `json:"bucket_crc32s"`
+
+	Edges      DatasetFile  `json:"edges"` // CRC32 0: integrity is per bucket
+	Features   *DatasetFile `json:"features,omitempty"`
+	Labels     *DatasetFile `json:"labels,omitempty"`
+	TrainNodes *DatasetFile `json:"train_nodes,omitempty"`
+	ValidNodes *DatasetFile `json:"valid_nodes,omitempty"`
+	TestNodes  *DatasetFile `json:"test_nodes,omitempty"`
+	ValidEdges *DatasetFile `json:"valid_edges,omitempty"`
+	TestEdges  *DatasetFile `json:"test_edges,omitempty"`
+	Dict       *DatasetFile `json:"dict,omitempty"`
+
+	// Ingest provenance: spill runs of the external sort and the
+	// configured memory cap, for inspect output.
+	SpillRuns int   `json:"spill_runs,omitempty"`
+	MemLimit  int64 `json:"mem_limit_bytes,omitempty"`
+}
+
+// Partitioning returns the node partitioning the dataset was prepared
+// with.
+func (m *Manifest) Partitioning() partition.Partitioning {
+	return partition.New(m.NumNodes, m.Partitions)
+}
+
+// WriteManifest atomically writes m as dir/manifest.json.
+func WriteManifest(dir string, m *Manifest) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(buf, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, ManifestName))
+}
+
+// ReadManifest reads and structurally validates dir/manifest.json.
+func ReadManifest(dir string) (*Manifest, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("storage: %w in %s", ErrNoDataset, dir)
+		}
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("storage: %w: malformed manifest: %v", ErrCorruptDataset, err)
+	}
+	if m.Version != DatasetVersion {
+		return nil, fmt.Errorf("storage: %w: dataset version %d, this build reads %d",
+			ErrDatasetVersion, m.Version, DatasetVersion)
+	}
+	if m.NumNodes <= 0 || m.Partitions <= 0 {
+		return nil, corrupt(ManifestName, "non-positive nodes (%d) or partitions (%d)", m.NumNodes, m.Partitions)
+	}
+	p := m.Partitions
+	if len(m.BucketCounts) != p*p || len(m.BucketCRCs) != p*p {
+		return nil, corrupt(ManifestName, "bucket tables hold %d/%d entries, want %d",
+			len(m.BucketCounts), len(m.BucketCRCs), p*p)
+	}
+	var total int64
+	for b, c := range m.BucketCounts {
+		if c < 0 {
+			return nil, corrupt(ManifestName, "negative count for bucket %d", b)
+		}
+		total += c
+	}
+	if total != m.NumEdges {
+		return nil, corrupt(ManifestName, "bucket counts sum to %d edges, manifest says %d", total, m.NumEdges)
+	}
+	if m.Edges.Bytes != m.NumEdges*edgeBytes {
+		return nil, corrupt(ManifestName, "edges file declared %d bytes, %d edges need %d",
+			m.Edges.Bytes, m.NumEdges, m.NumEdges*edgeBytes)
+	}
+	return &m, nil
+}
+
+// Dataset is an opened (structurally validated) preprocessed dataset
+// directory.
+type Dataset struct {
+	Dir string
+	Man *Manifest
+	pt  partition.Partitioning
+}
+
+// OpenDataset reads dir's manifest and verifies that every declared
+// payload file exists with its exact declared size, so truncated files
+// are rejected here with a typed *CorruptError instead of surfacing as a
+// raw io.ErrUnexpectedEOF mid-epoch. Contents are not checksummed — run
+// Verify (mariusprep validate) for the full integrity pass.
+func OpenDataset(dir string) (*Dataset, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{Dir: dir, Man: m, pt: m.Partitioning()}
+	files := append([]*DatasetFile{&m.Edges},
+		m.Features, m.Labels, m.TrainNodes, m.ValidNodes, m.TestNodes,
+		m.ValidEdges, m.TestEdges, m.Dict)
+	for _, f := range files {
+		if f == nil {
+			continue
+		}
+		st, err := os.Stat(filepath.Join(dir, f.Name))
+		if err != nil {
+			return nil, corrupt(f.Name, "missing payload file: %v", err)
+		}
+		if st.Size() != f.Bytes {
+			return nil, corrupt(f.Name, "%d bytes on disk, manifest declares %d (truncated or overwritten)",
+				st.Size(), f.Bytes)
+		}
+	}
+	if m.Features != nil {
+		want := int64(m.NumNodes) * int64(m.FeatureDim) * 4
+		if m.Features.Bytes != want {
+			return nil, corrupt(m.Features.Name, "declared %d bytes, %d nodes x %d dims need %d",
+				m.Features.Bytes, m.NumNodes, m.FeatureDim, want)
+		}
+	}
+	if m.Labels != nil && m.Labels.Bytes != int64(m.NumNodes)*4 {
+		return nil, corrupt(m.Labels.Name, "declared %d bytes for %d int32 labels", m.Labels.Bytes, m.NumNodes)
+	}
+	return d, nil
+}
+
+// Partitioning returns the dataset's node partitioning.
+func (d *Dataset) Partitioning() partition.Partitioning { return d.pt }
+
+// path resolves a payload file name inside the dataset directory.
+func (d *Dataset) path(name string) string { return filepath.Join(d.Dir, name) }
+
+// EdgeStore opens the bucket-sorted edge file as a DiskEdgeStore, served
+// straight off the preprocessed bytes: bucket offsets come from the
+// manifest counts, so no ingest-time re-sort (or even a full read)
+// happens at open.
+func (d *Dataset) EdgeStore(throttle *Throttle) (*DiskEdgeStore, error) {
+	return OpenDiskEdgeStore(d.path(d.Man.Edges.Name), d.pt, d.Man.BucketCounts, throttle)
+}
+
+// NodeStore pages the dataset's feature table through a partition buffer
+// of the given capacity — the disk-storage training path for node
+// classification. The store is read-only (features are fixed); the
+// dataset file itself backs the pages.
+func (d *Dataset) NodeStore(capacity int, throttle *Throttle) (*DiskNodeStore, error) {
+	if d.Man.Features == nil {
+		return nil, fmt.Errorf("storage: dataset %s carries no feature table", d.Dir)
+	}
+	return OpenDiskNodeStore(DiskStoreConfig{
+		Part:     d.pt,
+		Dim:      d.Man.FeatureDim,
+		Capacity: capacity,
+		Throttle: throttle,
+	}, d.path(d.Man.Features.Name))
+}
+
+// ReadFeatures loads the full feature table into memory (the in-memory
+// training path).
+func (d *Dataset) ReadFeatures() (*tensor.Tensor, error) {
+	if d.Man.Features == nil {
+		return nil, fmt.Errorf("storage: dataset %s carries no feature table", d.Dir)
+	}
+	f, err := os.Open(d.path(d.Man.Features.Name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t := tensor.New(d.Man.NumNodes, d.Man.FeatureDim)
+	if err := readFloats(f, 0, t.Data, nil, nil); err != nil {
+		return nil, corrupt(d.Man.Features.Name, "short read: %v", err)
+	}
+	return t, nil
+}
+
+// readInt32File loads a little-endian int32 array payload.
+func (d *Dataset) readInt32File(f *DatasetFile) ([]int32, error) {
+	if f == nil {
+		return nil, nil
+	}
+	buf, err := os.ReadFile(d.path(f.Name))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(buf)) != f.Bytes || len(buf)%4 != 0 {
+		return nil, corrupt(f.Name, "%d bytes, want %d", len(buf), f.Bytes)
+	}
+	out := make([]int32, len(buf)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return out, nil
+}
+
+// ReadLabels loads the per-node class labels (nil when absent).
+func (d *Dataset) ReadLabels() ([]int32, error) { return d.readInt32File(d.Man.Labels) }
+
+// ReadSplits loads the train/valid/test node-ID lists (nil when absent),
+// preserving the split order the dataset was prepared with.
+func (d *Dataset) ReadSplits() (train, valid, test []int32, err error) {
+	if train, err = d.readInt32File(d.Man.TrainNodes); err != nil {
+		return nil, nil, nil, err
+	}
+	if valid, err = d.readInt32File(d.Man.ValidNodes); err != nil {
+		return nil, nil, nil, err
+	}
+	if test, err = d.readInt32File(d.Man.TestNodes); err != nil {
+		return nil, nil, nil, err
+	}
+	return train, valid, test, nil
+}
+
+// readEdgeFile loads a held-out edge payload (order preserved).
+func (d *Dataset) readEdgeFile(f *DatasetFile) ([]graph.Edge, error) {
+	if f == nil {
+		return nil, nil
+	}
+	buf, err := os.ReadFile(d.path(f.Name))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(buf)) != f.Bytes || len(buf)%edgeBytes != 0 {
+		return nil, corrupt(f.Name, "%d bytes, want %d", len(buf), f.Bytes)
+	}
+	return decodeEdges(buf, make([]graph.Edge, 0, len(buf)/edgeBytes)), nil
+}
+
+// ReadHeldOut loads the valid and test edge splits (nil when absent).
+func (d *Dataset) ReadHeldOut() (valid, test []graph.Edge, err error) {
+	if valid, err = d.readEdgeFile(d.Man.ValidEdges); err != nil {
+		return nil, nil, err
+	}
+	if test, err = d.readEdgeFile(d.Man.TestEdges); err != nil {
+		return nil, nil, err
+	}
+	return valid, test, nil
+}
+
+// verifyFileCRC checksums one payload file against its manifest entry.
+func (d *Dataset) verifyFileCRC(f *DatasetFile) error {
+	if f == nil {
+		return nil
+	}
+	fh, err := os.Open(d.path(f.Name))
+	if err != nil {
+		return corrupt(f.Name, "missing payload file: %v", err)
+	}
+	defer fh.Close()
+	h := crc32.NewIEEE()
+	n, err := io.Copy(h, fh)
+	if err != nil {
+		return corrupt(f.Name, "read failed: %v", err)
+	}
+	if n != f.Bytes {
+		return corrupt(f.Name, "%d bytes on disk, manifest declares %d (truncated)", n, f.Bytes)
+	}
+	if h.Sum32() != f.CRC32 {
+		return corrupt(f.Name, "checksum %08x, manifest declares %08x", h.Sum32(), f.CRC32)
+	}
+	return nil
+}
+
+// Verify runs the full integrity pass: every payload file is checksummed
+// against the manifest, and every edge bucket is checksummed individually
+// so corruption is reported as a typed *CorruptError naming the bucket.
+func (d *Dataset) Verify() error {
+	// Per-bucket edge checksums.
+	f, err := os.Open(d.path(d.Man.Edges.Name))
+	if err != nil {
+		return corrupt(d.Man.Edges.Name, "missing payload file: %v", err)
+	}
+	defer f.Close()
+	p := d.Man.Partitions
+	buf := make([]byte, 1<<20)
+	var off int64
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			b := d.pt.BucketID(i, j)
+			want := d.Man.BucketCounts[b] * edgeBytes
+			crc := uint32(0)
+			for rem := want; rem > 0; {
+				n := int64(len(buf))
+				if rem < n {
+					n = rem
+				}
+				if _, err := f.ReadAt(buf[:n], off); err != nil {
+					return &CorruptError{Path: d.Man.Edges.Name, Bucket: [2]int{i, j},
+						Detail: fmt.Sprintf("truncated at byte %d: %v", off, err)}
+				}
+				crc = crc32.Update(crc, crc32.IEEETable, buf[:n])
+				off += n
+				rem -= n
+			}
+			if crc != d.Man.BucketCRCs[b] {
+				return &CorruptError{Path: d.Man.Edges.Name, Bucket: [2]int{i, j},
+					Detail: fmt.Sprintf("checksum %08x, manifest declares %08x", crc, d.Man.BucketCRCs[b])}
+			}
+		}
+	}
+	for _, df := range []*DatasetFile{
+		d.Man.Features, d.Man.Labels, d.Man.TrainNodes, d.Man.ValidNodes,
+		d.Man.TestNodes, d.Man.ValidEdges, d.Man.TestEdges, d.Man.Dict,
+	} {
+		if err := d.verifyFileCRC(df); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OpenDiskEdgeStore serves edge buckets from an existing bucket-sorted
+// file laid out exactly as CreateDiskEdgeStore writes it; counts gives
+// the p² bucket edge counts in BucketID order (the manifest's
+// BucketCounts). The file is opened read-only.
+func OpenDiskEdgeStore(path string, pt partition.Partitioning, counts []int64, throttle *Throttle) (*DiskEdgeStore, error) {
+	p := pt.NumPartitions
+	if len(counts) != p*p {
+		return nil, fmt.Errorf("storage: %d bucket counts for %d partitions", len(counts), p)
+	}
+	offsets := make([]int64, p*p+1)
+	for b, c := range counts {
+		offsets[b+1] = offsets[b] + c
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < offsets[p*p]*edgeBytes {
+		f.Close()
+		return nil, corrupt(filepath.Base(path), "%d bytes on disk, %d edges need %d (truncated)",
+			st.Size(), offsets[p*p], offsets[p*p]*edgeBytes)
+	}
+	return &DiskEdgeStore{pt: pt, f: f, offsets: offsets, throttle: throttle}, nil
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/graph"
@@ -71,6 +72,94 @@ func TestFragCacheEvictsLRU(t *testing.T) {
 	mustFrag(1, 1) // must rebuild
 	if _, misses := fc.Stats(); misses != missesBefore+1 {
 		t.Fatal("evicted fragment served without a rebuild")
+	}
+}
+
+// TestFragCacheConcurrentEviction hammers a small cache from concurrent
+// goroutines — the pipelined access pattern, where the prefetcher builds
+// fragments for upcoming visits while trainer-side samplers pull them —
+// and checks the two contracts that make that safe: hit+miss counters
+// exactly account for every request, and fragments stay immutable (and
+// correct) after the cache evicts them.
+func TestFragCacheConcurrentEviction(t *testing.T) {
+	const (
+		numNodes   = 120
+		parts      = 6
+		goroutines = 8
+		iters      = 500
+	)
+	edges := fragTestEdges(numNodes, 4000, 7)
+	pt := partition.New(numNodes, parts)
+	es := NewMemoryEdgeStore(pt, edges)
+	fc := NewFragCache(es, pt, 4) // far below p², so eviction is constant
+
+	// A view over partitions {0,1} holds fragment pointers that the storm
+	// below will certainly evict from the cache.
+	view, err := graph.NewSegmented(fc).Swap([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighbors := func(ix graph.Index) [][]int32 {
+		var out [][]int32
+		for p := 0; p < 2; p++ {
+			lo, hi := pt.Range(p)
+			for v := lo; v < hi; v++ {
+				out = append(out, ix.AppendOutNeighbors(nil, v), ix.AppendInNeighbors(nil, v))
+			}
+		}
+		return out
+	}
+	before := neighbors(view)
+
+	hits0, misses0 := fc.Stats()
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < iters; k++ {
+				if _, err := fc.Frag(rng.Intn(parts), rng.Intn(parts)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(int64(g) + 100)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	hits, misses := fc.Stats()
+	if got := (hits - hits0) + (misses - misses0); got != goroutines*iters {
+		t.Fatalf("hit+miss counters account for %d requests, want %d", got, goroutines*iters)
+	}
+	if fc.Len() > 4 {
+		t.Fatalf("cache holds %d fragments, capacity 4", fc.Len())
+	}
+
+	// The pre-storm view must still enumerate exactly what a fresh build
+	// does: eviction only drops the cache's reference, never the
+	// fragment's contents.
+	fresh, err := graph.NewSegmented(NewFragCache(es, pt, parts*parts)).Swap([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, want := neighbors(view), neighbors(fresh)
+	for i := range want {
+		if len(after[i]) != len(want[i]) || len(before[i]) != len(want[i]) {
+			t.Fatalf("neighbor list %d changed length after eviction: before %d, after %d, fresh %d",
+				i, len(before[i]), len(after[i]), len(want[i]))
+		}
+		for k := range want[i] {
+			if after[i][k] != want[i][k] || before[i][k] != want[i][k] {
+				t.Fatalf("neighbor list %d mutated after eviction", i)
+			}
+		}
 	}
 }
 

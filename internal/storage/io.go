@@ -156,13 +156,22 @@ func writeFloats(f io.WriterAt, off int64, src []float32, st *Stats, th *Throttl
 	return nil
 }
 
-const edgeBytes = 12 // src, rel, dst as little-endian int32
+// EdgeBytes is the on-disk size of one encoded edge: src, rel, dst as
+// little-endian int32. It is the single source of truth for the edge
+// layout, shared with the dataset preprocessor (internal/dataset) whose
+// bucket files must stay byte-compatible with DiskEdgeStore.
+const EdgeBytes = 12
 
-func encodeEdge(e graph.Edge, buf []byte) {
+const edgeBytes = EdgeBytes
+
+// EncodeEdge writes e's EdgeBytes-byte on-disk image into buf.
+func EncodeEdge(e graph.Edge, buf []byte) {
 	binary.LittleEndian.PutUint32(buf, uint32(e.Src))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(e.Rel))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(e.Dst))
 }
+
+func encodeEdge(e graph.Edge, buf []byte) { EncodeEdge(e, buf) }
 
 func encodeEdges(edges []graph.Edge) []byte {
 	buf := make([]byte, len(edges)*edgeBytes)

@@ -180,16 +180,9 @@ type DiskStoreConfig struct {
 	Init func(id int32, row []float32)
 }
 
-// CreateDiskNodeStore writes the initial table to disk and opens a store
-// with an empty buffer.
-func CreateDiskNodeStore(cfg DiskStoreConfig) (*DiskNodeStore, error) {
-	if cfg.Capacity <= 0 || cfg.Capacity > cfg.Part.NumPartitions {
-		return nil, fmt.Errorf("storage: capacity %d out of range (1..%d)", cfg.Capacity, cfg.Part.NumPartitions)
-	}
-	f, err := os.Create(filepath.Join(cfg.Dir, "nodes.bin"))
-	if err != nil {
-		return nil, err
-	}
+// newDiskNodeStore builds the in-memory store state (empty buffer, full
+// free list) over an already-open table file.
+func newDiskNodeStore(cfg DiskStoreConfig, f *os.File) *DiskNodeStore {
 	s := &DiskNodeStore{
 		pt:        cfg.Part,
 		dim:       cfg.Dim,
@@ -209,13 +202,29 @@ func CreateDiskNodeStore(cfg DiskStoreConfig) (*DiskNodeStore, error) {
 		s.free = append(s.free, i)
 	}
 	if cfg.Learnable {
+		s.slotOpt = make([]float32, cfg.Capacity*cfg.Part.PartSize)
+	}
+	return s
+}
+
+// CreateDiskNodeStore writes the initial table to disk and opens a store
+// with an empty buffer.
+func CreateDiskNodeStore(cfg DiskStoreConfig) (*DiskNodeStore, error) {
+	if cfg.Capacity <= 0 || cfg.Capacity > cfg.Part.NumPartitions {
+		return nil, fmt.Errorf("storage: capacity %d out of range (1..%d)", cfg.Capacity, cfg.Part.NumPartitions)
+	}
+	f, err := os.Create(filepath.Join(cfg.Dir, "nodes.bin"))
+	if err != nil {
+		return nil, err
+	}
+	s := newDiskNodeStore(cfg, f)
+	if cfg.Learnable {
 		sf, err := os.Create(filepath.Join(cfg.Dir, "nodes.opt.bin"))
 		if err != nil {
 			f.Close()
 			return nil, err
 		}
 		s.sf = sf
-		s.slotOpt = make([]float32, cfg.Capacity*cfg.Part.PartSize)
 	}
 	// Write the initial table partition by partition (sequential IO).
 	row := make([]float32, cfg.Dim)
@@ -245,6 +254,44 @@ func CreateDiskNodeStore(cfg DiskStoreConfig) (*DiskNodeStore, error) {
 		}
 	}
 	return s, nil
+}
+
+// OpenDiskNodeStore pages an existing representation table file — e.g. a
+// preprocessed dataset's feature shard — without rewriting it; the file
+// must hold NumNodes x Dim float32 rows in node-ID order, exactly the
+// layout CreateDiskNodeStore (and mariusprep) write. Only read-only
+// stores can be opened this way: learnable tables are created fresh per
+// training run (their optimizer state starts at zero). cfg.Dir and
+// cfg.Init are ignored.
+func OpenDiskNodeStore(cfg DiskStoreConfig, path string) (*DiskNodeStore, error) {
+	if cfg.Learnable {
+		return nil, fmt.Errorf("storage: open of %s: learnable stores must be created, not opened", path)
+	}
+	if cfg.Capacity <= 0 || cfg.Capacity > cfg.Part.NumPartitions {
+		return nil, fmt.Errorf("storage: capacity %d out of range (1..%d)", cfg.Capacity, cfg.Part.NumPartitions)
+	}
+	// Training never writes a non-learnable store, but Restore (the
+	// checkpoint path) may overwrite the table, so prefer read-write and
+	// fall back to read-only on write-protected datasets — there
+	// training still works, and Restore surfaces the write failure.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsPermission(err) {
+		f, err = os.Open(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if want := int64(cfg.Part.NumNodes) * int64(cfg.Dim) * 4; st.Size() < want {
+		f.Close()
+		return nil, corrupt(filepath.Base(path), "%d bytes on disk, %d nodes x %d dims need %d (truncated)",
+			st.Size(), cfg.Part.NumNodes, cfg.Dim, want)
+	}
+	return newDiskNodeStore(cfg, f), nil
 }
 
 // Dim implements NodeStore.

@@ -101,6 +101,108 @@ func NewDiskSource(g *graph.Graph, pt partition.Partitioning, dim int, cfg DiskS
 	return src, nil
 }
 
+// DatasetSourceConfig configures NewDatasetSource.
+type DatasetSourceConfig struct {
+	// InMemory loads the node table into CPU memory (edges stay on
+	// disk, served straight off the dataset's bucket file); otherwise
+	// node representations page through a partition buffer of Capacity
+	// partitions.
+	InMemory bool
+	Capacity int
+	// Learnable creates a fresh learnable representation table (link
+	// prediction) initialized from InitTable — under WorkDir for disk
+	// storage, since the dataset itself stays read-only. Non-learnable
+	// sources serve the dataset's feature shard directly.
+	Learnable bool
+	WorkDir   string
+	InitTable *tensor.Tensor
+	Throttle  *storage.Throttle
+}
+
+// NewDatasetSource builds a source over a preprocessed dataset
+// directory: edge buckets are served straight off the dataset's
+// bucket-sorted file (no ingest-time re-sort — the fragment cache warms
+// from disk on demand), and node representations come from the dataset's
+// feature shard (node classification) or a freshly initialized learnable
+// table (link prediction).
+func NewDatasetSource(ds *storage.Dataset, cfg DatasetSourceConfig) (*Source, error) {
+	man := ds.Man
+	pt := ds.Partitioning()
+	edges, err := ds.EdgeStore(cfg.Throttle)
+	if err != nil {
+		return nil, err
+	}
+	src := &Source{
+		Part:     pt,
+		NumNodes: man.NumNodes,
+		NumRels:  man.NumRels,
+		Edges:    edges,
+	}
+	switch {
+	case cfg.InMemory && cfg.Learnable:
+		src.Nodes = storage.NewMemoryNodeStore(cfg.InitTable)
+	case cfg.InMemory:
+		table, err := ds.ReadFeatures()
+		if err != nil {
+			edges.Close()
+			return nil, err
+		}
+		src.Nodes = storage.NewMemoryNodeStore(table)
+	case cfg.Learnable:
+		var initFn func(int32, []float32)
+		if cfg.InitTable != nil {
+			initFn = func(id int32, row []float32) { copy(row, cfg.InitTable.Row(int(id))) }
+		}
+		nodes, err := storage.CreateDiskNodeStore(storage.DiskStoreConfig{
+			Dir:       cfg.WorkDir,
+			Part:      pt,
+			Dim:       cfg.InitTable.Cols,
+			Capacity:  cfg.Capacity,
+			Learnable: true,
+			Throttle:  cfg.Throttle,
+			Init:      initFn,
+		})
+		if err != nil {
+			edges.Close()
+			return nil, err
+		}
+		src.Nodes, src.Disk = nodes, nodes
+	default:
+		nodes, err := ds.NodeStore(cfg.Capacity, cfg.Throttle)
+		if err != nil {
+			edges.Close()
+			return nil, err
+		}
+		src.Nodes, src.Disk = nodes, nodes
+	}
+	src.FragCache()
+	return src, nil
+}
+
+// ReadAllEdges reads every bucket of the source's edge store into one
+// slice in bucket order — the flattened order the segmented training
+// index exposes. Dataset-backed sessions use it to build the full
+// evaluation adjacency without an in-memory edge list at training time.
+func (src *Source) ReadAllEdges() ([]graph.Edge, error) {
+	var total int64
+	p := src.Part.NumPartitions
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			total += int64(src.Edges.BucketLen(i, j))
+		}
+	}
+	edges := make([]graph.Edge, 0, total)
+	var err error
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if edges, err = src.Edges.ReadBucket(i, j, edges); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return edges, nil
+}
+
 // Close releases a source's stores.
 func (src *Source) Close() error {
 	err := src.Nodes.Close()

@@ -104,6 +104,10 @@ var (
 	// ErrTaskMismatch is returned when a checkpoint is restored into a
 	// session running a different task or model shape.
 	ErrTaskMismatch = errors.New("checkpoint does not match session")
+	// ErrDatasetMismatch is returned by FromDataset when options
+	// contradict the prepared dataset's baked-in layout (e.g. a
+	// different partition count).
+	ErrDatasetMismatch = errors.New("options do not match prepared dataset")
 )
 
 // OptionError reports which option (or validation step) rejected the
@@ -163,6 +167,12 @@ type Options struct {
 	Workers       int
 	PipelineDepth int
 	Seed          int64
+
+	// dataset, when non-nil, is the opened preprocessed dataset the
+	// session trains from (set by FromDataset): tasks then skip the
+	// relabeling step — the ingest already applied it — and build their
+	// source over the dataset's files.
+	dataset *storage.Dataset
 }
 
 func defaultOptions() Options {

@@ -60,6 +60,9 @@ func (t *ncTask) Prepare(g *graph.Graph, o *Options) error {
 	if t.tr != nil {
 		return optErr("New", ErrBadValue, "task already prepared; tasks are single-use")
 	}
+	if o.dataset != nil {
+		return t.prepareDataset(g, o, o.dataset)
+	}
 	if g.Features == nil || g.Labels == nil || len(g.TrainNodes) == 0 {
 		return &OptionError{Option: "NodeClassification",
 			Err: fmt.Errorf("%w: node classification needs features, labels and training nodes", ErrTaskGraph)}
@@ -101,15 +104,21 @@ func (t *ncTask) Prepare(g *graph.Graph, o *Options) error {
 	} else {
 		src = train.NewMemorySource(g, pt, g.Features)
 	}
+	return t.assemble(g, o, src, g.FeatureDim(), p, c, trainParts, rng)
+}
 
+// assemble is the shared tail of both preparation paths: it builds the
+// encoder, selects the replacement policy, and constructs the trainer
+// over an already-built source. Keeping it single-sourced is part of the
+// byte-identity contract between in-memory and dataset sessions.
+func (t *ncTask) assemble(g *graph.Graph, o *Options, src *train.Source, featDim, p, c, trainParts int, rng *rand.Rand) error {
 	ps := nn.NewParamSet()
-	dims := encoderDims(g.FeatureDim(), o.Dim, g.NumClasses, o.Layers)
+	dims := encoderDims(featDim, o.Dim, g.NumClasses, o.Layers)
 	enc, err := buildEncoder(o.Model, ps, dims, rng)
 	if err != nil {
 		src.Close()
 		return err
 	}
-
 	var pol policy.Policy
 	if o.PolicyImpl != nil {
 		pol = o.PolicyImpl
@@ -129,15 +138,72 @@ func (t *ncTask) Prepare(g *graph.Graph, o *Options) error {
 	return nil
 }
 
+// prepareDataset builds the trainer over a preprocessed dataset: no
+// relabeling (the ingest step already applied it) and no edge
+// materialization — buckets are served straight off the dataset files.
+// g carries the dataset's metadata (labels, splits), loaded by
+// FromDataset.
+func (t *ncTask) prepareDataset(g *graph.Graph, o *Options, ds *storage.Dataset) error {
+	man := ds.Man
+	if man.Features == nil || g.Labels == nil || len(g.TrainNodes) == 0 {
+		return &OptionError{Option: "FromDataset",
+			Err: fmt.Errorf("%w: node classification needs features, labels and train nodes in the dataset", ErrTaskGraph)}
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	pt := ds.Partitioning()
+	p, c := man.Partitions, o.BufferCapacity
+	if o.Storage == OnDisk && c == 0 {
+		tuned, err := autotune.Tune(autotune.Input{
+			NumNodes: man.NumNodes, NumEdges: int(man.NumEdges), Dim: man.FeatureDim,
+			CPUBytes: o.CPUBytes, BlockBytes: o.BlockBytes,
+		})
+		if err != nil {
+			return err
+		}
+		// p is baked into the dataset layout; clamp the tuned capacity
+		// to it.
+		c = min(max(tuned.C, 2), p)
+	}
+	src, err := train.NewDatasetSource(ds, train.DatasetSourceConfig{
+		InMemory: o.Storage == InMemory, Capacity: c, Throttle: o.Throttle,
+	})
+	if err != nil {
+		return err
+	}
+	// Same formula as train.PrepareNC (which also relabels, already done
+	// at ingest time): training nodes occupy the leading partitions.
+	trainParts := (len(g.TrainNodes) + pt.PartSize - 1) / pt.PartSize
+	if trainParts == 0 {
+		trainParts = 1
+	}
+	return t.assemble(g, o, src, man.FeatureDim, p, c, trainParts, rng)
+}
+
 func (t *ncTask) TrainEpoch(ctx context.Context) (train.EpochStats, error) {
 	return t.tr.TrainEpoch(ctx)
 }
 
-func (t *ncTask) adj() *graph.Adjacency {
-	if t.fullAdj == nil {
-		t.fullAdj = graph.BuildAdjacency(t.g.NumNodes, t.g.Edges)
+func (t *ncTask) adj() (*graph.Adjacency, error) {
+	return evalAdj(&t.fullAdj, t.g, t.opts, t.src)
+}
+
+// evalAdj lazily builds (and caches in *cached) the full-graph
+// evaluation adjacency. Dataset-backed sessions keep no in-memory edge
+// list, so the first evaluation reads the buckets back from the edge
+// store (bucket order — the same flattened order the training index
+// exposes).
+func evalAdj(cached **graph.Adjacency, g *graph.Graph, o *Options, src *train.Source) (*graph.Adjacency, error) {
+	if *cached == nil {
+		edges := g.Edges
+		if len(edges) == 0 && o.dataset != nil {
+			var err error
+			if edges, err = src.ReadAllEdges(); err != nil {
+				return nil, err
+			}
+		}
+		*cached = graph.BuildAdjacency(g.NumNodes, edges)
 	}
-	return t.fullAdj
+	return *cached, nil
 }
 
 // Evaluate computes accuracy over the full graph; with disk storage the
@@ -149,6 +215,11 @@ func (t *ncTask) Evaluate(split Split) (EvalResult, error) {
 		nodes, seed = t.g.TestNodes, t.opts.Seed+2
 	}
 	res := EvalResult{Task: TaskNC, Metric: "accuracy", Split: split}
+	if len(nodes) == 0 {
+		// Nothing to score: skip the full-table read and adjacency build
+		// (expensive for dataset-backed sessions).
+		return res, nil
+	}
 	src := t.src
 	if t.src.Disk != nil {
 		table, err := t.src.Disk.ReadAll()
@@ -160,7 +231,11 @@ func (t *ncTask) Evaluate(split Split) (EvalResult, error) {
 			Nodes: storage.NewMemoryNodeStore(table), Edges: t.src.Edges,
 		}
 	}
-	acc, err := train.EvaluateNC(&t.tr.Cfg, src, t.adj(), t.g.Labels, nodes, seed)
+	adj, err := t.adj()
+	if err != nil {
+		return res, err
+	}
+	acc, err := train.EvaluateNC(&t.tr.Cfg, src, adj, t.g.Labels, nodes, seed)
 	if err != nil {
 		return res, err
 	}
@@ -198,6 +273,9 @@ func (t *lpTask) Name() string { return TaskLP }
 func (t *lpTask) Prepare(g *graph.Graph, o *Options) error {
 	if t.tr != nil {
 		return optErr("New", ErrBadValue, "task already prepared; tasks are single-use")
+	}
+	if o.dataset != nil {
+		return t.prepareDataset(g, o, o.dataset)
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
 
@@ -243,9 +321,18 @@ func (t *lpTask) Prepare(g *graph.Graph, o *Options) error {
 	} else {
 		src = train.NewMemorySource(g, pt, emb)
 	}
+	return t.assemble(g, o, src, p, c, l, rng)
+}
 
+// assemble is the shared tail of both preparation paths: it builds the
+// encoder/decoder, selects and validates the replacement policy, and
+// constructs the trainer over an already-built source. Keeping it
+// single-sourced is part of the byte-identity contract between
+// in-memory and dataset sessions.
+func (t *lpTask) assemble(g *graph.Graph, o *Options, src *train.Source, p, c, l int, rng *rand.Rand) error {
 	ps := nn.NewParamSet()
 	var enc *gnn.Encoder
+	var err error
 	if o.Model != DistMultOnly {
 		dims := encoderDims(o.Dim, o.Dim, o.Dim, o.Layers)
 		enc, err = buildEncoder(o.Model, ps, dims, rng)
@@ -286,15 +373,57 @@ func (t *lpTask) Prepare(g *graph.Graph, o *Options) error {
 	return nil
 }
 
+// prepareDataset builds the trainer over a preprocessed dataset. The
+// learnable embedding table is initialized fresh (same seeded init as
+// the in-memory path); only the edge buckets and held-out splits come
+// from the dataset, which stays read-only — disk storage creates the
+// embedding files under the WithDisk directory.
+func (t *lpTask) prepareDataset(g *graph.Graph, o *Options, ds *storage.Dataset) error {
+	man := ds.Man
+	rng := rand.New(rand.NewSource(o.Seed))
+	p, c, l := man.Partitions, o.BufferCapacity, o.LogicalPartitions
+	if l == 0 && o.PolicyImpl != nil {
+		l = p // unused under an explicit policy; skip the auto-tuner
+	}
+	if o.Storage == InMemory {
+		c, l = p, p
+	} else if c == 0 || l == 0 {
+		tuned, err := autotune.Tune(autotune.Input{
+			NumNodes: man.NumNodes, NumEdges: int(man.NumEdges), Dim: o.Dim,
+			CPUBytes: o.CPUBytes, BlockBytes: o.BlockBytes,
+		})
+		if err != nil {
+			return err
+		}
+		// p is baked into the dataset layout: clamp the tuned capacity
+		// to it, and fall back to l = p when the tuned grouping does not
+		// divide it.
+		if c == 0 {
+			c = min(max(tuned.C, 2), p)
+		}
+		if l == 0 {
+			if l = tuned.L; l > p || p%l != 0 {
+				l = p
+			}
+		}
+	}
+	emb := train.RandomEmbeddings(man.NumNodes, o.Dim, o.Seed)
+	src, err := train.NewDatasetSource(ds, train.DatasetSourceConfig{
+		InMemory: o.Storage == InMemory, Capacity: c,
+		Learnable: true, WorkDir: o.Dir, InitTable: emb, Throttle: o.Throttle,
+	})
+	if err != nil {
+		return err
+	}
+	return t.assemble(g, o, src, p, c, l, rng)
+}
+
 func (t *lpTask) TrainEpoch(ctx context.Context) (train.EpochStats, error) {
 	return t.tr.TrainEpoch(ctx)
 }
 
-func (t *lpTask) adj() *graph.Adjacency {
-	if t.fullAdj == nil {
-		t.fullAdj = graph.BuildAdjacency(t.g.NumNodes, t.g.Edges)
-	}
-	return t.fullAdj
+func (t *lpTask) adj() (*graph.Adjacency, error) {
+	return evalAdj(&t.fullAdj, t.g, t.opts, t.src)
 }
 
 // Evaluate computes sampled-negative MRR (or full ranking for small
@@ -305,6 +434,11 @@ func (t *lpTask) Evaluate(split Split) (EvalResult, error) {
 		edges = t.g.TestEdges
 	}
 	res := EvalResult{Task: TaskLP, Metric: "MRR", Split: split}
+	if len(edges) == 0 {
+		// Nothing to score: skip the full-table read and adjacency build
+		// (expensive for dataset-backed sessions).
+		return res, nil
+	}
 	emb, err := t.embeddings()
 	if err != nil {
 		return res, err
@@ -313,12 +447,16 @@ func (t *lpTask) Evaluate(split Split) (EvalResult, error) {
 	if t.g.NumNodes <= 20000 {
 		negatives = 0 // rank against all entities
 	}
+	adj, err := t.adj()
+	if err != nil {
+		return res, err
+	}
 	mrr, err := train.EvaluateLP(train.LPEvalConfig{
 		Encoder: t.enc, Params: t.ps, Decoder: t.dec,
 		Fanouts: t.opts.Fanouts, Dirs: graph.Both,
 		Negatives: negatives, BatchSize: t.opts.BatchSize,
 		Workers: t.opts.Workers, Seed: t.opts.Seed + 3,
-	}, emb, t.adj(), edges)
+	}, emb, adj, edges)
 	if err != nil {
 		return res, err
 	}
