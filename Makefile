@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-pipeline bench-kernels bench-pipeline bench-sampler bench-ingest bench-baseline check
+.PHONY: build test race race-pipeline bench-kernels bench-pipeline bench-sampler bench-ingest bench-serve bench-baseline check
 
 build:
 	$(GO) build ./...
@@ -53,13 +53,25 @@ bench-sampler:
 bench-ingest:
 	$(GO) run ./cmd/benchingest -short -check -o /tmp/BENCH_ingest.json
 
+# Short-mode serving gate: prepare and briefly train NC and LP datasets,
+# serve their checkpoints through internal/serve, and drive closed-loop
+# clients at concurrency 1/16/64 against predict and top-k. Hard floors:
+# served NC logits byte-identical to the evaluation forward, LP top-k
+# byte-identical to the full-ranking ScoreAll kernel, concurrent results
+# equal to single-request results, and sustained QPS above conservative
+# floors. Same target as the CI serve job.
+bench-serve:
+	$(GO) run ./cmd/benchserve -short -check -o /tmp/BENCH_serve.json
+
 # Refresh the checked-in full-shape baselines (commit the results).
 bench-baseline:
 	$(GO) run ./cmd/benchkernels -check -o BENCH_kernels.json
 	$(GO) run ./cmd/benchpipeline -check -o BENCH_pipeline.json
 	$(GO) run ./cmd/benchsampler -check -o BENCH_sampler.json
 	$(GO) run ./cmd/benchingest -check -o BENCH_ingest.json
+	$(GO) run ./cmd/benchserve -check -o BENCH_serve.json
 
 # The full local gate: everything CI runs (test, race, race-pipeline,
-# and every benchmark floor including the end-to-end ingest path).
-check: build test race race-pipeline bench-kernels bench-pipeline bench-sampler bench-ingest
+# and every benchmark floor including the end-to-end ingest and serving
+# paths).
+check: build test race race-pipeline bench-kernels bench-pipeline bench-sampler bench-ingest bench-serve

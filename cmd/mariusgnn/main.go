@@ -30,30 +30,31 @@ import (
 
 func main() {
 	var (
-		task     = flag.String("task", "nc", "nc (node classification) or lp (link prediction)")
-		dataset  = flag.String("dataset", "", "nc: sbm; lp: fb15k237, freebase, wiki (default per task)")
-		data     = flag.String("data", "", "train from a mariusprep-prepared dataset directory (task, seed and partitions come from its manifest)")
-		nodes    = flag.Int("nodes", 20000, "graph size for generated datasets")
-		model    = flag.String("model", "graphsage", "graphsage, gat, gcn, distmult")
-		storageF = flag.String("storage", "mem", "mem or disk")
-		policyF  = flag.String("policy", "comet", "comet or beta (disk link prediction)")
-		layers   = flag.Int("layers", 0, "GNN layers (0 = task default)")
-		dim      = flag.Int("dim", marius.DefaultDim, "hidden/embedding dimensionality")
-		batch    = flag.Int("batch", marius.DefaultBatchSize, "mini-batch size")
-		negs     = flag.Int("negatives", marius.DefaultNegatives, "negatives per batch (lp)")
-		epochs   = flag.Int("epochs", 5, "training epochs")
-		parts    = flag.Int("partitions", 0, "physical partitions (0 = auto-tune)")
-		capacity = flag.Int("capacity", 0, "buffer capacity (0 = auto-tune)")
-		logical  = flag.Int("logical", 0, "logical partitions (0 = auto-tune)")
-		baseline = flag.Bool("baseline", false, "use DGL/PyG-style baseline execution")
-		pipeline = flag.Int("pipeline", 0, "visits prefetched ahead of the trainer (0 = serial epoch loop)")
-		workers  = flag.Int("workers", marius.DefaultWorkers, "batch-construction workers / kernel fan-out")
-		mbps     = flag.Float64("disk-mbps", 0, "simulated disk bandwidth in MB/s (0 = unlimited)")
-		noEval   = flag.Bool("no-eval", false, "skip final valid/test evaluation (it materializes the full graph — use for larger-than-RAM -data runs)")
-		patience = flag.Int("patience", 0, "early-stopping patience in epochs (0 = off)")
-		ckpt     = flag.String("checkpoint", "", "save a resumable checkpoint here every epoch")
-		resume   = flag.String("resume", "", "restore training state from this checkpoint before running")
-		seed     = flag.Int64("seed", 1, "random seed")
+		task      = flag.String("task", "nc", "nc (node classification) or lp (link prediction)")
+		dataset   = flag.String("dataset", "", "nc: sbm; lp: fb15k237, freebase, wiki (default per task)")
+		data      = flag.String("data", "", "train from a mariusprep-prepared dataset directory (task, seed and partitions come from its manifest)")
+		nodes     = flag.Int("nodes", 20000, "graph size for generated datasets")
+		model     = flag.String("model", "graphsage", "graphsage, gat, gcn, distmult")
+		storageF  = flag.String("storage", "mem", "mem or disk")
+		policyF   = flag.String("policy", "comet", "comet or beta (disk link prediction)")
+		layers    = flag.Int("layers", 0, "GNN layers (0 = task default)")
+		dim       = flag.Int("dim", marius.DefaultDim, "hidden/embedding dimensionality")
+		batch     = flag.Int("batch", marius.DefaultBatchSize, "mini-batch size")
+		negs      = flag.Int("negatives", marius.DefaultNegatives, "negatives per batch (lp)")
+		epochs    = flag.Int("epochs", 5, "training epochs")
+		parts     = flag.Int("partitions", 0, "physical partitions (0 = auto-tune)")
+		capacity  = flag.Int("capacity", 0, "buffer capacity (0 = auto-tune)")
+		logical   = flag.Int("logical", 0, "logical partitions (0 = auto-tune)")
+		baseline  = flag.Bool("baseline", false, "use DGL/PyG-style baseline execution")
+		pipeline  = flag.Int("pipeline", 0, "visits prefetched ahead of the trainer (0 = serial epoch loop)")
+		workers   = flag.Int("workers", marius.DefaultWorkers, "batch-construction workers / kernel fan-out")
+		mbps      = flag.Float64("disk-mbps", 0, "simulated disk bandwidth in MB/s (0 = unlimited)")
+		noEval    = flag.Bool("no-eval", false, "skip final valid/test evaluation (it materializes the full graph — use for larger-than-RAM -data runs)")
+		patience  = flag.Int("patience", 0, "early-stopping patience in epochs (0 = off)")
+		ckpt      = flag.String("checkpoint", "", "save a resumable checkpoint here every epoch")
+		resume    = flag.String("resume", "", "restore training state from this checkpoint before running")
+		serveHint = flag.Bool("serve-export", false, "print the mariusserve invocation for the saved checkpoint after the run")
+		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
 	explicit := map[string]bool{}
@@ -213,6 +214,15 @@ func main() {
 	}
 	if res.Stopped != marius.Completed {
 		fmt.Printf("run stopped: %s\n", res.Stopped)
+	}
+	if *serveHint && *ckpt != "" {
+		// Checkpoints embed the prepared dataset's UUID, so mariusserve
+		// can verify this exact pairing at load time.
+		if *data != "" {
+			fmt.Printf("serve it: mariusserve -data %s -checkpoint %s\n", *data, *ckpt)
+		} else {
+			fmt.Printf("serve it: prepare the same graph with mariusprep, then mariusserve -data <dir> -checkpoint %s\n", *ckpt)
+		}
 	}
 
 	if *noEval {

@@ -185,6 +185,36 @@
 // serial run's, and a restored session continues the exact trajectory.
 // Concurrency only changes wall-clock overlap.
 //
+// # Serving
+//
+// internal/serve is the forward-only counterpart to training: it opens a
+// prepared dataset read-only (building the full adjacency index once, at
+// startup), loads a checkpoint into an immutable Snapshot (model
+// metadata is validated field by field — task, model kind, dimensions,
+// node and class counts — with mismatches reported as typed
+// marius.ErrCheckpointMismatch naming the offending field), and serves
+// node-classification predictions and link-prediction top-k over
+// HTTP/JSON through cmd/mariusserve. Requests are micro-batched
+// server-side: a single dispatcher collects calls from a bounded queue
+// until -max-batch or -max-wait, merges their DENSE samples into one
+// deltas structure, and runs one fused forward per batch — LP top-k
+// scores all candidates with a single GatherMatMulTB against an
+// encoding table precomputed at snapshot load. Because kernels are
+// bitwise deterministic (see above) and every request carries its own
+// sampling seed (explicit, or derived from request content), a
+// micro-batched response is byte-identical to the same request served
+// alone — and to the training-side evaluation forward at the same seed
+// (enforced by differential tests and by cmd/benchserve, whose `make
+// bench-serve` gate also enforces QPS floors; BENCH_serve.json is the
+// checked-in baseline). Checkpoints hot-reload without a restart
+// (SIGHUP or POST /reload): the new snapshot is atomically swapped in
+// while in-flight batches finish on the old one, and every batch pins
+// exactly one snapshot so responses never mix epochs. Checkpoints also
+// record the dataset UUID they were trained on; serving a checkpoint
+// against a different prepared directory logs a provenance warning
+// (surfaced in /statz). marius.LoadForInference and marius.Serve expose
+// the same machinery as a library.
+//
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation section; `go run ./cmd/benchtables` prints them
 // at full scale in the paper's layout, and CHANGES.md records the old

@@ -1,0 +1,125 @@
+// Package ckpt defines the on-disk checkpoint format shared by training
+// (marius.Session.Save/Restore) and forward-only serving (internal/serve).
+// A checkpoint captures everything needed to resume training — dense
+// parameters with optimizer moments, the learnable node representation
+// table with its sparse-AdaGrad accumulators, the RNG seed and the epoch
+// counter — plus the model-shape metadata and dataset provenance that let
+// an inference loader rebuild the model without a training session and
+// reject a mismatched dataset by name instead of panicking mid-forward.
+//
+// The format is gob with name-matched fields: version-1 checkpoints
+// written before ModelMeta/DatasetUUID existed still decode (the new
+// fields read back zero), and new checkpoints decode under old readers
+// (unknown fields are skipped).
+package ckpt
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/nn"
+)
+
+// Version guards the on-disk format.
+const Version = 1
+
+// ErrMismatch is wrapped by load-time validation errors: the checkpoint
+// does not fit the session or dataset it is being loaded against. The
+// message names the offending field (task, dim, layers, nodes, ...).
+var ErrMismatch = errors.New("checkpoint/dataset mismatch")
+
+// Mismatch returns a validation error wrapping ErrMismatch that names the
+// offending checkpoint field.
+func Mismatch(field, format string, args ...any) error {
+	return fmt.Errorf("%w: %s: %s", ErrMismatch, field, fmt.Sprintf(format, args...))
+}
+
+// Model kind names recorded in ModelMeta.Kind.
+const (
+	KindSage     = "sage"
+	KindGAT      = "gat"
+	KindGCN      = "gcn"
+	KindDistMult = "distmult"
+)
+
+// ModelMeta records the model shape a checkpoint's parameters were
+// trained with, so a forward-only loader can rebuild the encoder/decoder
+// and validate the target dataset before touching any kernel.
+type ModelMeta struct {
+	// Kind is one of the Kind... constants ("sage", "gat", "gcn",
+	// "distmult"). Empty in checkpoints written before metadata existed.
+	Kind string
+	// Dim is the hidden (and, for link prediction, embedding) width.
+	Dim int
+	// Layers is the encoder depth (0 for decoder-only models).
+	Layers int
+	// Fanouts are the per-layer sampling fanouts, innermost first.
+	Fanouts []int
+	// NumRels is the relation count the decoder was built with (link
+	// prediction; at least 1).
+	NumRels int
+	// NumClasses is the classifier output width (node classification).
+	NumClasses int
+	// FeatureDim is the base representation width: the feature dimension
+	// for node classification, Dim for link prediction.
+	FeatureDim int
+}
+
+// File is the serialized session state.
+type File struct {
+	Version int
+	Task    string
+	Epoch   int
+	Seed    int64
+
+	Params []nn.ParamState
+
+	// TableRows/TableCols always record the store shape for validation;
+	// Table/OptState carry the data only for learnable representations
+	// (fixed feature tables are reproducible from the graph).
+	TableRows, TableCols int
+	Table                []float32
+	OptState             []float32
+
+	// Model describes how to rebuild the network from Params alone.
+	Model ModelMeta
+	// DatasetUUID is the manifest UUID of the dataset the session trained
+	// on (empty for in-memory graphs or pre-UUID datasets); serving warns
+	// when it differs from the dataset being served.
+	DatasetUUID string
+}
+
+// Write saves f to path atomically (write-to-temp + rename).
+func Write(path string, f *File) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(f); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: encode checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Read loads a checkpoint from path. It performs no validation beyond
+// decoding; callers check Version and their own shape constraints.
+func Read(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var cp File
+	if err := gob.NewDecoder(f).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("ckpt: decode checkpoint: %w", err)
+	}
+	return &cp, nil
+}

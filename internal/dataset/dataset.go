@@ -408,6 +408,10 @@ func Ingest(cfg Config) (*Stats, error) {
 		return nil, err
 	}
 
+	// Identity fingerprint last: every field it covers is final by now.
+	// Checkpoints trained on this dataset embed it, letting serving warn
+	// on checkpoint/dataset provenance mismatches.
+	man.UUID = man.ComputeUUID()
 	if err := storage.WriteManifest(cfg.Out, man); err != nil {
 		return nil, err
 	}

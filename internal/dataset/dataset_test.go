@@ -3,11 +3,13 @@ package dataset_test
 import (
 	"bytes"
 	"context"
+	"encoding/gob"
 	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/ckpt"
 	"repro/internal/dataset"
 	"repro/internal/gen"
 	"repro/internal/storage"
@@ -48,17 +50,26 @@ func trainLosses(t *testing.T, sess *marius.Session, epochs int) []float64 {
 }
 
 // checkpointBytes saves sess and returns the checkpoint file contents.
+// checkpointBytes serializes a session's checkpoint with the dataset
+// provenance UUID cleared: a dataset session records the manifest UUID
+// while the equivalent in-memory-graph session has none, and the
+// byte-identity contract covers the training state, not provenance.
 func checkpointBytes(t *testing.T, sess *marius.Session) []byte {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "ckpt")
 	if err := sess.Save(path); err != nil {
 		t.Fatalf("save: %v", err)
 	}
-	buf, err := os.ReadFile(path)
+	cp, err := ckpt.Read(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return buf
+	cp.DatasetUUID = ""
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
 }
 
 // TestRoundTripNC is the ingestion fidelity contract for node

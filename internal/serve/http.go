@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/ckpt"
+)
+
+// Handler returns the server's HTTP surface:
+//
+//	POST /v1/predict  {"nodes":[...], "seed":0}        -> PredictResponse
+//	POST /v1/topk     {"src":0,"rel":0,"k":10}         -> TopKResponse
+//	POST /reload      {"checkpoint":"path"} (optional)  -> reload summary
+//	GET  /healthz                                      -> ok
+//	GET  /statz                                        -> Statz
+//
+// ErrBadRequest maps to 400, ErrCheckpointMismatch (via /reload) to 409,
+// ErrClosed to 503, anything else to 500.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		var req PredictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, errors.Join(ErrBadRequest, err))
+			return
+		}
+		resp, err := s.Predict(r.Context(), &req)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /v1/topk", func(w http.ResponseWriter, r *http.Request) {
+		var req TopKRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, errors.Join(ErrBadRequest, err))
+			return
+		}
+		resp, err := s.TopK(r.Context(), &req)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /reload", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Checkpoint string `json:"checkpoint"`
+		}
+		if r.ContentLength != 0 {
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				httpError(w, errors.Join(ErrBadRequest, err))
+				return
+			}
+		}
+		path := req.Checkpoint
+		if path == "" {
+			path = s.Snapshot().Path
+		}
+		snap, err := s.Reload(path)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"checkpoint": snap.Path,
+			"loaded_at":  snap.LoadedAt,
+			"epoch":      snap.File.Epoch,
+			"warning":    snap.Warning,
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Statz())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, ckpt.ErrMismatch):
+		code = http.StatusConflict
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,94 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestHTTPSurface drives the JSON endpoints end to end: predict, reload,
+// healthz, statz, and the error mapping for bad requests.
+func TestHTTPSurface(t *testing.T) {
+	dir := prepNC(t, 2)
+	ckptPath := train(t, dir, ncOpts, 1)[0]
+	srv := startServer(t, dir, ckptPath, serve.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	post := func(path string, body any) *http.Response {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(hs.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post("/v1/predict", serve.PredictRequest{Nodes: []int32{1, 2, 3}, Seed: 7})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d", resp.StatusCode)
+	}
+	var pr serve.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(pr.Classes) != 3 || len(pr.Logits) != 3 {
+		t.Fatalf("predict: %d classes, %d logit rows, want 3", len(pr.Classes), len(pr.Logits))
+	}
+
+	// Wrong task and out-of-range IDs are client errors.
+	for _, bad := range []any{
+		serve.TopKRequest{Src: 1, Rel: 0, K: 5},         // lp endpoint on an nc dataset
+		serve.PredictRequest{Nodes: []int32{}},          // empty batch
+		serve.PredictRequest{Nodes: []int32{1_000_000}}, // out of range
+	} {
+		path := "/v1/predict"
+		if _, ok := bad.(serve.TopKRequest); ok {
+			path = "/v1/topk"
+		}
+		resp := post(path, bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%v: status %d, want 400", bad, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Reload with an empty body re-reads the current checkpoint path.
+	resp = post("/reload", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	for _, probe := range []string{"/healthz", "/statz"} {
+		resp, err := http.Get(hs.URL + probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", probe, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	var statz serve.Statz
+	resp, err := http.Get(hs.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if statz.Requests == 0 || statz.Batches == 0 {
+		t.Fatalf("statz shows no traffic: %+v", statz)
+	}
+	if statz.Checkpoint != ckptPath {
+		t.Fatalf("statz checkpoint %q, want %q", statz.Checkpoint, ckptPath)
+	}
+}

@@ -1,0 +1,480 @@
+// Full-stack serving tests: differential against the training-side
+// forward pass, micro-batching vs sequential equality, hot reload
+// snapshot isolation, and load-time mismatch rejection. External test
+// package: the tests drive training through marius, which itself imports
+// internal/serve.
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/dataset"
+	"repro/internal/decoder"
+	"repro/internal/encode"
+	"repro/internal/gen"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/marius"
+)
+
+// prepNC ingests a small SBM node-classification dataset.
+func prepNC(t *testing.T, seed int64) string {
+	t.Helper()
+	g := gen.SBM(gen.SBMConfig{
+		NumNodes: 300, NumClasses: 4, AvgDegree: 5, FeatureDim: 6,
+		Homophily: 0.8, FeatNoise: 1, TrainFrac: 0.2, ValidFrac: 0.1, TestFrac: 0.1, Seed: seed,
+	})
+	exp, err := dataset.Export(g, t.TempDir(), "tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	if _, err := dataset.Ingest(exp.Config(out, "nc", seed, 2)); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// prepLP ingests a small knowledge-graph link-prediction dataset.
+func prepLP(t *testing.T) string {
+	t.Helper()
+	g := gen.KG(gen.KGConfig{
+		NumEntities: 300, NumRelations: 4, NumEdges: 3000,
+		ZipfS: 1.2, ValidFrac: 0.05, TestFrac: 0.05, Seed: 11,
+	})
+	exp, err := dataset.Export(g, t.TempDir(), "tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	if _, err := dataset.Ingest(exp.Config(out, "lp", 11, 2)); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// train runs a short dataset session and saves checkpoints after each of
+// the requested epoch counts, returning the checkpoint paths.
+func train(t *testing.T, dir string, opts []marius.Option, epochs ...int) []string {
+	t.Helper()
+	sess, err := marius.FromDataset(dir, append([]marius.Option{marius.WithWorkers(1)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	paths := make([]string, len(epochs))
+	done := 0
+	for i, target := range epochs {
+		if _, err := sess.Run(context.Background(), marius.Epochs(target-done)); err != nil {
+			t.Fatal(err)
+		}
+		done = target
+		paths[i] = filepath.Join(t.TempDir(), "ckpt")
+		if err := sess.Save(paths[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+var ncOpts = []marius.Option{
+	marius.WithModel(marius.GraphSage), marius.WithFanouts(5, 5),
+	marius.WithDim(8), marius.WithBatchSize(128),
+}
+
+func startServer(t *testing.T, dir, ckptPath string, cfg serve.Config) *serve.Server {
+	t.Helper()
+	sctx, err := serve.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sctx.Close() })
+	snap, err := serve.Load(sctx, ckptPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(sctx, snap, cfg)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func eqF32(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqPredict(a, b *serve.PredictResponse) bool {
+	if len(a.Logits) != len(b.Logits) {
+		return false
+	}
+	for i := range a.Logits {
+		if a.Classes[i] != b.Classes[i] || !eqF32(a.Logits[i], b.Logits[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServePredictMatchesEval is the serve-vs-train differential: logits
+// served for an explicit sampling seed must equal, byte for byte, the
+// forward pass the training-side evaluation substrate (internal/encode,
+// the code path of train/eval.go) produces from the same checkpoint,
+// targets and seed — with the server on its defaults (disk feature
+// store, multi-worker kernels) and the reference on in-memory features
+// with one worker.
+func TestServePredictMatchesEval(t *testing.T) {
+	dir := prepNC(t, 2)
+	ckptPath := train(t, dir, ncOpts, 1)[0]
+	srv := startServer(t, dir, ckptPath, serve.Config{})
+
+	const seed = 12345
+	nodes := []int32{3, 5, 3, 7, 120, 5} // duplicates exercise per-request dedup
+	resp, err := srv.Predict(context.Background(), &serve.PredictRequest{Nodes: nodes, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: rebuild the model exactly as training holds it and run
+	// the evaluation forward over the deduplicated targets.
+	cp, err := ckpt.Read(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := nn.NewParamSet()
+	rng := rand.New(rand.NewSource(cp.Seed))
+	dims := []int{cp.Model.FeatureDim}
+	for i := 0; i < cp.Model.Layers-1; i++ {
+		dims = append(dims, cp.Model.Dim)
+	}
+	dims = append(dims, cp.Model.NumClasses)
+	enc := gnn.BuildSage(ps, dims, gnn.Mean, rng)
+	if err := ps.LoadState(cp.Params); err != nil {
+		t.Fatal(err)
+	}
+	sctx, err := serve.Open(dir, serve.Config{InMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sctx.Close()
+	fwd := encode.New(encode.Config{
+		Encoder: enc, Params: ps, Fanouts: cp.Model.Fanouts, Dirs: graph.Both, Workers: 1,
+	}, sctx.Adj, seed)
+	uniq := []int32{3, 5, 7, 120}
+	out, err := fwd.Encode(sctx.Features, uniq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int32][]float32{}
+	for i, id := range uniq {
+		want[id] = out.Value.Row(i)
+	}
+	for i, id := range nodes {
+		if !eqF32(resp.Logits[i], want[id]) {
+			t.Fatalf("served logits for node %d differ from eval forward:\n  serve %v\n  eval  %v",
+				id, resp.Logits[i], want[id])
+		}
+	}
+}
+
+// TestServeTopKMatchesScoreAll is the link-prediction differential: the
+// fused batched scoring launch must reproduce the training-side
+// full-ranking ScoreAll (train/eval.go's kernel) bitwise, ids and
+// scores.
+func TestServeTopKMatchesScoreAll(t *testing.T) {
+	dir := prepLP(t)
+	opts := []marius.Option{
+		marius.WithModel(marius.DistMultOnly), marius.WithDim(8),
+		marius.WithNegatives(16), marius.WithBatchSize(256),
+	}
+	ckptPath := train(t, dir, opts, 1)[0]
+	srv := startServer(t, dir, ckptPath, serve.Config{})
+	snap := srv.Snapshot()
+
+	const k = 10
+	for _, q := range []struct{ src, rel int32 }{{12, 3}, {0, 0}, {299, 1}} {
+		resp, err := srv.TopK(context.Background(), &serve.TopKRequest{Src: q.src, Rel: q.rel, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores := snap.Decoder.ScoreAll(snap.Table.Row(int(q.src)), snap.RelTable.Row(int(q.rel)), snap.Table)
+		ids := decoder.TopK(scores, k)
+		if len(resp.Nodes) != k {
+			t.Fatalf("(%d,%d): got %d results, want %d", q.src, q.rel, len(resp.Nodes), k)
+		}
+		for i := range ids {
+			if resp.Nodes[i] != ids[i] || resp.Scores[i] != scores[ids[i]] {
+				t.Fatalf("(%d,%d) rank %d: serve (%d, %v), eval (%d, %v)",
+					q.src, q.rel, i, resp.Nodes[i], resp.Scores[i], ids[i], scores[ids[i]])
+			}
+		}
+	}
+}
+
+// TestServeTopKGNNDeterministic covers the encoder top-k branch (source
+// encoded through the GNN, scored against the load-time precomputed
+// entity table): repeated identical requests — alone or co-batched with
+// other traffic — return identical results.
+func TestServeTopKGNNDeterministic(t *testing.T) {
+	dir := prepLP(t)
+	opts := []marius.Option{
+		marius.WithModel(marius.GraphSage), marius.WithFanouts(5),
+		marius.WithDim(8), marius.WithNegatives(16), marius.WithBatchSize(256),
+	}
+	ckptPath := train(t, dir, opts, 1)[0]
+	srv := startServer(t, dir, ckptPath, serve.Config{MaxBatch: 4, MaxWait: 20 * time.Millisecond})
+
+	req := &serve.TopKRequest{Src: 42, Rel: 2, K: 5, Seed: 99}
+	first, err := srv.TopK(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fire the same request concurrently with different traffic so some
+	// instances co-batch with other sources.
+	var wg sync.WaitGroup
+	results := make([]*serve.TopKResponse, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			if i%2 == 0 {
+				results[i], err = srv.TopK(context.Background(), req)
+			} else {
+				_, err = srv.TopK(context.Background(), &serve.TopKRequest{Src: int32(i), Rel: 1, K: 3, Seed: int64(i + 1)})
+			}
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < len(results); i += 2 {
+		r := results[i]
+		for j := range first.Nodes {
+			if r.Nodes[j] != first.Nodes[j] || r.Scores[j] != first.Scores[j] {
+				t.Fatalf("co-batched topk diverged from solo run at rank %d", j)
+			}
+		}
+	}
+}
+
+// TestMicroBatchedEqualsSequential issues the same explicitly-seeded
+// requests once sequentially (each alone in its micro-batch) and once
+// all concurrently (co-batched), and requires bitwise-equal responses —
+// the user-facing face of the merge determinism property. Run under
+// -race this is also the serving concurrency test.
+func TestMicroBatchedEqualsSequential(t *testing.T) {
+	dir := prepNC(t, 2)
+	ckptPath := train(t, dir, ncOpts, 1)[0]
+	srv := startServer(t, dir, ckptPath, serve.Config{MaxBatch: 8, MaxWait: 20 * time.Millisecond})
+
+	reqs := make([]*serve.PredictRequest, 16)
+	rng := rand.New(rand.NewSource(4))
+	for i := range reqs {
+		nodes := make([]int32, 1+rng.Intn(5))
+		for j := range nodes {
+			nodes[j] = int32(rng.Intn(300))
+		}
+		reqs[i] = &serve.PredictRequest{Nodes: nodes, Seed: int64(1000 + i)}
+	}
+
+	sequential := make([]*serve.PredictResponse, len(reqs))
+	for i, r := range reqs {
+		var err error
+		if sequential[i], err = srv.Predict(context.Background(), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	concurrent := make([]*serve.PredictResponse, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r *serve.PredictRequest) {
+			defer wg.Done()
+			var err error
+			if concurrent[i], err = srv.Predict(context.Background(), r); err != nil {
+				t.Error(err)
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	for i := range reqs {
+		if !eqPredict(sequential[i], concurrent[i]) {
+			t.Fatalf("request %d: micro-batched response differs from sequential", i)
+		}
+	}
+	// The histogram must show at least one true micro-batch formed.
+	statz := srv.Statz()
+	if statz.Requests < uint64(2*len(reqs)) {
+		t.Fatalf("statz lost requests: %d", statz.Requests)
+	}
+}
+
+// TestHotReloadSnapshotIsolation reloads a second checkpoint while
+// requests are in flight: every response must come entirely from one
+// snapshot (old or new, never a mix), and responses settle on the new
+// one after the swap.
+func TestHotReloadSnapshotIsolation(t *testing.T) {
+	dir := prepNC(t, 2)
+	paths := train(t, dir, ncOpts, 1, 2)
+	srv := startServer(t, dir, paths[0], serve.Config{MaxBatch: 4, MaxWait: time.Millisecond})
+
+	req := &serve.PredictRequest{Nodes: []int32{3, 5, 7, 11, 13}, Seed: 42}
+	expA, err := srv.Predict(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var observed []*serve.PredictResponse
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r, err := srv.Predict(context.Background(), req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				observed = append(observed, r)
+				mu.Unlock()
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, err := srv.Reload(paths[1]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	expB, err := srv.Predict(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eqPredict(expA, expB) {
+		t.Fatal("epoch-1 and epoch-2 checkpoints produced identical logits; A/B test is vacuous")
+	}
+	var nA, nB int
+	for i, r := range observed {
+		switch {
+		case eqPredict(r, expA):
+			nA++
+		case eqPredict(r, expB):
+			nB++
+		default:
+			t.Fatalf("response %d matches neither snapshot: old/new state mixed within one response", i)
+		}
+	}
+	if nB == 0 {
+		t.Fatal("no response came from the reloaded snapshot")
+	}
+	t.Logf("observed %d responses from old snapshot, %d from new", nA, nB)
+}
+
+// TestLoadRejectsMismatch: checkpoint/dataset disagreements must surface
+// as typed, field-naming errors at load time — not as shape panics deep
+// in the forward pass.
+func TestLoadRejectsMismatch(t *testing.T) {
+	dir := prepNC(t, 2)
+	good, err := ckpt.Read(train(t, dir, ncOpts, 1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, err := serve.Open(dir, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sctx.Close()
+
+	cases := []struct {
+		field  string
+		mutate func(*ckpt.File)
+	}{
+		{"task", func(f *ckpt.File) { f.Task = "lp" }},
+		{"nodes", func(f *ckpt.File) { f.TableRows = 999 }},
+		{"classes", func(f *ckpt.File) { f.Model.NumClasses = 7 }},
+		{"feature_dim", func(f *ckpt.File) { f.TableCols = 99; f.Model.FeatureDim = 99 }},
+		{"version", func(f *ckpt.File) { f.Version = 42 }},
+		{"model", func(f *ckpt.File) { f.Model.Kind = "" }},
+	}
+	for _, tc := range cases {
+		bad := *good
+		bad.Model.Fanouts = append([]int(nil), good.Model.Fanouts...)
+		tc.mutate(&bad)
+		path := filepath.Join(t.TempDir(), "bad.ckpt")
+		if err := ckpt.Write(path, &bad); err != nil {
+			t.Fatal(err)
+		}
+		_, err := serve.Load(sctx, path, serve.Config{})
+		if !errors.Is(err, marius.ErrCheckpointMismatch) {
+			t.Fatalf("%s: got %v, want ErrCheckpointMismatch", tc.field, err)
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Fatalf("%s: error %q does not name the offending field", tc.field, err)
+		}
+	}
+}
+
+// TestLoadWarnsOnProvenanceMismatch: serving a checkpoint against a
+// shape-compatible but different dataset is allowed (the operator may
+// know better) but must carry the UUID warning.
+func TestLoadWarnsOnProvenanceMismatch(t *testing.T) {
+	dirA := prepNC(t, 2)
+	dirB := prepNC(t, 3) // same shape, different contents -> different UUID
+	ckptPath := train(t, dirA, ncOpts, 1)[0]
+
+	sctx, err := serve.Open(dirB, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sctx.Close()
+	snap, err := serve.Load(sctx, ckptPath, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Warning == "" {
+		t.Fatal("cross-dataset load carried no provenance warning")
+	}
+	// And the matched pairing stays clean.
+	sctxA, err := serve.Open(dirA, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sctxA.Close()
+	snapA, err := serve.Load(sctxA, ckptPath, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapA.Warning != "" {
+		t.Fatalf("matched dataset/checkpoint pairing warned: %s", snapA.Warning)
+	}
+}

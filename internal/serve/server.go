@@ -1,0 +1,503 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/decoder"
+	"repro/internal/sampler"
+	"repro/internal/tensor"
+)
+
+// ErrClosed is returned for requests arriving after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// ErrBadRequest marks client errors (wrong task, out-of-range IDs, empty
+// batches); the HTTP layer maps it to 400.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// PredictRequest asks for node-classification predictions. Seed, when
+// nonzero, pins the neighborhood sampling seed — two requests with the
+// same nodes and seed return byte-identical logits. With Seed zero the
+// seed derives from the request content mixed with the server seed, so
+// repeats of the same request are still deterministic.
+type PredictRequest struct {
+	Nodes []int32 `json:"nodes"`
+	Seed  int64   `json:"seed,omitempty"`
+}
+
+// PredictResponse carries, per requested node, the argmax class and the
+// full logit row.
+type PredictResponse struct {
+	Classes []int32     `json:"classes"`
+	Logits  [][]float32 `json:"logits"`
+}
+
+// TopKRequest asks for the K highest-scoring tail entities for
+// (Src, Rel, ?) under the checkpoint's link-prediction model.
+type TopKRequest struct {
+	Src  int32 `json:"src"`
+	Rel  int32 `json:"rel"`
+	K    int   `json:"k"`
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// TopKResponse lists tail entities in descending score order.
+type TopKResponse struct {
+	Nodes  []int32   `json:"nodes"`
+	Scores []float32 `json:"scores"`
+}
+
+// call is one enqueued request awaiting its micro-batch.
+type call struct {
+	pred *PredictRequest
+	topk *TopKRequest
+	resp chan callResult
+	enq  time.Time
+}
+
+type callResult struct {
+	pred *PredictResponse
+	topk *TopKResponse
+	err  error
+	wait time.Duration // time in queue, stamped by the dispatcher
+}
+
+// Server aggregates concurrent Predict/TopK calls through a bounded
+// queue into micro-batches, each served against one pinned Snapshot. All
+// exported methods are safe for concurrent use; the model forward runs
+// on a single dispatcher goroutine, so batching — not goroutine fan-out
+// — is the concurrency mechanism, mirroring a single-accelerator
+// deployment.
+type Server struct {
+	ctx  *Context
+	cfg  Config
+	snap atomic.Pointer[Snapshot]
+
+	reqs chan *call
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	stats stats
+}
+
+// New starts a server over ctx serving snap.
+func New(ctx *Context, snap *Snapshot, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		ctx:  ctx,
+		cfg:  cfg,
+		reqs: make(chan *call, cfg.QueueCap),
+		quit: make(chan struct{}),
+	}
+	s.snap.Store(snap)
+	s.wg.Add(1)
+	go s.dispatch()
+	return s
+}
+
+// Snapshot returns the currently served snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Reload loads the checkpoint at path and atomically swaps it in.
+// In-flight micro-batches finish on the snapshot they pinned; requests
+// batched after the swap see the new one. On error the old snapshot
+// keeps serving.
+func (s *Server) Reload(path string) (*Snapshot, error) {
+	snap, err := Load(s.ctx, path, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.snap.Store(snap)
+	return snap, nil
+}
+
+// Close stops the dispatcher. Queued requests fail with ErrClosed.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.quit) })
+	s.wg.Wait()
+}
+
+// Predict classifies req.Nodes, blocking until the micro-batch holding
+// the request completes (or ctx is done).
+func (s *Server) Predict(ctx context.Context, req *PredictRequest) (*PredictResponse, error) {
+	if t := s.ctx.Task(); t != "nc" {
+		return nil, fmt.Errorf("%w: predict serves node classification; dataset task is %q", ErrBadRequest, t)
+	}
+	if len(req.Nodes) == 0 {
+		return nil, fmt.Errorf("%w: empty nodes", ErrBadRequest)
+	}
+	for _, id := range req.Nodes {
+		if err := s.ctx.validNode(id); err != nil {
+			return nil, err
+		}
+	}
+	r, err := s.do(ctx, &call{pred: req})
+	if err != nil {
+		return nil, err
+	}
+	return r.pred, nil
+}
+
+// TopK scores (Src, Rel, ?) against every entity and returns the K best
+// tails, blocking until the micro-batch holding the request completes.
+func (s *Server) TopK(ctx context.Context, req *TopKRequest) (*TopKResponse, error) {
+	if t := s.ctx.Task(); t != "lp" {
+		return nil, fmt.Errorf("%w: topk serves link prediction; dataset task is %q", ErrBadRequest, t)
+	}
+	if err := s.ctx.validNode(req.Src); err != nil {
+		return nil, err
+	}
+	if rels := s.ctx.DS.Man.NumRels; req.Rel < 0 || (rels > 0 && int(req.Rel) >= rels) || (rels == 0 && req.Rel != 0) {
+		return nil, fmt.Errorf("%w: relation %d out of range", ErrBadRequest, req.Rel)
+	}
+	if req.K <= 0 {
+		return nil, fmt.Errorf("%w: k must be positive", ErrBadRequest)
+	}
+	r, err := s.do(ctx, &call{topk: req})
+	if err != nil {
+		return nil, err
+	}
+	return r.topk, nil
+}
+
+// do enqueues a call and waits for its result.
+func (s *Server) do(ctx context.Context, c *call) (callResult, error) {
+	c.resp = make(chan callResult, 1)
+	c.enq = time.Now()
+	select {
+	case s.reqs <- c:
+	case <-s.quit:
+		return callResult{}, ErrClosed
+	case <-ctx.Done():
+		return callResult{}, ctx.Err()
+	}
+	select {
+	case r := <-c.resp:
+		s.stats.recordCall(r.wait, time.Since(c.enq), r.err != nil)
+		return r, r.err
+	case <-ctx.Done():
+		// The dispatcher still completes the call into the buffered
+		// channel; only this waiter gives up.
+		return callResult{}, ctx.Err()
+	}
+}
+
+// dispatch is the single batching loop: block for the first request,
+// collect co-batched ones until MaxBatch or MaxWait, pin one snapshot,
+// run the batch.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		var first *call
+		select {
+		case first = <-s.reqs:
+		case <-s.quit:
+			s.drain()
+			return
+		}
+		batch := append(make([]*call, 0, s.cfg.MaxBatch), first)
+		timer := time.NewTimer(s.cfg.MaxWait)
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case c := <-s.reqs:
+				batch = append(batch, c)
+			case <-timer.C:
+				break collect
+			case <-s.quit:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.runBatch(batch)
+	}
+}
+
+// drain fails every still-queued call after Close.
+func (s *Server) drain() {
+	for {
+		select {
+		case c := <-s.reqs:
+			c.resp <- callResult{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// runBatch serves one micro-batch against one pinned snapshot. Predict
+// and top-k calls in the same batch become one merged encode launch and
+// one fused scoring launch respectively.
+func (s *Server) runBatch(batch []*call) {
+	snap := s.snap.Load()
+	started := time.Now()
+	wait := make(map[*call]time.Duration, len(batch))
+	var preds, topks []*call
+	for _, c := range batch {
+		wait[c] = started.Sub(c.enq)
+		if c.pred != nil {
+			preds = append(preds, c)
+		} else {
+			topks = append(topks, c)
+		}
+	}
+	var sampleT, encodeT, decodeT time.Duration
+	if len(preds) > 0 {
+		st, et, dt := s.runPredict(snap, preds, wait)
+		sampleT, encodeT, decodeT = sampleT+st, encodeT+et, decodeT+dt
+	}
+	if len(topks) > 0 {
+		st, et, dt := s.runTopK(snap, topks, wait)
+		sampleT, encodeT, decodeT = sampleT+st, encodeT+et, decodeT+dt
+	}
+	s.stats.recordBatch(len(batch), sampleT, encodeT, decodeT)
+}
+
+// fail completes every call in group with err.
+func fail(group []*call, wait map[*call]time.Duration, err error) {
+	for _, c := range group {
+		c.resp <- callResult{err: err, wait: wait[c]}
+	}
+}
+
+// runPredict serves the node-classification half of a micro-batch: each
+// request's (deduplicated) targets are sampled with that request's own
+// seed, the per-request DENSE blocks are concatenated into one merged
+// structure, and a single gather + encoder forward produces every
+// request's logits. Per-request sampling seeds plus row-parallel kernels
+// make each request's rows independent of its co-batch, so results equal
+// the sequential single-request run bitwise.
+func (s *Server) runPredict(snap *Snapshot, group []*call, wait map[*call]time.Duration) (sampleT, encodeT, decodeT time.Duration) {
+	t0 := time.Now()
+	type predPlan struct {
+		uniq []int32 // first-occurrence order
+		idx  []int32 // request position -> row within uniq
+	}
+	plans := make([]predPlan, len(group))
+	blocks := make([]*sampler.DENSE, len(group))
+	for i, c := range group {
+		req := c.pred
+		p := predPlan{idx: make([]int32, len(req.Nodes))}
+		seen := make(map[int32]int32, len(req.Nodes))
+		for j, id := range req.Nodes {
+			row, ok := seen[id]
+			if !ok {
+				row = int32(len(p.uniq))
+				seen[id] = row
+				p.uniq = append(p.uniq, id)
+			}
+			p.idx[j] = row
+		}
+		plans[i] = p
+		blocks[i] = snap.fwd.SampleSeeded(s.requestSeed(c), p.uniq)
+	}
+	merged := mergeDense(blocks)
+	t1 := time.Now()
+	sampleT = t1.Sub(t0)
+
+	out, err := snap.fwd.EncodeDense(snap.Store, merged)
+	if err != nil {
+		fail(group, wait, err)
+		for _, b := range blocks {
+			snap.fwd.Recycle(b)
+		}
+		return sampleT, time.Since(t1), 0
+	}
+	t2 := time.Now()
+	encodeT = t2.Sub(t1)
+
+	logits := out.Value
+	base := 0
+	for i, c := range group {
+		p := plans[i]
+		resp := &PredictResponse{
+			Classes: make([]int32, len(p.idx)),
+			Logits:  make([][]float32, len(p.idx)),
+		}
+		for j, row := range p.idx {
+			src := logits.Row(base + int(row))
+			resp.Logits[j] = append([]float32(nil), src...)
+			resp.Classes[j] = argmax(src)
+		}
+		base += len(p.uniq)
+		c.resp <- callResult{pred: resp, wait: wait[c]}
+	}
+	// Recycle only after every response row was copied out: the blocks'
+	// arrays (and, single-block case, the merged view of them) go back
+	// to the sampler pool here.
+	for _, b := range blocks {
+		snap.fwd.Recycle(b)
+	}
+	return sampleT, encodeT, time.Since(t2)
+}
+
+// runTopK serves the link-prediction half of a micro-batch: build one
+// [B x d] source∘relation matrix (encoding sources through the GNN when
+// the model has one), then score all entities for every request with a
+// single fused gather-matmul against the snapshot's precomputed entity
+// table — exactly the kernel evaluation's full ranking uses, one launch
+// per micro-batch instead of one per request.
+func (s *Server) runTopK(snap *Snapshot, group []*call, wait map[*call]time.Duration) (sampleT, encodeT, decodeT time.Duration) {
+	t0 := time.Now()
+	dim := snap.Meta.Dim
+	srcRows := tensor.New(len(group), dim)
+	if snap.Encoder == nil {
+		for i, c := range group {
+			copy(srcRows.Data[i*dim:(i+1)*dim], snap.Table.Row(int(c.topk.Src)))
+		}
+	} else {
+		blocks := make([]*sampler.DENSE, len(group))
+		for i, c := range group {
+			blocks[i] = snap.fwd.SampleSeeded(s.requestSeed(c), []int32{c.topk.Src})
+		}
+		merged := mergeDense(blocks)
+		out, err := snap.fwd.EncodeDense(snap.Store, merged)
+		if err != nil {
+			fail(group, wait, err)
+			for _, b := range blocks {
+				snap.fwd.Recycle(b)
+			}
+			return time.Since(t0), 0, 0
+		}
+		// One target per block, so encoded row i belongs to call i.
+		copy(srcRows.Data, out.Value.Data[:len(group)*dim])
+		for _, b := range blocks {
+			snap.fwd.Recycle(b)
+		}
+	}
+	for i, c := range group {
+		relRow := snap.RelTable.Row(int(c.topk.Rel))
+		row := srcRows.Data[i*dim : (i+1)*dim]
+		for j := range row {
+			row[j] *= relRow[j]
+		}
+	}
+	t1 := time.Now()
+	sampleT = t1.Sub(t0)
+
+	scores := snap.cmp.GatherMatMulTB(srcRows, snap.EncTable, s.ctx.allNodes)
+	t2 := time.Now()
+	encodeT = t2.Sub(t1)
+
+	for i, c := range group {
+		row := scores.Row(i)
+		k := min(c.topk.K, len(row))
+		ids := decoder.TopK(row, k)
+		resp := &TopKResponse{Nodes: ids, Scores: make([]float32, len(ids))}
+		for j, id := range ids {
+			resp.Scores[j] = row[id]
+		}
+		c.resp <- callResult{topk: resp, wait: wait[c]}
+	}
+	return sampleT, encodeT, time.Since(t2)
+}
+
+// requestSeed derives a call's sampling seed: an explicit request seed
+// wins; otherwise the seed is a content hash mixed with the server seed,
+// so identical requests sample identical neighborhoods no matter when
+// they arrive or what they are batched with.
+func (s *Server) requestSeed(c *call) int64 {
+	if c.pred != nil && c.pred.Seed != 0 {
+		return c.pred.Seed
+	}
+	if c.topk != nil && c.topk.Seed != 0 {
+		return c.topk.Seed
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	if c.pred != nil {
+		for _, id := range c.pred.Nodes {
+			binary.LittleEndian.PutUint32(b[:4], uint32(id))
+			h.Write(b[:4])
+		}
+	} else {
+		binary.LittleEndian.PutUint32(b[:4], uint32(c.topk.Src))
+		h.Write(b[:4])
+		binary.LittleEndian.PutUint32(b[:4], uint32(c.topk.Rel))
+		h.Write(b[:4])
+	}
+	return int64(h.Sum64()) ^ s.cfg.Seed
+}
+
+// argmax returns the index of the row maximum (first winner on ties).
+func argmax(row []float32) int32 {
+	best := 0
+	for j := 1; j < len(row); j++ {
+		if row[j] > row[best] {
+			best = j
+		}
+	}
+	return int32(best)
+}
+
+// mergeDense concatenates per-request DENSE blocks into one structure
+// with the same invariants, delta group by delta group: merged group g
+// is [blocks[0].Δg, blocks[1].Δg, ...], neighbor segments follow merged
+// node order, and each block's ReprMap is remapped through its
+// local-row → merged-row table. Forward output rows land contiguous per
+// block in block order. Node IDs may repeat across blocks (two requests
+// sampling the same node) — harmless to the gather/segment kernels, and
+// exactly why the merged structure must never go through
+// DENSE.Validate, which enforces training-batch uniqueness.
+func mergeDense(blocks []*sampler.DENSE) *sampler.DENSE {
+	if len(blocks) == 1 {
+		return blocks[0]
+	}
+	k := blocks[0].Layers
+	numGroups := k + 1
+	var totalNodes, totalNbrs int
+	for _, b := range blocks {
+		totalNodes += len(b.NodeIDs)
+		totalNbrs += len(b.Nbrs)
+	}
+	m := &sampler.DENSE{
+		NodeIDOffsets: make([]int32, numGroups+1),
+		NodeIDs:       make([]int32, 0, totalNodes),
+		Nbrs:          make([]int32, 0, totalNbrs),
+		ReprMap:       make([]int32, 0, totalNbrs),
+		Layers:        k,
+	}
+	rowMaps := make([][]int32, len(blocks))
+	for bi, b := range blocks {
+		rowMaps[bi] = make([]int32, len(b.NodeIDs))
+	}
+	for g := 0; g < numGroups; g++ {
+		m.NodeIDOffsets[g] = int32(len(m.NodeIDs))
+		for bi, b := range blocks {
+			for r := b.NodeIDOffsets[g]; r < b.NodeIDOffsets[g+1]; r++ {
+				rowMaps[bi][r] = int32(len(m.NodeIDs))
+				m.NodeIDs = append(m.NodeIDs, b.NodeIDs[r])
+			}
+		}
+	}
+	m.NodeIDOffsets[numGroups] = int32(len(m.NodeIDs))
+
+	m.NbrOffsets = make([]int32, 0, len(m.NodeIDs)-int(m.NodeIDOffsets[1]))
+	for g := 1; g < numGroups; g++ {
+		for bi, b := range blocks {
+			start := b.OutputStart()
+			for r := int(b.NodeIDOffsets[g]); r < int(b.NodeIDOffsets[g+1]); r++ {
+				segIdx := r - start
+				lo := int(b.NbrOffsets[segIdx])
+				hi := len(b.Nbrs)
+				if segIdx+1 < len(b.NbrOffsets) {
+					hi = int(b.NbrOffsets[segIdx+1])
+				}
+				m.NbrOffsets = append(m.NbrOffsets, int32(len(m.Nbrs)))
+				m.Nbrs = append(m.Nbrs, b.Nbrs[lo:hi]...)
+				for _, rm := range b.ReprMap[lo:hi] {
+					m.ReprMap = append(m.ReprMap, rowMaps[bi][rm])
+				}
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latWindow is the sliding-window size of the per-stage latency rings.
+const latWindow = 1024
+
+// latRing is a fixed-size ring of recent latency observations.
+type latRing struct {
+	vals [latWindow]float64
+	next int
+	n    int
+}
+
+func (r *latRing) add(d time.Duration) {
+	r.vals[r.next] = float64(d) / float64(time.Millisecond)
+	r.next = (r.next + 1) % latWindow
+	if r.n < latWindow {
+		r.n++
+	}
+}
+
+// Quantiles summarizes a latency window in milliseconds.
+type Quantiles struct {
+	P50 float64 `json:"p50_ms"`
+	P99 float64 `json:"p99_ms"`
+}
+
+func (r *latRing) quantiles() Quantiles {
+	if r.n == 0 {
+		return Quantiles{}
+	}
+	sorted := append([]float64(nil), r.vals[:r.n]...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return Quantiles{P50: at(0.50), P99: at(0.99)}
+}
+
+// batchBuckets are the upper bounds of the batch-size histogram buckets.
+var batchBuckets = []int{1, 2, 4, 8, 16, 32, 64}
+
+// stats aggregates serving counters and latency windows. All methods are
+// called under its mutex; readers get a consistent snapshot via Statz.
+type stats struct {
+	mu        sync.Mutex
+	requests  uint64
+	batches   uint64
+	errors    uint64
+	batchHist [8]uint64 // batchBuckets + overflow
+
+	queueWait latRing // enqueue -> batch start, per request
+	sample    latRing // per batch
+	encode    latRing // per batch
+	decode    latRing // per batch
+	total     latRing // enqueue -> response, per request
+}
+
+func (st *stats) recordBatch(size int, sample, encode, decode time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.batches++
+	st.requests += uint64(size)
+	b := len(batchBuckets)
+	for i, hi := range batchBuckets {
+		if size <= hi {
+			b = i
+			break
+		}
+	}
+	st.batchHist[b]++
+	st.sample.add(sample)
+	st.encode.add(encode)
+	st.decode.add(decode)
+}
+
+func (st *stats) recordCall(queueWait, total time.Duration, failed bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.queueWait.add(queueWait)
+	st.total.add(total)
+	if failed {
+		st.errors++
+	}
+}
+
+// Statz is the monitoring snapshot served at /statz.
+type Statz struct {
+	Checkpoint string    `json:"checkpoint"`
+	LoadedAt   time.Time `json:"loaded_at"`
+	Warning    string    `json:"warning,omitempty"`
+
+	QueueDepth int    `json:"queue_depth"`
+	Requests   uint64 `json:"requests"`
+	Batches    uint64 `json:"batches"`
+	Errors     uint64 `json:"errors"`
+
+	// BatchSizeHist counts dispatched micro-batches by size bucket
+	// ("<=1", "<=2", ..., ">64").
+	BatchSizeHist map[string]uint64 `json:"batch_size_hist"`
+
+	// Latency holds sliding-window quantiles per stage: queue_wait and
+	// total are per request, sample/encode/decode per micro-batch.
+	Latency map[string]Quantiles `json:"latency"`
+}
+
+// Statz returns the current monitoring snapshot.
+func (s *Server) Statz() Statz {
+	snap := s.snap.Load()
+	st := &s.stats
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	hist := make(map[string]uint64, len(st.batchHist))
+	for i, c := range st.batchHist {
+		if c == 0 {
+			continue
+		}
+		if i < len(batchBuckets) {
+			hist["<="+strconv.Itoa(batchBuckets[i])] = c
+		} else {
+			hist[">"+strconv.Itoa(batchBuckets[len(batchBuckets)-1])] = c
+		}
+	}
+	return Statz{
+		Checkpoint:    snap.Path,
+		LoadedAt:      snap.LoadedAt,
+		Warning:       snap.Warning,
+		QueueDepth:    len(s.reqs),
+		Requests:      st.requests,
+		Batches:       st.batches,
+		Errors:        st.errors,
+		BatchSizeHist: hist,
+		Latency: map[string]Quantiles{
+			"queue_wait": st.queueWait.quantiles(),
+			"sample":     st.sample.quantiles(),
+			"encode":     st.encode.quantiles(),
+			"decode":     st.decode.quantiles(),
+			"total":      st.total.quantiles(),
+		},
+	}
+}

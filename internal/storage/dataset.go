@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
@@ -102,6 +103,14 @@ type Manifest struct {
 	Seed       int64  `json:"seed"`
 	Partitions int    `json:"partitions"`
 
+	// UUID is a deterministic fingerprint of the dataset's identity
+	// (task, seed, partitioning and per-bucket contents), computed at
+	// ingest by ComputeUUID. Checkpoints saved from a dataset session
+	// embed it, so serving can warn when a checkpoint is loaded against
+	// a different dataset than it was trained on. Empty for datasets
+	// prepped before the field existed.
+	UUID string `json:"uuid,omitempty"`
+
 	NumNodes   int   `json:"num_nodes"`
 	NumRels    int   `json:"num_rels"`
 	NumEdges   int64 `json:"num_edges"`
@@ -136,6 +145,23 @@ type Manifest struct {
 // with.
 func (m *Manifest) Partitioning() partition.Partitioning {
 	return partition.New(m.NumNodes, m.Partitions)
+}
+
+// ComputeUUID derives the dataset's deterministic identity fingerprint
+// from the fields that pin its contents: task, seed, partition count,
+// node/relation/edge counts, and the per-bucket edge counts and CRCs.
+// Re-ingesting the same raw data with the same configuration reproduces
+// the same UUID; any change to the prepared edges changes it.
+func (m *Manifest) ComputeUUID() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%d|%d|%d|%d", m.Version, m.Task, m.Seed, m.Partitions, m.NumNodes, m.NumRels, m.NumEdges)
+	var buf [12]byte
+	for i, n := range m.BucketCounts {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(n))
+		binary.LittleEndian.PutUint32(buf[8:], m.BucketCRCs[i])
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("ds1-%016x", h.Sum64())
 }
 
 // WriteManifest atomically writes m as dir/manifest.json.

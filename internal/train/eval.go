@@ -4,44 +4,40 @@ import (
 	"math/rand"
 
 	"repro/internal/decoder"
+	"repro/internal/encode"
 	"repro/internal/eval"
 	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/nn"
-	"repro/internal/sampler"
 	"repro/internal/tensor"
 )
 
 // EvaluateNC computes classification accuracy for the given node set using
 // the full-graph adjacency (held-out evaluation is always performed over
-// the complete graph, regardless of the training policy).
+// the complete graph, regardless of the training policy). The forward
+// pass runs on the shared encode path — the same substrate online serving
+// uses — with one sampler whose RNG stream runs continuously across
+// batches.
 func EvaluateNC(cfg *NCConfig, src *Source, adj *graph.Adjacency, labels []int32, nodes []int32, seed int64) (float64, error) {
 	if len(nodes) == 0 {
 		return 0, nil
 	}
 	acc := eval.MeanAccumulator{}
-	smp := sampler.New(adj, cfg.Fanouts, cfg.Dirs, seed)
+	fwd := encode.New(encode.Config{
+		Encoder: cfg.Encoder, Params: cfg.Params,
+		Fanouts: cfg.Fanouts, Dirs: cfg.Dirs, Workers: cfg.Workers,
+	}, adj, seed)
 	batch := cfg.BatchSize
 	if batch <= 0 {
 		batch = 1024
 	}
-	// Evaluation reuses one arena-backed tape across batches, like the
-	// training compute stage, with kernel parallelism from cfg.Workers.
-	arena := tensor.NewArena()
-	tp := tensor.NewTapeWith(tensor.NewCompute(cfg.Workers, arena))
-	var binds map[string]*tensor.Node
 	for lo := 0; lo < len(nodes); lo += batch {
 		hi := min(lo+batch, len(nodes))
 		targets := nodes[lo:hi]
-		d := smp.Sample(targets)
-		tp.Reset()
-		arena.Reset()
-		h0t := tp.Alloc(len(d.NodeIDs), src.Nodes.Dim())
-		if err := src.Nodes.Gather(d.NodeIDs, h0t); err != nil {
+		logits, err := fwd.Encode(src.Nodes, targets)
+		if err != nil {
 			return 0, err
 		}
-		binds = cfg.Params.BindInto(tp, binds)
-		logits := cfg.Encoder.Forward(tp, binds, d, tp.Constant(h0t))
 		batchLabels := make([]int32, len(targets))
 		for i, v := range targets {
 			batchLabels[i] = labels[v]
@@ -98,14 +94,11 @@ func EvaluateLP(cfg LPEvalConfig, emb *tensor.Tensor, adj *graph.Adjacency, edge
 		negCount = numNodes // encode every entity per batch (small graphs only)
 	}
 	mrr := eval.MeanAccumulator{}
-	var smp *sampler.Sampler
-	if cfg.Encoder != nil {
-		smp = sampler.New(adj, cfg.Fanouts, cfg.Dirs, cfg.Seed)
-	}
-	store := tensorStore{emb}
-	arena := tensor.NewArena()
-	tp := tensor.NewTapeWith(tensor.NewCompute(cfg.Workers, arena))
-	var binds map[string]*tensor.Node
+	fwd := encode.New(encode.Config{
+		Encoder: cfg.Encoder, Params: cfg.Params,
+		Fanouts: cfg.Fanouts, Dirs: cfg.Dirs, Workers: cfg.Workers,
+	}, adj, cfg.Seed)
+	store := encode.TensorStore{T: emb}
 	for lo := 0; lo < len(edges); lo += cfg.BatchSize {
 		hi := min(lo+cfg.BatchSize, len(edges))
 		batch := edges[lo:hi]
@@ -129,40 +122,12 @@ func EvaluateLP(cfg LPEvalConfig, emb *tensor.Tensor, adj *graph.Adjacency, edge
 		}
 		unique, idx := uniqueIndex(srcs, dsts, negs)
 
-		tp.Reset()
-		arena.Reset()
-		binds = cfg.Params.BindInto(tp, binds)
-		var ids []int32
-		var d *sampler.DENSE
-		if cfg.Encoder != nil {
-			d = smp.Sample(unique)
-			ids = d.NodeIDs
-		} else {
-			ids = unique
-		}
-		h0t := tp.Alloc(len(ids), emb.Cols)
-		if err := store.Gather(ids, h0t); err != nil {
+		enc, err := fwd.Encode(store, unique)
+		if err != nil {
 			return 0, err
 		}
-		var enc *tensor.Node
-		if cfg.Encoder != nil {
-			enc = cfg.Encoder.Forward(tp, binds, d, tp.Constant(h0t))
-		} else {
-			enc = tp.Constant(h0t)
-		}
-		_, pos, negD, _ := cfg.Decoder.Loss(tp, binds, enc, idx[0], idx[1], idx[2], rels)
+		_, pos, negD, _ := cfg.Decoder.Loss(fwd.Tape(), fwd.Binds(), enc, idx[0], idx[1], idx[2], rels)
 		mrr.Add(decoder.BatchMRR(pos.Value, negD.Value), float64(len(batch)))
 	}
 	return mrr.Mean(), nil
-}
-
-// tensorStore adapts a plain tensor to the gather interface for eval.
-type tensorStore struct{ t *tensor.Tensor }
-
-func (s tensorStore) Gather(ids []int32, out *tensor.Tensor) error {
-	d := s.t.Cols
-	for i, id := range ids {
-		copy(out.Data[i*d:(i+1)*d], s.t.Row(int(id)))
-	}
-	return nil
 }

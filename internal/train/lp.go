@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/decoder"
+	"repro/internal/encode"
 	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/nn"
@@ -427,15 +428,7 @@ func (t *LPTrainer) computeBatch(pb *preparedLP) (loss float64, batchMRR float64
 	}
 	h0 := tp.Leaf(h0t, true)
 
-	var enc *tensor.Node
-	switch {
-	case pb.d != nil:
-		enc = t.Cfg.Encoder.Forward(tp, params, pb.d, h0)
-	case pb.ls != nil:
-		enc = gnn.BaselineForward(tp, params, t.Cfg.Encoder, pb.ls, h0)
-	default:
-		enc = h0
-	}
+	enc := encode.Apply(tp, params, t.Cfg.Encoder, pb.d, pb.ls, h0)
 	lossNode, pos, negD, _ := t.Cfg.Decoder.Loss(tp, params, enc, pb.srcIdx, pb.dstIdx, pb.negIdx, pb.rels)
 	tp.Backward(lossNode)
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/encode"
 	"repro/internal/eval"
 	"repro/internal/gnn"
 	"repro/internal/graph"
@@ -404,12 +405,7 @@ func (t *NCTrainer) computeBatch(pb *preparedNC) (loss, accuracy float64, err er
 	}
 	h0 := tp.Leaf(h0t, false) // fixed features: no base-representation updates
 
-	var logits *tensor.Node
-	if pb.d != nil {
-		logits = t.Cfg.Encoder.Forward(tp, params, pb.d, h0)
-	} else {
-		logits = gnn.BaselineForward(tp, params, t.Cfg.Encoder, pb.ls, h0)
-	}
+	logits := encode.Apply(tp, params, t.Cfg.Encoder, pb.d, pb.ls, h0)
 	lossNode := tp.SoftmaxCrossEntropy(logits, pb.labels)
 	tp.Backward(lossNode)
 	nn.Apply(t.Cfg.Opt, t.Cfg.Params, params, t.Cfg.ClipNorm)

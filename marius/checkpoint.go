@@ -1,51 +1,51 @@
 package marius
 
 import (
-	"encoding/gob"
 	"fmt"
-	"os"
-	"path/filepath"
 
-	"repro/internal/nn"
+	"repro/internal/ckpt"
 	"repro/internal/tensor"
 )
 
-// checkpointVersion guards the on-disk format.
-const checkpointVersion = 1
-
-// checkpoint is the serialized session state: everything needed to resume
-// training (or serve the trained model) on a freshly built session over an
-// identically generated graph and identical options.
-type checkpoint struct {
-	Version int
-	Task    string
-	Epoch   int
-	Seed    int64
-
-	Params []nn.ParamState
-
-	// TableRows/TableCols always record the store shape for validation;
-	// Table/OptState carry the data only for learnable representations
-	// (fixed feature tables are reproducible from the graph).
-	TableRows, TableCols int
-	Table                []float32
-	OptState             []float32
+// modelMeta records the session's model shape in a checkpoint, so a
+// forward-only loader (marius.LoadForInference, cmd/mariusserve) can
+// rebuild the network and validate its target dataset at load time
+// instead of panicking deep in the forward pass.
+func (s *Session) modelMeta() ckpt.ModelMeta {
+	layers := s.opts.Layers
+	if s.opts.Model == DistMultOnly {
+		layers = 0
+	}
+	return ckpt.ModelMeta{
+		Kind:       s.opts.Model.kindName(),
+		Dim:        s.opts.Dim,
+		Layers:     layers,
+		Fanouts:    append([]int(nil), s.opts.Fanouts...),
+		NumRels:    max(s.graph.NumRels, 1),
+		NumClasses: s.graph.NumClasses,
+		FeatureDim: s.task.Source().Nodes.Dim(),
+	}
 }
 
 // Save writes the session's full training state — dense parameters with
 // optimizer moments, the learnable node representation table with its
-// sparse-AdaGrad accumulators, the RNG seed and the epoch counter — to
+// sparse-AdaGrad accumulators, the RNG seed and the epoch counter — plus
+// the model-shape metadata and (for dataset sessions) the dataset UUID to
 // path, atomically (write-to-temp + rename).
 func (s *Session) Save(path string) error {
 	src := s.task.Source()
-	cp := checkpoint{
-		Version: checkpointVersion,
+	cp := &ckpt.File{
+		Version: ckpt.Version,
 		Task:    s.task.Name(),
 		Epoch:   s.task.Epoch(),
 		Seed:    s.opts.Seed,
 		Params:  s.task.Params().State(),
 
 		TableRows: src.Nodes.NumNodes(), TableCols: src.Nodes.Dim(),
+		Model: s.modelMeta(),
+	}
+	if s.opts.dataset != nil {
+		cp.DatasetUUID = s.opts.dataset.Man.UUID
 	}
 	if s.task.LearnableTable() {
 		table, state, err := src.Nodes.Snapshot()
@@ -54,58 +54,72 @@ func (s *Session) Save(path string) error {
 		}
 		cp.Table, cp.OptState = table.Data, state
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := gob.NewEncoder(tmp).Encode(&cp); err != nil {
-		tmp.Close()
-		return fmt.Errorf("marius: encode checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return ckpt.Write(path, cp)
+}
+
+// restoreMismatch builds a Restore validation error that matches both
+// ErrCheckpointMismatch (naming the offending field, the load-time
+// contract shared with the inference loader) and the pre-existing
+// ErrTaskMismatch sentinel.
+func restoreMismatch(field, format string, args ...any) error {
+	return fmt.Errorf("%w: %w", ErrTaskMismatch, ckpt.Mismatch(field, format, args...))
 }
 
 // Restore loads a checkpoint saved by Save into this session, which must
 // run the same task with the same model shape and seed over an identically
 // generated graph (construction is deterministic given the seed, so
 // rebuilding with the same generator and options reproduces the same
-// layout). Training continues from the checkpointed epoch; with
+// layout). Shape disagreements are rejected up front with an error
+// matching ErrCheckpointMismatch that names the offending field (task,
+// dim, layers, nodes, ...) rather than surfacing as a kernel shape panic
+// mid-forward. Training continues from the checkpointed epoch; with
 // WithWorkers(1) it follows the exact trajectory the saved run would have
 // taken, while the default multi-worker pipeline is nondeterministic by
 // design.
 func (s *Session) Restore(path string) error {
-	f, err := os.Open(path)
+	cp, err := ckpt.Read(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("marius: %w", err)
 	}
-	defer f.Close()
-	var cp checkpoint
-	if err := gob.NewDecoder(f).Decode(&cp); err != nil {
-		return fmt.Errorf("marius: decode checkpoint: %w", err)
-	}
-	if cp.Version != checkpointVersion {
-		return fmt.Errorf("%w: checkpoint version %d, want %d", ErrTaskMismatch, cp.Version, checkpointVersion)
+	if cp.Version != ckpt.Version {
+		return restoreMismatch("version", "checkpoint version %d, want %d", cp.Version, ckpt.Version)
 	}
 	if cp.Task != s.task.Name() {
-		return fmt.Errorf("%w: checkpoint task %q, session task %q", ErrTaskMismatch, cp.Task, s.task.Name())
+		return restoreMismatch("task", "checkpoint task %q, session task %q", cp.Task, s.task.Name())
 	}
 	if cp.Seed != s.opts.Seed {
-		return fmt.Errorf("%w: checkpoint seed %d, session seed %d", ErrTaskMismatch, cp.Seed, s.opts.Seed)
+		return restoreMismatch("seed", "checkpoint seed %d, session seed %d", cp.Seed, s.opts.Seed)
+	}
+	// Model-shape metadata (absent from pre-metadata checkpoints, whose
+	// shapes are still caught by the table and parameter checks below).
+	if cp.Model.Kind != "" {
+		meta := s.modelMeta()
+		if cp.Model.Kind != meta.Kind {
+			return restoreMismatch("model", "checkpoint model %q, session model %q", cp.Model.Kind, meta.Kind)
+		}
+		if cp.Model.Dim != meta.Dim {
+			return restoreMismatch("dim", "checkpoint dim %d, session dim %d", cp.Model.Dim, meta.Dim)
+		}
+		if cp.Model.Layers != meta.Layers {
+			return restoreMismatch("layers", "checkpoint layers %d, session layers %d", cp.Model.Layers, meta.Layers)
+		}
+		if cp.Model.NumClasses != meta.NumClasses {
+			return restoreMismatch("classes", "checkpoint classes %d, session classes %d", cp.Model.NumClasses, meta.NumClasses)
+		}
+		if cp.Model.NumRels != meta.NumRels {
+			return restoreMismatch("relations", "checkpoint relations %d, session relations %d", cp.Model.NumRels, meta.NumRels)
+		}
 	}
 	src := s.task.Source()
 	if cp.TableRows != src.Nodes.NumNodes() || cp.TableCols != src.Nodes.Dim() {
-		return fmt.Errorf("%w: checkpoint table %dx%d, session store %dx%d", ErrTaskMismatch,
+		return restoreMismatch("nodes", "checkpoint table %dx%d, session store %dx%d",
 			cp.TableRows, cp.TableCols, src.Nodes.NumNodes(), src.Nodes.Dim())
 	}
 	if s.task.LearnableTable() && cp.Table == nil {
-		return fmt.Errorf("%w: checkpoint carries no representation table", ErrTaskMismatch)
+		return restoreMismatch("table", "checkpoint carries no representation table")
 	}
 	if err := s.task.Params().LoadState(cp.Params); err != nil {
-		return fmt.Errorf("%w: %v", ErrTaskMismatch, err)
+		return restoreMismatch("params", "%v", err)
 	}
 	if cp.Table != nil {
 		table := tensor.New(cp.TableRows, cp.TableCols)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/gen"
@@ -164,5 +165,37 @@ func TestCheckpointTaskMismatchRejected(t *testing.T) {
 	defer nc.Close()
 	if err := nc.Restore(path); !errors.Is(err, marius.ErrTaskMismatch) {
 		t.Fatalf("err = %v, want ErrTaskMismatch", err)
+	}
+}
+
+// TestRestoreMismatchNamesField: shape disagreements between checkpoint
+// and session are rejected at Restore with a typed error naming the
+// offending field, instead of panicking in a kernel mid-forward. The
+// same error matches both the task-mismatch sentinel (compatibility)
+// and ErrCheckpointMismatch (the contract shared with the inference
+// loader).
+func TestRestoreMismatchNamesField(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nc.ckpt")
+	orig := ncSession(t)
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	orig.Close()
+
+	other, err := marius.New(marius.NodeClassification(), gen.SBM(*smallNC(21)),
+		marius.WithModel(marius.GraphSage), marius.WithFanouts(8, 8),
+		marius.WithDim(32), marius.WithBatchSize(256), // dim 32: checkpoint was dim 16
+		marius.WithWorkers(1), marius.WithSeed(21),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	err = other.Restore(path)
+	if !errors.Is(err, marius.ErrCheckpointMismatch) {
+		t.Fatalf("err = %v, want ErrCheckpointMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "dim") {
+		t.Fatalf("error %q does not name the offending field", err)
 	}
 }

@@ -1,0 +1,110 @@
+package marius
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// ServeConfig tunes the inference server; the zero value is usable
+// (micro-batches of up to 32 requests, 2ms batching window).
+type ServeConfig struct {
+	// MaxBatch caps the micro-batch size; concurrent requests aggregate
+	// into one forward pass up to this many.
+	MaxBatch int
+	// MaxWait bounds how long a request waits for co-batched requests
+	// after arriving at an idle server.
+	MaxWait time.Duration
+	// QueueCap bounds the request queue; beyond it enqueueing blocks.
+	QueueCap int
+	// Workers is the kernel fan-out. Results are bitwise identical at
+	// every worker count.
+	Workers int
+	// Seed mixes into request-derived sampling seeds.
+	Seed int64
+	// InMemory loads node-classification features fully into memory
+	// instead of serving them from the partition-buffered disk store.
+	InMemory bool
+}
+
+// InferenceServer serves forward-only predictions from a checkpoint over
+// a prepared dataset: Predict (node classification), TopK (link
+// prediction tails), Reload (hot checkpoint swap), Statz, Handler (the
+// HTTP surface) and Close.
+type InferenceServer = serve.Server
+
+// InferenceSnapshot is one loaded checkpoint inside an InferenceServer.
+type InferenceSnapshot = serve.Snapshot
+
+// PredictRequest asks an InferenceServer for node classifications.
+type PredictRequest = serve.PredictRequest
+
+// PredictResponse carries per-node argmax classes and logits.
+type PredictResponse = serve.PredictResponse
+
+// TopKRequest asks an InferenceServer for the best tails of (src, rel, ?).
+type TopKRequest = serve.TopKRequest
+
+// TopKResponse lists tail entities in descending score order.
+type TopKResponse = serve.TopKResponse
+
+// ErrServerClosed is returned by inference calls after the server closed.
+var ErrServerClosed = serve.ErrClosed
+
+// ErrBadRequest marks invalid inference requests (wrong task,
+// out-of-range node or relation IDs, empty batches).
+var ErrBadRequest = serve.ErrBadRequest
+
+// LoadForInference opens the prepared dataset at dataDir read-only,
+// loads the checkpoint, validates the two against each other — a
+// mismatch (wrong dimension, layer count, node count, task, ...) returns
+// an error matching ErrCheckpointMismatch that names the offending field
+// — and starts a forward-only inference server. Close it when done.
+func LoadForInference(dataDir, checkpoint string, cfg ServeConfig) (*InferenceServer, error) {
+	sctx, err := serve.Open(dataDir, serve.Config(cfg))
+	if err != nil {
+		return nil, err
+	}
+	snap, err := serve.Load(sctx, checkpoint, serve.Config(cfg))
+	if err != nil {
+		sctx.Close()
+		return nil, err
+	}
+	return serve.New(sctx, snap, serve.Config(cfg)), nil
+}
+
+// Serve runs an inference server over HTTP on addr until ctx is done:
+// POST /v1/predict and /v1/topk for inference, POST /reload for hot
+// checkpoint swaps, GET /healthz and /statz for monitoring. See
+// cmd/mariusserve for the CLI wrapper (flags, SIGHUP-triggered reload,
+// graceful shutdown).
+func Serve(ctx context.Context, addr, dataDir, checkpoint string, cfg ServeConfig) error {
+	srv, err := LoadForInference(dataDir, checkpoint, cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	hs := &http.Server{
+		Addr:        addr,
+		Handler:     srv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutCtx)
+		return ctx.Err()
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/ckpt"
 	"repro/internal/policy"
 	"repro/internal/storage"
 	"repro/internal/train"
@@ -33,6 +34,22 @@ const (
 	// GNN encoder (the model class supported by Marius).
 	DistMultOnly
 )
+
+// kindName maps a ModelKind to the stable name checkpoints record in
+// their ModelMeta, so a forward-only loader can rebuild the encoder
+// without the options API.
+func (m ModelKind) kindName() string {
+	switch m {
+	case GAT:
+		return ckpt.KindGAT
+	case GCN:
+		return ckpt.KindGCN
+	case DistMultOnly:
+		return ckpt.KindDistMult
+	default:
+		return ckpt.KindSage
+	}
+}
 
 // PolicyKind selects the disk replacement policy for link prediction.
 type PolicyKind int
@@ -104,6 +121,13 @@ var (
 	// ErrTaskMismatch is returned when a checkpoint is restored into a
 	// session running a different task or model shape.
 	ErrTaskMismatch = errors.New("checkpoint does not match session")
+	// ErrCheckpointMismatch is returned when a checkpoint's recorded
+	// model shape or dataset provenance contradicts what it is loaded
+	// against (wrong dim, layers, node count, ...); the message names
+	// the offending field. It is the same sentinel the inference loader
+	// (marius.LoadForInference / internal/serve) wraps, so callers can
+	// match both paths with one errors.Is.
+	ErrCheckpointMismatch = ckpt.ErrMismatch
 	// ErrDatasetMismatch is returned by FromDataset when options
 	// contradict the prepared dataset's baked-in layout (e.g. a
 	// different partition count).
