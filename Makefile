@@ -14,9 +14,11 @@ race:
 	$(GO) test -race ./...
 
 # Short-mode kernel benchmarks with hard floors: >=2x blocked-matmul
-# throughput at 4 workers vs the naive reference, and 0 allocs/batch in
-# the arena training step. Writes to /tmp so the checked-in full-shape
-# baseline is never clobbered with incomparable short-mode numbers.
+# throughput at 4 workers vs the naive reference, >=1.2x fused
+# dequantizing score vs materialize-then-score (fp16 and int8), and 0
+# allocs/batch in the arena training step. Writes to /tmp so the
+# checked-in full-shape baseline is never clobbered with incomparable
+# short-mode numbers.
 bench-kernels:
 	$(GO) run ./cmd/benchkernels -short -check -o /tmp/BENCH_kernels.json
 
@@ -48,8 +50,11 @@ bench-sampler:
 # checksum, then train pipelined COMET straight from the prepared
 # directory. Hard floors: >=2 spill runs under the cap, and per-epoch
 # losses plus the final checkpoint byte-identical to a serial session
-# over the equivalent in-memory graph. Same target as the CI ingest job,
-# so CI and local runs gate one configuration.
+# over the equivalent in-memory graph. Also runs the quantized-ingest
+# differential: an fp16-prepared NC dataset must train bit-identically
+# across worker counts, serve identically from disk-paged and in-memory
+# stores, and land within 5% of the float32 loss. Same target as the CI
+# ingest job, so CI and local runs gate one configuration.
 bench-ingest:
 	$(GO) run ./cmd/benchingest -short -check -o /tmp/BENCH_ingest.json
 

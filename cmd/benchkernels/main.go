@@ -174,6 +174,30 @@ func main() {
 	})
 	add(negFused)
 
+	// Quantized scoring: the serving/storage dequant path. Unfused
+	// materializes the full float32 table from the compressed form and
+	// then runs the fused float32 kernel — what a reader without the
+	// dequantizing kernels would have to do per snapshot or per partition
+	// load; fused dequantizes only the rows each dot product touches.
+	// These feed a -check ratio floor, so best-of-3.
+	var deqSpeedup = map[string]float64{}
+	for _, kind := range []tensor.QuantKind{tensor.QuantF16, tensor.QuantI8} {
+		qt := tensor.Quantize(table, kind)
+		unfused := benchBest("negscore_dequant_unfused_"+kind.String(), negFlops, 3, func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				w4.GatherMatMulTB(qry, qt.Dequant(), negIdx)
+			}
+		})
+		add(unfused)
+		fused := benchBest("negscore_dequant_fused_"+kind.String(), negFlops, 3, func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				w4.GatherMatMulTBDequant(qry, qt, negIdx)
+			}
+		})
+		add(fused)
+		deqSpeedup[kind.String()] = float64(unfused.NsPerOp) / float64(fused.NsPerOp)
+	}
+
 	// Arena steady state: tensor.BenchTrainStep is the same sequence the
 	// zero-allocation contract test asserts on — the two gates measure one
 	// body by construction.
@@ -217,6 +241,8 @@ func main() {
 			"matmul_speedup_workers4_vs_serial": round2(speedupSerial),
 			"fused_gather_segment_speedup":      round2(float64(gsUnfused.NsPerOp) / float64(gsFused.NsPerOp)),
 			"fused_negscore_speedup":            round2(float64(negUnfused.NsPerOp) / float64(negFused.NsPerOp)),
+			"fused_dequant_speedup_fp16":        round2(deqSpeedup["fp16"]),
+			"fused_dequant_speedup_int8":        round2(deqSpeedup["int8"]),
 			"arena_allocs_per_batch":            arenaStep.AllocsPerOp,
 			"heap_allocs_per_batch":             heapStep.AllocsPerOp,
 			"arena_train_step_speedup":          round2(float64(heapStep.NsPerOp) / float64(arenaStep.NsPerOp)),
@@ -249,6 +275,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "CHECK FAILED: matmul 4-worker speedup %.2fx vs serial on %d CPUs — kernel fan-out is not parallelizing\n",
 				speedupSerial, runtime.GOMAXPROCS(0))
 			failed = true
+		}
+		// Conservative floor: dequantizing only the gathered rows must
+		// clearly beat re-materializing the whole float32 table per op.
+		for kind, sp := range deqSpeedup {
+			if sp < 1.2 {
+				fmt.Fprintf(os.Stderr, "CHECK FAILED: fused %s dequant scoring %.2fx vs materialize-then-score, want >= 1.2x\n", kind, sp)
+				failed = true
+			}
 		}
 		if arenaStep.AllocsPerOp != 0 {
 			fmt.Fprintf(os.Stderr, "CHECK FAILED: arena training step allocates %d/op, want 0\n", arenaStep.AllocsPerOp)

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/gen"
 	"repro/internal/storage"
 	"repro/marius"
@@ -36,16 +37,52 @@ import (
 
 // Report is the schema of BENCH_pipeline.json.
 type Report struct {
-	Schema     int     `json:"schema"`
-	Go         string  `json:"go"`
-	GoMaxProcs int     `json:"gomaxprocs"`
-	Short      bool    `json:"short"`
-	Config     Config  `json:"config"`
-	Calib      Calib   `json:"calibration"`
-	Serial     RunStat `json:"serial"`
-	NoPrefetch RunStat `json:"no_prefetch"`
-	Pipelined  RunStat `json:"pipelined"`
-	Summary    Summary `json:"summary"`
+	Schema     int          `json:"schema"`
+	Go         string       `json:"go"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Short      bool         `json:"short"`
+	Config     Config       `json:"config"`
+	Calib      Calib        `json:"calibration"`
+	Serial     RunStat      `json:"serial"`
+	NoPrefetch RunStat      `json:"no_prefetch"`
+	Pipelined  RunStat      `json:"pipelined"`
+	Summary    Summary      `json:"summary"`
+	Quant      QuantSection `json:"quantized_nc"`
+}
+
+// QuantSection compares out-of-core node-classification training from a
+// float32-prepared dataset against the same graph prepared with
+// -quantize=fp16, under one shared throttle calibrated on the float32
+// run: compressed feature partitions move half the bytes per swap, so
+// the serial epoch's IO share must drop measurably.
+type QuantSection struct {
+	Nodes        int      `json:"nodes"`
+	FeatureDim   int      `json:"feature_dim"`
+	Partitions   int      `json:"partitions"`
+	Capacity     int      `json:"capacity"`
+	Epochs       int      `json:"epochs"`
+	ThrottleMBps float64  `json:"throttle_mbps"`
+	Float32      QuantRun `json:"float32"`
+	FP16         QuantRun `json:"fp16"`
+	// NodeIORatio is fp16 node-partition bytes over float32's — the
+	// direct measure of the storage win (edge traffic is identical).
+	NodeIORatio float64 `json:"node_io_ratio_fp16_vs_float32"`
+}
+
+// QuantRun is one prepared-dataset variant's serial throttled run.
+type QuantRun struct {
+	EpochSec   []float64 `json:"epoch_sec"`
+	TotalSec   float64   `json:"total_sec"`
+	Loss       []float64 `json:"loss"`
+	ComputeSec float64   `json:"unthrottled_epoch_sec"`
+	NodeIOMB   float64   `json:"node_io_mb_per_epoch"`
+	TotalIOMB  float64   `json:"total_io_mb_per_epoch"`
+	// IOShare is the fraction of a throttled serial epoch spent moving
+	// bytes: throttle-paced IO time over IO + compute. The IO time is
+	// derived from the exact byte counters and the throttle rate (the
+	// pacing is deterministic), so the share doesn't inherit wall-clock
+	// jitter from the sub-second CI epochs.
+	IOShare float64 `json:"io_share"`
 }
 
 // Config records the benchmark workload.
@@ -177,6 +214,9 @@ func main() {
 		ioShare = (serial.TotalSec - float64(cfg.Epochs)*computeSec) / serial.TotalSec
 	}
 
+	quant, err := quantSection(*short, *epochs, *balance)
+	must(err)
+
 	rep := Report{
 		Schema:     1,
 		Go:         runtime.Version(),
@@ -195,6 +235,7 @@ func main() {
 			ComputeSec:      round3(computeSec),
 			SerialIOShare:   round3(ioShare),
 		},
+		Quant: quant,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	must(err)
@@ -222,11 +263,166 @@ func main() {
 			fmt.Fprintln(os.Stderr, "CHECK FAILED: prefetcher never hit")
 			failed = true
 		}
+		// fp16 halves the feature bytes; with edge traffic on top the
+		// node-partition volume must land well under float32's, and the
+		// epoch's unhidden-IO share must drop measurably with it.
+		if quant.NodeIORatio >= 0.7 {
+			fmt.Fprintf(os.Stderr, "CHECK FAILED: fp16 node-partition IO is %.2fx float32's, want < 0.7x\n", quant.NodeIORatio)
+			failed = true
+		}
+		if quant.FP16.IOShare > quant.Float32.IOShare-0.03 {
+			fmt.Fprintf(os.Stderr, "CHECK FAILED: fp16 serial IO share %.2f not measurably below float32's %.2f\n",
+				quant.FP16.IOShare, quant.Float32.IOShare)
+			failed = true
+		}
 		if failed {
 			os.Exit(1)
 		}
 		fmt.Println("checks passed: >=1.5x epoch speedup, identical loss trajectory")
 	}
+}
+
+// quantSection prepares the same SBM graph twice — float32 and fp16 —
+// and measures throttled serial out-of-core epochs from each. The
+// throttle is calibrated on the float32 variant and shared, so the only
+// difference between the runs is how many bytes each partition swap
+// moves.
+func quantSection(short bool, epochs int, balance float64) (QuantSection, error) {
+	qs := QuantSection{Nodes: 12000, FeatureDim: 128, Partitions: 8, Capacity: 4, Epochs: epochs}
+	if short {
+		qs.Nodes = 3000
+	}
+	g := gen.SBM(gen.SBMConfig{
+		NumNodes: qs.Nodes, NumClasses: 10, AvgDegree: 12, FeatureDim: qs.FeatureDim,
+		Homophily: 0.8, FeatNoise: 1.0,
+		TrainFrac: 0.5, ValidFrac: 0.05, TestFrac: 0.05, Seed: 7,
+	})
+	expDir, err := os.MkdirTemp("", "benchquant-export")
+	if err != nil {
+		return qs, err
+	}
+	defer os.RemoveAll(expDir)
+	exp, err := dataset.Export(g, expDir, "bin")
+	if err != nil {
+		return qs, err
+	}
+	dirs := map[string]string{}
+	for _, mode := range []string{"", "fp16"} {
+		dir, err := os.MkdirTemp("", "benchquant-data")
+		if err != nil {
+			return qs, err
+		}
+		defer os.RemoveAll(dir)
+		icfg := exp.Config(dir, "nc", 7, qs.Partitions)
+		icfg.Quantize = mode
+		if _, err := dataset.Ingest(icfg); err != nil {
+			return qs, fmt.Errorf("quant section ingest(%q): %v", mode, err)
+		}
+		dirs[mode] = dir
+	}
+
+	// Calibration: unthrottled serial epochs per variant give each its
+	// pure compute time; the float32 volume sets the shared throttle.
+	fmt.Printf("quantized-nc: calibrating (unthrottled serial, float32 + fp16)...\n")
+	calibF32, err := runNC(dirs[""], qs.Capacity, nil, 1)
+	if err != nil {
+		return qs, err
+	}
+	calibF16, err := runNC(dirs["fp16"], qs.Capacity, nil, 1)
+	if err != nil {
+		return qs, err
+	}
+	mbps := calibF32.TotalIOMB / (calibF32.EpochSec[0] * balance)
+	qs.ThrottleMBps = round3(mbps)
+	fmt.Printf("  float32 compute %.2fs/epoch, %.1f MB/epoch -> throttle %.1f MB/s\n",
+		calibF32.EpochSec[0], calibF32.TotalIOMB, mbps)
+
+	for _, v := range []struct {
+		mode  string
+		calib QuantRun
+		dst   *QuantRun
+	}{
+		{"", calibF32, &qs.Float32},
+		{"fp16", calibF16, &qs.FP16},
+	} {
+		name := v.mode
+		if name == "" {
+			name = "float32"
+		}
+		fmt.Printf("quantized-nc: %s (serial, throttled)...\n", name)
+		run, err := runNC(dirs[v.mode], qs.Capacity, storage.NewThrottle(mbps*1e6), epochs)
+		if err != nil {
+			return qs, err
+		}
+		run.ComputeSec = v.calib.EpochSec[0]
+		if ioSec := run.TotalIOMB / mbps; ioSec > 0 {
+			run.IOShare = round3(ioSec / (ioSec + run.ComputeSec))
+		}
+		// The throttle only delays reads; the trajectory must not move.
+		for i := range v.calib.Loss {
+			if i < len(run.Loss) && run.Loss[i] != v.calib.Loss[i] {
+				return qs, fmt.Errorf("quant section: %s throttled losses %v diverge from unthrottled %v",
+					name, run.Loss, v.calib.Loss)
+			}
+		}
+		*v.dst = run
+		fmt.Printf("  epochs %v  node IO %.1f MB/epoch  io share %.2f\n",
+			run.EpochSec, run.NodeIOMB, run.IOShare)
+	}
+	if qs.Float32.NodeIOMB > 0 {
+		qs.NodeIORatio = round3(qs.FP16.NodeIOMB / qs.Float32.NodeIOMB)
+	}
+	return qs, nil
+}
+
+// runNC trains serial out-of-core node classification from a prepared
+// dataset directory, reporting per-epoch losses and the node-partition
+// IO volume (the bytes the feature pager moved, compressed or not).
+func runNC(dataDir string, capacity int, th *storage.Throttle, epochs int) (QuantRun, error) {
+	var st QuantRun
+	scratch, err := os.MkdirTemp("", "benchquant-scratch")
+	if err != nil {
+		return st, err
+	}
+	defer os.RemoveAll(scratch)
+	diskOpts := []marius.DiskOption{marius.Capacity(capacity)}
+	if th != nil {
+		diskOpts = append(diskOpts, marius.Throttled(th))
+	}
+	sess, err := marius.FromDataset(dataDir,
+		marius.WithSeed(7), marius.WithDim(32), marius.WithFanouts(8, 8),
+		marius.WithBatchSize(512), marius.WithWorkers(1),
+		marius.WithDisk(scratch, diskOpts...),
+	)
+	if err != nil {
+		return st, err
+	}
+	defer sess.Close()
+
+	// Warm-up epoch (unmeasured), as in the LP section: steady state only.
+	if _, err := sess.TrainEpoch(context.Background()); err != nil {
+		return st, err
+	}
+
+	src := sess.Task().Source()
+	nodeStart := src.Disk.Stats().Snapshot()
+	edgeStart := src.Edges.Stats().Snapshot()
+	start := time.Now()
+	res, err := sess.Run(context.Background(), marius.Epochs(epochs))
+	if err != nil {
+		return st, err
+	}
+	st.TotalSec = round3(time.Since(start).Seconds())
+	for _, e := range res.Epochs {
+		st.EpochSec = append(st.EpochSec, round3(e.Duration.Seconds()))
+		st.Loss = append(st.Loss, e.Loss)
+	}
+	nodeIO := src.Disk.Stats().Snapshot().Sub(nodeStart)
+	edgeIO := src.Edges.Stats().Snapshot().Sub(edgeStart)
+	nodeB := nodeIO.BytesRead + nodeIO.BytesWritten
+	st.NodeIOMB = round3(float64(nodeB) / 1e6 / float64(epochs))
+	st.TotalIOMB = round3(float64(nodeB+edgeIO.BytesRead+edgeIO.BytesWritten) / 1e6 / float64(epochs))
+	return st, nil
 }
 
 // runConfig trains cfg.Epochs on a fresh on-disk session (identical seed

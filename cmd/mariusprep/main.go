@@ -82,6 +82,7 @@ func prep(args []string) {
 		rels       = fs.Int("rels", 0, "relation count (0 = infer max+1)")
 		classes    = fs.Int("classes", 0, "class count (0 = infer max+1)")
 		featDim    = fs.Int("feature-dim", 0, "feature dimensionality; the features file must then be exactly nodes x dim float32s (0 = infer from size)")
+		quantize   = fs.String("quantize", "", "feature storage encoding: fp16 or int8 (default float32); quantizes once at prep, readers dequantize deterministically")
 		memMB      = fs.Int64("mem", 0, "external-sort working-set cap in MB (0 = 256)")
 		tmpDir     = fs.String("tmp", "", "spill directory (default: the output directory)")
 		quiet      = fs.Bool("q", false, "suppress progress output")
@@ -93,7 +94,7 @@ func prep(args []string) {
 		TrainNodes: *trainNodes, ValidNodes: *validNodes, TestNodes: *testNodes,
 		Task: *task, Seed: *seed, Partitions: *parts,
 		NumRels: *rels, NumClasses: *classes, FeatureDim: *featDim,
-		MemLimit: *memMB << 20, TmpDir: *tmpDir,
+		Quantize: *quantize, MemLimit: *memMB << 20, TmpDir: *tmpDir,
 	}
 	if cfg.MemLimit <= 0 {
 		cfg.MemLimit = dataset.DefaultMemLimit
@@ -138,6 +139,9 @@ func inspect(args []string) {
 	}
 	if m.FeatureDim > 0 {
 		fmt.Printf(", %d-dim features", m.FeatureDim)
+		if m.Quant != "" {
+			fmt.Printf(" (%s)", m.Quant)
+		}
 	}
 	fmt.Println()
 	fmt.Printf("  %d partitions, %d edge buckets (%d non-empty), bucket edges min/mean/max %d/%.1f/%d\n",
@@ -156,6 +160,7 @@ func inspect(args []string) {
 	show("valid edges", m.ValidEdges)
 	show("test edges", m.TestEdges)
 	show("dict", m.Dict)
+	show("quant scales", m.QuantScales)
 	if m.SpillRuns > 0 {
 		fmt.Printf("  prepared with %d spill runs under a %.1f MB cap\n", m.SpillRuns, mb(m.MemLimit))
 	}

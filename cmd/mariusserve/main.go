@@ -36,6 +36,7 @@ func main() {
 		queue    = flag.Int("queue", 0, "request queue capacity (0 = 4*max-batch)")
 		workers  = flag.Int("workers", 4, "kernel fan-out (results identical at any value)")
 		mem      = flag.Bool("mem", false, "load node features fully into memory")
+		qtable   = flag.String("quantize-table", "", "store the LP encoding table quantized (fp16 or int8) to shrink serving memory")
 		seed     = flag.Int64("seed", 1, "server seed mixed into request-derived sampling seeds")
 	)
 	flag.Parse()
@@ -46,7 +47,7 @@ func main() {
 
 	srv, err := marius.LoadForInference(*data, *ckpt, marius.ServeConfig{
 		MaxBatch: *maxBatch, MaxWait: *maxWait, QueueCap: *queue,
-		Workers: *workers, Seed: *seed, InMemory: *mem,
+		Workers: *workers, Seed: *seed, InMemory: *mem, QuantizeTable: *qtable,
 	})
 	if err != nil {
 		log.Fatal(err)

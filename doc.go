@@ -168,6 +168,37 @@
 // external sort to spill >= 2 runs while staying under its memory cap;
 // BENCH_ingest.json is the checked-in baseline).
 //
+// # Quantized storage
+//
+// `mariusprep prep -quantize=fp16|int8` stores the node-classification
+// feature table compressed on disk: fp16 packs each float32 into an IEEE
+// 754 half (round-to-nearest-even; 2 bytes/element), int8 stores each
+// row affine-quantized to a byte (scale = (max-min)/255, zero = min;
+// 1 byte/element) with an 8-byte-per-row (scale, zero) float32 sidecar
+// in features.scale.bin. Both cut the dominant out-of-core cost — the
+// bytes a partition swap moves — by 2x or 4x, which the §6 cost model
+// sees through autotune.Input.NodeElemBytes. Quantized manifests are
+// version 2 (plain datasets stay version 1, readable by older builds);
+// the payload and sidecar carry CRCs like every other shard, and the
+// dataset UUID folds in the encoding, so fp16/int8/float32 preparations
+// of the same graph are distinct datasets.
+//
+// The determinism contract survives compression because rounding happens
+// exactly once, at ingest: readers dequantize the same stored bytes on
+// every load — storage.DiskNodeStore pages compressed bytes and expands
+// them into the float32 partition buffer; Dataset.ReadFeatures expands
+// the whole table; serving scores straight off the compressed form with
+// fused dequantizing kernels (tensor.GatherDequant and
+// tensor.GatherMatMulTBDequant, exact-equality-tested against their
+// naive references at every worker count). Training and serving from a
+// quantized dataset are therefore bit-reproducible across runs, worker
+// counts, and pipeline depths, exactly like float32 — the accuracy cost
+// is a one-time storage rounding of the inputs (fp16: ~3 decimal digits;
+// int8: 1/255 of each row's range), not run-to-run noise. Link
+// prediction's learnable embedding table stays float32 (it is written,
+// not just read); serving can separately quantize its precomputed
+// encoding table with `mariusserve -quantize-table`.
+//
 // # Determinism contract
 //
 // Kernels never reorder floating-point sums: parallel tiling, k-blocking,

@@ -12,13 +12,18 @@ import (
 
 // Input describes the graph and machine.
 type Input struct {
-	NumNodes     int
-	NumEdges     int
-	Dim          int   // base representation dimensionality
-	BytesPerEdge int   // 12 for (src, rel, dst) int32 triples
-	CPUBytes     int64 // usable CPU memory for the partition buffer
-	BlockBytes   int64 // disk block size D (e.g., 512 KiB for EBS-like volumes)
-	FudgeBytes   int64 // working-memory reserve F
+	NumNodes int
+	NumEdges int
+	Dim      int // base representation dimensionality
+	// NodeElemBytes is the stored size of one representation element
+	// (0 means 4, float32; 2 for fp16 and 1 for int8 quantized feature
+	// tables, which shrink NO and with it the partition-swap IO the §6
+	// rules balance against compute).
+	NodeElemBytes int
+	BytesPerEdge  int   // 12 for (src, rel, dst) int32 triples
+	CPUBytes      int64 // usable CPU memory for the partition buffer
+	BlockBytes    int64 // disk block size D (e.g., 512 KiB for EBS-like volumes)
+	FudgeBytes    int64 // working-memory reserve F
 }
 
 // Result is the tuned configuration.
@@ -35,7 +40,7 @@ type Result struct {
 
 // Tune applies the §6 rules:
 //
-//	NO = |V|·d·4, EO = |E|·bytesPerEdge
+//	NO = |V|·d·elemBytes, EO = |E|·bytesPerEdge
 //	α4 = min(NO/D, √(EO/D)); p = α4
 //	maximize c s.t. c·PO + 2c²·EBO + F < CPU
 //	l = 2p/c  (so the buffer holds c_l = 2 logical partitions)
@@ -52,7 +57,10 @@ func Tune(in Input) (Result, error) {
 	if in.BlockBytes == 0 {
 		in.BlockBytes = 512 << 10
 	}
-	no := int64(in.NumNodes) * int64(in.Dim) * 4
+	if in.NodeElemBytes == 0 {
+		in.NodeElemBytes = 4
+	}
+	no := int64(in.NumNodes) * int64(in.Dim) * int64(in.NodeElemBytes)
 	eo := int64(in.NumEdges) * int64(in.BytesPerEdge)
 	alpha4 := math.Min(float64(no)/float64(in.BlockBytes), math.Sqrt(float64(eo)/float64(in.BlockBytes)))
 	p := int(alpha4)

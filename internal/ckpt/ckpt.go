@@ -17,6 +17,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -92,21 +93,54 @@ type File struct {
 	DatasetUUID string
 }
 
-// Write saves f to path atomically (write-to-temp + rename).
+// Write saves f to path atomically and durably (write-to-temp, fsync,
+// rename, fsync the directory): a crash at any point leaves either the
+// previous checkpoint or the complete new one, never a truncated file.
 func Write(path string, f *File) error {
+	return atomicWrite(path, func(w io.Writer) error {
+		if err := gob.NewEncoder(w).Encode(f); err != nil {
+			return fmt.Errorf("ckpt: encode checkpoint: %w", err)
+		}
+		return nil
+	})
+}
+
+// atomicWrite streams fn's output into a temp file in path's directory,
+// fsyncs it, makes it world-readable (CreateTemp's 0600 would hide the
+// checkpoint from e.g. a serving process running as another user — every
+// other artifact the tools write is 0644 under the umask), renames it
+// over path, and fsyncs the directory so the rename itself survives a
+// crash. On any error the temp file is removed and path is untouched.
+func atomicWrite(path string, fn func(io.Writer) error) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := gob.NewEncoder(tmp).Encode(f); err != nil {
+	if err := fn(tmp); err != nil {
 		tmp.Close()
-		return fmt.Errorf("ckpt: encode checkpoint: %w", err)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
 }
 
 // Read loads a checkpoint from path. It performs no validation beyond

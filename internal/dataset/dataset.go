@@ -35,6 +35,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/storage"
+	"repro/internal/tensor"
 )
 
 // DefaultMemLimit is the default external-sort working-set cap (bytes).
@@ -82,6 +83,14 @@ type Config struct {
 	// dim from the file size (which cannot catch a wrong-sized file
 	// whose size happens to divide evenly).
 	FeatureDim int
+
+	// Quantize selects the feature-table storage encoding: "" (float32),
+	// "fp16", or "int8" (per-row affine with a (scale, zero) sidecar).
+	// Quantization happens here, exactly once — readers dequantize the
+	// same stored bytes forever after, so a quantized dataset trains and
+	// serves bit-identically at any worker count (it just differs from
+	// its float32 sibling by the rounding applied at this step).
+	Quantize string
 
 	// MemLimit caps the external sort's edge working set in bytes
 	// (buffered edges plus their encoded run image, 24 B/edge); 0 means
@@ -132,6 +141,14 @@ func Ingest(cfg Config) (*Stats, error) {
 	if cfg.Partitions <= 0 {
 		return nil, fmt.Errorf("dataset: %w: partitions must be positive", ErrBadInput)
 	}
+	quant, err := tensor.ParseQuant(cfg.Quantize)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w: %v", ErrBadInput, err)
+	}
+	if quant != tensor.QuantNone && cfg.Features == "" {
+		return nil, fmt.Errorf("dataset: %w: -quantize=%s needs a feature table (learnable LP embeddings stay float32)",
+			ErrBadInput, cfg.Quantize)
+	}
 	if cfg.MemLimit <= 0 {
 		cfg.MemLimit = DefaultMemLimit
 	}
@@ -158,7 +175,6 @@ func Ingest(cfg Config) (*Stats, error) {
 	d := newDict()
 	sealed := cfg.Nodes != ""
 	var labels []int32
-	var err error
 	if sealed {
 		cfg.progress("dictionary", 0, -1)
 		if labels, err = readNodesFile(cfg.Nodes, d); err != nil {
@@ -286,8 +302,16 @@ func Ingest(cfg Config) (*Stats, error) {
 	}
 	srt.close()
 
+	// Unquantized datasets keep the original layout version (their UUIDs
+	// hash it, and nothing in the layout changed for them); quantized
+	// features need the bumped version so old readers fail typed.
+	version := storage.DatasetVersionPlain
+	if quant != tensor.QuantNone {
+		version = storage.DatasetVersion
+	}
 	man := &storage.Manifest{
-		Version:      storage.DatasetVersion,
+		Version:      version,
+		Quant:        cfg.Quantize,
 		Task:         cfg.Task,
 		Seed:         cfg.Seed,
 		Partitions:   cfg.Partitions,
@@ -400,7 +424,7 @@ func Ingest(cfg Config) (*Stats, error) {
 		}
 	}
 	if cfg.Features != "" {
-		if man.Features, man.FeatureDim, err = reorderFeatures(cfg.Features, cfg.Out, n, cfg.FeatureDim, final); err != nil {
+		if man.Features, man.QuantScales, man.FeatureDim, err = reorderFeatures(cfg.Features, cfg.Out, n, cfg.FeatureDim, final, quant); err != nil {
 			return nil, err
 		}
 	}
@@ -466,27 +490,30 @@ func (c *crcFile) finish(name string) (*storage.DatasetFile, error) {
 
 // reorderFeatures rewrites the raw feature table (rows in dictionary
 // order) into features.bin (rows in final node-ID order, the
-// DiskNodeStore table layout), one row at a time. A final sequential
-// pass computes the shard checksum. dim 0 infers the dimensionality
-// from the file size; an explicit dim demands an exact size match.
-func reorderFeatures(src, outDir string, n, dim int, final []int32) (*storage.DatasetFile, int, error) {
+// DiskNodeStore table layout), one row at a time, quantizing each row
+// when a quantized encoding is selected (int8 additionally streams the
+// per-row (scale, zero) pairs into the features.scale.bin sidecar, in
+// the same final order). A final sequential pass computes the shard
+// checksums. dim 0 infers the dimensionality from the file size; an
+// explicit dim demands an exact size match.
+func reorderFeatures(src, outDir string, n, dim int, final []int32, quant tensor.QuantKind) (feat, scales *storage.DatasetFile, featDim int, err error) {
 	in, err := os.Open(src)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	defer in.Close()
 	info, err := in.Stat()
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	if dim > 0 {
 		if want := int64(n) * int64(dim) * 4; info.Size() != want {
-			return nil, 0, fmt.Errorf("dataset: %w: feature file %s is %d bytes, %d nodes x %d dims need %d",
+			return nil, nil, 0, fmt.Errorf("dataset: %w: feature file %s is %d bytes, %d nodes x %d dims need %d",
 				ErrBadInput, src, info.Size(), n, dim, want)
 		}
 	} else {
 		if info.Size()%(int64(n)*4) != 0 || info.Size() == 0 {
-			return nil, 0, fmt.Errorf("dataset: %w: feature file %s is %d bytes, not a positive multiple of 4x%d nodes",
+			return nil, nil, 0, fmt.Errorf("dataset: %w: feature file %s is %d bytes, not a positive multiple of 4x%d nodes",
 				ErrBadInput, src, info.Size(), n)
 		}
 		dim = int(info.Size() / (int64(n) * 4))
@@ -502,24 +529,69 @@ func reorderFeatures(src, outDir string, n, dim int, final []int32) (*storage.Da
 	}
 	w, err := newCRCFile(filepath.Join(outDir, "features.bin"))
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
+	}
+	var sw *crcFile
+	if quant == tensor.QuantI8 {
+		if sw, err = newCRCFile(filepath.Join(outDir, "features.scale.bin")); err != nil {
+			w.abort()
+			return nil, nil, 0, err
+		}
+	}
+	abort := func() {
+		w.abort()
+		if sw != nil {
+			sw.abort()
+		}
 	}
 	row := make([]byte, rowBytes)
+	var (
+		vals []float32
+		qrow *tensor.QTable
+		pair [8]byte
+	)
+	if quant != tensor.QuantNone {
+		vals = make([]float32, dim)
+		qrow = tensor.NewQTable(quant, 1, dim)
+	}
 	for f := 0; f < n; f++ {
 		if _, err := in.ReadAt(row, int64(dictOf[f])*rowBytes); err != nil {
-			w.abort()
-			return nil, 0, fmt.Errorf("dataset: read feature row %d: %w", dictOf[f], err)
+			abort()
+			return nil, nil, 0, fmt.Errorf("dataset: read feature row %d: %w", dictOf[f], err)
 		}
-		if err := w.write(row); err != nil {
-			w.abort()
-			return nil, 0, err
+		out := row
+		if quant != tensor.QuantNone {
+			for i := range vals {
+				vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(row[i*4:]))
+			}
+			qrow.QuantizeRow(0, vals)
+			out = qrow.Raw
+		}
+		if err := w.write(out); err != nil {
+			abort()
+			return nil, nil, 0, err
+		}
+		if sw != nil {
+			binary.LittleEndian.PutUint32(pair[:4], math.Float32bits(qrow.Scale[0]))
+			binary.LittleEndian.PutUint32(pair[4:], math.Float32bits(qrow.Zero[0]))
+			if err := sw.write(pair[:]); err != nil {
+				abort()
+				return nil, nil, 0, err
+			}
 		}
 	}
-	df, err := w.finish("features.bin")
-	if err != nil {
-		return nil, 0, err
+	if feat, err = w.finish("features.bin"); err != nil {
+		if sw != nil {
+			sw.abort()
+		}
+		return nil, nil, 0, err
 	}
-	return df, dim, nil
+	if sw != nil {
+		if scales, err = sw.finish("features.scale.bin"); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	return feat, scales, dim, nil
 }
 
 // writeDict writes dict.tsv: line k is the raw source ID of final node

@@ -41,6 +41,25 @@ func (s TensorStore) Gather(ids []int32, out *tensor.Tensor) error {
 	return nil
 }
 
+// QuantStore adapts an in-memory quantized table to Store, dequantizing
+// rows on gather. Dequantization is a pure per-element function of bytes
+// fixed at ingest, so outputs are byte-identical to gathering the
+// equivalent dequantized float32 table — at half (fp16) or a quarter
+// (int8) of its resident memory.
+type QuantStore struct{ Q *tensor.QTable }
+
+// Dim returns the table width.
+func (s QuantStore) Dim() int { return s.Q.Cols }
+
+// Gather dequantizes the selected rows of Q into out.
+func (s QuantStore) Gather(ids []int32, out *tensor.Tensor) error {
+	d := s.Q.Cols
+	for i, id := range ids {
+		s.Q.DequantRowInto(int(id), out.Data[i*d:(i+1)*d])
+	}
+	return nil
+}
+
 // Config describes the model half of a forward pass.
 type Config struct {
 	// Encoder is the GNN encoder; nil means identity encode (decoder-only

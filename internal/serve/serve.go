@@ -45,6 +45,7 @@ import (
 	"repro/internal/encode"
 	"repro/internal/graph"
 	"repro/internal/storage"
+	"repro/internal/tensor"
 )
 
 // Config tunes the server. The zero value resolves to the defaults
@@ -68,8 +69,16 @@ type Config struct {
 	// explicit seed are unaffected.
 	Seed int64
 	// InMemory loads NC feature shards fully into memory instead of
-	// gathering from the partition-buffered disk store.
+	// gathering from the partition-buffered disk store. Quantized
+	// datasets stay in their compressed form in memory.
 	InMemory bool
+	// QuantizeTable quantizes the precomputed LP encoding table to
+	// "fp16" or "int8" after it is built, halving or quartering its
+	// resident memory. Scoring then runs the fused dequantizing kernel;
+	// results stay bit-identical across worker counts and batch shapes
+	// but differ from the unquantized table by the storage rounding, so
+	// the default ("") keeps exact float32 scores.
+	QuantizeTable string
 }
 
 func (c Config) withDefaults() Config {
@@ -156,11 +165,23 @@ func Open(dir string, cfg Config) (*Context, error) {
 	}
 	if man.Task == "nc" {
 		if cfg.InMemory {
-			table, err := ds.ReadFeatures()
-			if err != nil {
-				return nil, err
+			if man.QuantKind() != tensor.QuantNone {
+				// Keep the table compressed in memory; gathers
+				// dequantize per row, byte-identical to loading the
+				// dequantized float32 table at 1/2 (fp16) or 1/4
+				// (int8) of the footprint.
+				q, err := ds.ReadQuantFeatures()
+				if err != nil {
+					return nil, err
+				}
+				ctx.Features = encode.QuantStore{Q: q}
+			} else {
+				table, err := ds.ReadFeatures()
+				if err != nil {
+					return nil, err
+				}
+				ctx.Features = encode.TensorStore{T: table}
 			}
-			ctx.Features = encode.TensorStore{T: table}
 		} else {
 			// Open the feature shard through the existing open-existing
 			// DiskNodeStore path with capacity = partitions and make every

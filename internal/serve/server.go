@@ -383,7 +383,12 @@ func (s *Server) runTopK(snap *Snapshot, group []*call, wait map[*call]time.Dura
 	t1 := time.Now()
 	sampleT = t1.Sub(t0)
 
-	scores := snap.cmp.GatherMatMulTB(srcRows, snap.EncTable, s.ctx.allNodes)
+	var scores *tensor.Tensor
+	if snap.EncQ != nil {
+		scores = snap.cmp.GatherMatMulTBDequant(srcRows, snap.EncQ, s.ctx.allNodes)
+	} else {
+		scores = snap.cmp.GatherMatMulTB(srcRows, snap.EncTable, s.ctx.allNodes)
+	}
 	t2 := time.Now()
 	encodeT = t2.Sub(t1)
 

@@ -40,8 +40,14 @@ type Snapshot struct {
 	Table *tensor.Tensor
 	// EncTable is the encoded entity table LP top-k scores tails
 	// against: Table pushed through the encoder once at load (equal to
-	// Table itself for decoder-only models). Nil for NC.
+	// Table itself for decoder-only models). Nil for NC, and nil when
+	// Config.QuantizeTable moved the table into EncQ.
 	EncTable *tensor.Tensor
+	// EncQ is the quantized encoding table when Config.QuantizeTable is
+	// set: top-k scoring runs the fused dequantizing kernel against it,
+	// halving (fp16) or quartering (int8) the table's resident memory
+	// (for encoder models, the dominant per-snapshot allocation).
+	EncQ *tensor.QTable
 	// RelTable is the DistMult relation table (nil for NC).
 	RelTable *tensor.Tensor
 
@@ -158,6 +164,17 @@ func Load(ctx *Context, path string, cfg Config) (*Snapshot, error) {
 	if snap.Decoder != nil {
 		if err := snap.buildEncTable(ctx, cfg, cp.Seed); err != nil {
 			return nil, err
+		}
+		if cfg.QuantizeTable != "" {
+			kind, err := tensor.ParseQuant(cfg.QuantizeTable)
+			if err != nil {
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+			// Quantize once per load; scoring dequantizes the same bytes
+			// on every query, so results are reproducible bit-for-bit —
+			// they just carry this table's storage rounding.
+			snap.EncQ = tensor.Quantize(snap.EncTable, kind)
+			snap.EncTable = nil
 		}
 	}
 	return snap, nil

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -37,8 +38,18 @@ func (r *latRing) quantiles() Quantiles {
 	}
 	sorted := append([]float64(nil), r.vals[:r.n]...)
 	sort.Float64s(sorted)
+	// Ceil-rank (nearest-rank) quantile: the smallest value with at least
+	// q·n observations at or below it. Truncating int(q·(n-1)) instead
+	// systematically under-reports the tail — over a full 1024 window it
+	// returns the ~p98.8 observation as "p99".
 	at := func(q float64) float64 {
-		i := int(q * float64(len(sorted)-1))
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
 		return sorted[i]
 	}
 	return Quantiles{P50: at(0.50), P99: at(0.99)}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fillRing adds the values 1..n milliseconds in order.
+func fillRing(r *latRing, n int) {
+	for i := 1; i <= n; i++ {
+		r.add(time.Duration(i) * time.Millisecond)
+	}
+}
+
+// Ceil-rank quantiles: over 1..100, p50 must be exactly 50 (the smallest
+// value with ≥50% of observations at or below it) and p99 exactly 99.
+// The old truncating rank int(q·(n-1)) returned 49 and 98.
+func TestQuantilesExactRanks(t *testing.T) {
+	var r latRing
+	fillRing(&r, 100)
+	q := r.quantiles()
+	if q.P50 != 50 {
+		t.Errorf("p50 over 1..100 = %v, want 50", q.P50)
+	}
+	if q.P99 != 99 {
+		t.Errorf("p99 over 1..100 = %v, want 99", q.P99)
+	}
+}
+
+// Over a full window (1024 samples, ring wrapped to hold 1..1024), p99 is
+// the ceil(0.99·1024) = 1014th order statistic. The truncating rank read
+// index 1012 — the ~p98.9 observation — hiding the true tail.
+func TestQuantilesFullWindow(t *testing.T) {
+	var r latRing
+	fillRing(&r, latWindow)
+	q := r.quantiles()
+	if q.P99 != 1014 {
+		t.Errorf("p99 over full window = %v, want 1014", q.P99)
+	}
+	if q.P50 != 512 {
+		t.Errorf("p50 over full window = %v, want 512", q.P50)
+	}
+}
+
+func TestQuantilesEdgeCases(t *testing.T) {
+	var empty latRing
+	if q := empty.quantiles(); q.P50 != 0 || q.P99 != 0 {
+		t.Errorf("empty ring quantiles = %+v, want zeros", q)
+	}
+
+	var one latRing
+	one.add(7 * time.Millisecond)
+	if q := one.quantiles(); q.P50 != 7 || q.P99 != 7 {
+		t.Errorf("single-sample quantiles = %+v, want both 7", q)
+	}
+
+	var two latRing
+	two.add(1 * time.Millisecond)
+	two.add(2 * time.Millisecond)
+	q := two.quantiles()
+	// ceil(0.5·2) = 1st order statistic; ceil(0.99·2) = 2nd.
+	if q.P50 != 1 || q.P99 != 2 {
+		t.Errorf("two-sample quantiles = %+v, want p50=1 p99=2", q)
+	}
+}
+
+// The ring wraps: after latWindow+k adds, the window holds the most
+// recent latWindow observations, not the first ones.
+func TestQuantilesRingWraps(t *testing.T) {
+	var r latRing
+	fillRing(&r, latWindow+100)
+	// Window now holds 101..1124; p99 = ceil(0.99·1024)th = 1014th order
+	// statistic = 100 + 1014 = 1114.
+	q := r.quantiles()
+	if q.P99 != 1114 {
+		t.Errorf("p99 after wrap = %v, want 1114", q.P99)
+	}
+}

@@ -45,8 +45,17 @@ import (
 // other value with ErrDatasetVersion — layout changes bump the version
 // (there is no in-place migration; re-run mariusprep prep).
 
-// DatasetVersion is the current on-disk dataset layout version.
-const DatasetVersion = 1
+// DatasetVersion is the newest on-disk dataset layout version this build
+// reads and writes. Version 2 adds quantized feature storage
+// (Manifest.Quant + the int8 scale sidecar); older readers reject it with
+// ErrDatasetVersion. Version 1 datasets (always unquantized) remain fully
+// readable, and unquantized ingest still writes version 1 so their UUIDs
+// — which hash the version — are stable across builds.
+const DatasetVersion = 2
+
+// DatasetVersionPlain is the original layout version, still written for
+// unquantized datasets.
+const DatasetVersionPlain = 1
 
 // ManifestName is the manifest file name inside a dataset directory.
 const ManifestName = "manifest.json"
@@ -117,6 +126,15 @@ type Manifest struct {
 	FeatureDim int   `json:"feature_dim,omitempty"`
 	NumClasses int   `json:"num_classes,omitempty"`
 
+	// Quant names the feature table's storage encoding: "" (float32),
+	// "fp16" (IEEE binary16), or "int8" (per-row affine uint8 with a
+	// float32 (scale, zero) pair per row in the QuantScales sidecar).
+	// Quantization happens exactly once at ingest; every reader
+	// dequantizes the same stored bytes, so a quantized dataset trains
+	// and serves bit-identically at any worker count. Non-empty Quant
+	// requires Version >= 2.
+	Quant string `json:"quant,omitempty"`
+
 	// BucketCounts[i*p+j] is the edge count of bucket (i,j);
 	// BucketCRCs[i*p+j] the IEEE CRC32 of that bucket's encoded bytes in
 	// edges.bin. Per-bucket checksums let validation (and mariusprep
@@ -135,6 +153,10 @@ type Manifest struct {
 	TestEdges  *DatasetFile `json:"test_edges,omitempty"`
 	Dict       *DatasetFile `json:"dict,omitempty"`
 
+	// QuantScales is the int8 dequantization sidecar: one little-endian
+	// float32 (scale, zero) pair per node, in final node-ID order.
+	QuantScales *DatasetFile `json:"quant_scales,omitempty"`
+
 	// Ingest provenance: spill runs of the external sort and the
 	// configured memory cap, for inspect output.
 	SpillRuns int   `json:"spill_runs,omitempty"`
@@ -147,6 +169,17 @@ func (m *Manifest) Partitioning() partition.Partitioning {
 	return partition.New(m.NumNodes, m.Partitions)
 }
 
+// QuantKind returns the feature table's storage encoding. The manifest
+// was validated at read time, so an unknown mode cannot reach here.
+func (m *Manifest) QuantKind() tensor.QuantKind {
+	k, _ := tensor.ParseQuant(m.Quant)
+	return k
+}
+
+// FeatureElemBytes returns the on-disk size of one feature element
+// (4 for float32, 2 for fp16, 1 for int8).
+func (m *Manifest) FeatureElemBytes() int { return m.QuantKind().ElemBytes() }
+
 // ComputeUUID derives the dataset's deterministic identity fingerprint
 // from the fields that pin its contents: task, seed, partition count,
 // node/relation/edge counts, and the per-bucket edge counts and CRCs.
@@ -155,6 +188,11 @@ func (m *Manifest) Partitioning() partition.Partitioning {
 func (m *Manifest) ComputeUUID() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%s|%d|%d|%d|%d|%d", m.Version, m.Task, m.Seed, m.Partitions, m.NumNodes, m.NumRels, m.NumEdges)
+	// Quantization changes the stored feature bytes, so it is part of the
+	// identity. Appended only when set, keeping version-1 UUIDs unchanged.
+	if m.Quant != "" {
+		fmt.Fprintf(h, "|q=%s", m.Quant)
+	}
 	var buf [12]byte
 	for i, n := range m.BucketCounts {
 		binary.LittleEndian.PutUint64(buf[:8], uint64(n))
@@ -164,7 +202,10 @@ func (m *Manifest) ComputeUUID() string {
 	return fmt.Sprintf("ds1-%016x", h.Sum64())
 }
 
-// WriteManifest atomically writes m as dir/manifest.json.
+// WriteManifest atomically and durably writes m as dir/manifest.json: the
+// temp file is fsynced before the rename (and the directory after), so a
+// crash right after the rename cannot leave an empty or truncated
+// manifest where a complete one was promised.
 func WriteManifest(dir string, m *Manifest) error {
 	buf, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
@@ -179,10 +220,33 @@ func WriteManifest(dir string, m *Manifest) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	// CreateTemp's 0600 would make the dataset unreadable to other users,
+	// unlike every payload file written with os.Create under the umask.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, ManifestName))
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // ReadManifest reads and structurally validates dir/manifest.json.
@@ -198,9 +262,19 @@ func ReadManifest(dir string) (*Manifest, error) {
 	if err := json.Unmarshal(buf, &m); err != nil {
 		return nil, fmt.Errorf("storage: %w: malformed manifest: %v", ErrCorruptDataset, err)
 	}
-	if m.Version != DatasetVersion {
-		return nil, fmt.Errorf("storage: %w: dataset version %d, this build reads %d",
-			ErrDatasetVersion, m.Version, DatasetVersion)
+	if m.Version != DatasetVersion && m.Version != DatasetVersionPlain {
+		return nil, fmt.Errorf("storage: %w: dataset version %d, this build reads %d-%d",
+			ErrDatasetVersion, m.Version, DatasetVersionPlain, DatasetVersion)
+	}
+	if _, err := tensor.ParseQuant(m.Quant); err != nil {
+		return nil, corrupt(ManifestName, "unknown quantization mode %q", m.Quant)
+	}
+	if m.Quant != "" && m.Version < DatasetVersion {
+		return nil, fmt.Errorf("storage: %w: quantized features (%s) require dataset version %d, manifest declares %d",
+			ErrDatasetVersion, m.Quant, DatasetVersion, m.Version)
+	}
+	if m.Quant == "int8" && m.Features != nil && m.QuantScales == nil {
+		return nil, corrupt(ManifestName, "int8 features declared without a quant_scales sidecar")
 	}
 	if m.NumNodes <= 0 || m.Partitions <= 0 {
 		return nil, corrupt(ManifestName, "non-positive nodes (%d) or partitions (%d)", m.NumNodes, m.Partitions)
@@ -248,7 +322,7 @@ func OpenDataset(dir string) (*Dataset, error) {
 	d := &Dataset{Dir: dir, Man: m, pt: m.Partitioning()}
 	files := append([]*DatasetFile{&m.Edges},
 		m.Features, m.Labels, m.TrainNodes, m.ValidNodes, m.TestNodes,
-		m.ValidEdges, m.TestEdges, m.Dict)
+		m.ValidEdges, m.TestEdges, m.Dict, m.QuantScales)
 	for _, f := range files {
 		if f == nil {
 			continue
@@ -263,10 +337,16 @@ func OpenDataset(dir string) (*Dataset, error) {
 		}
 	}
 	if m.Features != nil {
-		want := int64(m.NumNodes) * int64(m.FeatureDim) * 4
+		want := int64(m.NumNodes) * int64(m.FeatureDim) * int64(m.FeatureElemBytes())
 		if m.Features.Bytes != want {
-			return nil, corrupt(m.Features.Name, "declared %d bytes, %d nodes x %d dims need %d",
-				m.Features.Bytes, m.NumNodes, m.FeatureDim, want)
+			return nil, corrupt(m.Features.Name, "declared %d bytes, %d nodes x %d dims at %d bytes/elem need %d",
+				m.Features.Bytes, m.NumNodes, m.FeatureDim, m.FeatureElemBytes(), want)
+		}
+		if m.QuantScales != nil {
+			if wantSc := int64(m.NumNodes) * 8; m.QuantScales.Bytes != wantSc {
+				return nil, corrupt(m.QuantScales.Name, "declared %d bytes, %d (scale, zero) pairs need %d",
+					m.QuantScales.Bytes, m.NumNodes, wantSc)
+			}
 		}
 	}
 	if m.Labels != nil && m.Labels.Bytes != int64(m.NumNodes)*4 {
@@ -297,17 +377,29 @@ func (d *Dataset) NodeStore(capacity int, throttle *Throttle) (*DiskNodeStore, e
 	if d.Man.Features == nil {
 		return nil, fmt.Errorf("storage: dataset %s carries no feature table", d.Dir)
 	}
-	return OpenDiskNodeStore(DiskStoreConfig{
+	cfg := DiskStoreConfig{
 		Part:     d.pt,
 		Dim:      d.Man.FeatureDim,
 		Capacity: capacity,
 		Throttle: throttle,
-	}, d.path(d.Man.Features.Name))
+		Quant:    d.Man.QuantKind(),
+	}
+	if d.Man.QuantScales != nil {
+		cfg.ScalePath = d.path(d.Man.QuantScales.Name)
+	}
+	return OpenDiskNodeStore(cfg, d.path(d.Man.Features.Name))
 }
 
-// ReadFeatures loads the full feature table into memory (the in-memory
-// training path).
+// ReadFeatures loads the full feature table into memory as float32 (the
+// in-memory training path), dequantizing quantized storage.
 func (d *Dataset) ReadFeatures() (*tensor.Tensor, error) {
+	if d.Man.QuantKind() != tensor.QuantNone {
+		q, err := d.ReadQuantFeatures()
+		if err != nil {
+			return nil, err
+		}
+		return q.Dequant(), nil
+	}
 	if d.Man.Features == nil {
 		return nil, fmt.Errorf("storage: dataset %s carries no feature table", d.Dir)
 	}
@@ -321,6 +413,44 @@ func (d *Dataset) ReadFeatures() (*tensor.Tensor, error) {
 		return nil, corrupt(d.Man.Features.Name, "short read: %v", err)
 	}
 	return t, nil
+}
+
+// ReadQuantFeatures loads a quantized feature table into memory in its
+// compressed form — half (fp16) or a quarter (int8) of the float32
+// footprint — for consumers that can score against a tensor.QTable
+// directly (the serving path).
+func (d *Dataset) ReadQuantFeatures() (*tensor.QTable, error) {
+	kind := d.Man.QuantKind()
+	if kind == tensor.QuantNone {
+		return nil, fmt.Errorf("storage: dataset %s is not quantized", d.Dir)
+	}
+	if d.Man.Features == nil {
+		return nil, fmt.Errorf("storage: dataset %s carries no feature table", d.Dir)
+	}
+	q := tensor.NewQTable(kind, d.Man.NumNodes, d.Man.FeatureDim)
+	raw, err := os.ReadFile(d.path(d.Man.Features.Name))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(raw)) != d.Man.Features.Bytes {
+		return nil, corrupt(d.Man.Features.Name, "%d bytes, want %d", len(raw), d.Man.Features.Bytes)
+	}
+	q.Raw = raw
+	if kind == tensor.QuantI8 {
+		f, err := os.Open(d.path(d.Man.QuantScales.Name))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		pairs := make([]float32, 2*d.Man.NumNodes)
+		if err := readFloats(f, 0, pairs, nil, nil); err != nil {
+			return nil, corrupt(d.Man.QuantScales.Name, "short read: %v", err)
+		}
+		for i := 0; i < d.Man.NumNodes; i++ {
+			q.Scale[i], q.Zero[i] = pairs[2*i], pairs[2*i+1]
+		}
+	}
+	return q, nil
 }
 
 // readInt32File loads a little-endian int32 array payload.
@@ -450,6 +580,7 @@ func (d *Dataset) Verify() error {
 	for _, df := range []*DatasetFile{
 		d.Man.Features, d.Man.Labels, d.Man.TrainNodes, d.Man.ValidNodes,
 		d.Man.TestNodes, d.Man.ValidEdges, d.Man.TestEdges, d.Man.Dict,
+		d.Man.QuantScales,
 	} {
 		if err := d.verifyFileCRC(df); err != nil {
 			return err

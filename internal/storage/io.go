@@ -139,6 +139,21 @@ func readFloats(f io.ReaderAt, off int64, dst []float32, st *Stats, th *Throttle
 	return nil
 }
 
+// readBytes reads len(dst) raw bytes at byte offset off — the compressed
+// analog of readFloats for quantized tables, so stats and the throttle
+// account the bytes that actually cross the (simulated) device.
+func readBytes(f io.ReaderAt, off int64, dst []byte, st *Stats, th *Throttle) error {
+	if _, err := f.ReadAt(dst, off); err != nil {
+		return err
+	}
+	if st != nil {
+		st.BytesRead.Add(int64(len(dst)))
+		st.Reads.Add(1)
+	}
+	th.Wait(len(dst))
+	return nil
+}
+
 // writeFloats writes src as float32 values at byte offset off.
 func writeFloats(f io.WriterAt, off int64, src []float32, st *Stats, th *Throttle) error {
 	buf := make([]byte, len(src)*4)

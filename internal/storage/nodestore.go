@@ -149,6 +149,15 @@ type DiskNodeStore struct {
 	wbPending sync.WaitGroup
 	wbErr     error
 
+	// Quantized (read-only) tables: the file holds quant-encoded
+	// elements; readPartition moves only the compressed bytes across the
+	// (simulated) device and dequantizes into the float32 buffer. For
+	// int8, qscale/qzero hold the per-node affine parameters from the
+	// sidecar, loaded fully at open (8 bytes per node).
+	quant  tensor.QuantKind
+	qscale []float32
+	qzero  []float32
+
 	stats    Stats
 	throttle *Throttle
 }
@@ -178,6 +187,12 @@ type DiskStoreConfig struct {
 	// Init fills the initial representation of node id into row; nil
 	// leaves representations zero.
 	Init func(id int32, row []float32)
+
+	// Quant is the on-disk element encoding of an opened (read-only)
+	// table file; QuantNone means plain float32. ScalePath names the
+	// int8 (scale, zero) sidecar, required when Quant is QuantI8.
+	Quant     tensor.QuantKind
+	ScalePath string
 }
 
 // newDiskNodeStore builds the in-memory store state (empty buffer, full
@@ -195,6 +210,7 @@ func newDiskNodeStore(cfg DiskStoreConfig, f *os.File) *DiskNodeStore {
 		dirty:     make([]bool, cfg.Capacity),
 		staged:    make(map[int]*stagedPartition),
 		writeback: make(map[int]*pendingWrite),
+		quant:     cfg.Quant,
 		throttle:  cfg.Throttle,
 	}
 	for i := range s.slotPart {
@@ -212,6 +228,9 @@ func newDiskNodeStore(cfg DiskStoreConfig, f *os.File) *DiskNodeStore {
 func CreateDiskNodeStore(cfg DiskStoreConfig) (*DiskNodeStore, error) {
 	if cfg.Capacity <= 0 || cfg.Capacity > cfg.Part.NumPartitions {
 		return nil, fmt.Errorf("storage: capacity %d out of range (1..%d)", cfg.Capacity, cfg.Part.NumPartitions)
+	}
+	if cfg.Quant != tensor.QuantNone {
+		return nil, fmt.Errorf("storage: quantized tables are written by ingest and opened read-only, not created")
 	}
 	f, err := os.Create(filepath.Join(cfg.Dir, "nodes.bin"))
 	if err != nil {
@@ -286,12 +305,37 @@ func OpenDiskNodeStore(cfg DiskStoreConfig, path string) (*DiskNodeStore, error)
 		f.Close()
 		return nil, err
 	}
-	if want := int64(cfg.Part.NumNodes) * int64(cfg.Dim) * 4; st.Size() < want {
+	eb := int64(cfg.Quant.ElemBytes())
+	if want := int64(cfg.Part.NumNodes) * int64(cfg.Dim) * eb; st.Size() < want {
 		f.Close()
-		return nil, corrupt(filepath.Base(path), "%d bytes on disk, %d nodes x %d dims need %d (truncated)",
-			st.Size(), cfg.Part.NumNodes, cfg.Dim, want)
+		return nil, corrupt(filepath.Base(path), "%d bytes on disk, %d nodes x %d dims at %d bytes/elem need %d (truncated)",
+			st.Size(), cfg.Part.NumNodes, cfg.Dim, eb, want)
 	}
-	return newDiskNodeStore(cfg, f), nil
+	s := newDiskNodeStore(cfg, f)
+	if cfg.Quant == tensor.QuantI8 {
+		if cfg.ScalePath == "" {
+			f.Close()
+			return nil, fmt.Errorf("storage: open of %s: int8 table needs a scale sidecar", path)
+		}
+		sf, err := os.Open(cfg.ScalePath)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		pairs := make([]float32, 2*cfg.Part.NumNodes)
+		err = readFloats(sf, 0, pairs, nil, nil)
+		sf.Close()
+		if err != nil {
+			f.Close()
+			return nil, corrupt(filepath.Base(cfg.ScalePath), "short read: %v", err)
+		}
+		s.qscale = make([]float32, cfg.Part.NumNodes)
+		s.qzero = make([]float32, cfg.Part.NumNodes)
+		for i := range s.qscale {
+			s.qscale[i], s.qzero[i] = pairs[2*i], pairs[2*i+1]
+		}
+	}
+	return s, nil
 }
 
 // Dim implements NodeStore.
@@ -335,6 +379,9 @@ func (s *DiskNodeStore) partFloatRange(p int) (off int64, count int) {
 
 // readPartition loads partition p's floats (and optimizer state) from disk.
 func (s *DiskNodeStore) readPartition(p int, data, opt []float32) error {
+	if s.quant != tensor.QuantNone {
+		return s.readQuantPartition(p, data)
+	}
 	off, _ := s.partFloatRange(p)
 	if err := readFloats(s.f, off, data, &s.stats, s.throttle); err != nil {
 		return fmt.Errorf("storage: read partition %d: %w", p, err)
@@ -344,6 +391,31 @@ func (s *DiskNodeStore) readPartition(p int, data, opt []float32) error {
 		if err := readFloats(s.sf, int64(start)*4, opt, &s.stats, s.throttle); err != nil {
 			return fmt.Errorf("storage: read opt state %d: %w", p, err)
 		}
+	}
+	return nil
+}
+
+// readQuantPartition reads partition p's compressed bytes — only the
+// compressed size crosses the device (and counts toward Stats and the
+// Throttle; that is the partition-swap IO the quantization saves) — and
+// dequantizes row by row into the store's float32 buffer. Dequantization
+// is a pure element-wise function of bytes fixed at ingest, so the
+// buffer contents are identical on every load, worker count, and run.
+func (s *DiskNodeStore) readQuantPartition(p int, data []float32) error {
+	start, end := s.pt.Range(p)
+	eb := s.quant.ElemBytes()
+	raw := make([]byte, int(end-start)*s.dim*eb)
+	off := int64(start) * int64(s.dim) * int64(eb)
+	if err := readBytes(s.f, off, raw, &s.stats, s.throttle); err != nil {
+		return fmt.Errorf("storage: read partition %d: %w", p, err)
+	}
+	q := &tensor.QTable{Kind: s.quant, Rows: int(end - start), Cols: s.dim, Raw: raw}
+	if s.quant == tensor.QuantI8 {
+		q.Scale = s.qscale[start:end]
+		q.Zero = s.qzero[start:end]
+	}
+	for r := 0; r < q.Rows; r++ {
+		q.DequantRowInto(r, data[r*s.dim:(r+1)*s.dim])
 	}
 	return nil
 }
@@ -363,6 +435,10 @@ func (s *DiskNodeStore) writePartition(p, slot int) error {
 // writePartitionFrom writes partition p's representation rows (and, for
 // learnable stores, optimizer state) from the given buffers.
 func (s *DiskNodeStore) writePartitionFrom(p int, data, opt []float32) error {
+	if s.quant != tensor.QuantNone {
+		// Quantized tables are fixed at ingest; nothing marks them dirty.
+		return fmt.Errorf("storage: write partition %d: quantized table is read-only", p)
+	}
 	off, _ := s.partFloatRange(p)
 	if err := writeFloats(s.f, off, data, &s.stats, s.throttle); err != nil {
 		return fmt.Errorf("storage: write partition %d: %w", p, err)
@@ -709,6 +785,15 @@ func (s *DiskNodeStore) ReadAll() (*tensor.Tensor, error) {
 		return nil, err
 	}
 	t := tensor.New(s.pt.NumNodes, s.dim)
+	if s.quant != tensor.QuantNone {
+		for p := 0; p < s.pt.NumPartitions; p++ {
+			start, end := s.pt.Range(p)
+			if err := s.readQuantPartition(p, t.Data[int(start)*s.dim:int(end)*s.dim]); err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	}
 	if err := readFloats(s.f, 0, t.Data, &s.stats, s.throttle); err != nil {
 		return nil, err
 	}
@@ -737,6 +822,11 @@ func (s *DiskNodeStore) Snapshot() (*tensor.Tensor, []float32, error) {
 // overwritten and any resident partitions re-read so the buffer reflects
 // the restored state.
 func (s *DiskNodeStore) Restore(table *tensor.Tensor, state []float32) error {
+	if s.quant != tensor.QuantNone {
+		// Never reached in practice: only learnable tables are
+		// checkpointed with contents, and quantized stores are read-only.
+		return fmt.Errorf("storage: restore into a quantized (read-only) table")
+	}
 	s.pending.Wait()
 	s.wbPending.Wait()
 	s.stagedMu.Lock()

@@ -110,3 +110,24 @@ func RefGatherSegmentMean(a *Tensor, idx []int32, offsets []int32) *Tensor {
 func RefGatherMatMulTB(a, table *Tensor, idx []int32) *Tensor {
 	return RefMatMulTransposeB(a, RefGather(table, idx))
 }
+
+// RefDequant is the unfused full-table dequantization: every element
+// through the same pure element function the fused kernels use.
+func RefDequant(q *QTable) *Tensor {
+	out := New(q.Rows, q.Cols)
+	for i := 0; i < q.Rows; i++ {
+		q.DequantRowInto(i, out.Row(i))
+	}
+	return out
+}
+
+// RefGatherDequant is the unfused composition the fused kernel replaces.
+func RefGatherDequant(q *QTable, idx []int32) *Tensor {
+	return RefGather(RefDequant(q), idx)
+}
+
+// RefGatherMatMulTBDequant is the unfused composition the fused kernel
+// replaces.
+func RefGatherMatMulTBDequant(a *Tensor, q *QTable, idx []int32) *Tensor {
+	return RefMatMulTransposeB(a, RefGather(RefDequant(q), idx))
+}

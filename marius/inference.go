@@ -27,8 +27,14 @@ type ServeConfig struct {
 	// Seed mixes into request-derived sampling seeds.
 	Seed int64
 	// InMemory loads node-classification features fully into memory
-	// instead of serving them from the partition-buffered disk store.
+	// instead of serving them from the partition-buffered disk store
+	// (quantized datasets stay compressed in memory).
 	InMemory bool
+	// QuantizeTable ("fp16" or "int8") stores the precomputed
+	// link-prediction encoding table quantized, trading exact float32
+	// scores for a half- or quarter-size resident table. Results remain
+	// bit-identical across worker counts and batchings.
+	QuantizeTable string
 }
 
 // InferenceServer serves forward-only predictions from a checkpoint over

@@ -155,7 +155,10 @@ func (t *ncTask) prepareDataset(g *graph.Graph, o *Options, ds *storage.Dataset)
 	if o.Storage == OnDisk && c == 0 {
 		tuned, err := autotune.Tune(autotune.Input{
 			NumNodes: man.NumNodes, NumEdges: int(man.NumEdges), Dim: man.FeatureDim,
-			CPUBytes: o.CPUBytes, BlockBytes: o.BlockBytes,
+			// Quantized tables swap fewer bytes per partition, which the
+			// §6 cost model sees through NO.
+			NodeElemBytes: man.FeatureElemBytes(),
+			CPUBytes:      o.CPUBytes, BlockBytes: o.BlockBytes,
 		})
 		if err != nil {
 			return err
