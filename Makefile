@@ -30,9 +30,11 @@ race-pipeline:
 	$(GO) test -race -run Pipeline ./marius/
 
 # Short-mode pipeline benchmark with hard floors: >=1.5x epoch speedup
-# over the serial loop under a calibrated disk throttle, and a loss
-# trajectory identical to the serial run (the equivalence contract).
-# Writes to /tmp so the checked-in full-size baseline is never clobbered.
+# over the serial loop under a calibrated disk throttle, a loss
+# trajectory identical to the serial run (the equivalence contract),
+# and an instrumentation probe — metrics + tracing must stay under a 2%
+# hot-path overhead bound and leave losses untouched. Writes to /tmp so
+# the checked-in full-size baseline is never clobbered.
 bench-pipeline:
 	$(GO) run ./cmd/benchpipeline -short -check -o /tmp/BENCH_pipeline.json
 
@@ -64,7 +66,10 @@ bench-ingest:
 # served NC logits byte-identical to the evaluation forward, LP top-k
 # byte-identical to the full-ranking ScoreAll kernel, concurrent results
 # equal to single-request results, and sustained QPS above conservative
-# floors. Same target as the CI serve job.
+# floors. Observability gates ride along: /metrics must lint as
+# Prometheus text with the serve/storage/snapshot families present, and
+# a span-tracing server must hold >=98% of the untraced QPS. Same
+# target as the CI serve job.
 bench-serve:
 	$(GO) run ./cmd/benchserve -short -check -o /tmp/BENCH_serve.json
 

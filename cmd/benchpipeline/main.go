@@ -18,6 +18,13 @@
 // exits non-zero when the pipelined run fails to reach 1.5x the serial
 // epoch time, when its losses diverge from the serial trajectory (the
 // equivalence contract), or when the prefetcher never hit.
+//
+// An instrumentation probe repeats the pipelined configuration
+// unthrottled, with and without full observability attached (metrics
+// registry + Chrome-trace span file), in ABBA order: -check fails when
+// the deterministic hot-path overhead bound (per-primitive cost times
+// the epoch's actual operation counts) exceeds 2% of the fastest plain
+// epoch, or when instrumentation perturbs the loss trajectory.
 package main
 
 import (
@@ -25,29 +32,39 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/marius"
 )
 
 // Report is the schema of BENCH_pipeline.json.
 type Report struct {
-	Schema     int          `json:"schema"`
-	Go         string       `json:"go"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Short      bool         `json:"short"`
-	Config     Config       `json:"config"`
-	Calib      Calib        `json:"calibration"`
-	Serial     RunStat      `json:"serial"`
-	NoPrefetch RunStat      `json:"no_prefetch"`
-	Pipelined  RunStat      `json:"pipelined"`
-	Summary    Summary      `json:"summary"`
-	Quant      QuantSection `json:"quantized_nc"`
+	Schema     int     `json:"schema"`
+	Go         string  `json:"go"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Short      bool    `json:"short"`
+	Config     Config  `json:"config"`
+	Calib      Calib   `json:"calibration"`
+	Serial     RunStat `json:"serial"`
+	NoPrefetch RunStat `json:"no_prefetch"`
+	Pipelined  RunStat `json:"pipelined"`
+	// ProbePlain/ProbeInstrumented are the overhead probe: the pipelined
+	// configuration rerun unthrottled (compute-bound, so epoch times
+	// aren't dominated by throttle-pacing jitter), without and with a
+	// metrics registry + span tracer attached. Each side is the
+	// best-timed of two interleaved runs.
+	ProbePlain        RunStat      `json:"probe_plain"`
+	ProbeInstrumented RunStat      `json:"probe_instrumented"`
+	Summary           Summary      `json:"summary"`
+	Quant             QuantSection `json:"quantized_nc"`
 }
 
 // QuantSection compares out-of-core node-classification training from a
@@ -112,6 +129,7 @@ type RunStat struct {
 	TotalSec       float64   `json:"total_sec"`
 	Loss           []float64 `json:"loss"`
 	Visits         int       `json:"visits"`
+	Batches        int       `json:"batches"`
 	IOReadMB       float64   `json:"io_read_mb"`
 	IOWriteMB      float64   `json:"io_write_mb"`
 	PrefetchHits   int64     `json:"prefetch_hits"`
@@ -132,6 +150,21 @@ type Summary struct {
 	PrefetchHit     float64 `json:"prefetch_hit_rate"`
 	ComputeSec      float64 `json:"serial_compute_sec"`
 	SerialIOShare   float64 `json:"serial_io_share"`
+	// InstrOverhead is the instrumented probe's fastest epoch over the
+	// plain probe's fastest epoch, minus one. Informational only: on a
+	// shared machine, run-to-run epoch drift (±10% observed) swamps the
+	// real instrumentation cost, so -check does not gate on it.
+	InstrOverhead float64 `json:"instrumentation_overhead_wallclock"`
+	// InstrHotPath is the gated overhead bound: per-operation costs of
+	// the instrumentation primitives (histogram observe, counter inc,
+	// gauge set, span write, clock read) measured in a tight loop, times
+	// the probe run's actual per-epoch hot-path operation counts, over
+	// the fastest plain epoch. Deterministic where wall-clock diffing is
+	// not; -check enforces <= 2%.
+	InstrHotPath float64 `json:"instrumentation_hot_path_overhead"`
+	// InstrLossesMatch asserts observability never perturbs training:
+	// the instrumented trajectory equals the plain one.
+	InstrLossesMatch bool `json:"losses_match_instrumented"`
 }
 
 func main() {
@@ -162,7 +195,7 @@ func main() {
 	// Calibration: unthrottled serial run — its epoch time is the pure
 	// compute cost, its IO counters the per-epoch volume.
 	fmt.Printf("calibrating (unthrottled serial epoch)...\n")
-	calibStat, err := runConfig(cfg, nil, 0, 1, 1)
+	calibStat, err := runConfig(cfg, nil, 0, 1, 1, false)
 	must(err)
 	bytesPerEpoch := int64((calibStat.IOReadMB + calibStat.IOWriteMB) * 1e6)
 	computeSec := calibStat.EpochSec[0]
@@ -180,21 +213,51 @@ func main() {
 		computeSec, float64(bytesPerEpoch)/1e6, mbps)
 
 	fmt.Printf("serial (depth=0, workers=1, throttled)...\n")
-	serial, err := runConfig(cfg, storage.NewThrottle(mbps*1e6), 0, 1, cfg.Epochs)
+	serial, err := runConfig(cfg, storage.NewThrottle(mbps*1e6), 0, 1, cfg.Epochs, false)
 	must(err)
 	fmt.Printf("  epochs %v  total %.2fs\n", serial.EpochSec, serial.TotalSec)
 
 	fmt.Printf("no-prefetch (depth=0, workers=%d, throttled)...\n", cfg.Workers)
-	noPrefetch, err := runConfig(cfg, storage.NewThrottle(mbps*1e6), 0, cfg.Workers, cfg.Epochs)
+	noPrefetch, err := runConfig(cfg, storage.NewThrottle(mbps*1e6), 0, cfg.Workers, cfg.Epochs, false)
 	must(err)
 	fmt.Printf("  epochs %v  total %.2fs\n", noPrefetch.EpochSec, noPrefetch.TotalSec)
 
 	fmt.Printf("pipelined (depth=%d, workers=%d, throttled)...\n", cfg.Depth, cfg.Workers)
-	pipelined, err := runConfig(cfg, storage.NewThrottle(mbps*1e6), cfg.Depth, cfg.Workers, cfg.Epochs)
+	pipelined, err := runConfig(cfg, storage.NewThrottle(mbps*1e6), cfg.Depth, cfg.Workers, cfg.Epochs, false)
 	must(err)
 	fmt.Printf("  epochs %v  total %.2fs  load-wait %.2fs  prefetch %d/%d hit\n",
 		pipelined.EpochSec, pipelined.TotalSec, pipelined.LoadWaitSec,
 		pipelined.PrefetchHits, pipelined.PrefetchHits+pipelined.PrefetchMisses)
+
+	fmt.Printf("instrumentation probe (depth=%d, workers=%d, unthrottled, plain vs metrics+trace)...\n",
+		cfg.Depth, cfg.Workers)
+	var probePlain, probeInstr RunStat
+	// ABBA order: machine drift across the four runs (thermal, noisy
+	// neighbors) hits both sides symmetrically instead of always taxing
+	// whichever side runs second.
+	for _, instr := range []bool{false, true, true, false} {
+		st, err := runConfig(cfg, nil, cfg.Depth, cfg.Workers, cfg.Epochs, instr)
+		must(err)
+		dst := &probePlain
+		if instr {
+			dst = &probeInstr
+		}
+		if len(dst.EpochSec) == 0 || minOf(st.EpochSec) < minOf(dst.EpochSec) {
+			*dst = st
+		}
+	}
+	instrOverhead := minOf(probeInstr.EpochSec)/minOf(probePlain.EpochSec) - 1
+	instrLossesMatch := len(probeInstr.Loss) == len(probePlain.Loss)
+	for i := range probePlain.Loss {
+		if !instrLossesMatch || probePlain.Loss[i] != probeInstr.Loss[i] {
+			instrLossesMatch = false
+			break
+		}
+	}
+	instrHotPath := microOverhead(probeInstr.Batches/cfg.Epochs, probeInstr.Visits/cfg.Epochs,
+		minOf(probePlain.EpochSec))
+	fmt.Printf("  plain %v  instrumented %v  wall-clock %+.1f%%  hot-path bound %.3f%%  losses match = %v\n",
+		probePlain.EpochSec, probeInstr.EpochSec, 100*instrOverhead, 100*instrHotPath, instrLossesMatch)
 
 	lossesMatch := len(serial.Loss) == len(pipelined.Loss)
 	for i := range serial.Loss {
@@ -218,22 +281,27 @@ func main() {
 	must(err)
 
 	rep := Report{
-		Schema:     1,
-		Go:         runtime.Version(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Short:      *short,
-		Config:     cfg,
-		Calib:      calib,
-		Serial:     serial,
-		NoPrefetch: noPrefetch,
-		Pipelined:  pipelined,
+		Schema:            1,
+		Go:                runtime.Version(),
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		Short:             *short,
+		Config:            cfg,
+		Calib:             calib,
+		Serial:            serial,
+		NoPrefetch:        noPrefetch,
+		Pipelined:         pipelined,
+		ProbePlain:        probePlain,
+		ProbeInstrumented: probeInstr,
 		Summary: Summary{
-			Speedup:         round3(speedup),
-			PrefetchSpeedup: round3(prefetchSpeedup),
-			LossesMatch:     lossesMatch,
-			PrefetchHit:     round3(hitRate),
-			ComputeSec:      round3(computeSec),
-			SerialIOShare:   round3(ioShare),
+			Speedup:          round3(speedup),
+			PrefetchSpeedup:  round3(prefetchSpeedup),
+			LossesMatch:      lossesMatch,
+			PrefetchHit:      round3(hitRate),
+			ComputeSec:       round3(computeSec),
+			SerialIOShare:    round3(ioShare),
+			InstrOverhead:    round3(instrOverhead),
+			InstrHotPath:     instrHotPath,
+			InstrLossesMatch: instrLossesMatch,
 		},
 		Quant: quant,
 	}
@@ -261,6 +329,15 @@ func main() {
 		}
 		if pipelined.PrefetchHits == 0 {
 			fmt.Fprintln(os.Stderr, "CHECK FAILED: prefetcher never hit")
+			failed = true
+		}
+		if instrHotPath > 0.02 {
+			fmt.Fprintf(os.Stderr, "CHECK FAILED: instrumentation hot-path overhead %.2f%% exceeds the 2%% ceiling\n", 100*instrHotPath)
+			failed = true
+		}
+		if !instrLossesMatch {
+			fmt.Fprintf(os.Stderr, "CHECK FAILED: instrumented losses %v diverge from plain pipelined %v — observability perturbed training\n",
+				probeInstr.Loss, probePlain.Loss)
 			failed = true
 		}
 		// fp16 halves the feature bytes; with edge traffic on top the
@@ -426,8 +503,10 @@ func runNC(dataDir string, capacity int, th *storage.Throttle, epochs int) (Quan
 }
 
 // runConfig trains cfg.Epochs on a fresh on-disk session (identical seed
-// and synthetic graph every call) and reports its measurements.
-func runConfig(cfg Config, th *storage.Throttle, depth, workers, epochs int) (RunStat, error) {
+// and synthetic graph every call) and reports its measurements. With
+// instr set, a metrics registry and a Chrome-trace tracer (written into
+// the run's temp dir) ride along — the overhead-probe configuration.
+func runConfig(cfg Config, th *storage.Throttle, depth, workers, epochs int, instr bool) (RunStat, error) {
 	var st RunStat
 	g := gen.KG(gen.KGConfig{
 		NumEntities: cfg.Entities, NumRelations: 8, NumEdges: cfg.Edges,
@@ -446,14 +525,23 @@ func runConfig(cfg Config, th *storage.Throttle, depth, workers, epochs int) (Ru
 	if th != nil {
 		diskOpts = append(diskOpts, marius.Throttled(th))
 	}
-	sess, err := marius.New(marius.LinkPrediction(), g,
+	opts := []marius.Option{
 		marius.WithModel(marius.DistMultOnly), marius.WithPolicy(marius.COMET),
 		marius.WithDim(cfg.Dim), marius.WithBatchSize(cfg.BatchSize),
 		marius.WithNegatives(cfg.Negatives),
 		marius.WithDisk(dir, diskOpts...),
 		marius.WithWorkers(workers), marius.WithPipeline(depth),
 		marius.WithSeed(7),
-	)
+	}
+	if instr {
+		tr, err := marius.NewTracer(filepath.Join(dir, "bench.trace"))
+		if err != nil {
+			return st, err
+		}
+		defer tr.Close()
+		opts = append(opts, marius.WithMetrics(marius.NewMetrics()), marius.WithTrace(tr))
+	}
+	sess, err := marius.New(marius.LinkPrediction(), g, opts...)
 	if err != nil {
 		return st, err
 	}
@@ -480,6 +568,7 @@ func runConfig(cfg Config, th *storage.Throttle, depth, workers, epochs int) (Ru
 		st.EpochSec = append(st.EpochSec, round3(e.Duration.Seconds()))
 		st.Loss = append(st.Loss, e.Loss)
 		st.Visits += e.Visits
+		st.Batches += e.Batches
 		readB += e.IO.BytesRead
 		writeB += e.IO.BytesWritten
 		st.PrefetchHits += e.IO.PrefetchHits
@@ -503,3 +592,54 @@ func must(err error) {
 }
 
 func round3(x float64) float64 { return float64(int(x*1000+0.5)) / 1000 }
+
+// microOverhead bounds the per-epoch instrumentation cost
+// deterministically: each hot-path primitive (histogram observe, counter
+// inc, gauge set, span write, clock read) is timed over a tight loop,
+// multiplied by the operation counts an instrumented epoch actually
+// performs (per batch: build + compute spans, stage/stall observes, a
+// queue-depth set, a counter; per visit: prefetch + evict spans, a load
+// observe, a counter), and divided by the fastest plain epoch. This is
+// what a wall-clock diff of two multi-second epochs tries and fails to
+// measure on a machine with run-to-run drift.
+func microOverhead(batchesPerEpoch, visitsPerEpoch int, epochSec float64) float64 {
+	if epochSec <= 0 {
+		return 0
+	}
+	reg := obs.NewRegistry()
+	h := reg.Histogram("probe_seconds", "", obs.ExpBuckets(0.0001, 2, 20))
+	c := reg.Counter("probe_total", "")
+	g := reg.Gauge("probe_depth", "")
+	tr := obs.NewTracer(io.Discard)
+	const n = 200_000
+	perOp := func(f func()) float64 {
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		return time.Since(t0).Seconds() / n
+	}
+	clock := perOp(func() { _ = time.Now() })
+	observe := perOp(func() { h.Observe(0.0017) })
+	inc := perOp(func() { c.Inc() })
+	set := perOp(func() { g.Set(3) })
+	start := time.Now()
+	span := perOp(func() { tr.Span("probe", "span", 0, start, time.Millisecond) })
+	perBatch := 2*span + 4*observe + set + inc + 6*clock
+	perVisit := 2*span + observe + inc + 6*clock
+	return (float64(batchesPerEpoch)*perBatch + float64(visitsPerEpoch)*perVisit) / epochSec
+}
+
+// minOf returns the smallest element (0 for an empty slice).
+func minOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

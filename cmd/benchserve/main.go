@@ -15,9 +15,15 @@
 // checkpoint and seed, served LP top-k must be byte-identical to the
 // full-ranking ScoreAll kernel, concurrency must not change any result,
 // and sustained QPS must clear conservative floors.
+//
+// Observability gates ride along: the NC server's /metrics output must
+// lint as Prometheus text exposition and contain the serve, storage,
+// and snapshot families, and a server with span tracing enabled must
+// sustain at least 98% of the untraced QPS at concurrency 16.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -25,8 +31,11 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,6 +47,7 @@ import (
 	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/marius"
 )
@@ -82,6 +92,14 @@ type Summary struct {
 	ConcurrencyStable bool    `json:"concurrency_preserves_results"`
 	NCPeakQPS         float64 `json:"nc_peak_qps"`
 	LPPeakQPS         float64 `json:"lp_peak_qps"`
+	// MetricsLint is true when the NC server's /metrics output parses as
+	// Prometheus text exposition and carries the serve, storage, and
+	// snapshot metric families.
+	MetricsLint bool `json:"metrics_prometheus_lint"`
+	// TraceQPSRatio is traced-server QPS over plain-server QPS at
+	// concurrency 16, measured back to back — the serving-side
+	// instrumentation overhead probe (floor 0.98 under -check).
+	TraceQPSRatio float64 `json:"trace_qps_ratio"`
 }
 
 var concurrencies = []int{1, 16, 64}
@@ -160,6 +178,63 @@ func main() {
 			rep.Summary.NCPeakQPS = pt.QPS
 		}
 	}
+	rep.Summary.MetricsLint = lintPrometheus(ncSrv.Metrics())
+
+	// Tracing-overhead probe: c=16 points against the warm plain server
+	// and a second server writing spans for every batch. The traced
+	// server gets an unmeasured warm-up (the plain one is warm from the
+	// sweep), then the two sides are measured interleaved, best of two
+	// each, so machine drift and one-off stalls don't read as overhead.
+	tracePath := filepath.Join(work, "serve.trace")
+	tr, err := obs.CreateTrace(tracePath)
+	must(err)
+	tcfg := scfg
+	tcfg.Tracer = tr
+	tracedSrv := openServer(ncDir, ncCkpt, tcfg)
+	drivePlain := func() Loadpt {
+		return drive(16, cfg.Requests, func(i int) error {
+			_, err := ncSrv.Predict(context.Background(), ncReqs[i%len(ncReqs)])
+			return err
+		})
+	}
+	driveTraced := func() Loadpt {
+		return drive(16, cfg.Requests, func(i int) error {
+			_, err := tracedSrv.Predict(context.Background(), ncReqs[i%len(ncReqs)])
+			return err
+		})
+	}
+	driveTraced() // warm-up, unmeasured
+	var plainQPS, tracedQPS float64
+	for round := 0; round < 2; round++ {
+		if q := drivePlain().QPS; q > plainQPS {
+			plainQPS = q
+		}
+		if q := driveTraced().QPS; q > tracedQPS {
+			tracedQPS = q
+		}
+	}
+	tracedSrv.Close()
+	must(tr.Close())
+	rep.Summary.TraceQPSRatio = tracedQPS / plainQPS
+	// The trace must load as Chrome Trace Event JSON and actually carry
+	// serving-stage spans; otherwise the probe measured nothing.
+	var spans []struct {
+		Cat  string `json:"cat"`
+		Name string `json:"name"`
+	}
+	traceBuf, err := os.ReadFile(tracePath)
+	must(err)
+	must(json.Unmarshal(traceBuf, &spans))
+	sampleSpans := 0
+	for _, sp := range spans {
+		if sp.Cat == "serve" && sp.Name == "sample" {
+			sampleSpans++
+		}
+	}
+	if sampleSpans == 0 {
+		fmt.Fprintln(os.Stderr, "benchserve: traced server produced no serve/sample spans")
+		rep.Summary.TraceQPSRatio = 0
+	}
 	ncSrv.Close()
 
 	// --- Link prediction ---
@@ -237,6 +312,12 @@ func main() {
 		}
 		if s.LPPeakQPS < lpFloorQPS {
 			fail("lp topk peak %.0f qps under the %d floor", s.LPPeakQPS, lpFloorQPS)
+		}
+		if !s.MetricsLint {
+			fail("metrics exposition failed the Prometheus text lint")
+		}
+		if s.TraceQPSRatio < 0.98 {
+			fail("traced server sustained %.3fx the plain QPS, under the 0.98 floor", s.TraceQPSRatio)
 		}
 		fmt.Println("check: all serving gates passed")
 	}
@@ -382,6 +463,43 @@ func ncMatchesEval(dir, ckptPath string, reqs []*serve.PredictRequest, served []
 		}
 	}
 	return true
+}
+
+// lintPrometheus renders the registry and checks the exposition line by
+// line — HELP/TYPE comments, `name{labels} value` series with parseable
+// values — and requires the families the serving stack must export.
+func lintPrometheus(reg *obs.Registry) bool {
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	series := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? `)
+	ok := true
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		m := series.FindString(line)
+		if m == "" {
+			fmt.Fprintf(os.Stderr, "benchserve: metrics lint: malformed series line %q\n", line)
+			ok = false
+			continue
+		}
+		if _, err := strconv.ParseFloat(strings.TrimSpace(line[len(m):]), 64); err != nil {
+			fmt.Fprintf(os.Stderr, "benchserve: metrics lint: unparseable value in %q\n", line)
+			ok = false
+		}
+	}
+	for _, fam := range []string{
+		"serve_requests_total", "serve_batches_total", "serve_latency_milliseconds",
+		"serve_queue_depth", "serve_snapshot_epoch", "serve_snapshot_loaded_timestamp_seconds",
+		"storage_bytes_read_total",
+	} {
+		if !strings.Contains(out, fam) {
+			fmt.Fprintf(os.Stderr, "benchserve: metrics lint: missing family %s\n", fam)
+			ok = false
+		}
+	}
+	return ok
 }
 
 func openServer(dir, ckpt string, cfg serve.Config) *serve.Server {

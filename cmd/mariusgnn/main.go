@@ -11,6 +11,8 @@
 //	mariusgnn -task lp -model distmult -storage disk -policy beta
 //	mariusgnn -task lp -epochs 20 -checkpoint run.ckpt   # later: -resume run.ckpt
 //	mariusgnn -data data/fb -storage disk -pipeline 2    # mariusprep-prepared directory
+//	mariusgnn -storage disk -pipeline 2 -metrics-addr :9090 -trace run.trace
+//	  # then: curl -s localhost:9090/metrics ; load run.trace in chrome://tracing
 package main
 
 import (
@@ -19,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 
@@ -54,6 +58,8 @@ func main() {
 		ckpt      = flag.String("checkpoint", "", "save a resumable checkpoint here every epoch")
 		resume    = flag.String("resume", "", "restore training state from this checkpoint before running")
 		serveHint = flag.Bool("serve-export", false, "print the mariusserve invocation for the saved checkpoint after the run")
+		metrics   = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text) and /debug/pprof/ on this address during the run")
+		traceF    = flag.String("trace", "", "write pipeline/storage stage spans to this file in Chrome Trace Event Format")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -74,6 +80,32 @@ func main() {
 	opts := []marius.Option{
 		marius.WithDim(*dim), marius.WithBatchSize(*batch),
 		marius.WithNegatives(*negs),
+	}
+	// Observability is purely additive: checkpoints and losses are
+	// byte-identical with or without it.
+	if *metrics != "" {
+		reg := marius.NewMetrics()
+		opts = append(opts, marius.WithMetrics(reg))
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+	if *traceF != "" {
+		tr, err := marius.NewTracer(*traceF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tr.Close()
+		opts = append(opts, marius.WithTrace(tr))
 	}
 	// A prepared dataset carries its prep seed; only override it when
 	// the flag was given explicitly.
@@ -188,10 +220,19 @@ func main() {
 		marius.Epochs(*epochs),
 		marius.OnEpoch(func(p marius.Progress) error {
 			st := p.Stats
-			fmt.Printf("epoch %d: %.2fs loss=%.4f train-metric=%.4f visits=%d sample=%.2fs compute=%.2fs io=%.1fMB\n",
+			line := fmt.Sprintf("epoch %d: %.2fs loss=%.4f train-metric=%.4f visits=%d sample=%.2fs compute=%.2fs io=%.1fMB",
 				p.Epoch, st.Duration.Seconds(), st.Loss, st.Metric, st.Visits,
 				st.Sample.Seconds(), st.Compute.Seconds(),
 				float64(st.IO.BytesRead+st.IO.BytesWritten)/1e6)
+			if h, m := st.IO.PrefetchHits, st.IO.PrefetchMisses; h+m > 0 {
+				line += fmt.Sprintf(" read=%.1fMB prefetch-hit=%.0f%%",
+					float64(st.IO.BytesRead)/1e6, 100*float64(h)/float64(h+m))
+			}
+			if st.Pipeline.Depth > 0 {
+				line += fmt.Sprintf(" load-wait=%.2fs batch-wait=%.2fs",
+					st.Pipeline.LoadWait.Seconds(), st.Pipeline.BatchWait.Seconds())
+			}
+			fmt.Println(line)
 			if p.Valid != nil {
 				fmt.Printf("  %v\n", *p.Valid)
 			}

@@ -4,12 +4,14 @@
 // (POST /v1/topk), with server-side micro-batching. SIGHUP or POST
 // /reload hot-swaps the checkpoint without dropping in-flight requests;
 // GET /healthz and /statz expose liveness and queue/batch/latency
-// metrics.
+// metrics, GET /metrics serves Prometheus text, and /debug/pprof/
+// exposes the standard Go profiles.
 //
 // Examples:
 //
 //	mariusserve -data data/fb -checkpoint run.ckpt
 //	curl -s localhost:8080/v1/topk -d '{"src":12,"rel":3,"k":10}'
+//	curl -s localhost:8080/metrics | grep serve_latency
 //	kill -HUP $(pidof mariusserve)   # re-read run.ckpt after more training
 package main
 
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +40,7 @@ func main() {
 		workers  = flag.Int("workers", 4, "kernel fan-out (results identical at any value)")
 		mem      = flag.Bool("mem", false, "load node features fully into memory")
 		qtable   = flag.String("quantize-table", "", "store the LP encoding table quantized (fp16 or int8) to shrink serving memory")
+		traceF   = flag.String("trace", "", "write serving-stage spans (queue wait, sample, encode, decode) to this file in Chrome Trace Event Format")
 		seed     = flag.Int64("seed", 1, "server seed mixed into request-derived sampling seeds")
 	)
 	flag.Parse()
@@ -45,10 +49,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, err := marius.LoadForInference(*data, *ckpt, marius.ServeConfig{
+	cfg := marius.ServeConfig{
 		MaxBatch: *maxBatch, MaxWait: *maxWait, QueueCap: *queue,
 		Workers: *workers, Seed: *seed, InMemory: *mem, QuantizeTable: *qtable,
-	})
+	}
+	if *traceF != "" {
+		tr, err := marius.NewTracer(*traceF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tr.Close()
+		cfg.Tracer = tr
+	}
+	srv, err := marius.LoadForInference(*data, *ckpt, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +93,16 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The server's own handler covers /v1/*, /reload, /healthz, /statz,
+	// and /metrics; pprof rides along on the same listener.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{Addr: *addr, Handler: mux}
 	done := make(chan error, 1)
 	go func() { done <- hs.ListenAndServe() }()
 	select {

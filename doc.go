@@ -246,6 +246,31 @@
 // (surfaced in /statz). marius.LoadForInference and marius.Serve expose
 // the same machinery as a library.
 //
+// # Observability
+//
+// internal/obs is a stdlib-only observability kernel shared by training
+// and serving: a registry of lock-free metrics (atomic counters and
+// gauges, fixed-bucket histograms whose Observe is a binary search plus
+// one atomic add — no locks, no allocations on the hot path) with
+// hand-rolled Prometheus text exposition, and a span tracer that writes
+// Chrome Trace Event Format (load the file in chrome://tracing or
+// Perfetto). Training wires it through marius.WithMetrics and
+// marius.WithTrace (cmd/mariusgnn: -metrics-addr and -trace): the
+// pipeline records per-stage spans (partition prefetch, batch build,
+// compute, evict write-back) and stall/throughput metrics, and the
+// storage layer bridges its atomic IO counters — bytes moved, swaps,
+// prefetch hit rate, fragment-cache hits — into registry gauges read
+// lazily at scrape time. Serving is instrumented unconditionally: the
+// per-request stats behind /statz are the same lock-free histograms,
+// GET /metrics serves the Prometheus view, /healthz degrades to 503
+// with a JSON reason (failed reload, sustained queue saturation), and
+// both CLIs expose net/http/pprof. Instrumentation is observational by
+// contract: it reads clocks and bumps atomics but never touches RNG
+// streams, batch order, or parameter state, so trajectories and
+// checkpoints are byte-identical with it on or off (enforced by a
+// differential test) and its hot-path cost is gated under 2% by `make
+// bench-pipeline` and `make bench-serve`.
+//
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation section; `go run ./cmd/benchtables` prints them
 // at full scale in the paper's layout, and CHANGES.md records the old

@@ -1,0 +1,386 @@
+// Package obs is the observability core: a zero-alloc, atomics-based
+// metrics registry (counters, gauges, fixed-bucket histograms) plus a
+// Chrome Trace Event Format span recorder. It has no dependencies
+// beyond the standard library and is safe for concurrent use: all
+// hot-path operations (Inc, Add, Set, Observe, Span) are lock-free or
+// take at most one short buffered write under a mutex (tracing only).
+//
+// Every metric method and every Tracer method is nil-receiver safe, so
+// instrumented code can hold a possibly-nil *Counter or *Tracer and
+// call it unconditionally; the disabled path costs one predictable
+// branch.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Trace thread IDs: spans from each logical actor land on a stable
+// chrome://tracing row. Builder workers use TIDBuilderBase+w.
+const (
+	TIDCompute     = 0
+	TIDPrefetch    = 1
+	TIDEvict       = 2
+	TIDServe       = 3
+	TIDBuilderBase = 8
+)
+
+// Label is one key=value pair attached to a metric at registration.
+// Values may contain arbitrary bytes; Prometheus exposition escapes
+// them.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing uint64. On overflow it wraps
+// modulo 2^64, matching Prometheus client conventions (scrapers detect
+// the reset from the decrease).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1. Nil-safe.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Nil-safe.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d via a CAS loop. Nil-safe.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with lock-free Observe.
+// Bucket i counts observations v with v <= bounds[i] (and, for i > 0,
+// v > bounds[i-1]); one extra overflow bucket counts v > bounds[last].
+// A value landing exactly on an upper bound is counted in that bucket
+// (Prometheus `le` semantics).
+type Histogram struct {
+	bounds  []float64 // sorted ascending, finite
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records v. Lock-free; nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state. Counts
+// has len(Bounds)+1 entries; the last is the overflow bucket. Count is
+// the sum of Counts, so a snapshot is always internally consistent
+// even when taken concurrently with Observe.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot copies the histogram's current state. Nil-safe (returns a
+// zero snapshot).
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket containing the target rank, treating
+// observations as uniformly distributed inside each bucket. The first
+// bucket interpolates from 0; ranks landing in the overflow bucket
+// return the last finite bound. Returns 0 for an empty histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: the upper edge is unbounded; report
+			// the last finite bound rather than inventing a value.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		hi := s.Bounds[i]
+		if float64(cum)+float64(c) >= rank {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds
+// start, start*factor, start*factor^2, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// metricKind discriminates registry entries for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+// metric is one registered time series.
+type metric struct {
+	name   string
+	help   string
+	labels []Label
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// Registry holds named metrics for Prometheus exposition. Registration
+// takes a mutex; reads of registered metrics are lock-free. A nil
+// *Registry is usable: its constructors return live but unexported
+// metrics, so code wired for metrics works identically when the caller
+// never asked for a registry (e.g. tracing-only runs).
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup finds an existing series with the same name and label set.
+// Caller holds r.mu.
+func (r *Registry) lookup(name string, labels []Label) *metric {
+	for _, m := range r.metrics {
+		if m.name == name && labelsEqual(m.labels, labels) {
+			return m
+		}
+	}
+	return nil
+}
+
+// Counter registers (or returns the existing) counter under name with
+// the given labels. Panics if the name+labels pair is already
+// registered as a different kind.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, labels); m != nil {
+		if m.kind != kindCounter {
+			panic(fmt.Sprintf("obs: %s registered as non-counter", name))
+		}
+		return m.c
+	}
+	c := &Counter{}
+	r.metrics = append(r.metrics, &metric{name: name, help: help, labels: labels, kind: kindCounter, c: c})
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, labels); m != nil {
+		if m.kind != kindGauge {
+			panic(fmt.Sprintf("obs: %s registered as non-gauge", name))
+		}
+		return m.g
+	}
+	g := &Gauge{}
+	r.metrics = append(r.metrics, &metric{name: name, help: help, labels: labels, kind: kindGauge, g: g})
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram under name
+// with the given finite, ascending bucket bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return newHistogram(bounds)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, labels); m != nil {
+		if m.kind != kindHistogram {
+			panic(fmt.Sprintf("obs: %s registered as non-histogram", name))
+		}
+		return m.h
+	}
+	h := newHistogram(bounds)
+	r.metrics = append(r.metrics, &metric{name: name, help: help, labels: labels, kind: kindHistogram, h: h})
+	return h
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	if !sort.Float64sAreSorted(b) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — the bridge for pre-existing atomic counters (e.g.
+// storage.Stats). Re-registering the same name+labels replaces fn.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, labels); m != nil {
+		if m.kind != kindCounterFunc {
+			panic(fmt.Sprintf("obs: %s registered as non-counterfunc", name))
+		}
+		m.fn = fn
+		return
+	}
+	r.metrics = append(r.metrics, &metric{name: name, help: help, labels: labels, kind: kindCounterFunc, fn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at
+// exposition time. Re-registering the same name+labels replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, labels); m != nil {
+		if m.kind != kindGaugeFunc {
+			panic(fmt.Sprintf("obs: %s registered as non-gaugefunc", name))
+		}
+		m.fn = fn
+		return
+	}
+	r.metrics = append(r.metrics, &metric{name: name, help: help, labels: labels, kind: kindGaugeFunc, fn: fn})
+}
+
+// snapshotMetrics copies the registration list so exposition can walk
+// it without holding the registry lock while formatting.
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, len(r.metrics))
+	copy(out, r.metrics)
+	return out
+}

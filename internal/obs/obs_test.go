@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A value exactly on a bucket's upper bound must land in that bucket
+// (le semantics), not the next one.
+func TestHistogramBucketBoundary(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	h.Observe(2) // exactly on bounds[1]
+	s := h.Snapshot()
+	want := []uint64{0, 1, 0, 0}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", s.Counts, want)
+		}
+	}
+
+	h.Observe(1)         // exactly on bounds[0] -> bucket 0
+	h.Observe(4)         // exactly on bounds[2] -> bucket 2
+	h.Observe(4.0000001) // just above last bound -> overflow
+	h.Observe(0)         // below everything -> bucket 0
+	h.Observe(-1)        // negative -> bucket 0
+	s = h.Snapshot()
+	want = []uint64{3, 1, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+}
+
+// Counters wrap modulo 2^64 on overflow rather than saturating or
+// panicking; scrapers treat the decrease as a reset.
+func TestCounterOverflowWraps(t *testing.T) {
+	var c Counter
+	c.Add(math.MaxUint64)
+	if c.Value() != math.MaxUint64 {
+		t.Fatalf("value = %d, want MaxUint64", c.Value())
+	}
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatalf("value after overflow = %d, want 0 (wrap)", c.Value())
+	}
+	c.Add(3)
+	if c.Value() != 3 {
+		t.Fatalf("value = %d, want 3", c.Value())
+	}
+}
+
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("weird_total", `help with \ backslash
+and newline`, L("path", "a\\b\"c\nd"))
+	c.Add(7)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP weird_total help with \\ backslash\nand newline`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `weird_total{path="a\\b\"c\nd"} 7`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests", L("stage", "sample")).Add(3)
+	r.Counter("reqs_total", "requests", L("stage", "encode")).Add(5)
+	r.Gauge("depth", "queue depth").Set(2.5)
+	h := r.Histogram("lat_ms", "latency", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(10) // on the bound -> le="10"
+	h.Observe(99)
+	r.GaugeFunc("hit_rate", "hit rate", func() float64 { return 0.75 })
+	r.CounterFunc("bytes_total", "bytes", func() float64 { return 4096 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter\n",
+		`reqs_total{stage="sample"} 3`,
+		`reqs_total{stage="encode"} 5`,
+		"# TYPE depth gauge\ndepth 2.5",
+		"# TYPE lat_ms histogram\n",
+		`lat_ms_bucket{le="1"} 1`,
+		`lat_ms_bucket{le="10"} 2`,
+		`lat_ms_bucket{le="+Inf"} 3`,
+		"lat_ms_sum 109.5",
+		"lat_ms_count 3",
+		"hit_rate 0.75",
+		"bytes_total 4096",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family even with two label sets.
+	if n := strings.Count(out, "# TYPE reqs_total"); n != 1 {
+		t.Errorf("reqs_total TYPE header appears %d times, want 1", n)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 40})
+	for i := 0; i < 100; i++ {
+		h.Observe(15) // all in (10, 20]
+	}
+	s := h.Snapshot()
+	// Median interpolates to the middle of the (10, 20] bucket.
+	if got := s.Quantile(0.5); got != 15 {
+		t.Errorf("p50 = %v, want 15", got)
+	}
+	// Everything beyond the last finite bound reports that bound.
+	h2 := newHistogram([]float64{10})
+	h2.Observe(1e9)
+	if got := h2.Snapshot().Quantile(0.99); got != 10 {
+		t.Errorf("overflow p99 = %v, want 10 (last finite bound)", got)
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestRegistryDedup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "c")
+	b := r.Counter("c_total", "c")
+	if a != b {
+		t.Error("same name+labels should return the same counter")
+	}
+	c := r.Counter("c_total", "c", L("k", "v"))
+	if a == c {
+		t.Error("different labels should return a distinct counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch should panic")
+		}
+	}()
+	r.Gauge("c_total", "now a gauge?")
+}
+
+// Nil registry and nil metrics are fully usable no-ops.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "").Inc()
+	r.Gauge("b", "").Set(1)
+	r.Histogram("c", "", []float64{1}).Observe(1)
+	r.GaugeFunc("d", "", func() float64 { return 0 })
+	r.CounterFunc("e", "", func() float64 { return 0 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var c *Counter
+	c.Inc()
+	c.Add(2)
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	var h *Histogram
+	h.Observe(1)
+	h.Snapshot()
+	var tr *Tracer
+	tr.Span("x", "y", 0, time.Now(), time.Second)
+	tr.Flush()
+	tr.Close()
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(ExpBuckets(1, 2, 10))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 700))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}
+
+// The trace file is a valid JSON array of Chrome "X" events with
+// microsecond timestamps and the expected rows.
+func TestTracerOutput(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(writerCloser{&b})
+	start := tr.start
+	tr.Span("pipeline", "prefetch", TIDPrefetch, start.Add(time.Millisecond), 2*time.Millisecond)
+	tr.Span("pipeline", `batch "quoted" \ build`, TIDBuilderBase, start.Add(3*time.Millisecond), time.Millisecond)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Ph   string  `json:"ph"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Cat  string  `json:"cat"`
+		Name string  `json:"name"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	e := events[0]
+	if e.Ph != "X" || e.Tid != TIDPrefetch || e.Cat != "pipeline" || e.Name != "prefetch" {
+		t.Errorf("event 0 = %+v", e)
+	}
+	if e.Ts != 1000 || e.Dur != 2000 {
+		t.Errorf("ts/dur = %v/%v µs, want 1000/2000", e.Ts, e.Dur)
+	}
+	if events[1].Name != `batch "quoted" \ build` {
+		t.Errorf("escaped name round-trip = %q", events[1].Name)
+	}
+	// Spans after Close are dropped, not a panic or corrupt tail.
+	tr.Span("x", "late", 0, start, time.Millisecond)
+}
+
+type writerCloser struct{ *strings.Builder }
+
+func (writerCloser) Close() error { return nil }
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.5, 2, 4)
+	want := []float64{0.5, 1, 2, 4}
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", b, want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4). Families are grouped by metric
+// name in first-registration order, with one # HELP / # TYPE header
+// per family; histograms expand to cumulative _bucket series plus
+// _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	metrics := r.snapshotMetrics()
+	var b strings.Builder
+	seen := make(map[string]bool, len(metrics))
+	for _, m := range metrics {
+		if seen[m.name] {
+			continue
+		}
+		seen[m.name] = true
+		writeHeader(&b, m)
+		for _, s := range metrics {
+			if s.name != m.name {
+				continue
+			}
+			writeSeries(&b, s)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHeader(b *strings.Builder, m *metric) {
+	if m.help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(m.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(m.help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(m.name)
+	b.WriteByte(' ')
+	switch m.kind {
+	case kindCounter, kindCounterFunc:
+		b.WriteString("counter")
+	case kindGauge, kindGaugeFunc:
+		b.WriteString("gauge")
+	case kindHistogram:
+		b.WriteString("histogram")
+	}
+	b.WriteByte('\n')
+}
+
+func writeSeries(b *strings.Builder, m *metric) {
+	switch m.kind {
+	case kindCounter:
+		writeName(b, m.name, m.labels, "")
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(m.c.Value(), 10))
+		b.WriteByte('\n')
+	case kindGauge:
+		writeName(b, m.name, m.labels, "")
+		b.WriteByte(' ')
+		writeFloat(b, m.g.Value())
+		b.WriteByte('\n')
+	case kindCounterFunc, kindGaugeFunc:
+		writeName(b, m.name, m.labels, "")
+		b.WriteByte(' ')
+		writeFloat(b, m.fn())
+		b.WriteByte('\n')
+	case kindHistogram:
+		s := m.h.Snapshot()
+		var cum uint64
+		for i, c := range s.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(s.Bounds) {
+				le = strconv.FormatFloat(s.Bounds[i], 'g', -1, 64)
+			}
+			writeName(b, m.name+"_bucket", m.labels, le)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(cum, 10))
+			b.WriteByte('\n')
+		}
+		writeName(b, m.name+"_sum", m.labels, "")
+		b.WriteByte(' ')
+		writeFloat(b, s.Sum)
+		b.WriteByte('\n')
+		writeName(b, m.name+"_count", m.labels, "")
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(s.Count, 10))
+		b.WriteByte('\n')
+	}
+}
+
+// writeName emits name{k="v",...} with the optional le label appended
+// (histogram buckets).
+func writeName(b *strings.Builder, name string, labels []Label, le string) {
+	b.WriteString(name)
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func writeFloat(b *strings.Builder, v float64) {
+	b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only (the
+// format leaves quotes alone in help text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

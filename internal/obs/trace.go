@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracer records completed spans ("X" events) in Chrome Trace Event
+// Format: a JSON array with one event object per line, loadable in
+// chrome://tracing or Perfetto. Timestamps are microseconds relative
+// to the tracer's creation. A nil *Tracer is a no-op, so callers emit
+// spans unconditionally.
+//
+// Span takes a short mutex around one buffered write; the formatting
+// itself allocates nothing beyond the tracer's reusable scratch
+// buffer. Close flushes and terminates the JSON array (viewers accept
+// unterminated files too, so a crash mid-run still yields a loadable
+// trace).
+type Tracer struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	c       io.Closer
+	start   time.Time
+	scratch []byte
+	first   bool
+	closed  bool
+}
+
+// NewTracer writes trace events to w. If w is an io.Closer, Close
+// closes it.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{bw: bufio.NewWriterSize(w, 1<<16), start: time.Now(), first: true}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	t.bw.WriteString("[\n")
+	return t
+}
+
+// CreateTrace creates (truncating) a trace file at path.
+func CreateTrace(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewTracer(f), nil
+}
+
+// Span records a completed span of duration dur that began at start,
+// on trace row tid, in category cat. Nil-safe; no-op after Close.
+func (t *Tracer) Span(cat, name string, tid int, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	b := t.scratch[:0]
+	if t.first {
+		t.first = false
+	} else {
+		b = append(b, ",\n"...)
+	}
+	b = append(b, `{"ph":"X","pid":1,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendFloat(b, float64(start.Sub(t.start).Nanoseconds())/1e3, 'f', 3, 64)
+	b = append(b, `,"dur":`...)
+	b = strconv.AppendFloat(b, float64(dur.Nanoseconds())/1e3, 'f', 3, 64)
+	b = append(b, `,"cat":"`...)
+	b = appendJSONString(b, cat)
+	b = append(b, `","name":"`...)
+	b = appendJSONString(b, name)
+	b = append(b, `"}`...)
+	t.scratch = b
+	t.bw.Write(b)
+}
+
+// appendJSONString appends s with the minimal JSON string escaping
+// (backslash, quote, control characters).
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' || c == '"':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+// Flush writes buffered events through to the underlying writer
+// without closing. Nil-safe.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	return t.bw.Flush()
+}
+
+// Close terminates the JSON array, flushes, and closes the underlying
+// writer if it is a Closer. Nil-safe; idempotent.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	t.bw.WriteString("\n]\n")
+	err := t.bw.Flush()
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

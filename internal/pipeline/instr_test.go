@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// instrEpoch builds a deterministic epoch whose compute stage appends
+// to out.
+func instrEpoch(out *[]string) Epoch[int, string] {
+	var mu sync.Mutex
+	return Epoch[int, string]{
+		NumVisits:  4,
+		Load:       func(vi int) (int, error) { return vi * 10, nil },
+		Admit:      func(int, int) error { return nil },
+		NumBatches: func(int) int { return 3 },
+		Build:      func(w, v, bi int) (string, error) { return fmt.Sprintf("%d/%d", v, bi), nil },
+		Compute: func(v, bi int, b string) error {
+			mu.Lock()
+			*out = append(*out, b)
+			mu.Unlock()
+			return nil
+		},
+	}
+}
+
+// Instrumentation must not change the computed sequence, and must
+// count what actually ran.
+func TestInstrumentedRunMatchesPlain(t *testing.T) {
+	for _, cfg := range []Config{{Depth: 0, Workers: 1}, {Depth: 2, Workers: 2}} {
+		var plain, instr []string
+		if err := Run(context.Background(), cfg, instrEpoch(&plain), nil); err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		in := NewInstr(reg, nil)
+		cfg.Instr = in
+		if err := Run(context.Background(), cfg, instrEpoch(&instr), nil); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(plain) != fmt.Sprint(instr) {
+			t.Fatalf("cfg %+v: instrumented sequence differs:\n%v\n%v", cfg, plain, instr)
+		}
+		if got := in.VisitsLoaded.Value(); got != 4 {
+			t.Errorf("visits loaded = %d, want 4", got)
+		}
+		if got := in.Batches.Value(); got != 12 {
+			t.Errorf("batches = %d, want 12", got)
+		}
+		if got := in.ComputeSec.Snapshot().Count; got != 12 {
+			t.Errorf("compute observations = %d, want 12", got)
+		}
+	}
+}
+
+// A traced run emits spans for all three pipeline stages, and the file
+// is valid Chrome Trace JSON.
+func TestInstrumentedRunSpans(t *testing.T) {
+	for _, cfg := range []Config{{Depth: 0, Workers: 1}, {Depth: 2, Workers: 2}} {
+		var b strings.Builder
+		tr := obs.NewTracer(nopCloser{&b})
+		cfg.Instr = NewInstr(nil, tr)
+		var out []string
+		if err := Run(context.Background(), cfg, instrEpoch(&out), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var events []struct {
+			Cat  string `json:"cat"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+			t.Fatalf("cfg %+v: invalid trace JSON: %v", cfg, err)
+		}
+		names := map[string]int{}
+		for _, e := range events {
+			if e.Cat == "pipeline" {
+				names[e.Name]++
+			}
+		}
+		if names["prefetch"] != 4 || names["batch_build"] != 12 || names["compute"] != 12 {
+			t.Errorf("cfg %+v: span counts = %v, want prefetch=4 batch_build=12 compute=12", cfg, names)
+		}
+	}
+}
+
+type nopCloser struct{ *strings.Builder }
+
+func (nopCloser) Close() error { return nil }

@@ -45,6 +45,9 @@ type Config struct {
 	// With Depth == 0 and Workers == 1 the whole epoch runs inline in the
 	// caller's goroutine with no channels at all.
 	Workers int
+	// Instr, when non-nil, attaches lock-free metrics and trace spans
+	// to every stage. It never changes stage ordering or results.
+	Instr *Instr
 }
 
 // Stats reports how a pipelined epoch behaved. All durations are
@@ -122,15 +125,17 @@ func Run[V, B any](ctx context.Context, cfg Config, ep Epoch[V, B], st *Stats) e
 	if ep.NumVisits == 0 {
 		return nil
 	}
+	ep = instrumentEpoch(cfg.Instr, ep)
 
 	if depth == 0 && workers == 1 {
-		return runSerial(ctx, ep, st)
+		return runSerial(ctx, ep, st, cfg.Instr)
 	}
 
 	r := &run[V, B]{
 		ep:   ep,
 		cfg:  Config{Depth: depth, Workers: workers},
 		st:   st,
+		in:   cfg.Instr,
 		stop: make(chan struct{}),
 	}
 
@@ -200,7 +205,7 @@ func Run[V, B any](ctx context.Context, cfg Config, ep Epoch[V, B], st *Stats) e
 
 // runSerial is the fully-inline path: no goroutines, no channels, and
 // therefore bit-reproducible scheduling.
-func runSerial[V, B any](ctx context.Context, ep Epoch[V, B], st *Stats) error {
+func runSerial[V, B any](ctx context.Context, ep Epoch[V, B], st *Stats, in *Instr) error {
 	for vi := 0; vi < ep.NumVisits; vi++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -212,6 +217,7 @@ func runSerial[V, B any](ctx context.Context, ep Epoch[V, B], st *Stats) error {
 		if st != nil {
 			st.VisitsLoaded++
 		}
+		in.visitLoaded()
 		err = func() error {
 			if ep.Release != nil {
 				defer ep.Release(v)
@@ -246,6 +252,7 @@ type run[V, B any] struct {
 	ep       Epoch[V, B]
 	cfg      Config
 	st       *Stats
+	in       *Instr
 	stop     chan struct{}
 	stopOnce sync.Once
 	mu       sync.Mutex // guards st
@@ -256,6 +263,7 @@ type run[V, B any] struct {
 func (r *run[V, B]) abort() { r.stopOnce.Do(func() { close(r.stop) }) }
 
 func (r *run[V, B]) addLoaded() {
+	r.in.visitLoaded()
 	if r.st == nil {
 		return
 	}
@@ -264,13 +272,23 @@ func (r *run[V, B]) addLoaded() {
 	r.mu.Unlock()
 }
 
-func (r *run[V, B]) addWait(load, batch time.Duration) {
+func (r *run[V, B]) addLoadWait(d time.Duration) {
+	r.in.loadWait(d)
 	if r.st == nil {
 		return
 	}
 	r.mu.Lock()
-	r.st.LoadWait += load
-	r.st.BatchWait += batch
+	r.st.LoadWait += d
+	r.mu.Unlock()
+}
+
+func (r *run[V, B]) addBatchWait(d time.Duration) {
+	r.in.batchWait(d)
+	if r.st == nil {
+		return
+	}
+	r.mu.Lock()
+	r.st.BatchWait += d
 	r.mu.Unlock()
 }
 
@@ -280,9 +298,10 @@ func (r *run[V, B]) consumeVisits(ctx context.Context, ch <-chan loaded[V]) erro
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		r.in.queueDepth(len(ch))
 		t0 := time.Now()
 		lv, ok := <-ch
-		r.addWait(time.Since(t0), 0)
+		r.addLoadWait(time.Since(t0))
 		if !ok {
 			// The prefetcher stopped early without delivering an error;
 			// only possible after an abort (e.g. cancellation).
@@ -379,7 +398,7 @@ func (r *run[V, B]) runVisit(ctx context.Context, vi int, v V) (err error) {
 		}
 		t0 := time.Now()
 		<-slots[i].done
-		r.addWait(0, time.Since(t0))
+		r.addBatchWait(time.Since(t0))
 		if slots[i].err != nil {
 			return slots[i].err
 		}

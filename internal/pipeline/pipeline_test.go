@@ -140,7 +140,7 @@ func TestBoundedQueue(t *testing.T) {
 
 func TestLoadErrorAborts(t *testing.T) {
 	boom := errors.New("load failed")
-	for _, cfg := range []Config{{0, 1}, {0, 3}, {2, 2}} {
+	for _, cfg := range []Config{{Depth: 0, Workers: 1}, {Depth: 0, Workers: 3}, {Depth: 2, Workers: 2}} {
 		te := &traceEpoch{}
 		ep := te.epoch(6, 2, nil)
 		inner := ep.Load
@@ -158,7 +158,7 @@ func TestLoadErrorAborts(t *testing.T) {
 
 func TestBuildErrorAborts(t *testing.T) {
 	boom := errors.New("build failed")
-	for _, cfg := range []Config{{0, 1}, {0, 4}, {3, 2}} {
+	for _, cfg := range []Config{{Depth: 0, Workers: 1}, {Depth: 0, Workers: 4}, {Depth: 3, Workers: 2}} {
 		te := &traceEpoch{}
 		ep := te.epoch(4, 6, nil)
 		inner := ep.Build
@@ -176,7 +176,7 @@ func TestBuildErrorAborts(t *testing.T) {
 
 func TestComputeErrorAborts(t *testing.T) {
 	boom := errors.New("compute failed")
-	for _, cfg := range []Config{{0, 1}, {0, 4}, {2, 3}} {
+	for _, cfg := range []Config{{Depth: 0, Workers: 1}, {Depth: 0, Workers: 4}, {Depth: 2, Workers: 3}} {
 		te := &traceEpoch{}
 		ep := te.epoch(5, 4, nil)
 		inner := ep.Compute
@@ -200,7 +200,7 @@ func TestComputeErrorAborts(t *testing.T) {
 }
 
 func TestContextCancellationMidEpoch(t *testing.T) {
-	for _, cfg := range []Config{{0, 1}, {2, 3}} {
+	for _, cfg := range []Config{{Depth: 0, Workers: 1}, {Depth: 2, Workers: 3}} {
 		ctx, cancel := context.WithCancel(context.Background())
 		te := &traceEpoch{}
 		ep := te.epoch(8, 4, nil)

@@ -13,8 +13,9 @@ import (
 //	POST /v1/predict  {"nodes":[...], "seed":0}        -> PredictResponse
 //	POST /v1/topk     {"src":0,"rel":0,"k":10}         -> TopKResponse
 //	POST /reload      {"checkpoint":"path"} (optional)  -> reload summary
-//	GET  /healthz                                      -> ok
+//	GET  /healthz                                      -> 200 "ok", or 503 + JSON reason when degraded
 //	GET  /statz                                        -> Statz
+//	GET  /metrics                                      -> Prometheus text exposition
 //
 // ErrBadRequest maps to 400, ErrCheckpointMismatch (via /reload) to 409,
 // ErrClosed to 503, anything else to 500.
@@ -73,12 +74,19 @@ func (s *Server) Handler() http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if ok, reason := s.Health(); !ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"status": "degraded", "reason": reason})
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Statz())
 	})
+	mux.Handle("GET /metrics", s.Metrics().Handler())
 	return mux
 }
 

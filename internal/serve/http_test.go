@@ -3,8 +3,10 @@ package serve_test
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/serve"
@@ -91,4 +93,110 @@ func TestHTTPSurface(t *testing.T) {
 	if statz.Checkpoint != ckptPath {
 		t.Fatalf("statz checkpoint %q, want %q", statz.Checkpoint, ckptPath)
 	}
+}
+
+// GET /metrics serves Prometheus text covering serve, storage, and
+// snapshot metric families, and a failed reload flips /healthz to 503
+// with a JSON reason until the next successful reload.
+func TestHTTPMetricsAndDegradedHealth(t *testing.T) {
+	dir := prepNC(t, 2)
+	ckptPath := train(t, dir, ncOpts, 1)[0]
+	srv := startServer(t, dir, ckptPath, serve.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	resp := mustPost(t, hs.URL+"/v1/predict", serve.PredictRequest{Nodes: []int32{1, 2}, Seed: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"serve_requests_total",
+		"serve_batches_total",
+		`serve_latency_milliseconds_bucket{stage="total",le="+Inf"}`,
+		"serve_snapshot_epoch",
+		"serve_snapshot_loaded_timestamp_seconds",
+		"serve_healthy 1",
+		`storage_bytes_read_total{store="features"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	// A reload pointing at a nonexistent checkpoint fails, keeps the
+	// old snapshot serving, and degrades /healthz.
+	resp = mustPost(t, hs.URL+"/reload", map[string]string{"checkpoint": dir + "/missing.ckpt"})
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("reload of a missing checkpoint should fail")
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz after failed reload: status %d, want 503", resp.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "degraded" || health.Reason == "" {
+		t.Fatalf("degraded body = %+v", health)
+	}
+
+	// Requests still serve on the old snapshot while degraded.
+	resp = mustPost(t, hs.URL+"/v1/predict", serve.PredictRequest{Nodes: []int32{1}, Seed: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict while degraded: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// A successful reload restores health.
+	resp = mustPost(t, hs.URL+"/reload", map[string]string{"checkpoint": ckptPath})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz after recovery: status %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func mustPost(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
 }

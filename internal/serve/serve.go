@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/encode"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/tensor"
 )
@@ -79,6 +80,10 @@ type Config struct {
 	// but differ from the unquantized table by the storage rounding, so
 	// the default ("") keeps exact float32 scores.
 	QuantizeTable string
+	// Tracer, when non-nil, records serving-stage spans (queue wait,
+	// sample, encode, decode) in Chrome Trace Event Format. Purely
+	// observational; results are identical with it on or off.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +122,10 @@ type Context struct {
 	allNodes []int32
 
 	closer io.Closer // disk-backed feature store, when one was opened
+
+	// featStats are the disk feature store's IO counters (nil for
+	// in-memory or LP datasets); New bridges them into the registry.
+	featStats *storage.Stats
 }
 
 // Open validates the dataset directory (storage.OpenDataset checks the
@@ -201,6 +210,7 @@ func Open(dir string, cfg Config) (*Context, error) {
 			}
 			ctx.Features = ns
 			ctx.closer = ns
+			ctx.featStats = ns.Stats()
 		}
 	}
 	return ctx, nil

@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"repro/internal/decoder"
+	"repro/internal/obs"
 	"repro/internal/sampler"
+	"repro/internal/storage"
 	"repro/internal/tensor"
 )
 
@@ -85,22 +87,87 @@ type Server struct {
 	wg   sync.WaitGroup
 	once sync.Once
 
-	stats stats
+	stats                   *stats
+	reloads, reloadFailures *obs.Counter
+
+	// Degraded-health tracking: reloadErr latches the last failed
+	// reload's message (cleared by the next success); satConsec counts
+	// consecutive dispatches that drained a full batch while the queue
+	// stayed full.
+	reloadErr atomic.Pointer[string]
+	satConsec atomic.Int64
+
+	tracer *obs.Tracer
 }
+
+// saturationThreshold is how many consecutive saturated dispatches
+// (full micro-batch taken, queue still full) flip /healthz to
+// degraded.
+const saturationThreshold = 8
 
 // New starts a server over ctx serving snap.
 func New(ctx *Context, snap *Snapshot, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
 	s := &Server{
-		ctx:  ctx,
-		cfg:  cfg,
-		reqs: make(chan *call, cfg.QueueCap),
-		quit: make(chan struct{}),
+		ctx:    ctx,
+		cfg:    cfg,
+		stats:  newStats(reg),
+		reqs:   make(chan *call, cfg.QueueCap),
+		quit:   make(chan struct{}),
+		tracer: cfg.Tracer,
+	}
+	s.reloads = reg.Counter("serve_reloads_total", "Successful hot checkpoint reloads.")
+	s.reloadFailures = reg.Counter("serve_reload_failures_total", "Failed hot checkpoint reloads.")
+	reg.GaugeFunc("serve_queue_depth", "Requests waiting in the dispatch queue.",
+		func() float64 { return float64(len(s.reqs)) })
+	reg.GaugeFunc("serve_queue_capacity", "Dispatch queue capacity.",
+		func() float64 { return float64(cap(s.reqs)) })
+	reg.GaugeFunc("serve_healthy", "1 when /healthz reports ok, 0 when degraded.",
+		func() float64 {
+			if ok, _ := s.Health(); ok {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("serve_snapshot_loaded_timestamp_seconds", "Unix time the serving snapshot was loaded.",
+		func() float64 { return float64(s.snap.Load().LoadedAt.Unix()) })
+	reg.GaugeFunc("serve_snapshot_epoch", "Training epoch recorded in the serving checkpoint.",
+		func() float64 { return float64(s.snap.Load().File.Epoch) })
+	if ctx.featStats != nil {
+		storage.RegisterStats(reg, "features", ctx.featStats)
 	}
 	s.snap.Store(snap)
 	s.wg.Add(1)
 	go s.dispatch()
 	return s
+}
+
+// Metrics returns the server's metrics registry (serve counters and
+// latency histograms, snapshot gauges, and — for disk-backed feature
+// stores — storage IO counters), for Prometheus exposition.
+func (s *Server) Metrics() *obs.Registry { return s.stats.reg }
+
+// Health reports whether the server is healthy; when degraded, reason
+// names the cause (last reload failed, or the dispatch queue has been
+// saturated for saturationThreshold consecutive micro-batches).
+func (s *Server) Health() (ok bool, reason string) {
+	if msg := s.reloadErr.Load(); msg != nil {
+		return false, "last reload failed: " + *msg
+	}
+	if n := s.satConsec.Load(); n >= saturationThreshold {
+		return false, fmt.Sprintf("queue saturated for %d consecutive dispatches", n)
+	}
+	return true, ""
+}
+
+// noteSaturation updates the consecutive-saturated-dispatch counter.
+func (s *Server) noteSaturation(saturated bool) {
+	if saturated {
+		s.satConsec.Add(1)
+	} else {
+		s.satConsec.Store(0)
+	}
 }
 
 // Snapshot returns the currently served snapshot.
@@ -113,9 +180,14 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 func (s *Server) Reload(path string) (*Snapshot, error) {
 	snap, err := Load(s.ctx, path, s.cfg)
 	if err != nil {
+		msg := err.Error()
+		s.reloadErr.Store(&msg)
+		s.reloadFailures.Inc()
 		return nil, err
 	}
 	s.snap.Store(snap)
+	s.reloadErr.Store(nil)
+	s.reloads.Inc()
 	return snap, nil
 }
 
@@ -217,6 +289,7 @@ func (s *Server) dispatch() {
 			}
 		}
 		timer.Stop()
+		s.noteSaturation(len(batch) >= s.cfg.MaxBatch && len(s.reqs) >= cap(s.reqs))
 		s.runBatch(batch)
 	}
 }
@@ -259,6 +332,14 @@ func (s *Server) runBatch(batch []*call) {
 		sampleT, encodeT, decodeT = sampleT+st, encodeT+et, decodeT+dt
 	}
 	s.stats.recordBatch(len(batch), sampleT, encodeT, decodeT)
+	if s.tracer != nil {
+		for _, c := range batch {
+			s.tracer.Span("serve", "queue_wait", obs.TIDServe, c.enq, wait[c])
+		}
+		s.tracer.Span("serve", "sample", obs.TIDServe, started, sampleT)
+		s.tracer.Span("serve", "encode", obs.TIDServe, started.Add(sampleT), encodeT)
+		s.tracer.Span("serve", "decode", obs.TIDServe, started.Add(sampleT+encodeT), decodeT)
+	}
 }
 
 // fail completes every call in group with err.

@@ -1,104 +1,83 @@
 package serve
 
 import (
-	"math"
-	"sort"
 	"strconv"
-	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// latWindow is the sliding-window size of the per-stage latency rings.
-const latWindow = 1024
+// latBuckets are the shared per-stage latency bounds in milliseconds:
+// 0.05ms .. ~6.5s exponentially. Quantiles served at /statz
+// interpolate within these buckets.
+var latBuckets = obs.ExpBuckets(0.05, 2, 18)
 
-// latRing is a fixed-size ring of recent latency observations.
-type latRing struct {
-	vals [latWindow]float64
-	next int
-	n    int
-}
+// batchBuckets are the upper bounds of the batch-size histogram.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
-func (r *latRing) add(d time.Duration) {
-	r.vals[r.next] = float64(d) / float64(time.Millisecond)
-	r.next = (r.next + 1) % latWindow
-	if r.n < latWindow {
-		r.n++
-	}
-}
-
-// Quantiles summarizes a latency window in milliseconds.
+// Quantiles summarizes one latency stage in milliseconds.
 type Quantiles struct {
 	P50 float64 `json:"p50_ms"`
 	P99 float64 `json:"p99_ms"`
 }
 
-func (r *latRing) quantiles() Quantiles {
-	if r.n == 0 {
-		return Quantiles{}
-	}
-	sorted := append([]float64(nil), r.vals[:r.n]...)
-	sort.Float64s(sorted)
-	// Ceil-rank (nearest-rank) quantile: the smallest value with at least
-	// q·n observations at or below it. Truncating int(q·(n-1)) instead
-	// systematically under-reports the tail — over a full 1024 window it
-	// returns the ~p98.8 observation as "p99".
-	at := func(q float64) float64 {
-		i := int(math.Ceil(q*float64(len(sorted)))) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(sorted) {
-			i = len(sorted) - 1
-		}
-		return sorted[i]
-	}
-	return Quantiles{P50: at(0.50), P99: at(0.99)}
-}
-
-// batchBuckets are the upper bounds of the batch-size histogram buckets.
-var batchBuckets = []int{1, 2, 4, 8, 16, 32, 64}
-
-// stats aggregates serving counters and latency windows. All methods are
-// called under its mutex; readers get a consistent snapshot via Statz.
+// stats aggregates serving counters and latency distributions on a
+// metrics registry. The record paths are lock-free (atomic adds and
+// histogram observes) — no shared mutex on the request path; /statz
+// and /metrics read consistent per-metric snapshots concurrently.
 type stats struct {
-	mu        sync.Mutex
-	requests  uint64
-	batches   uint64
-	errors    uint64
-	batchHist [8]uint64 // batchBuckets + overflow
+	reg *obs.Registry
 
-	queueWait latRing // enqueue -> batch start, per request
-	sample    latRing // per batch
-	encode    latRing // per batch
-	decode    latRing // per batch
-	total     latRing // enqueue -> response, per request
+	requests *obs.Counter
+	batches  *obs.Counter
+	errors   *obs.Counter
+
+	batchSize *obs.Histogram
+
+	queueWait *obs.Histogram // enqueue -> batch start, per request
+	sample    *obs.Histogram // per batch
+	encode    *obs.Histogram // per batch
+	decode    *obs.Histogram // per batch
+	total     *obs.Histogram // enqueue -> response, per request
 }
+
+// newStats builds the serve metric family on reg.
+func newStats(reg *obs.Registry) *stats {
+	lat := func(stage string) *obs.Histogram {
+		return reg.Histogram("serve_latency_milliseconds",
+			"Per-stage serving latency: queue_wait and total are per request, sample/encode/decode per micro-batch.",
+			latBuckets, obs.L("stage", stage))
+	}
+	return &stats{
+		reg:       reg,
+		requests:  reg.Counter("serve_requests_total", "Requests served (including failed ones)."),
+		batches:   reg.Counter("serve_batches_total", "Micro-batches dispatched."),
+		errors:    reg.Counter("serve_errors_total", "Requests that completed with an error."),
+		batchSize: reg.Histogram("serve_batch_size", "Dispatched micro-batch sizes.", batchBuckets),
+		queueWait: lat("queue_wait"),
+		sample:    lat("sample"),
+		encode:    lat("encode"),
+		decode:    lat("decode"),
+		total:     lat("total"),
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 func (st *stats) recordBatch(size int, sample, encode, decode time.Duration) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.batches++
-	st.requests += uint64(size)
-	b := len(batchBuckets)
-	for i, hi := range batchBuckets {
-		if size <= hi {
-			b = i
-			break
-		}
-	}
-	st.batchHist[b]++
-	st.sample.add(sample)
-	st.encode.add(encode)
-	st.decode.add(decode)
+	st.batches.Inc()
+	st.requests.Add(uint64(size))
+	st.batchSize.Observe(float64(size))
+	st.sample.Observe(ms(sample))
+	st.encode.Observe(ms(encode))
+	st.decode.Observe(ms(decode))
 }
 
 func (st *stats) recordCall(queueWait, total time.Duration, failed bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.queueWait.add(queueWait)
-	st.total.add(total)
+	st.queueWait.Observe(ms(queueWait))
+	st.total.Observe(ms(total))
 	if failed {
-		st.errors++
+		st.errors.Inc()
 	}
 }
 
@@ -117,26 +96,33 @@ type Statz struct {
 	// ("<=1", "<=2", ..., ">64").
 	BatchSizeHist map[string]uint64 `json:"batch_size_hist"`
 
-	// Latency holds sliding-window quantiles per stage: queue_wait and
-	// total are per request, sample/encode/decode per micro-batch.
+	// Latency holds per-stage quantiles (interpolated from the
+	// histograms backing /metrics): queue_wait and total are per
+	// request, sample/encode/decode per micro-batch.
 	Latency map[string]Quantiles `json:"latency"`
 }
 
-// Statz returns the current monitoring snapshot.
+func quantiles(h *obs.Histogram) Quantiles {
+	s := h.Snapshot()
+	return Quantiles{P50: s.Quantile(0.50), P99: s.Quantile(0.99)}
+}
+
+// Statz returns the current monitoring snapshot. Each counter and
+// histogram is read via a consistent point-in-time snapshot; no lock
+// is shared with the request path.
 func (s *Server) Statz() Statz {
 	snap := s.snap.Load()
-	st := &s.stats
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	hist := make(map[string]uint64, len(st.batchHist))
-	for i, c := range st.batchHist {
+	st := s.stats
+	bs := st.batchSize.Snapshot()
+	hist := make(map[string]uint64, len(bs.Counts))
+	for i, c := range bs.Counts {
 		if c == 0 {
 			continue
 		}
-		if i < len(batchBuckets) {
-			hist["<="+strconv.Itoa(batchBuckets[i])] = c
+		if i < len(bs.Bounds) {
+			hist["<="+strconv.Itoa(int(bs.Bounds[i]))] = c
 		} else {
-			hist[">"+strconv.Itoa(batchBuckets[len(batchBuckets)-1])] = c
+			hist[">"+strconv.Itoa(int(bs.Bounds[len(bs.Bounds)-1]))] = c
 		}
 	}
 	return Statz{
@@ -144,16 +130,16 @@ func (s *Server) Statz() Statz {
 		LoadedAt:      snap.LoadedAt,
 		Warning:       snap.Warning,
 		QueueDepth:    len(s.reqs),
-		Requests:      st.requests,
-		Batches:       st.batches,
-		Errors:        st.errors,
+		Requests:      st.requests.Value(),
+		Batches:       st.batches.Value(),
+		Errors:        st.errors.Value(),
 		BatchSizeHist: hist,
 		Latency: map[string]Quantiles{
-			"queue_wait": st.queueWait.quantiles(),
-			"sample":     st.sample.quantiles(),
-			"encode":     st.encode.quantiles(),
-			"decode":     st.decode.quantiles(),
-			"total":      st.total.quantiles(),
+			"queue_wait": quantiles(st.queueWait),
+			"sample":     quantiles(st.sample),
+			"encode":     quantiles(st.encode),
+			"decode":     quantiles(st.decode),
+			"total":      quantiles(st.total),
 		},
 	}
 }

@@ -1,78 +1,179 @@
 package serve
 
 import (
+	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// fillRing adds the values 1..n milliseconds in order.
-func fillRing(r *latRing, n int) {
-	for i := 1; i <= n; i++ {
-		r.add(time.Duration(i) * time.Millisecond)
+// newTestServer builds a minimal Server with live stats and a request
+// queue but no dispatcher — enough to exercise Statz, Health, and the
+// record paths white-box.
+func newTestServer(queueCap int) *Server {
+	reg := obs.NewRegistry()
+	s := &Server{stats: newStats(reg), reqs: make(chan *call, queueCap)}
+	s.reloads = reg.Counter("serve_reloads_total", "")
+	s.reloadFailures = reg.Counter("serve_reload_failures_total", "")
+	s.snap.Store(&Snapshot{Path: "test.ckpt", LoadedAt: time.Unix(1, 0)})
+	return s
+}
+
+func TestStatzShape(t *testing.T) {
+	s := newTestServer(8)
+	s.stats.recordBatch(3, 2*time.Millisecond, 4*time.Millisecond, time.Millisecond)
+	s.stats.recordBatch(70, time.Millisecond, time.Millisecond, time.Millisecond)
+	s.stats.recordCall(time.Millisecond, 8*time.Millisecond, false)
+	s.stats.recordCall(time.Millisecond, 8*time.Millisecond, true)
+
+	st := s.Statz()
+	if st.Requests != 73 || st.Batches != 2 || st.Errors != 1 {
+		t.Fatalf("counters = %d/%d/%d, want 73/2/1", st.Requests, st.Batches, st.Errors)
+	}
+	// Size 3 lands in "<=4" (le semantics), 70 overflows to ">64";
+	// empty buckets are omitted, exactly like the pre-registry shape.
+	if st.BatchSizeHist["<=4"] != 1 || st.BatchSizeHist[">64"] != 1 || len(st.BatchSizeHist) != 2 {
+		t.Fatalf("batch hist = %v", st.BatchSizeHist)
+	}
+	for _, stage := range []string{"queue_wait", "sample", "encode", "decode", "total"} {
+		if _, ok := st.Latency[stage]; !ok {
+			t.Fatalf("latency map missing %q: %v", stage, st.Latency)
+		}
+	}
+	if q := st.Latency["total"]; q.P50 <= 0 || q.P99 < q.P50 {
+		t.Fatalf("total quantiles not ordered: %+v", q)
+	}
+	if st.Checkpoint != "test.ckpt" {
+		t.Fatalf("checkpoint = %q", st.Checkpoint)
 	}
 }
 
-// Ceil-rank quantiles: over 1..100, p50 must be exactly 50 (the smallest
-// value with ≥50% of observations at or below it) and p99 exactly 99.
-// The old truncating rank int(q·(n-1)) returned 49 and 98.
-func TestQuantilesExactRanks(t *testing.T) {
-	var r latRing
-	fillRing(&r, 100)
-	q := r.quantiles()
-	if q.P50 != 50 {
-		t.Errorf("p50 over 1..100 = %v, want 50", q.P50)
-	}
-	if q.P99 != 99 {
-		t.Errorf("p99 over 1..100 = %v, want 99", q.P99)
+// A batch size exactly on a bucket bound is counted in that bucket:
+// size 64 reports as "<=64", not ">64".
+func TestStatzBatchBucketBoundary(t *testing.T) {
+	s := newTestServer(8)
+	s.stats.recordBatch(64, 0, 0, 0)
+	st := s.Statz()
+	if st.BatchSizeHist["<=64"] != 1 || st.BatchSizeHist[">64"] != 0 {
+		t.Fatalf("batch hist = %v, want size 64 in <=64", st.BatchSizeHist)
 	}
 }
 
-// Over a full window (1024 samples, ring wrapped to hold 1..1024), p99 is
-// the ceil(0.99·1024) = 1014th order statistic. The truncating rank read
-// index 1012 — the ~p98.9 observation — hiding the true tail.
-func TestQuantilesFullWindow(t *testing.T) {
-	var r latRing
-	fillRing(&r, latWindow)
-	q := r.quantiles()
-	if q.P99 != 1014 {
-		t.Errorf("p99 over full window = %v, want 1014", q.P99)
+// The satellite -race test: Statz must be safe (and lock-free)
+// concurrent with recordBatch/recordCall hammering the hot path.
+func TestStatzConcurrentWithRecords(t *testing.T) {
+	s := newTestServer(8)
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.stats.recordBatch(1+i%99, time.Duration(i)*time.Microsecond,
+					time.Microsecond, time.Microsecond)
+				s.stats.recordCall(time.Microsecond, time.Duration(i)*time.Microsecond, i%7 == 0)
+			}
+		}(w)
 	}
-	if q.P50 != 512 {
-		t.Errorf("p50 over full window = %v, want 512", q.P50)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	var last uint64
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		st := s.Statz()
+		if st.Batches < last {
+			t.Fatalf("batches went backwards: %d -> %d", last, st.Batches)
+		}
+		last = st.Batches
+	}
+	st := s.Statz()
+	if st.Batches != 4*perWorker {
+		t.Fatalf("batches = %d, want %d", st.Batches, 4*perWorker)
 	}
 }
 
-func TestQuantilesEdgeCases(t *testing.T) {
-	var empty latRing
-	if q := empty.quantiles(); q.P50 != 0 || q.P99 != 0 {
-		t.Errorf("empty ring quantiles = %+v, want zeros", q)
+// Histogram snapshots are internally consistent: the _count equals the
+// sum of bucket counts even under concurrent observes.
+func TestStatzSnapshotConsistency(t *testing.T) {
+	s := newTestServer(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				s.stats.total.Observe(float64(i % 50))
+			}
+		}()
 	}
-
-	var one latRing
-	one.add(7 * time.Millisecond)
-	if q := one.quantiles(); q.P50 != 7 || q.P99 != 7 {
-		t.Errorf("single-sample quantiles = %+v, want both 7", q)
-	}
-
-	var two latRing
-	two.add(1 * time.Millisecond)
-	two.add(2 * time.Millisecond)
-	q := two.quantiles()
-	// ceil(0.5·2) = 1st order statistic; ceil(0.99·2) = 2nd.
-	if q.P50 != 1 || q.P99 != 2 {
-		t.Errorf("two-sample quantiles = %+v, want p50=1 p99=2", q)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		snap := s.stats.total.Snapshot()
+		var sum uint64
+		for _, c := range snap.Counts {
+			sum += c
+		}
+		if sum != snap.Count {
+			t.Fatalf("snapshot count %d != bucket sum %d", snap.Count, sum)
+		}
+		select {
+		case <-done:
+			if got := s.stats.total.Snapshot().Count; got != 20000 {
+				t.Fatalf("final count = %d, want 20000", got)
+			}
+			return
+		default:
+		}
 	}
 }
 
-// The ring wraps: after latWindow+k adds, the window holds the most
-// recent latWindow observations, not the first ones.
-func TestQuantilesRingWraps(t *testing.T) {
-	var r latRing
-	fillRing(&r, latWindow+100)
-	// Window now holds 101..1124; p99 = ceil(0.99·1024)th = 1014th order
-	// statistic = 100 + 1014 = 1114.
-	q := r.quantiles()
-	if q.P99 != 1114 {
-		t.Errorf("p99 after wrap = %v, want 1114", q.P99)
+func TestHealthDegradedOnReloadFailure(t *testing.T) {
+	s := newTestServer(8)
+	if ok, _ := s.Health(); !ok {
+		t.Fatal("fresh server should be healthy")
+	}
+	msg := "open missing.ckpt: no such file"
+	s.reloadErr.Store(&msg)
+	ok, reason := s.Health()
+	if ok {
+		t.Fatal("server with failed reload should be degraded")
+	}
+	if reason != "last reload failed: "+msg {
+		t.Fatalf("reason = %q", reason)
+	}
+	// A successful reload clears it.
+	s.reloadErr.Store(nil)
+	if ok, _ := s.Health(); !ok {
+		t.Fatal("cleared reload error should restore health")
+	}
+}
+
+func TestHealthDegradedOnQueueSaturation(t *testing.T) {
+	s := newTestServer(8)
+	for i := 0; i < saturationThreshold-1; i++ {
+		s.noteSaturation(true)
+	}
+	if ok, _ := s.Health(); !ok {
+		t.Fatalf("below threshold (%d) should still be healthy", saturationThreshold-1)
+	}
+	s.noteSaturation(true)
+	ok, reason := s.Health()
+	if ok {
+		t.Fatal("sustained saturation should degrade health")
+	}
+	if reason == "" {
+		t.Fatal("degraded health must carry a reason")
+	}
+	// One unsaturated dispatch resets the streak.
+	s.noteSaturation(false)
+	if ok, _ := s.Health(); !ok {
+		t.Fatal("saturation streak reset should restore health")
 	}
 }

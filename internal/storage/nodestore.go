@@ -5,8 +5,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/tensor"
 )
@@ -160,6 +163,7 @@ type DiskNodeStore struct {
 
 	stats    Stats
 	throttle *Throttle
+	tracer   atomic.Pointer[obs.Tracer] // evict write-back spans; nil = off
 }
 
 // pendingWrite is one in-flight asynchronous partition write-back.
@@ -497,7 +501,9 @@ func (s *DiskNodeStore) evictAsync(p, slot int) {
 	s.wbPending.Add(1)
 	go func() {
 		defer s.wbPending.Done()
+		t0 := time.Now()
 		err := s.writePartitionFrom(p, data, opt)
+		s.tracer.Load().Span("storage", "evict_writeback", obs.TIDEvict, t0, time.Since(t0))
 		// Delete the entry and signal completion in one critical section:
 		// a LoadSet serving a load from wb.data copies under wbMu, so the
 		// buffers cannot be recycled mid-copy.

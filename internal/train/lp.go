@@ -47,6 +47,11 @@ type LPConfig struct {
 
 	Mode Mode
 	Seed int64
+
+	// Obs, when non-nil, attaches metrics and trace spans to every
+	// epoch. Purely additive: the training trajectory is identical with
+	// it on or off.
+	Obs *Obs
 }
 
 // LPTrainer drives link-prediction epochs over a source and policy.
@@ -283,7 +288,7 @@ func (t *LPTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 			v.xEdges, v.pool = nil, nil
 		},
 	}
-	err := pipeline.Run(ctx, pipeline.Config{Depth: depth, Workers: t.Cfg.Workers}, ep, &stats.Pipeline)
+	err := pipeline.Run(ctx, pipeline.Config{Depth: depth, Workers: t.Cfg.Workers, Instr: t.Cfg.Obs.instr()}, ep, &stats.Pipeline)
 	if err != nil {
 		return stats, err
 	}
@@ -301,6 +306,7 @@ func (t *LPTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 		stats.IO = t.Src.Disk.Stats().Snapshot().Sub(ioStart)
 	}
 	t.epoch = epoch
+	t.Cfg.Obs.epochDone(&stats)
 	return stats, nil
 }
 

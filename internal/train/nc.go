@@ -42,6 +42,11 @@ type NCConfig struct {
 
 	Mode Mode
 	Seed int64
+
+	// Obs, when non-nil, attaches metrics and trace spans to every
+	// epoch. Purely additive: the training trajectory is identical with
+	// it on or off.
+	Obs *Obs
 }
 
 // NCTrainer drives node-classification epochs. Labels index all graph
@@ -295,7 +300,7 @@ func (t *NCTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 			v.targets = nil
 		},
 	}
-	err := pipeline.Run(ctx, pipeline.Config{Depth: depth, Workers: t.Cfg.Workers}, ep, &stats.Pipeline)
+	err := pipeline.Run(ctx, pipeline.Config{Depth: depth, Workers: t.Cfg.Workers, Instr: t.Cfg.Obs.instr()}, ep, &stats.Pipeline)
 	if err != nil {
 		return stats, err
 	}
@@ -311,6 +316,7 @@ func (t *NCTrainer) TrainEpoch(ctx context.Context) (EpochStats, error) {
 		stats.IO = t.Src.Disk.Stats().Snapshot().Sub(ioStart)
 	}
 	t.epoch = epoch
+	t.Cfg.Obs.epochDone(&stats)
 	return stats, nil
 }
 

@@ -35,6 +35,10 @@ type ServeConfig struct {
 	// scores for a half- or quarter-size resident table. Results remain
 	// bit-identical across worker counts and batchings.
 	QuantizeTable string
+	// Tracer, when non-nil, records serving-stage spans (queue wait,
+	// sample, encode, decode) in Chrome Trace Event Format; see
+	// NewTracer. Purely observational.
+	Tracer *Tracer
 }
 
 // InferenceServer serves forward-only predictions from a checkpoint over

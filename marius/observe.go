@@ -1,0 +1,72 @@
+package marius
+
+import (
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/train"
+)
+
+// Metrics is a process-wide metrics registry: lock-free counters,
+// gauges, and histograms with hand-rolled Prometheus text exposition
+// (WritePrometheus / Handler). Share one registry between a session
+// and any HTTP listener; see cmd/mariusgnn's -metrics-addr flag.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// Tracer records pipeline and storage stage spans in Chrome Trace
+// Event Format (load the file in chrome://tracing or Perfetto).
+type Tracer = obs.Tracer
+
+// NewTracer creates (truncating) a trace file at path. Close it after
+// the session finishes to flush and terminate the JSON array.
+func NewTracer(path string) (*Tracer, error) { return obs.CreateTrace(path) }
+
+// WithMetrics registers the session's training, pipeline, and storage
+// metrics on m. Instrumentation is lock-free and read-only with
+// respect to training state: trajectories and checkpoints are
+// byte-identical with metrics on or off.
+func WithMetrics(m *Metrics) Option {
+	return func(o *Options) error {
+		if m == nil {
+			return optErr("WithMetrics", ErrBadValue, "nil registry")
+		}
+		o.Metrics = m
+		return nil
+	}
+}
+
+// WithTrace emits per-stage spans (partition prefetch, batch build,
+// compute, evict write-back) to t during training. Same determinism
+// guarantee as WithMetrics.
+func WithTrace(t *Tracer) Option {
+	return func(o *Options) error {
+		if t == nil {
+			return optErr("WithTrace", ErrBadValue, "nil tracer")
+		}
+		o.Tracer = t
+		return nil
+	}
+}
+
+// observe wires the configured observability into a task's source and
+// returns the trainer hooks (nil when neither metrics nor tracing was
+// requested).
+func (o *Options) observe(src *train.Source) *train.Obs {
+	if o.Metrics == nil && o.Tracer == nil {
+		return nil
+	}
+	ob := train.NewObs(o.Metrics, o.Tracer)
+	if src != nil {
+		if src.Disk != nil {
+			storage.RegisterStats(o.Metrics, "node", src.Disk.Stats())
+			src.Disk.SetTracer(o.Tracer)
+		}
+		if src.Edges != nil {
+			storage.RegisterStats(o.Metrics, "edge", src.Edges.Stats())
+			src.FragCache().Register(o.Metrics)
+		}
+	}
+	return ob
+}

@@ -192,6 +192,12 @@ type Options struct {
 	PipelineDepth int
 	Seed          int64
 
+	// Metrics and Tracer attach observability (see WithMetrics and
+	// WithTrace). Either may be nil; instrumentation never changes the
+	// training trajectory.
+	Metrics *Metrics
+	Tracer  *Tracer
+
 	// dataset, when non-nil, is the opened preprocessed dataset the
 	// session trains from (set by FromDataset): tasks then skip the
 	// relabeling step — the ingest already applied it — and build their

@@ -132,6 +132,7 @@ func (t *ncTask) assemble(g *graph.Graph, o *Options, src *train.Source, featDim
 		Fanouts: o.Fanouts, Dirs: graph.Both,
 		BatchSize: o.BatchSize, Opt: nn.NewAdam(o.LR), ClipNorm: 5,
 		Workers: o.Workers, PipelineDepth: o.PipelineDepth, Mode: o.Mode, Seed: o.Seed,
+		Obs: o.observe(src),
 	}
 	t.g, t.opts, t.src, t.ps, t.enc = g, o, src, ps, enc
 	t.tr = train.NewNC(ncfg, src, pol, g.Labels, g.TrainNodes)
@@ -370,6 +371,7 @@ func (t *lpTask) assemble(g *graph.Graph, o *Options, src *train.Source, p, c, l
 		BatchSize: o.BatchSize, Negatives: o.Negatives,
 		DenseOpt: nn.NewAdam(o.LR), EmbOpt: nn.NewSparseAdaGrad(o.EmbLR), ClipNorm: 5,
 		Workers: o.Workers, PipelineDepth: o.PipelineDepth, Mode: o.Mode, Seed: o.Seed,
+		Obs: o.observe(src),
 	}
 	t.g, t.opts, t.src, t.ps, t.enc, t.dec = g, o, src, ps, enc, dec
 	t.tr = train.NewLP(lcfg, src, pol)
