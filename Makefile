@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-pipeline bench-kernels bench-pipeline bench-sampler bench-ingest bench-serve bench-baseline check
+.PHONY: build test race race-pipeline race-fault bench-kernels bench-pipeline bench-sampler bench-ingest bench-serve bench-fault bench-baseline check
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,27 @@ bench-ingest:
 bench-serve:
 	$(GO) run ./cmd/benchserve -short -check -o /tmp/BENCH_serve.json
 
+# Race coverage focused on the fault-tolerance surface: the injector's
+# own determinism/crash tests, the storage retry and evict write-back
+# fault tests, serve resilience (shedding, deadlines, panic
+# containment), and the crash-resume differential.
+race-fault:
+	$(GO) test -race ./internal/fault/
+	$(GO) test -race -run 'Fault|Evict|Retry' ./internal/storage/
+	$(GO) test -race -run 'Shed|Timeout|Panic|Reload' ./internal/serve/
+	$(GO) test -race -run 'Crash|Resume|Journal' ./internal/ckpt/ ./internal/dataset/ ./marius/
+
+# Short-mode chaos harness with hard gates: a prep killed mid-write must
+# recover via -force to a byte-identical dataset, training under random
+# transient/short IO must match the clean run bit for bit, a run killed
+# at a random write count must Resume to the uninterrupted trajectory
+# and checkpoint, an overloaded server must shed fast (503+Retry-After)
+# and degrade/recover its health, and an injected dispatcher panic must
+# be contained. Writes to /tmp so the checked-in full-size baseline is
+# never clobbered.
+bench-fault:
+	$(GO) run ./cmd/benchfault -short -check -o /tmp/BENCH_fault.json
+
 # Refresh the checked-in full-shape baselines (commit the results).
 bench-baseline:
 	$(GO) run ./cmd/benchkernels -check -o BENCH_kernels.json
@@ -80,8 +101,9 @@ bench-baseline:
 	$(GO) run ./cmd/benchsampler -check -o BENCH_sampler.json
 	$(GO) run ./cmd/benchingest -check -o BENCH_ingest.json
 	$(GO) run ./cmd/benchserve -check -o BENCH_serve.json
+	$(GO) run ./cmd/benchfault -check -o BENCH_fault.json
 
 # The full local gate: everything CI runs (test, race, race-pipeline,
 # and every benchmark floor including the end-to-end ingest and serving
 # paths).
-check: build test race race-pipeline bench-kernels bench-pipeline bench-sampler bench-ingest bench-serve
+check: build test race race-pipeline race-fault bench-kernels bench-pipeline bench-sampler bench-ingest bench-serve bench-fault

@@ -2,7 +2,11 @@
 // combination of task, model, storage mode and replacement policy, through
 // the marius Session API. Flag defaults are the paper defaults exported by
 // the marius package. Ctrl-C cancels the run cleanly mid-epoch; -checkpoint
-// saves resumable state every epoch and -resume restarts from it.
+// saves resumable state every epoch and -resume restarts from it. A run
+// killed outright (crash, OOM, kill -9) is continued by -resume-dir, which
+// replays the run journal written alongside the checkpoint and finishes
+// with losses and a final checkpoint byte-identical to an uninterrupted
+// run.
 //
 // Examples:
 //
@@ -10,6 +14,7 @@
 //	mariusgnn -task lp -dataset fb15k237 -storage disk -policy comet -epochs 5
 //	mariusgnn -task lp -model distmult -storage disk -policy beta
 //	mariusgnn -task lp -epochs 20 -checkpoint run.ckpt   # later: -resume run.ckpt
+//	mariusgnn -data data/fb -checkpoint ckpts/run.ckpt   # killed? -resume-dir ckpts
 //	mariusgnn -data data/fb -storage disk -pipeline 2    # mariusprep-prepared directory
 //	mariusgnn -storage disk -pipeline 2 -metrics-addr :9090 -trace run.trace
 //	  # then: curl -s localhost:9090/metrics ; load run.trace in chrome://tracing
@@ -57,12 +62,17 @@ func main() {
 		patience  = flag.Int("patience", 0, "early-stopping patience in epochs (0 = off)")
 		ckpt      = flag.String("checkpoint", "", "save a resumable checkpoint here every epoch")
 		resume    = flag.String("resume", "", "restore training state from this checkpoint before running")
+		resumeDir = flag.String("resume-dir", "", "continue a killed checkpointed run from the journal in this directory (where -checkpoint wrote); the journal records the full session configuration, so other flags are ignored")
 		serveHint = flag.Bool("serve-export", false, "print the mariusserve invocation for the saved checkpoint after the run")
 		metrics   = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text) and /debug/pprof/ on this address during the run")
 		traceF    = flag.String("trace", "", "write pipeline/storage stage spans to this file in Chrome Trace Event Format")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
+	if *resumeDir != "" {
+		resumeFromJournal(*resumeDir, *noEval)
+		return
+	}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	seedSet := explicit["seed"]
@@ -267,6 +277,43 @@ func main() {
 	}
 
 	if *noEval {
+		return
+	}
+	valid, err := sess.Evaluate(marius.ValidSplit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := sess.Evaluate(marius.TestSplit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validation %s %.4f, test %s %.4f\n", valid.Metric, valid.Value, test.Metric, test.Value)
+}
+
+// resumeFromJournal continues a crashed checkpointed run: the journal in
+// dir records the dataset, session options, epoch target and checkpoint
+// location, so the combined run finishes with losses and a final
+// checkpoint byte-identical to one that was never interrupted.
+func resumeFromJournal(dir string, noEval bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sess, res, err := marius.Resume(ctx, dir)
+	if errors.Is(err, marius.ErrNoJournal) {
+		log.Fatalf("%s holds no run journal: the crash (if any) predates all durable state — start the run fresh", dir)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) && res != nil {
+			fmt.Printf("resume canceled after %d epochs\n", len(res.Epochs))
+			return
+		}
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	for _, st := range res.Epochs {
+		fmt.Printf("epoch %d: loss=%.4f train-metric=%.4f\n", st.Epoch, st.Loss, st.Metric)
+	}
+	fmt.Printf("resumed run complete: %d epochs total\n", len(res.Epochs))
+	if noEval {
 		return
 	}
 	valid, err := sess.Evaluate(marius.ValidSplit)

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/dataset"
@@ -85,6 +86,7 @@ func prep(args []string) {
 		quantize   = fs.String("quantize", "", "feature storage encoding: fp16 or int8 (default float32); quantizes once at prep, readers dequantize deterministically")
 		memMB      = fs.Int64("mem", 0, "external-sort working-set cap in MB (0 = 256)")
 		tmpDir     = fs.String("tmp", "", "spill directory (default: the output directory)")
+		force      = fs.Bool("force", false, "overwrite a partial output left by an interrupted prep (sweeps partial payload files and spill temps first)")
 		quiet      = fs.Bool("q", false, "suppress progress output")
 	)
 	fs.Parse(args)
@@ -95,6 +97,7 @@ func prep(args []string) {
 		Task: *task, Seed: *seed, Partitions: *parts,
 		NumRels: *rels, NumClasses: *classes, FeatureDim: *featDim,
 		Quantize: *quantize, MemLimit: *memMB << 20, TmpDir: *tmpDir,
+		Force: *force,
 	}
 	if cfg.MemLimit <= 0 {
 		cfg.MemLimit = dataset.DefaultMemLimit
@@ -181,6 +184,13 @@ func validate(args []string) {
 	}
 	fmt.Printf("%s: OK — %d edges in %d buckets, every checksum verified (%.2fs)\n",
 		dir, ds.Man.NumEdges, len(ds.Man.BucketCounts), time.Since(start).Seconds())
+	// Leftover prep scratch files mean an ingest was interrupted here at
+	// some point; the committed dataset is intact, but flag them.
+	if orphans, err := dataset.OrphanedTemps(dir); err == nil && len(orphans) > 0 {
+		fmt.Printf("  WARNING: %d orphaned prep temp file(s) from an interrupted ingest: %s\n",
+			len(orphans), strings.Join(orphans, ", "))
+		fmt.Printf("  they are harmless to readers; remove them to reclaim space\n")
+	}
 }
 
 func oneDir(sub string, args []string) string {

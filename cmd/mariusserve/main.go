@@ -36,7 +36,9 @@ func main() {
 		addr     = flag.String("addr", ":8080", "HTTP listen address")
 		maxBatch = flag.Int("max-batch", 32, "micro-batch size cap")
 		maxWait  = flag.Duration("max-wait", 2*time.Millisecond, "max wait for co-batched requests")
-		queue    = flag.Int("queue", 0, "request queue capacity (0 = 4*max-batch)")
+		queue    = flag.Int("queue", 0, "request queue capacity (0 = 4*max-batch); requests beyond it are shed with 503 + Retry-After")
+		reqTO    = flag.Duration("request-timeout", 0, "per-request deadline covering queue wait plus micro-batch (0 = none); expiry returns 504")
+		drain    = flag.Duration("drain", 5*time.Second, "max time to drain in-flight requests on SIGTERM/SIGINT before exiting")
 		workers  = flag.Int("workers", 4, "kernel fan-out (results identical at any value)")
 		mem      = flag.Bool("mem", false, "load node features fully into memory")
 		qtable   = flag.String("quantize-table", "", "store the LP encoding table quantized (fp16 or int8) to shrink serving memory")
@@ -52,6 +54,7 @@ func main() {
 	cfg := marius.ServeConfig{
 		MaxBatch: *maxBatch, MaxWait: *maxWait, QueueCap: *queue,
 		Workers: *workers, Seed: *seed, InMemory: *mem, QuantizeTable: *qtable,
+		RequestTimeout: *reqTO,
 	}
 	if *traceF != "" {
 		tr, err := marius.NewTracer(*traceF)
@@ -107,10 +110,19 @@ func main() {
 	go func() { done <- hs.ListenAndServe() }()
 	select {
 	case <-ctx.Done():
-		log.Printf("shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain: stop accepting connections, let in-flight
+		// requests finish (bounded by -drain), then close the inference
+		// server (the deferred Close) and exit 0. A second signal during
+		// the drain kills the process via Go's default handling, since
+		// NotifyContext unregisters after the first.
+		log.Printf("signal received; draining for up to %s", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		hs.Shutdown(shutCtx)
+		if err := hs.Shutdown(shutCtx); err != nil {
+			log.Printf("drain deadline exceeded, closing: %v", err)
+			hs.Close()
+		}
+		log.Printf("drained")
 	case err := <-done:
 		log.Fatal(err)
 	}

@@ -20,7 +20,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/nn"
 )
 
@@ -97,7 +99,13 @@ type File struct {
 // rename, fsync the directory): a crash at any point leaves either the
 // previous checkpoint or the complete new one, never a truncated file.
 func Write(path string, f *File) error {
-	return atomicWrite(path, func(w io.Writer) error {
+	return WriteFS(nil, path, f)
+}
+
+// WriteFS is Write writing through fsys (nil means the real
+// filesystem), so crash-injection tests can kill a run mid-checkpoint.
+func WriteFS(fsys fault.FS, path string, f *File) error {
+	return atomicWrite(fsys, path, ".ckpt-*", func(w io.Writer) error {
 		if err := gob.NewEncoder(w).Encode(f); err != nil {
 			return fmt.Errorf("ckpt: encode checkpoint: %w", err)
 		}
@@ -111,13 +119,14 @@ func Write(path string, f *File) error {
 // other artifact the tools write is 0644 under the umask), renames it
 // over path, and fsyncs the directory so the rename itself survives a
 // crash. On any error the temp file is removed and path is untouched.
-func atomicWrite(path string, fn func(io.Writer) error) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+func atomicWrite(fsys fault.FS, path, pattern string, fn func(io.Writer) error) error {
+	fs := fault.Or(fsys)
+	tmp, err := fs.CreateTemp(filepath.Dir(path), pattern)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
-	if err := fn(tmp); err != nil {
+	defer fs.Remove(tmp.Name())
+	if err := fn(retryWriter{tmp}); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -132,7 +141,7 @@ func atomicWrite(path string, fn func(io.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fs.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
 	dir, err := os.Open(filepath.Dir(path))
@@ -141,6 +150,41 @@ func atomicWrite(path string, fn func(io.Writer) error) error {
 	}
 	defer dir.Close()
 	return dir.Sync()
+}
+
+// retryWriter adapts a fault-injectable file to the strict io.Writer
+// contract: short writes (n < len(p) with nil error — POSIX-permitted
+// partial IO) are continued, and transient errors are retried with the
+// same bounded exponential backoff as the storage layer, so a gob or
+// JSON encoder streaming through it never sees a retryable blip.
+type retryWriter struct{ f fault.File }
+
+func (w retryWriter) Write(p []byte) (int, error) {
+	total, attempt := 0, 0
+	for len(p) > 0 {
+		n, err := w.f.Write(p)
+		total += n
+		p = p[n:]
+		if len(p) == 0 {
+			return total, nil
+		}
+		if err == nil {
+			if n == 0 {
+				return total, io.ErrNoProgress
+			}
+			attempt = 0
+			continue
+		}
+		if n > 0 {
+			attempt = 0
+		}
+		if !fault.IsTransient(err) || attempt >= 4 {
+			return total, err
+		}
+		time.Sleep(500 * time.Microsecond << attempt)
+		attempt++
+	}
+	return total, nil
 }
 
 // Read loads a checkpoint from path. It performs no validation beyond

@@ -102,7 +102,7 @@ func TestAtomicWriteFailureLeavesDestination(t *testing.T) {
 	}
 
 	boom := errors.New("short write")
-	err = atomicWrite(path, func(w io.Writer) error {
+	err = atomicWrite(nil, path, ".ckpt-*", func(w io.Writer) error {
 		w.Write([]byte("partial garbage"))
 		return boom
 	})

@@ -1,0 +1,114 @@
+package ckpt
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleJournal() *Journal {
+	return &Journal{
+		Version: JournalVersion,
+		Task:    "lp",
+		Seed:    7,
+		DataDir: "/data/fb",
+		Epochs:  5,
+		Ckpt:    "run.ckpt",
+		Done: []EpochRecord{
+			{Epoch: 1, Loss: 0.6931471805599453, Metric: 0.1},
+			{Epoch: 2, Loss: 1.0 / 3.0, Metric: math.Pi},
+		},
+	}
+}
+
+// Losses must survive the JSON round trip bit-exactly: the crash-resume
+// byte-identity contract merges journaled losses into the resumed run's
+// result.
+func TestJournalRoundTripBitExact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt"+JournalSuffix)
+	j := sampleJournal()
+	if err := WriteJournal(nil, path, j); err != nil {
+		t.Fatalf("WriteJournal: %v", err)
+	}
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if got.Task != j.Task || got.Seed != j.Seed || got.Epochs != j.Epochs || got.Ckpt != j.Ckpt {
+		t.Fatalf("identity fields: %+v", got)
+	}
+	if len(got.Done) != len(j.Done) {
+		t.Fatalf("%d done records, want %d", len(got.Done), len(j.Done))
+	}
+	for i := range j.Done {
+		if math.Float64bits(got.Done[i].Loss) != math.Float64bits(j.Done[i].Loss) {
+			t.Errorf("epoch %d loss %x != %x", i+1, math.Float64bits(got.Done[i].Loss), math.Float64bits(j.Done[i].Loss))
+		}
+		if math.Float64bits(got.Done[i].Metric) != math.Float64bits(j.Done[i].Metric) {
+			t.Errorf("epoch %d metric not bit-exact", i+1)
+		}
+	}
+}
+
+func TestFindJournal(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := FindJournal(dir); !errors.Is(err, ErrNoJournal) {
+		t.Fatalf("empty dir: err = %v, want ErrNoJournal", err)
+	}
+	path := JournalPath(filepath.Join(dir, "run.ckpt"))
+	if err := WriteJournal(nil, path, sampleJournal()); err != nil {
+		t.Fatal(err)
+	}
+	p, j, err := FindJournal(dir)
+	if err != nil || p != path || j.Task != "lp" {
+		t.Fatalf("FindJournal: %s %+v %v", p, j, err)
+	}
+	// Two journals: ambiguous, refuse.
+	if err := WriteJournal(nil, JournalPath(filepath.Join(dir, "other.ckpt")), sampleJournal()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := FindJournal(dir); err == nil || errors.Is(err, ErrNoJournal) {
+		t.Fatalf("two journals: err = %v, want ambiguity error", err)
+	}
+}
+
+func TestReadJournalRejectsGaps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x"+JournalSuffix)
+	j := sampleJournal()
+	j.Done = []EpochRecord{{Epoch: 1, Loss: 1}, {Epoch: 3, Loss: 2}}
+	if err := WriteJournal(nil, path, j); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(path); err == nil {
+		t.Fatal("journal with an epoch gap accepted")
+	}
+}
+
+func TestSweepTemps(t *testing.T) {
+	dir := t.TempDir()
+	keep := filepath.Join(dir, "run.ckpt")
+	for _, name := range []string{".ckpt-123", ".journal-456", "run.ckpt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := SweepTemps(dir)
+	if err != nil {
+		t.Fatalf("SweepTemps: %v", err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("removed %v, want the two temp files", removed)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("checkpoint swept: %v", err)
+	}
+	for _, name := range []string{".ckpt-123", ".journal-456"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("%s survived the sweep", name)
+		}
+	}
+}

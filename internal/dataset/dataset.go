@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/storage"
@@ -99,6 +100,17 @@ type Config struct {
 	// TmpDir holds spill files ("" = Out).
 	TmpDir string
 
+	// Force overwrites a partial output left by an interrupted prep
+	// (payload files present without a manifest), sweeping the partial
+	// payload and leftover temps first. Without it such a directory is a
+	// typed ErrPartialOutput.
+	Force bool
+
+	// FS, when non-nil, routes every output write (payload files, the
+	// manifest) through a fault-injection filesystem — the chaos seam
+	// for crash-mid-ingest tests. Nil means the real filesystem.
+	FS fault.FS
+
 	// Progress, when non-nil, receives coarse stage updates:
 	// stage name, units done, units total (total < 0 when unknown).
 	Progress func(stage string, done, total int64)
@@ -154,6 +166,25 @@ func Ingest(cfg Config) (*Stats, error) {
 	}
 	if err := os.MkdirAll(cfg.Out, 0o755); err != nil {
 		return nil, err
+	}
+	fsys := fault.Or(cfg.FS)
+	// A directory holding payload files without a manifest is the
+	// signature of a prep that died midway (the manifest is written
+	// last). Refuse to silently mix old partial files with new output;
+	// Force sweeps the wreckage and starts clean.
+	if partial, present := partialOutput(cfg.Out); partial {
+		if !cfg.Force {
+			return nil, fmt.Errorf("dataset: %w: %s holds %d payload file(s) (e.g. %s) but no manifest; re-run with -force to sweep and re-ingest",
+				ErrPartialOutput, cfg.Out, len(present), present[0])
+		}
+		if _, err := sweepPartial(cfg.Out); err != nil {
+			return nil, err
+		}
+		if cfg.TmpDir != "" && cfg.TmpDir != cfg.Out {
+			if _, err := SweepTemps(cfg.TmpDir); err != nil {
+				return nil, err
+			}
+		}
 	}
 	// Invalidate any previous dataset in the target directory up front:
 	// the manifest is written last, so a prep that dies midway must not
@@ -289,7 +320,7 @@ func Ingest(cfg Config) (*Stats, error) {
 		return nil, err
 	}
 	cfg.progress("merge", 0, numEdges)
-	counts, crcs, err := srt.merge(filepath.Join(cfg.Out, "edges.bin"))
+	counts, crcs, err := srt.merge(fsys, filepath.Join(cfg.Out, "edges.bin"))
 	if err != nil {
 		return nil, err
 	}
@@ -329,7 +360,7 @@ func Ingest(cfg Config) (*Stats, error) {
 		if path == "" {
 			return nil, nil
 		}
-		w, err := newCRCFile(filepath.Join(cfg.Out, name))
+		w, err := newCRCFile(fsys, filepath.Join(cfg.Out, name))
 		if err != nil {
 			return nil, err
 		}
@@ -368,7 +399,7 @@ func Ingest(cfg Config) (*Stats, error) {
 		if len(ids) == 0 {
 			return nil, nil
 		}
-		w, err := newCRCFile(filepath.Join(cfg.Out, name))
+		w, err := newCRCFile(fsys, filepath.Join(cfg.Out, name))
 		if err != nil {
 			return nil, err
 		}
@@ -403,7 +434,7 @@ func Ingest(cfg Config) (*Stats, error) {
 				return nil, fmt.Errorf("dataset: %w: label %d out of range [0,%d)", ErrBadInput, lab, cfg.NumClasses)
 			}
 		}
-		w, err := newCRCFile(filepath.Join(cfg.Out, "labels.bin"))
+		w, err := newCRCFile(fsys, filepath.Join(cfg.Out, "labels.bin"))
 		if err != nil {
 			return nil, err
 		}
@@ -424,11 +455,11 @@ func Ingest(cfg Config) (*Stats, error) {
 		}
 	}
 	if cfg.Features != "" {
-		if man.Features, man.QuantScales, man.FeatureDim, err = reorderFeatures(cfg.Features, cfg.Out, n, cfg.FeatureDim, final, quant); err != nil {
+		if man.Features, man.QuantScales, man.FeatureDim, err = reorderFeatures(fsys, cfg.Features, cfg.Out, n, cfg.FeatureDim, final, quant); err != nil {
 			return nil, err
 		}
 	}
-	if man.Dict, err = writeDict(cfg.Out, d, final); err != nil {
+	if man.Dict, err = writeDict(fsys, cfg.Out, d, final); err != nil {
 		return nil, err
 	}
 
@@ -436,7 +467,7 @@ func Ingest(cfg Config) (*Stats, error) {
 	// Checkpoints trained on this dataset embed it, letting serving warn
 	// on checkpoint/dataset provenance mismatches.
 	man.UUID = man.ComputeUUID()
-	if err := storage.WriteManifest(cfg.Out, man); err != nil {
+	if err := storage.WriteManifestFS(cfg.FS, cfg.Out, man); err != nil {
 		return nil, err
 	}
 	st.NumRels = man.NumRels
@@ -447,16 +478,18 @@ func Ingest(cfg Config) (*Stats, error) {
 }
 
 // crcFile writes a payload file while accumulating its size and IEEE
-// CRC32 for the manifest: buffered writes tee into the hash.
+// CRC32 for the manifest: buffered writes tee into the hash. The file
+// opens through the configured fault.FS, so crash injection can tear
+// any payload write mid-ingest.
 type crcFile struct {
-	f *os.File
+	f fault.File
 	h hash.Hash32
 	w *bufio.Writer
 	n int64
 }
 
-func newCRCFile(path string) (*crcFile, error) {
-	f, err := os.Create(path)
+func newCRCFile(fsys fault.FS, path string) (*crcFile, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, err
 	}
@@ -496,7 +529,7 @@ func (c *crcFile) finish(name string) (*storage.DatasetFile, error) {
 // the same final order). A final sequential pass computes the shard
 // checksums. dim 0 infers the dimensionality from the file size; an
 // explicit dim demands an exact size match.
-func reorderFeatures(src, outDir string, n, dim int, final []int32, quant tensor.QuantKind) (feat, scales *storage.DatasetFile, featDim int, err error) {
+func reorderFeatures(fsys fault.FS, src, outDir string, n, dim int, final []int32, quant tensor.QuantKind) (feat, scales *storage.DatasetFile, featDim int, err error) {
 	in, err := os.Open(src)
 	if err != nil {
 		return nil, nil, 0, err
@@ -527,13 +560,13 @@ func reorderFeatures(src, outDir string, n, dim int, final []int32, quant tensor
 	for dictID, f := range final {
 		dictOf[f] = int32(dictID)
 	}
-	w, err := newCRCFile(filepath.Join(outDir, "features.bin"))
+	w, err := newCRCFile(fsys, filepath.Join(outDir, "features.bin"))
 	if err != nil {
 		return nil, nil, 0, err
 	}
 	var sw *crcFile
 	if quant == tensor.QuantI8 {
-		if sw, err = newCRCFile(filepath.Join(outDir, "features.scale.bin")); err != nil {
+		if sw, err = newCRCFile(fsys, filepath.Join(outDir, "features.scale.bin")); err != nil {
 			w.abort()
 			return nil, nil, 0, err
 		}
@@ -596,12 +629,12 @@ func reorderFeatures(src, outDir string, n, dim int, final []int32, quant tensor
 
 // writeDict writes dict.tsv: line k is the raw source ID of final node
 // ID k.
-func writeDict(outDir string, d *dict, final []int32) (*storage.DatasetFile, error) {
+func writeDict(fsys fault.FS, outDir string, d *dict, final []int32) (*storage.DatasetFile, error) {
 	rawOf := make([]string, d.len())
 	for dictID, raw := range d.raw {
 		rawOf[final[dictID]] = raw
 	}
-	w, err := newCRCFile(filepath.Join(outDir, "dict.tsv"))
+	w, err := newCRCFile(fsys, filepath.Join(outDir, "dict.tsv"))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,101 @@
+// Crash recovery for interrupted preps. Ingest writes payload files
+// first and the manifest last, so a prep that dies midway leaves
+// payload files with no manifest — an unambiguous partial-output
+// signature. Re-running Ingest over such a directory fails typed
+// (ErrPartialOutput) unless Config.Force is set, which sweeps the
+// partial payload and leftover spill temps and re-ingests from scratch.
+package dataset
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+
+	"repro/internal/storage"
+)
+
+// ErrPartialOutput marks an output directory holding payload files but
+// no manifest: a previous prep died midway through writing it. Passing
+// Config.Force (mariusprep prep -force) sweeps the partial output and
+// re-ingests.
+var ErrPartialOutput = errors.New("partial dataset output from an interrupted prep")
+
+// tempPatterns are the scratch-file globs a crashed prep can leave
+// behind: external-sort spill files and half-written atomic-manifest
+// temps.
+var tempPatterns = []string{"mariusprep-spill-*", ".manifest-*"}
+
+// payloadNames are every payload file Ingest can write. The manifest is
+// deliberately absent: it is the commit record whose presence
+// distinguishes a complete dataset from a partial one.
+var payloadNames = []string{
+	"edges.bin", "valid_edges.bin", "test_edges.bin",
+	"train_nodes.bin", "valid_nodes.bin", "test_nodes.bin",
+	"labels.bin", "features.bin", "features.scale.bin", "dict.tsv",
+}
+
+// partialOutput reports whether dir looks like an interrupted prep:
+// payload files present without a manifest. A directory with a manifest
+// is a complete dataset (re-ingesting over it is a deliberate,
+// supported overwrite); an empty directory is a fresh target.
+func partialOutput(dir string) (partial bool, present []string) {
+	if _, err := os.Stat(filepath.Join(dir, storage.ManifestName)); err == nil {
+		return false, nil
+	}
+	for _, name := range payloadNames {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			present = append(present, name)
+		}
+	}
+	return len(present) > 0, present
+}
+
+// sweepPartial removes the partial payload files and temp scraps a
+// crashed prep left in dir, returning what it removed.
+func sweepPartial(dir string) (removed []string, err error) {
+	for _, name := range payloadNames {
+		p := filepath.Join(dir, name)
+		if rmErr := os.Remove(p); rmErr == nil {
+			removed = append(removed, name)
+		} else if !os.IsNotExist(rmErr) {
+			return removed, rmErr
+		}
+	}
+	swept, err := SweepTemps(dir)
+	return append(removed, swept...), err
+}
+
+// SweepTemps removes leftover prep scratch files (external-sort spills,
+// atomic-manifest temps) from dir, returning the removed base names.
+// Safe on a live dataset: completed preps never leave these behind.
+func SweepTemps(dir string) (removed []string, err error) {
+	orphans, err := OrphanedTemps(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range orphans {
+		if rmErr := os.Remove(filepath.Join(dir, name)); rmErr != nil && !os.IsNotExist(rmErr) {
+			return removed, rmErr
+		}
+		removed = append(removed, name)
+	}
+	return removed, nil
+}
+
+// OrphanedTemps lists prep scratch files left in dir by a crashed or
+// killed prep, as base names. mariusprep validate surfaces them as a
+// warning: they are harmless to readers but waste space and mark an
+// ingest that never completed in this directory.
+func OrphanedTemps(dir string) ([]string, error) {
+	var names []string
+	for _, pat := range tempPatterns {
+		matches, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range matches {
+			names = append(names, filepath.Base(m))
+		}
+	}
+	return names, nil
+}

@@ -5,6 +5,7 @@ import (
 	"hash/crc32"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/storage"
@@ -132,7 +133,7 @@ func (s *extSorter) spillRun() error {
 // final position, so bucket b's edges end up in global input order.
 // Returns the total per-bucket counts and the per-bucket CRC32 of the
 // output bytes.
-func (s *extSorter) merge(outPath string) (counts []int64, crcs []uint32, err error) {
+func (s *extSorter) merge(fsys fault.FS, outPath string) (counts []int64, crcs []uint32, err error) {
 	p := s.pt.NumPartitions
 	if len(s.runs) == 0 {
 		// Everything fit in one buffered run: sort once and stream it
@@ -145,7 +146,7 @@ func (s *extSorter) merge(outPath string) (counts []int64, crcs []uint32, err er
 			crcs[b] = crc32.ChecksumIEEE(enc[off : off+c*edgeBytes])
 			off += c * edgeBytes
 		}
-		out, err := os.Create(outPath)
+		out, err := fsys.Create(outPath)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -172,7 +173,7 @@ func (s *extSorter) merge(outPath string) (counts []int64, crcs []uint32, err er
 		pos[b] = off
 		off += c * edgeBytes
 	}
-	out, err := os.Create(outPath)
+	out, err := fsys.Create(outPath)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,243 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// driveSequence runs a fixed op sequence through an injector and
+// records the outcome of every op, so two runs can be compared.
+func driveSequence(t *testing.T, dir string, in *Injector) []string {
+	t.Helper()
+	var log []string
+	note := func(kind string, n int, err error) {
+		log = append(log, fmt.Sprintf("%s n=%d err=%v", kind, n, err))
+	}
+	f, err := in.Create(filepath.Join(dir, "seq.bin"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for i := 0; i < 50; i++ {
+		n, err := f.WriteAt(buf, int64(i*64))
+		note("write", n, err)
+	}
+	rd := make([]byte, 64)
+	for i := 0; i < 50; i++ {
+		n, err := f.ReadAt(rd, int64(i*64))
+		note("read", n, err)
+	}
+	f.Close()
+	return log
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Transient: 0.15, Short: 0.25, ENOSPC: 0.02}
+	a := driveSequence(t, t.TempDir(), NewInjector(nil, cfg))
+	b := driveSequence(t, t.TempDir(), NewInjector(nil, cfg))
+	if len(a) != len(b) {
+		t.Fatalf("op logs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged:\n  a: %s\n  b: %s", i, a[i], b[i])
+		}
+	}
+	// A different seed must produce a different schedule (overwhelmingly
+	// likely over 100 ops at these rates).
+	c := driveSequence(t, t.TempDir(), NewInjector(nil, Config{Seed: 43, Transient: 0.15, Short: 0.25, ENOSPC: 0.02}))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical fault schedules")
+	}
+}
+
+func TestInjectorInjectsEachKind(t *testing.T) {
+	in := NewInjector(nil, Config{Seed: 7, Transient: 0.2, Short: 0.2, ENOSPC: 0.05})
+	f, err := in.Create(filepath.Join(t.TempDir(), "kinds.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 128)
+	var sawTransient, sawShort, sawENOSPC bool
+	for i := 0; i < 400; i++ {
+		n, err := f.WriteAt(buf, 0)
+		switch {
+		case errors.Is(err, ErrTransient):
+			sawTransient = true
+		case errors.Is(err, syscall.ENOSPC):
+			sawENOSPC = true
+		case err == nil && n < len(buf):
+			sawShort = true
+		}
+		if _, err := f.ReadAt(buf, 0); errors.Is(err, ErrTransient) {
+			sawTransient = true
+		}
+	}
+	if !sawTransient || !sawShort || !sawENOSPC {
+		t.Fatalf("missing fault kinds: transient=%v short=%v enospc=%v", sawTransient, sawShort, sawENOSPC)
+	}
+	tr, sh, en := in.Injected()
+	if tr == 0 || sh == 0 || en == 0 {
+		t.Fatalf("injected counters not maintained: %d %d %d", tr, sh, en)
+	}
+}
+
+func TestCrashAfterWrites(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil, Config{Seed: 3, CrashAfterWrites: 5})
+	f, err := in.Create(filepath.Join(dir, "crash.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	for i := range buf {
+		buf[i] = 0xAB
+	}
+	for i := 0; i < 4; i++ {
+		if n, err := f.WriteAt(buf, int64(i*32)); err != nil || n != 32 {
+			t.Fatalf("write %d before crash point: n=%d err=%v", i, n, err)
+		}
+	}
+	// The 5th write is torn: a strict prefix lands, the op reports the
+	// crash.
+	n, err := f.WriteAt(buf, 4*32)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write: err=%v, want ErrCrashed", err)
+	}
+	if n >= 32 || n < 1 {
+		t.Fatalf("crash write landed %d bytes, want a strict prefix", n)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not marked crashed")
+	}
+	// Everything after the crash fails.
+	if _, err := f.WriteAt(buf, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if _, err := in.Create(filepath.Join(dir, "other.bin")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: %v", err)
+	}
+	if err := in.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	f.Close()
+	// The on-disk state is the kill -9 state: 4 full writes plus a torn
+	// prefix of the 5th.
+	st, err := os.Stat(filepath.Join(dir, "crash.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != int64(4*32+n) {
+		t.Fatalf("on-disk size %d, want %d (4 writes + %d-byte torn prefix)", st.Size(), 4*32+n, n)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	for _, err := range []error{
+		ErrTransient,
+		fmt.Errorf("wrapped: %w", ErrTransient),
+		syscall.EINTR,
+		syscall.EAGAIN,
+		syscall.ETIMEDOUT,
+	} {
+		if !IsTransient(err) {
+			t.Errorf("IsTransient(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{
+		nil,
+		io.EOF,
+		syscall.ENOSPC,
+		ErrCrashed,
+		os.ErrNotExist,
+	} {
+		if IsTransient(err) {
+			t.Errorf("IsTransient(%v) = true, want false", err)
+		}
+	}
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "x.bin")
+	f, err := OS.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q := filepath.Join(dir, "y.bin")
+	if err := OS.Rename(p, q); err != nil {
+		t.Fatal(err)
+	}
+	g, err := OS.Open(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5)
+	if _, err := io.ReadFull(g, got); err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	g.Close()
+	if st, err := OS.Stat(q); err != nil || st.Size() != 5 {
+		t.Fatalf("stat: %v %v", st, err)
+	}
+	if err := OS.Remove(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Open(q); err == nil {
+		t.Fatal("open after remove succeeded")
+	}
+	// Or(nil) yields the passthrough.
+	if Or(nil) != OS {
+		t.Fatal("Or(nil) != OS")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	in := NewInjector(nil, Config{Seed: 1, Latency: 2 * time.Millisecond, LatencyRate: 1})
+	f, err := in.Create(filepath.Join(t.TempDir(), "slow.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := f.WriteAt([]byte{1}, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("5 writes at 2ms injected latency took %v, want >= 10ms", d)
+	}
+}

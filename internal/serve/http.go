@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -18,7 +19,9 @@ import (
 //	GET  /metrics                                      -> Prometheus text exposition
 //
 // ErrBadRequest maps to 400, ErrCheckpointMismatch (via /reload) to 409,
-// ErrClosed to 503, anything else to 500.
+// ErrClosed to 503, ErrOverloaded (request shed at a full queue) to 503
+// with a Retry-After header, an expired per-request deadline
+// (Config.RequestTimeout) to 504, anything else to 500.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
@@ -104,8 +107,14 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusBadRequest
 	case errors.Is(err, ckpt.ErrMismatch):
 		code = http.StatusConflict
+	case errors.Is(err, ErrOverloaded):
+		// Shed, not failed: the client should back off briefly and retry.
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed):
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

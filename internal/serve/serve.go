@@ -58,9 +58,11 @@ type Config struct {
 	// MaxWait bounds how long the dispatcher waits for co-batched
 	// requests after the first one arrives (default 2ms).
 	MaxWait time.Duration
-	// QueueCap is the bounded request queue length (default 4*MaxBatch);
-	// beyond it, enqueueing blocks (backpressure, like the training
-	// pipeline's bounded stages).
+	// QueueCap is the bounded request queue length (default 4*MaxBatch).
+	// A request arriving at a full queue is shed immediately with
+	// ErrOverloaded (HTTP 503 + Retry-After) instead of queueing without
+	// bound: under overload, admitted requests keep a bounded latency and
+	// the excess fails fast.
 	QueueCap int
 	// Workers is the kernel fan-out (default 4). Kernels are bitwise
 	// deterministic at every worker count.
@@ -84,6 +86,26 @@ type Config struct {
 	// sample, encode, decode) in Chrome Trace Event Format. Purely
 	// observational; results are identical with it on or off.
 	Tracer *obs.Tracer
+	// RequestTimeout, when positive, bounds each request's total time in
+	// the server (queue wait plus its micro-batch): on expiry the caller
+	// gets context.DeadlineExceeded (HTTP 504) and the
+	// serve_deadline_expired_total counter increments. Zero means no
+	// server-imposed deadline (callers may still pass their own context
+	// deadlines).
+	RequestTimeout time.Duration
+	// Hooks, when non-nil, attaches chaos/test instrumentation points;
+	// see Hooks. Nil (the default) costs nothing on the request path.
+	Hooks *Hooks
+}
+
+// Hooks are chaos-testing instrumentation points. All fields are
+// optional; nil functions are never called.
+type Hooks struct {
+	// BeforeBatch runs on the dispatcher goroutine just before each
+	// micro-batch is served, inside the server's panic-recovery scope: a
+	// hook that panics exercises fault containment (the batch's requests
+	// fail, the counter increments, and the server keeps serving).
+	BeforeBatch func(batchSize int)
 }
 
 func (c Config) withDefaults() Config {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/decoder"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sampler"
 	"repro/internal/storage"
@@ -19,6 +20,12 @@ import (
 
 // ErrClosed is returned for requests arriving after Close.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrOverloaded is returned for requests shed at a full dispatch queue;
+// the HTTP layer maps it to 503 with a Retry-After header. Shedding at
+// admission keeps the latency of accepted requests bounded under
+// overload.
+var ErrOverloaded = errors.New("serve: overloaded, request shed")
 
 // ErrBadRequest marks client errors (wrong task, out-of-range IDs, empty
 // batches); the HTTP layer maps it to 400.
@@ -93,9 +100,11 @@ type Server struct {
 	// Degraded-health tracking: reloadErr latches the last failed
 	// reload's message (cleared by the next success); satConsec counts
 	// consecutive dispatches that drained a full batch while the queue
-	// stayed full.
-	reloadErr atomic.Pointer[string]
-	satConsec atomic.Int64
+	// stayed full; shedConsec counts requests shed since the last
+	// successful admission (sustained shedding degrades /healthz).
+	reloadErr  atomic.Pointer[string]
+	satConsec  atomic.Int64
+	shedConsec atomic.Int64
 
 	tracer *obs.Tracer
 }
@@ -104,6 +113,11 @@ type Server struct {
 // (full micro-batch taken, queue still full) flip /healthz to
 // degraded.
 const saturationThreshold = 8
+
+// shedThreshold is how many consecutive shed requests (none admitted in
+// between) flip /healthz to degraded: brief bursts shed a few requests
+// without alarming, sustained overload surfaces.
+const shedThreshold = 8
 
 // New starts a server over ctx serving snap.
 func New(ctx *Context, snap *Snapshot, cfg Config) *Server {
@@ -158,6 +172,9 @@ func (s *Server) Health() (ok bool, reason string) {
 	if n := s.satConsec.Load(); n >= saturationThreshold {
 		return false, fmt.Sprintf("queue saturated for %d consecutive dispatches", n)
 	}
+	if n := s.shedConsec.Load(); n >= shedThreshold {
+		return false, fmt.Sprintf("shedding load: %d consecutive requests rejected at a full queue", n)
+	}
 	return true, ""
 }
 
@@ -173,17 +190,35 @@ func (s *Server) noteSaturation(saturated bool) {
 // Snapshot returns the currently served snapshot.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
+// reloadRetries/reloadBackoff bound Reload's retry loop on transient IO
+// errors: 4 retries starting at 5ms doubling (~75ms worst case), long
+// enough to ride out a checkpoint mid-rename or an injected blip, short
+// enough that a SIGHUP-triggered reload stays prompt.
+const (
+	reloadRetries = 4
+	reloadBackoff = 5 * time.Millisecond
+)
+
 // Reload loads the checkpoint at path and atomically swaps it in.
 // In-flight micro-batches finish on the snapshot they pinned; requests
-// batched after the swap see the new one. On error the old snapshot
-// keeps serving.
+// batched after the swap see the new one. Transient IO errors are
+// retried with bounded backoff; on (persistent) error the old snapshot
+// keeps serving and /healthz degrades until a reload succeeds.
 func (s *Server) Reload(path string) (*Snapshot, error) {
-	snap, err := Load(s.ctx, path, s.cfg)
-	if err != nil {
-		msg := err.Error()
-		s.reloadErr.Store(&msg)
-		s.reloadFailures.Inc()
-		return nil, err
+	var snap *Snapshot
+	var err error
+	for attempt := 0; ; attempt++ {
+		snap, err = Load(s.ctx, path, s.cfg)
+		if err == nil {
+			break
+		}
+		if !fault.IsTransient(err) || attempt >= reloadRetries {
+			msg := err.Error()
+			s.reloadErr.Store(&msg)
+			s.reloadFailures.Inc()
+			return nil, err
+		}
+		time.Sleep(reloadBackoff << attempt)
 	}
 	s.snap.Store(snap)
 	s.reloadErr.Store(nil)
@@ -240,16 +275,27 @@ func (s *Server) TopK(ctx context.Context, req *TopKRequest) (*TopKResponse, err
 	return r.topk, nil
 }
 
-// do enqueues a call and waits for its result.
+// do admits a call (shedding immediately when the queue is full) and
+// waits for its result under the configured per-request deadline.
 func (s *Server) do(ctx context.Context, c *call) (callResult, error) {
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
 	c.resp = make(chan callResult, 1)
 	c.enq = time.Now()
 	select {
 	case s.reqs <- c:
+		s.shedConsec.Store(0)
 	case <-s.quit:
 		return callResult{}, ErrClosed
-	case <-ctx.Done():
-		return callResult{}, ctx.Err()
+	default:
+		// Full queue: fail fast rather than queue without bound, keeping
+		// the latency of admitted requests bounded under overload.
+		s.stats.shed.Inc()
+		s.shedConsec.Add(1)
+		return callResult{}, ErrOverloaded
 	}
 	select {
 	case r := <-c.resp:
@@ -258,6 +304,9 @@ func (s *Server) do(ctx context.Context, c *call) (callResult, error) {
 	case <-ctx.Done():
 		// The dispatcher still completes the call into the buffered
 		// channel; only this waiter gives up.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.stats.deadlines.Inc()
+		}
 		return callResult{}, ctx.Err()
 	}
 }
@@ -309,7 +358,32 @@ func (s *Server) drain() {
 // runBatch serves one micro-batch against one pinned snapshot. Predict
 // and top-k calls in the same batch become one merged encode launch and
 // one fused scoring launch respectively.
+//
+// A panic anywhere in the batch (a malformed snapshot, a kernel bug, an
+// injected chaos hook) is contained here: the batch's requests fail
+// with an error, serve_panics_recovered_total increments, and the
+// dispatcher loop — and every other request — keeps running. Without
+// this, one poisoned request would kill the process.
 func (s *Server) runBatch(batch []*call) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.stats.panics.Inc()
+		err := fmt.Errorf("serve: panic recovered while serving batch: %v", r)
+		for _, c := range batch {
+			// Non-blocking: calls the batch already answered before the
+			// panic keep their response.
+			select {
+			case c.resp <- callResult{err: err}:
+			default:
+			}
+		}
+	}()
+	if h := s.cfg.Hooks; h != nil && h.BeforeBatch != nil {
+		h.BeforeBatch(len(batch))
+	}
 	snap := s.snap.Load()
 	started := time.Now()
 	wait := make(map[*call]time.Duration, len(batch))

@@ -32,6 +32,13 @@ type stats struct {
 	batches  *obs.Counter
 	errors   *obs.Counter
 
+	// Resilience counters: requests shed at a full queue, requests whose
+	// per-request deadline expired while waiting, and panics contained by
+	// the dispatcher.
+	shed      *obs.Counter
+	deadlines *obs.Counter
+	panics    *obs.Counter
+
 	batchSize *obs.Histogram
 
 	queueWait *obs.Histogram // enqueue -> batch start, per request
@@ -53,6 +60,9 @@ func newStats(reg *obs.Registry) *stats {
 		requests:  reg.Counter("serve_requests_total", "Requests served (including failed ones)."),
 		batches:   reg.Counter("serve_batches_total", "Micro-batches dispatched."),
 		errors:    reg.Counter("serve_errors_total", "Requests that completed with an error."),
+		shed:      reg.Counter("serve_shed_total", "Requests rejected at a full dispatch queue (HTTP 503)."),
+		deadlines: reg.Counter("serve_deadline_expired_total", "Requests whose per-request deadline expired (HTTP 504)."),
+		panics:    reg.Counter("serve_panics_recovered_total", "Panics contained by the dispatcher; the batch failed, the server kept serving."),
 		batchSize: reg.Histogram("serve_batch_size", "Dispatched micro-batch sizes.", batchBuckets),
 		queueWait: lat("queue_wait"),
 		sample:    lat("sample"),
@@ -92,6 +102,13 @@ type Statz struct {
 	Batches    uint64 `json:"batches"`
 	Errors     uint64 `json:"errors"`
 
+	// Resilience counters: shed at a full queue (503), per-request
+	// deadline expiries (504), and panics contained by the dispatcher
+	// (500, process alive).
+	Shed            uint64 `json:"shed"`
+	DeadlineExpired uint64 `json:"deadline_expired"`
+	PanicsRecovered uint64 `json:"panics_recovered"`
+
 	// BatchSizeHist counts dispatched micro-batches by size bucket
 	// ("<=1", "<=2", ..., ">64").
 	BatchSizeHist map[string]uint64 `json:"batch_size_hist"`
@@ -126,14 +143,17 @@ func (s *Server) Statz() Statz {
 		}
 	}
 	return Statz{
-		Checkpoint:    snap.Path,
-		LoadedAt:      snap.LoadedAt,
-		Warning:       snap.Warning,
-		QueueDepth:    len(s.reqs),
-		Requests:      st.requests.Value(),
-		Batches:       st.batches.Value(),
-		Errors:        st.errors.Value(),
-		BatchSizeHist: hist,
+		Checkpoint:      snap.Path,
+		LoadedAt:        snap.LoadedAt,
+		Warning:         snap.Warning,
+		QueueDepth:      len(s.reqs),
+		Requests:        st.requests.Value(),
+		Batches:         st.batches.Value(),
+		Errors:          st.errors.Value(),
+		Shed:            st.shed.Value(),
+		DeadlineExpired: st.deadlines.Value(),
+		PanicsRecovered: st.panics.Value(),
+		BatchSizeHist:   hist,
 		Latency: map[string]Quantiles{
 			"queue_wait": quantiles(st.queueWait),
 			"sample":     quantiles(st.sample),

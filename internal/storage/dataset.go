@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/tensor"
@@ -207,16 +208,23 @@ func (m *Manifest) ComputeUUID() string {
 // crash right after the rename cannot leave an empty or truncated
 // manifest where a complete one was promised.
 func WriteManifest(dir string, m *Manifest) error {
+	return WriteManifestFS(nil, dir, m)
+}
+
+// WriteManifestFS is WriteManifest writing through fsys (nil means the
+// real filesystem).
+func WriteManifestFS(fsys fault.FS, dir string, m *Manifest) error {
+	fs := fault.Or(fsys)
 	buf, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	tmp, err := fs.CreateTemp(dir, ".manifest-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(append(buf, '\n')); err != nil {
+	defer fs.Remove(tmp.Name())
+	if err := writeFull(tmp, append(buf, '\n'), 0, nil); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -233,7 +241,7 @@ func WriteManifest(dir string, m *Manifest) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
+	if err := fs.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
 		return err
 	}
 	return syncDir(dir)
@@ -307,6 +315,7 @@ type Dataset struct {
 	Dir string
 	Man *Manifest
 	pt  partition.Partitioning
+	fs  fault.FS
 }
 
 // OpenDataset reads dir's manifest and verifies that every declared
@@ -315,11 +324,18 @@ type Dataset struct {
 // raw io.ErrUnexpectedEOF mid-epoch. Contents are not checksummed — run
 // Verify (mariusprep validate) for the full integrity pass.
 func OpenDataset(dir string) (*Dataset, error) {
+	return OpenDatasetFS(nil, dir)
+}
+
+// OpenDatasetFS is OpenDataset reading through fsys (nil means the real
+// filesystem); every store and payload read derived from the returned
+// Dataset goes through the same FS.
+func OpenDatasetFS(fsys fault.FS, dir string) (*Dataset, error) {
 	m, err := ReadManifest(dir)
 	if err != nil {
 		return nil, err
 	}
-	d := &Dataset{Dir: dir, Man: m, pt: m.Partitioning()}
+	d := &Dataset{Dir: dir, Man: m, pt: m.Partitioning(), fs: fault.Or(fsys)}
 	files := append([]*DatasetFile{&m.Edges},
 		m.Features, m.Labels, m.TrainNodes, m.ValidNodes, m.TestNodes,
 		m.ValidEdges, m.TestEdges, m.Dict, m.QuantScales)
@@ -327,7 +343,7 @@ func OpenDataset(dir string) (*Dataset, error) {
 		if f == nil {
 			continue
 		}
-		st, err := os.Stat(filepath.Join(dir, f.Name))
+		st, err := d.fs.Stat(filepath.Join(dir, f.Name))
 		if err != nil {
 			return nil, corrupt(f.Name, "missing payload file: %v", err)
 		}
@@ -366,7 +382,7 @@ func (d *Dataset) path(name string) string { return filepath.Join(d.Dir, name) }
 // manifest counts, so no ingest-time re-sort (or even a full read)
 // happens at open.
 func (d *Dataset) EdgeStore(throttle *Throttle) (*DiskEdgeStore, error) {
-	return OpenDiskEdgeStore(d.path(d.Man.Edges.Name), d.pt, d.Man.BucketCounts, throttle)
+	return OpenDiskEdgeStoreFS(d.fs, d.path(d.Man.Edges.Name), d.pt, d.Man.BucketCounts, throttle)
 }
 
 // NodeStore pages the dataset's feature table through a partition buffer
@@ -383,6 +399,7 @@ func (d *Dataset) NodeStore(capacity int, throttle *Throttle) (*DiskNodeStore, e
 		Capacity: capacity,
 		Throttle: throttle,
 		Quant:    d.Man.QuantKind(),
+		FS:       d.fs,
 	}
 	if d.Man.QuantScales != nil {
 		cfg.ScalePath = d.path(d.Man.QuantScales.Name)
@@ -403,7 +420,7 @@ func (d *Dataset) ReadFeatures() (*tensor.Tensor, error) {
 	if d.Man.Features == nil {
 		return nil, fmt.Errorf("storage: dataset %s carries no feature table", d.Dir)
 	}
-	f, err := os.Open(d.path(d.Man.Features.Name))
+	f, err := d.fs.Open(d.path(d.Man.Features.Name))
 	if err != nil {
 		return nil, err
 	}
@@ -413,6 +430,21 @@ func (d *Dataset) ReadFeatures() (*tensor.Tensor, error) {
 		return nil, corrupt(d.Man.Features.Name, "short read: %v", err)
 	}
 	return t, nil
+}
+
+// readAllPayload reads one payload file fully through the dataset's FS,
+// with the storage layer's loop-to-fill and transient-retry discipline.
+func (d *Dataset) readAllPayload(name string, size int64) ([]byte, error) {
+	f, err := d.fs.Open(d.path(name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, size)
+	if err := readFull(f, buf, 0, nil); err != nil {
+		return nil, corrupt(name, "short read: %v", err)
+	}
+	return buf, nil
 }
 
 // ReadQuantFeatures loads a quantized feature table into memory in its
@@ -428,16 +460,13 @@ func (d *Dataset) ReadQuantFeatures() (*tensor.QTable, error) {
 		return nil, fmt.Errorf("storage: dataset %s carries no feature table", d.Dir)
 	}
 	q := tensor.NewQTable(kind, d.Man.NumNodes, d.Man.FeatureDim)
-	raw, err := os.ReadFile(d.path(d.Man.Features.Name))
+	raw, err := d.readAllPayload(d.Man.Features.Name, d.Man.Features.Bytes)
 	if err != nil {
 		return nil, err
 	}
-	if int64(len(raw)) != d.Man.Features.Bytes {
-		return nil, corrupt(d.Man.Features.Name, "%d bytes, want %d", len(raw), d.Man.Features.Bytes)
-	}
 	q.Raw = raw
 	if kind == tensor.QuantI8 {
-		f, err := os.Open(d.path(d.Man.QuantScales.Name))
+		f, err := d.fs.Open(d.path(d.Man.QuantScales.Name))
 		if err != nil {
 			return nil, err
 		}
@@ -458,12 +487,12 @@ func (d *Dataset) readInt32File(f *DatasetFile) ([]int32, error) {
 	if f == nil {
 		return nil, nil
 	}
-	buf, err := os.ReadFile(d.path(f.Name))
+	if f.Bytes%4 != 0 {
+		return nil, corrupt(f.Name, "%d bytes is not a whole number of int32s", f.Bytes)
+	}
+	buf, err := d.readAllPayload(f.Name, f.Bytes)
 	if err != nil {
 		return nil, err
-	}
-	if int64(len(buf)) != f.Bytes || len(buf)%4 != 0 {
-		return nil, corrupt(f.Name, "%d bytes, want %d", len(buf), f.Bytes)
 	}
 	out := make([]int32, len(buf)/4)
 	for i := range out {
@@ -495,12 +524,12 @@ func (d *Dataset) readEdgeFile(f *DatasetFile) ([]graph.Edge, error) {
 	if f == nil {
 		return nil, nil
 	}
-	buf, err := os.ReadFile(d.path(f.Name))
+	if f.Bytes%edgeBytes != 0 {
+		return nil, corrupt(f.Name, "%d bytes is not a whole number of %d-byte edges", f.Bytes, edgeBytes)
+	}
+	buf, err := d.readAllPayload(f.Name, f.Bytes)
 	if err != nil {
 		return nil, err
-	}
-	if int64(len(buf)) != f.Bytes || len(buf)%edgeBytes != 0 {
-		return nil, corrupt(f.Name, "%d bytes, want %d", len(buf), f.Bytes)
 	}
 	return decodeEdges(buf, make([]graph.Edge, 0, len(buf)/edgeBytes)), nil
 }
@@ -521,7 +550,7 @@ func (d *Dataset) verifyFileCRC(f *DatasetFile) error {
 	if f == nil {
 		return nil
 	}
-	fh, err := os.Open(d.path(f.Name))
+	fh, err := d.fs.Open(d.path(f.Name))
 	if err != nil {
 		return corrupt(f.Name, "missing payload file: %v", err)
 	}
@@ -545,7 +574,7 @@ func (d *Dataset) verifyFileCRC(f *DatasetFile) error {
 // so corruption is reported as a typed *CorruptError naming the bucket.
 func (d *Dataset) Verify() error {
 	// Per-bucket edge checksums.
-	f, err := os.Open(d.path(d.Man.Edges.Name))
+	f, err := d.fs.Open(d.path(d.Man.Edges.Name))
 	if err != nil {
 		return corrupt(d.Man.Edges.Name, "missing payload file: %v", err)
 	}
@@ -563,7 +592,7 @@ func (d *Dataset) Verify() error {
 				if rem < n {
 					n = rem
 				}
-				if _, err := f.ReadAt(buf[:n], off); err != nil {
+				if err := readFull(f, buf[:n], off, nil); err != nil {
 					return &CorruptError{Path: d.Man.Edges.Name, Bucket: [2]int{i, j},
 						Detail: fmt.Sprintf("truncated at byte %d: %v", off, err)}
 				}
@@ -594,6 +623,12 @@ func (d *Dataset) Verify() error {
 // the p² bucket edge counts in BucketID order (the manifest's
 // BucketCounts). The file is opened read-only.
 func OpenDiskEdgeStore(path string, pt partition.Partitioning, counts []int64, throttle *Throttle) (*DiskEdgeStore, error) {
+	return OpenDiskEdgeStoreFS(nil, path, pt, counts, throttle)
+}
+
+// OpenDiskEdgeStoreFS is OpenDiskEdgeStore opening through fsys (nil
+// means the real filesystem).
+func OpenDiskEdgeStoreFS(fsys fault.FS, path string, pt partition.Partitioning, counts []int64, throttle *Throttle) (*DiskEdgeStore, error) {
 	p := pt.NumPartitions
 	if len(counts) != p*p {
 		return nil, fmt.Errorf("storage: %d bucket counts for %d partitions", len(counts), p)
@@ -602,7 +637,7 @@ func OpenDiskEdgeStore(path string, pt partition.Partitioning, counts []int64, t
 	for b, c := range counts {
 		offsets[b+1] = offsets[b] + c
 	}
-	f, err := os.Open(path)
+	f, err := fault.Or(fsys).Open(path)
 	if err != nil {
 		return nil, err
 	}

@@ -2,9 +2,9 @@ package storage
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/partition"
 )
@@ -76,7 +76,7 @@ func (m *MemoryEdgeStore) Close() error { return nil }
 // DiskEdgeStore serves edge buckets from a single bucket-sorted file.
 type DiskEdgeStore struct {
 	pt       partition.Partitioning
-	f        *os.File
+	f        fault.File
 	offsets  []int64 // p²+1 prefix edge counts; bucket b spans [offsets[b], offsets[b+1])
 	stats    Stats
 	throttle *Throttle
@@ -84,7 +84,14 @@ type DiskEdgeStore struct {
 
 // CreateDiskEdgeStore bucket-sorts edges into a file under dir.
 func CreateDiskEdgeStore(dir string, pt partition.Partitioning, edges []graph.Edge, throttle *Throttle) (*DiskEdgeStore, error) {
-	f, err := os.Create(filepath.Join(dir, "edges.bin"))
+	return CreateDiskEdgeStoreFS(nil, dir, pt, edges, throttle)
+}
+
+// CreateDiskEdgeStoreFS is CreateDiskEdgeStore opening through fsys
+// (nil means the real filesystem).
+func CreateDiskEdgeStoreFS(fsys fault.FS, dir string, pt partition.Partitioning, edges []graph.Edge, throttle *Throttle) (*DiskEdgeStore, error) {
+	s := &DiskEdgeStore{pt: pt, throttle: throttle}
+	f, err := fault.Or(fsys).Create(filepath.Join(dir, "edges.bin"))
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +102,7 @@ func CreateDiskEdgeStore(dir string, pt partition.Partitioning, edges []graph.Ed
 		offsets[b] = pos
 		buf := encodeEdges(bucket)
 		if len(buf) > 0 {
-			if _, err := f.WriteAt(buf, pos*edgeBytes); err != nil {
+			if err := writeFull(f, buf, pos*edgeBytes, &s.stats); err != nil {
 				f.Close()
 				return nil, err
 			}
@@ -103,7 +110,8 @@ func CreateDiskEdgeStore(dir string, pt partition.Partitioning, edges []graph.Ed
 		pos += int64(len(bucket))
 	}
 	offsets[len(buckets)] = pos
-	return &DiskEdgeStore{pt: pt, f: f, offsets: offsets, throttle: throttle}, nil
+	s.f, s.offsets = f, offsets
+	return s, nil
 }
 
 // ReadBucket implements EdgeStore.
@@ -114,7 +122,7 @@ func (s *DiskEdgeStore) ReadBucket(i, j int, dst []graph.Edge) ([]graph.Edge, er
 		return dst, nil
 	}
 	buf := make([]byte, (end-start)*edgeBytes)
-	if _, err := s.f.ReadAt(buf, start*edgeBytes); err != nil {
+	if err := readFull(s.f, buf, start*edgeBytes, &s.stats); err != nil {
 		return dst, fmt.Errorf("storage: read bucket (%d,%d): %w", i, j, err)
 	}
 	s.stats.BytesRead.Add(int64(len(buf)))

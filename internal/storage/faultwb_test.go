@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// toggleFS fails every data write with ENOSPC while fail is set —
+// a switchable full-disk, unlike the probabilistic injector, so the
+// test controls exactly which evict write-backs fail and when the disk
+// "recovers".
+type toggleFS struct {
+	inner fault.FS
+	fail  *atomic.Bool
+}
+
+func (t toggleFS) wrap(f fault.File, err error) (fault.File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return toggleFile{File: f, fail: t.fail}, nil
+}
+
+func (t toggleFS) Create(name string) (fault.File, error) { return t.wrap(t.inner.Create(name)) }
+func (t toggleFS) Open(name string) (fault.File, error)   { return t.wrap(t.inner.Open(name)) }
+func (t toggleFS) OpenFile(name string, flag int, perm os.FileMode) (fault.File, error) {
+	return t.wrap(t.inner.OpenFile(name, flag, perm))
+}
+func (t toggleFS) CreateTemp(dir, pattern string) (fault.File, error) {
+	return t.wrap(t.inner.CreateTemp(dir, pattern))
+}
+func (t toggleFS) Rename(oldpath, newpath string) error  { return t.inner.Rename(oldpath, newpath) }
+func (t toggleFS) Remove(name string) error              { return t.inner.Remove(name) }
+func (t toggleFS) Stat(name string) (os.FileInfo, error) { return t.inner.Stat(name) }
+
+type toggleFile struct {
+	fault.File
+	fail *atomic.Bool
+}
+
+func (f toggleFile) Write(p []byte) (int, error) {
+	if f.fail.Load() {
+		return 0, syscall.ENOSPC
+	}
+	return f.File.Write(p)
+}
+
+func (f toggleFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.fail.Load() {
+		return 0, syscall.ENOSPC
+	}
+	return f.File.WriteAt(p, off)
+}
+
+// TestEvictWritebackFailureSurfacesAndRetries is the evict-side fault
+// contract: when an asynchronous dirty-partition write-back fails, (1)
+// the error surfaces on the training path (the next LoadSet — i.e. the
+// epoch fails rather than silently losing updates), (2) the store
+// retains the unwritten data, and (3) once the disk recovers, Flush
+// retries the retained buffers, clears the sticky error, and the store
+// reads back every update — nothing was lost.
+func TestEvictWritebackFailureSurfacesAndRetries(t *testing.T) {
+	dir := t.TempDir()
+	const n, dim, p, c = 40, 4, 4, 2
+	pt := partition.New(n, p)
+	var failing atomic.Bool
+	store, err := CreateDiskNodeStore(DiskStoreConfig{
+		Dir: dir, Part: pt, Dim: dim, Capacity: c, Learnable: true,
+		FS: toggleFS{inner: fault.OS, fail: &failing},
+		Init: func(id int32, row []float32) {
+			for j := range row {
+				row[j] = float32(id)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	opt := nn.NewSparseAdaGrad(1.0)
+
+	// Dirty partitions 0 and 1 (nodes 0 and 10 with PartSize 10).
+	if err := store.LoadSet([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	grads := tensor.New(2, dim)
+	grads.Fill(1)
+	if err := store.ApplyGrads([]int32{0, 10}, grads, opt); err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.New(2, dim)
+	if err := store.Gather([]int32{0, 10}, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disk "fills up"; the evictions of 0 and 1 fail in the background.
+	failing.Store(true)
+	if err := store.LoadSet([]int{2, 3}); err != nil {
+		t.Fatalf("LoadSet scheduling failing evictions: %v", err)
+	}
+	store.wbPending.Wait()
+
+	// The failure surfaces on the training path instead of vanishing.
+	if err := store.LoadSet([]int{0, 1}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("LoadSet after failed write-back: got %v, want ENOSPC", err)
+	}
+	// The unwritten partitions are retained for retry.
+	store.wbMu.Lock()
+	retained := len(store.failed)
+	store.wbMu.Unlock()
+	if retained != 2 {
+		t.Fatalf("store retains %d failed write-backs, want 2", retained)
+	}
+	// While the disk is still full, Flush keeps failing (no false
+	// success), and the error stays sticky.
+	if err := store.Flush(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Flush on full disk: got %v, want ENOSPC", err)
+	}
+
+	// Disk recovers: Flush retries the retained buffers and clears the
+	// sticky error; the store is consistent again.
+	failing.Store(false)
+	if err := store.Flush(); err != nil {
+		t.Fatalf("Flush after recovery: %v", err)
+	}
+	store.wbMu.Lock()
+	retained = len(store.failed)
+	wbErr := store.wbErr
+	store.wbMu.Unlock()
+	if retained != 0 || wbErr != nil {
+		t.Fatalf("after successful retry: %d retained, err %v", retained, wbErr)
+	}
+
+	// Reads see every pre-failure update — nothing was lost or rolled
+	// back across the failure window.
+	if err := store.LoadSet([]int{0, 1}); err != nil {
+		t.Fatalf("LoadSet after recovery: %v", err)
+	}
+	got := tensor.New(2, dim)
+	if err := store.Gather([]int32{0, 10}, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("row data diverged after failed-write recovery: got %v, want %v", got.Data, want.Data)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/partition"
@@ -118,8 +119,8 @@ type DiskNodeStore struct {
 	dim       int
 	learnable bool
 
-	f  *os.File
-	sf *os.File // per-node AdaGrad accumulators; nil when not learnable
+	f  fault.File
+	sf fault.File // per-node AdaGrad accumulators; nil when not learnable
 
 	mu       sync.RWMutex
 	capacity int
@@ -151,6 +152,12 @@ type DiskNodeStore struct {
 	writeback map[int]*pendingWrite
 	wbPending sync.WaitGroup
 	wbErr     error
+	// failed retains the staging buffers of async write-backs that
+	// errored: they hold the only current copy of those partitions, so
+	// recycling them would lose updates. Flush retries them (clearing
+	// wbErr when every retry lands), keeping the store consistent for
+	// another attempt after the epoch surfaces the error.
+	failed map[int]*failedWrite
 
 	// Quantized (read-only) tables: the file holds quant-encoded
 	// elements; readPartition moves only the compressed bytes across the
@@ -169,6 +176,13 @@ type DiskNodeStore struct {
 // pendingWrite is one in-flight asynchronous partition write-back.
 type pendingWrite struct {
 	done chan struct{}
+	data []float32
+	opt  []float32
+}
+
+// failedWrite holds the buffers of a write-back that errored, pending a
+// Flush retry.
+type failedWrite struct {
 	data []float32
 	opt  []float32
 }
@@ -197,11 +211,15 @@ type DiskStoreConfig struct {
 	// int8 (scale, zero) sidecar, required when Quant is QuantI8.
 	Quant     tensor.QuantKind
 	ScalePath string
+
+	// FS is the file-opening seam; nil means the real filesystem. Tests
+	// and the chaos harness pass a fault.Injector.
+	FS fault.FS
 }
 
 // newDiskNodeStore builds the in-memory store state (empty buffer, full
 // free list) over an already-open table file.
-func newDiskNodeStore(cfg DiskStoreConfig, f *os.File) *DiskNodeStore {
+func newDiskNodeStore(cfg DiskStoreConfig, f fault.File) *DiskNodeStore {
 	s := &DiskNodeStore{
 		pt:        cfg.Part,
 		dim:       cfg.Dim,
@@ -214,6 +232,7 @@ func newDiskNodeStore(cfg DiskStoreConfig, f *os.File) *DiskNodeStore {
 		dirty:     make([]bool, cfg.Capacity),
 		staged:    make(map[int]*stagedPartition),
 		writeback: make(map[int]*pendingWrite),
+		failed:    make(map[int]*failedWrite),
 		quant:     cfg.Quant,
 		throttle:  cfg.Throttle,
 	}
@@ -236,13 +255,14 @@ func CreateDiskNodeStore(cfg DiskStoreConfig) (*DiskNodeStore, error) {
 	if cfg.Quant != tensor.QuantNone {
 		return nil, fmt.Errorf("storage: quantized tables are written by ingest and opened read-only, not created")
 	}
-	f, err := os.Create(filepath.Join(cfg.Dir, "nodes.bin"))
+	fsys := fault.Or(cfg.FS)
+	f, err := fsys.Create(filepath.Join(cfg.Dir, "nodes.bin"))
 	if err != nil {
 		return nil, err
 	}
 	s := newDiskNodeStore(cfg, f)
 	if cfg.Learnable {
-		sf, err := os.Create(filepath.Join(cfg.Dir, "nodes.opt.bin"))
+		sf, err := fsys.Create(filepath.Join(cfg.Dir, "nodes.opt.bin"))
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -297,9 +317,10 @@ func OpenDiskNodeStore(cfg DiskStoreConfig, path string) (*DiskNodeStore, error)
 	// checkpoint path) may overwrite the table, so prefer read-write and
 	// fall back to read-only on write-protected datasets — there
 	// training still works, and Restore surfaces the write failure.
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	fsys := fault.Or(cfg.FS)
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if os.IsPermission(err) {
-		f, err = os.Open(path)
+		f, err = fsys.Open(path)
 	}
 	if err != nil {
 		return nil, err
@@ -321,7 +342,7 @@ func OpenDiskNodeStore(cfg DiskStoreConfig, path string) (*DiskNodeStore, error)
 			f.Close()
 			return nil, fmt.Errorf("storage: open of %s: int8 table needs a scale sidecar", path)
 		}
-		sf, err := os.Open(cfg.ScalePath)
+		sf, err := fsys.Open(cfg.ScalePath)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -507,15 +528,35 @@ func (s *DiskNodeStore) evictAsync(p, slot int) {
 		// Delete the entry and signal completion in one critical section:
 		// a LoadSet serving a load from wb.data copies under wbMu, so the
 		// buffers cannot be recycled mid-copy.
+		var superseded *failedWrite
 		s.wbMu.Lock()
-		if err != nil && s.wbErr == nil {
-			s.wbErr = err
+		if err != nil {
+			if s.wbErr == nil {
+				s.wbErr = err
+			}
+			// Keep the buffers: they hold the only current copy of the
+			// partition (the disk write did not land). Flush retries
+			// them; meanwhile the sticky error surfaces on the next
+			// LoadSet, failing the epoch rather than being swallowed
+			// here.
+			superseded = s.failed[p]
+			s.failed[p] = &failedWrite{data: data, opt: opt}
+		} else if old := s.failed[p]; old != nil {
+			// This successful write carries newer data than the earlier
+			// failed one; the stale retry entry is obsolete.
+			superseded = old
+			delete(s.failed, p)
 		}
 		delete(s.writeback, p)
 		close(wb.done)
 		s.wbMu.Unlock()
 		s.stagedMu.Lock()
-		s.putStageBufs(data, opt)
+		if err == nil {
+			s.putStageBufs(data, opt)
+		}
+		if superseded != nil {
+			s.putStageBufs(superseded.data, superseded.opt)
+		}
 		s.stagedMu.Unlock()
 	}()
 }
@@ -762,12 +803,53 @@ func (s *DiskNodeStore) ApplyGrads(ids []int32, grads *tensor.Tensor, opt *nn.Sp
 	return nil
 }
 
+// retryFailed re-issues failed asynchronous write-backs synchronously,
+// recycling their buffers and clearing the sticky error once every
+// retained partition lands. Callers must have drained wbPending first.
+func (s *DiskNodeStore) retryFailed() error {
+	s.wbMu.Lock()
+	parts := make([]int, 0, len(s.failed))
+	for p := range s.failed {
+		parts = append(parts, p)
+	}
+	s.wbMu.Unlock()
+	sortInts(parts)
+	for _, p := range parts {
+		s.wbMu.Lock()
+		fw := s.failed[p]
+		s.wbMu.Unlock()
+		if fw == nil {
+			continue
+		}
+		if err := s.writePartitionFrom(p, fw.data, fw.opt); err != nil {
+			s.wbMu.Lock()
+			s.wbErr = err
+			s.wbMu.Unlock()
+			return err
+		}
+		s.wbMu.Lock()
+		delete(s.failed, p)
+		s.wbMu.Unlock()
+		s.stagedMu.Lock()
+		s.putStageBufs(fw.data, fw.opt)
+		s.stagedMu.Unlock()
+	}
+	s.wbMu.Lock()
+	defer s.wbMu.Unlock()
+	if len(s.failed) == 0 {
+		s.wbErr = nil
+	}
+	return s.wbErr
+}
+
 // Flush writes all dirty resident partitions back to disk and waits for
 // in-flight asynchronous write-backs, so on return every update is
-// durable.
+// durable. Write-backs that failed asynchronously are retried here from
+// their retained buffers; if they now land, the sticky error clears and
+// the store is fully consistent again.
 func (s *DiskNodeStore) Flush() error {
 	s.wbPending.Wait()
-	if err := s.takeWbErr(); err != nil {
+	if err := s.retryFailed(); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -838,6 +920,17 @@ func (s *DiskNodeStore) Restore(table *tensor.Tensor, state []float32) error {
 	s.stagedMu.Lock()
 	s.staged = make(map[int]*stagedPartition)
 	s.stagedMu.Unlock()
+	// The checkpoint overwrites the whole table below, superseding any
+	// retained failed write-backs; drop them and clear the sticky error.
+	s.wbMu.Lock()
+	for _, fw := range s.failed {
+		s.stagedMu.Lock()
+		s.putStageBufs(fw.data, fw.opt)
+		s.stagedMu.Unlock()
+	}
+	s.failed = make(map[int]*failedWrite)
+	s.wbErr = nil
+	s.wbMu.Unlock()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

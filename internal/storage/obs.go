@@ -27,6 +27,10 @@ func RegisterStats(r *obs.Registry, store string, st *Stats) {
 		func() float64 { return float64(st.PrefetchHits.Load()) }, l)
 	r.CounterFunc("storage_prefetch_misses_total", "Partition loads that had to read synchronously.",
 		func() float64 { return float64(st.PrefetchMisses.Load()) }, l)
+	r.CounterFunc("storage_io_retries_total", "Transient IO errors absorbed by the bounded-backoff retry loop.",
+		func() float64 { return float64(st.Retries.Load()) }, l)
+	r.CounterFunc("storage_io_gaveup_total", "IO operations that exhausted the retry budget and surfaced the error.",
+		func() float64 { return float64(st.Gaveup.Load()) }, l)
 	r.GaugeFunc("storage_prefetch_hit_rate", "Prefetch hits / (hits + misses); 0 before any load.",
 		func() float64 {
 			h, m := st.PrefetchHits.Load(), st.PrefetchMisses.Load()

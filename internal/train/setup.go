@@ -3,6 +3,7 @@ package train
 import (
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/storage"
@@ -62,6 +63,9 @@ type DiskSourceConfig struct {
 	Throttle  *storage.Throttle
 	// InitTable provides initial base representations; nil zero-fills.
 	InitTable *tensor.Tensor
+	// FS, when non-nil, routes the store files through an injectable
+	// filesystem (fault injection); nil means the real filesystem.
+	FS fault.FS
 }
 
 // NewDiskSource builds a disk-backed source (M-GNN_Disk): node
@@ -80,11 +84,12 @@ func NewDiskSource(g *graph.Graph, pt partition.Partitioning, dim int, cfg DiskS
 		Learnable: cfg.Learnable,
 		Throttle:  cfg.Throttle,
 		Init:      initFn,
+		FS:        cfg.FS,
 	})
 	if err != nil {
 		return nil, err
 	}
-	edges, err := storage.CreateDiskEdgeStore(cfg.Dir, pt, g.Edges, cfg.Throttle)
+	edges, err := storage.CreateDiskEdgeStoreFS(cfg.FS, cfg.Dir, pt, g.Edges, cfg.Throttle)
 	if err != nil {
 		nodes.Close()
 		return nil, err
@@ -117,6 +122,10 @@ type DatasetSourceConfig struct {
 	WorkDir   string
 	InitTable *tensor.Tensor
 	Throttle  *storage.Throttle
+	// FS, when non-nil, routes the learnable table's work files through
+	// an injectable filesystem (fault injection). The dataset's own files
+	// already go through the FS it was opened with.
+	FS fault.FS
 }
 
 // NewDatasetSource builds a source over a preprocessed dataset
@@ -161,6 +170,7 @@ func NewDatasetSource(ds *storage.Dataset, cfg DatasetSourceConfig) (*Source, er
 			Learnable: true,
 			Throttle:  cfg.Throttle,
 			Init:      initFn,
+			FS:        cfg.FS,
 		})
 		if err != nil {
 			edges.Close()

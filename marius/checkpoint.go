@@ -54,7 +54,7 @@ func (s *Session) Save(path string) error {
 		}
 		cp.Table, cp.OptState = table.Data, state
 	}
-	return ckpt.Write(path, cp)
+	return ckpt.WriteFS(s.opts.FS, path, cp)
 }
 
 // restoreMismatch builds a Restore validation error that matches both

@@ -45,7 +45,16 @@ import (
 // sampled accuracy/MRR — can differ slightly between the two at the
 // same trained state.
 func FromDataset(dir string, opts ...Option) (*Session, error) {
-	ds, err := storage.OpenDataset(dir)
+	// The dataset files themselves must open through any injected
+	// filesystem, so probe the options for WithFaults before OpenDataset
+	// runs (the full application below still validates everything).
+	probe := defaultOptions()
+	for _, opt := range opts {
+		if err := opt(&probe); err != nil {
+			return nil, err
+		}
+	}
+	ds, err := storage.OpenDatasetFS(probe.FS, dir)
 	if err != nil {
 		return nil, err
 	}

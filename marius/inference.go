@@ -19,7 +19,9 @@ type ServeConfig struct {
 	// MaxWait bounds how long a request waits for co-batched requests
 	// after arriving at an idle server.
 	MaxWait time.Duration
-	// QueueCap bounds the request queue; beyond it enqueueing blocks.
+	// QueueCap bounds the request queue; a request arriving at a full
+	// queue is shed with HTTP 503 + Retry-After instead of queueing
+	// without bound.
 	QueueCap int
 	// Workers is the kernel fan-out. Results are bitwise identical at
 	// every worker count.
@@ -39,7 +41,19 @@ type ServeConfig struct {
 	// sample, encode, decode) in Chrome Trace Event Format; see
 	// NewTracer. Purely observational.
 	Tracer *Tracer
+	// RequestTimeout, when positive, bounds each request's total time in
+	// the server (queue wait plus its micro-batch); expiry returns
+	// context.DeadlineExceeded (HTTP 504). Zero imposes no deadline.
+	RequestTimeout time.Duration
+	// Hooks optionally attaches chaos-testing instrumentation (see
+	// ServeHooks); nil costs nothing.
+	Hooks *ServeHooks
 }
+
+// ServeHooks are chaos-testing instrumentation points for the inference
+// server (e.g. a BeforeBatch hook that panics to exercise the server's
+// fault containment).
+type ServeHooks = serve.Hooks
 
 // InferenceServer serves forward-only predictions from a checkpoint over
 // a prepared dataset: Predict (node classification), TopK (link

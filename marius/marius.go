@@ -54,6 +54,32 @@
 // reproduces the exact trajectory at every worker count and pipeline
 // depth (kernels are bitwise deterministic and batch order is fixed by
 // the plan).
+//
+// # Fault tolerance
+//
+// The storage layer absorbs transient IO errors (EINTR/EAGAIN-class
+// errnos and injected faults) with a bounded-backoff retry loop and
+// loops short reads and writes to completion, so POSIX partial IO never
+// corrupts a partition or a checkpoint; retries are counted, never
+// silent (storage_io_retries_total). Failed asynchronous evict
+// write-backs are retained in memory, surface as errors on the training
+// path, and are re-issued by Flush once the disk recovers — a full disk
+// fails the epoch loudly instead of silently dropping updates.
+//
+// Crashes are survived through the run journal: a checkpointed Run
+// (CheckpointTo) durably records each finished epoch before writing its
+// checkpoint, and every artifact lands via atomic rename. After a kill,
+// Resume rebuilds the session from the journal, restores the newest
+// checkpoint, and retrains only the missing epochs; because training is
+// bit-reproducible, the combined run's losses and final checkpoint are
+// byte-identical to a run that was never interrupted. A crash that
+// predates all durable state reports ErrNoJournal and the caller starts
+// fresh.
+//
+// Every recovery path is driven by the deterministic fault injector in
+// internal/fault (WithFaults): seeded transient errors, short IO, torn
+// writes, ENOSPC, and kill -9 crash points, exercised end to end by the
+// cmd/benchfault chaos harness.
 package marius
 
 import (

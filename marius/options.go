@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/ckpt"
+	"repro/internal/fault"
 	"repro/internal/policy"
 	"repro/internal/storage"
 	"repro/internal/train"
@@ -198,6 +199,12 @@ type Options struct {
 	Metrics *Metrics
 	Tracer  *Tracer
 
+	// FS, when non-nil, routes the session's file IO (dataset reads, the
+	// disk-mode node/edge stores, checkpoints and run journals) through an
+	// injectable filesystem (see WithFaults). nil means the real
+	// filesystem with zero overhead.
+	FS fault.FS
+
 	// dataset, when non-nil, is the opened preprocessed dataset the
 	// session trains from (set by FromDataset): tasks then skip the
 	// relabeling step — the ingest already applied it — and build their
@@ -390,6 +397,19 @@ func WithPipeline(depth int) Option {
 func WithSeed(s int64) Option {
 	return func(o *Options) error {
 		o.Seed = s
+		return nil
+	}
+}
+
+// WithFaults routes the session's file IO — dataset reads, the disk-mode
+// node and edge stores, checkpoints and run journals — through fsys,
+// typically a fault.Injector, so robustness tests can subject a real
+// training run to seeded transient errors, short IO, ENOSPC and
+// hard crashes. A nil fsys restores the default (the real filesystem,
+// with no wrapping and no overhead).
+func WithFaults(fsys fault.FS) Option {
+	return func(o *Options) error {
+		o.FS = fsys
 		return nil
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/ckpt"
 	"repro/internal/train"
 )
 
@@ -61,6 +62,11 @@ type runConfig struct {
 	early     *earlyStopConfig
 	ckptPath  string
 	ckptEvery int
+	// journal/journalPath carry a pre-loaded run journal into Run when
+	// Resume continues a crashed run; fresh checkpointed dataset runs
+	// create their own.
+	journal     *ckpt.Journal
+	journalPath string
 }
 
 type earlyStopConfig struct {
@@ -157,6 +163,37 @@ func (s *Session) Run(ctx context.Context, opts ...RunOption) (*RunResult, error
 	}
 
 	res := &RunResult{Stopped: Completed}
+
+	// Checkpointed dataset runs keep a durable run journal next to the
+	// checkpoint: target epoch count, the options needed to rebuild the
+	// session, and one record per completed epoch. Written atomically
+	// before the first epoch and after every completed one, it is what
+	// lets Resume finish a killed run with losses and a final checkpoint
+	// byte-identical to an uninterrupted one. In-memory (New) sessions
+	// have no dataset directory to rebuild from and are not journaled.
+	jn, jpath := rc.journal, rc.journalPath
+	if jn == nil && rc.ckptPath != "" && s.opts.dataset != nil {
+		j, err := s.newJournal(&rc)
+		if err != nil {
+			res.Stopped = Failed
+			return res, err
+		}
+		jn, jpath = j, ckpt.JournalPath(rc.ckptPath)
+	}
+	writeJournal := func() error {
+		if jn == nil {
+			return nil
+		}
+		if err := ckpt.WriteJournal(s.opts.FS, jpath, jn); err != nil {
+			res.Stopped = Failed
+			return fmt.Errorf("marius: run journal: %w", err)
+		}
+		return nil
+	}
+	if err := writeJournal(); err != nil {
+		return res, err
+	}
+
 	savedAt := -1
 	saveCkpt := func(e int) error {
 		if rc.ckptPath == "" || savedAt == e || e < 0 {
@@ -186,6 +223,17 @@ func (s *Session) Run(ctx context.Context, opts ...RunOption) (*RunResult, error
 			return res, err
 		}
 		res.Epochs = append(res.Epochs, st)
+		if jn != nil {
+			// Journal the epoch before any interval checkpoint: the
+			// invariant Resume relies on is that the journal never lags
+			// the checkpoint, so the checkpoint's own epoch counter stays
+			// authoritative and every checkpointed epoch has its loss on
+			// record.
+			jn.Done = append(jn.Done, ckpt.EpochRecord{Epoch: st.Epoch, Loss: st.Loss, Metric: st.Metric})
+			if err := writeJournal(); err != nil {
+				return res, err
+			}
+		}
 
 		var valid *EvalResult
 		if evalEvery > 0 && (e+1)%evalEvery == 0 {
@@ -202,7 +250,10 @@ func (s *Session) Run(ctx context.Context, opts ...RunOption) (*RunResult, error
 			}
 		}
 
-		if rc.ckptEvery > 0 && (e+1)%rc.ckptEvery == 0 {
+		// Interval cadence keys off the trainer's absolute epoch counter
+		// (st.Epoch == e+1 for a fresh run), so a resumed run checkpoints
+		// at the same absolute epochs the uninterrupted run would have.
+		if rc.ckptEvery > 0 && st.Epoch%rc.ckptEvery == 0 {
 			if err := saveCkpt(e); err != nil {
 				return res, err
 			}

@@ -96,7 +96,7 @@ func (t *ncTask) Prepare(g *graph.Graph, o *Options) error {
 	var err error
 	if o.Storage == OnDisk {
 		src, err = train.NewDiskSource(g, pt, g.FeatureDim(), train.DiskSourceConfig{
-			Dir: o.Dir, Capacity: c, InitTable: g.Features, Throttle: o.Throttle,
+			Dir: o.Dir, Capacity: c, InitTable: g.Features, Throttle: o.Throttle, FS: o.FS,
 		})
 		if err != nil {
 			return err
@@ -169,7 +169,7 @@ func (t *ncTask) prepareDataset(g *graph.Graph, o *Options, ds *storage.Dataset)
 		c = min(max(tuned.C, 2), p)
 	}
 	src, err := train.NewDatasetSource(ds, train.DatasetSourceConfig{
-		InMemory: o.Storage == InMemory, Capacity: c, Throttle: o.Throttle,
+		InMemory: o.Storage == InMemory, Capacity: c, Throttle: o.Throttle, FS: o.FS,
 	})
 	if err != nil {
 		return err
@@ -317,7 +317,7 @@ func (t *lpTask) Prepare(g *graph.Graph, o *Options) error {
 	var err error
 	if o.Storage == OnDisk {
 		src, err = train.NewDiskSource(g, pt, o.Dim, train.DiskSourceConfig{
-			Dir: o.Dir, Capacity: c, Learnable: true, InitTable: emb, Throttle: o.Throttle,
+			Dir: o.Dir, Capacity: c, Learnable: true, InitTable: emb, Throttle: o.Throttle, FS: o.FS,
 		})
 		if err != nil {
 			return err
@@ -415,7 +415,7 @@ func (t *lpTask) prepareDataset(g *graph.Graph, o *Options, ds *storage.Dataset)
 	emb := train.RandomEmbeddings(man.NumNodes, o.Dim, o.Seed)
 	src, err := train.NewDatasetSource(ds, train.DatasetSourceConfig{
 		InMemory: o.Storage == InMemory, Capacity: c,
-		Learnable: true, WorkDir: o.Dir, InitTable: emb, Throttle: o.Throttle,
+		Learnable: true, WorkDir: o.Dir, InitTable: emb, Throttle: o.Throttle, FS: o.FS,
 	})
 	if err != nil {
 		return err
