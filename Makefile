@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-pipeline race-fault bench-kernels bench-pipeline bench-sampler bench-ingest bench-serve bench-fault bench-baseline check
+.PHONY: build test race race-pipeline race-fault bench-kernels bench-pipeline bench-sampler bench-ingest bench-serve bench-fault bench-eval bench-baseline check
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,17 @@ race-fault:
 bench-fault:
 	$(GO) run ./cmd/benchfault -short -check -o /tmp/BENCH_fault.json
 
+# Short-mode ranking-evaluation gate: time the streamed filtered-ranking
+# protocol and the fused candidate-scoring kernel for every decoder
+# (DistMult, ComplEx, TransE). Hard floors: MRR/Hits@k bitwise identical
+# across worker counts, batch sizes and chunk widths; the fused scoring
+# path bit-identical to the scalar RefScore reference; filtered MRR >=
+# raw MRR; and throughput above conservative floors. Same target as the
+# CI eval job. Writes to /tmp so the checked-in full-size baseline is
+# never clobbered.
+bench-eval:
+	$(GO) run ./cmd/bencheval -short -check -o /tmp/BENCH_eval.json
+
 # Refresh the checked-in full-shape baselines (commit the results).
 bench-baseline:
 	$(GO) run ./cmd/benchkernels -check -o BENCH_kernels.json
@@ -102,8 +113,9 @@ bench-baseline:
 	$(GO) run ./cmd/benchingest -check -o BENCH_ingest.json
 	$(GO) run ./cmd/benchserve -check -o BENCH_serve.json
 	$(GO) run ./cmd/benchfault -check -o BENCH_fault.json
+	$(GO) run ./cmd/bencheval -check -o BENCH_eval.json
 
 # The full local gate: everything CI runs (test, race, race-pipeline,
 # and every benchmark floor including the end-to-end ingest and serving
 # paths).
-check: build test race race-pipeline race-fault bench-kernels bench-pipeline bench-sampler bench-ingest bench-serve bench-fault
+check: build test race race-pipeline race-fault bench-kernels bench-pipeline bench-sampler bench-ingest bench-serve bench-fault bench-eval

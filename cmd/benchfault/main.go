@@ -502,7 +502,8 @@ func overloadPhase(dataDir, ckptPath string, cfg Config) OverloadPhase {
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 
-	req := &serve.TopKRequest{Src: 0, Rel: 0, K: 5, Seed: 1}
+	rel := int32(0)
+	req := &serve.TopKRequest{Src: 0, Rel: &rel, K: 5, Seed: 1}
 	var ph OverloadPhase
 
 	// Two in-flight requests: one stalled in the dispatcher, one queued.

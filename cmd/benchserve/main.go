@@ -100,6 +100,9 @@ type Summary struct {
 	// concurrency 16, measured back to back — the serving-side
 	// instrumentation overhead probe (floor 0.98 under -check).
 	TraceQPSRatio float64 `json:"trace_qps_ratio"`
+	// LPDecoder is the decoder kind the LP server reports at /statz; -check
+	// requires it to match the checkpoint's decoder.
+	LPDecoder string `json:"lp_decoder"`
 }
 
 var concurrencies = []int{1, 16, 64}
@@ -242,10 +245,12 @@ func main() {
 	lpCkpt := trainLP(work, lpDir, cfg)
 	lpSrv := openServer(lpDir, lpCkpt, scfg)
 	snap := lpSrv.Snapshot()
+	rep.Summary.LPDecoder = lpSrv.Statz().Decoder
 	lpReqs := make([]*serve.TopKRequest, 256)
 	for i := range lpReqs {
+		rel := int32(rng.Intn(4))
 		lpReqs[i] = &serve.TopKRequest{
-			Src: int32(rng.Intn(cfg.LPEntities)), Rel: int32(rng.Intn(4)),
+			Src: int32(rng.Intn(cfg.LPEntities)), Relation: &rel,
 			K: 10, Seed: int64(i + 1),
 		}
 	}
@@ -257,7 +262,7 @@ func main() {
 		got, err := lpSrv.TopK(context.Background(), r)
 		must(err)
 		lpExpected[i] = got
-		scores := snap.Decoder.ScoreAll(snap.Table.Row(int(r.Src)), snap.RelTable.Row(int(r.Rel)), snap.Table)
+		scores := decoder.ScoreAll(snap.Decoder, snap.Table.Row(int(r.Src)), snap.RelTable.Row(int(*r.Relation)), snap.Table)
 		ids := decoder.TopK(scores, r.K)
 		for j := range ids {
 			if got.Nodes[j] != ids[j] || got.Scores[j] != scores[ids[j]] {
@@ -318,6 +323,9 @@ func main() {
 		}
 		if s.TraceQPSRatio < 0.98 {
 			fail("traced server sustained %.3fx the plain QPS, under the 0.98 floor", s.TraceQPSRatio)
+		}
+		if s.LPDecoder != decoder.KindDistMult {
+			fail("lp /statz reports decoder %q, checkpoint trained %q", s.LPDecoder, decoder.KindDistMult)
 		}
 		fmt.Println("check: all serving gates passed")
 	}

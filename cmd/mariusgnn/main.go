@@ -13,6 +13,7 @@
 //	mariusgnn -task nc -nodes 50000 -storage mem -epochs 5
 //	mariusgnn -task lp -dataset fb15k237 -storage disk -policy comet -epochs 5
 //	mariusgnn -task lp -model distmult -storage disk -policy beta
+//	mariusgnn -task lp -model distmult -decoder complex -ranking -filtered
 //	mariusgnn -task lp -epochs 20 -checkpoint run.ckpt   # later: -resume run.ckpt
 //	mariusgnn -data data/fb -checkpoint ckpts/run.ckpt   # killed? -resume-dir ckpts
 //	mariusgnn -data data/fb -storage disk -pipeline 2    # mariusprep-prepared directory
@@ -44,6 +45,9 @@ func main() {
 		data      = flag.String("data", "", "train from a mariusprep-prepared dataset directory (task, seed and partitions come from its manifest)")
 		nodes     = flag.Int("nodes", 20000, "graph size for generated datasets")
 		model     = flag.String("model", "graphsage", "graphsage, gat, gcn, distmult")
+		decoderF  = flag.String("decoder", "", "lp scoring decoder: distmult, complex, transe (default distmult)")
+		ranking   = flag.Bool("ranking", false, "evaluate lp with the ranking protocol, printing MRR and Hits@1/10 per eval epoch")
+		filtered  = flag.Bool("filtered", false, "filtered ranking: drop known true triples from candidate sets (implies -ranking)")
 		storageF  = flag.String("storage", "mem", "mem or disk")
 		policyF   = flag.String("policy", "comet", "comet or beta (disk link prediction)")
 		layers    = flag.Int("layers", 0, "GNN layers (0 = task default)")
@@ -136,6 +140,26 @@ func main() {
 		opts = append(opts, marius.WithModel(marius.DistMultOnly))
 	default:
 		log.Fatalf("unknown model %q", *model)
+	}
+	// WithDecoder is a typed error on node classification, so only an
+	// explicit flag reaches the session.
+	switch *decoderF {
+	case "":
+	case "distmult":
+		opts = append(opts, marius.WithDecoder(marius.DistMult))
+	case "complex":
+		opts = append(opts, marius.WithDecoder(marius.ComplEx))
+	case "transe":
+		opts = append(opts, marius.WithDecoder(marius.TransE))
+	default:
+		log.Fatalf("unknown decoder %q", *decoderF)
+	}
+	var evalOpts []marius.EvalOption
+	if *ranking || *filtered {
+		evalOpts = append(evalOpts, marius.RankingEval(1, 10))
+		if *filtered {
+			evalOpts = append(evalOpts, marius.FilteredEval())
+		}
 	}
 	if *storageF == "disk" {
 		dir, err := os.MkdirTemp("", "mariusgnn-")
@@ -252,6 +276,9 @@ func main() {
 	if *patience > 0 {
 		runOpts = append(runOpts, marius.EarlyStopping(*patience, 1e-4))
 	}
+	if len(evalOpts) > 0 {
+		runOpts = append(runOpts, marius.EvalEvery(1), marius.EvalWith(evalOpts...))
+	}
 	if *ckpt != "" {
 		runOpts = append(runOpts, marius.CheckpointTo(*ckpt, 1))
 	}
@@ -279,15 +306,19 @@ func main() {
 	if *noEval {
 		return
 	}
-	valid, err := sess.Evaluate(marius.ValidSplit)
+	valid, err := sess.Evaluate(marius.ValidSplit, evalOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	test, err := sess.Evaluate(marius.TestSplit)
+	test, err := sess.Evaluate(marius.TestSplit, evalOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("validation %s %.4f, test %s %.4f\n", valid.Metric, valid.Value, test.Metric, test.Value)
+	if len(evalOpts) > 0 {
+		fmt.Printf("validation %v\ntest %v\n", valid, test)
+	} else {
+		fmt.Printf("validation %s %.4f, test %s %.4f\n", valid.Metric, valid.Value, test.Metric, test.Value)
+	}
 }
 
 // resumeFromJournal continues a crashed checkpointed run: the journal in

@@ -246,6 +246,58 @@
 // (surfaced in /statz). marius.LoadForInference and marius.Serve expose
 // the same machinery as a library.
 //
+// # Multi-relation link prediction
+//
+// Edge relation types are first-class end to end. Storage carries them
+// natively — every edge triple is 12 bytes of (src, rel, dst) — and
+// mariusprep ingests a relation column from TSV/CSV or packed-binary
+// input through the same memory-capped external sort. A prepared dataset
+// with more than one relation type declares manifest version 3
+// (storage.DatasetVersionRelations); single-relation and plain datasets
+// keep their lower versions, so existing dataset UUIDs are stable and a
+// relation-blind older reader rejects a multi-relation directory with a
+// typed ErrDatasetVersion instead of silently collapsing its relations.
+//
+// Scoring generalizes behind the internal/decoder.Decoder interface:
+// DistMult, ComplEx and TransE all fold an edge query into one vector
+// whose candidate scores come from the same fused GatherMatMulTB kernel
+// (TransE's negative squared distance via a norm completion), so every
+// decoder inherits the kernels' bitwise determinism — scalar reference
+// scorers (decoder.RefScore) reproduce the fused path bit for bit.
+// Sessions select one with marius.WithDecoder(marius.DistMult |
+// marius.ComplEx | marius.TransE); marius.WithRelations overrides the
+// relation-count a generated graph declares. Checkpoints record the
+// decoder kind and relation count, and restoring or serving a checkpoint
+// with a different decoder is a typed marius.ErrCheckpointMismatch
+// naming the field.
+//
+// Evaluation implements the standard filtered-ranking protocol (the
+// paper's §7 MRR reporting): every held-out edge (s, r, d) is ranked
+// twice — d against all candidate tails of (s, r, ?), s against all
+// candidate heads of (?, r, d) — with known true triples (training plus
+// both held-out splits) removed from the candidate set, ties broken by
+// ascending entity ID. sess.Evaluate(split, marius.RankingEval(1, 10),
+// marius.FilteredEval()) returns a marius.EvalResult carrying MRR and
+// Hits@k; the evaluator streams candidate chunks through the fused
+// kernel and aggregates per-query ranks in a canonical order, so results
+// are bitwise independent of worker count, batch size and chunk width,
+// and match a brute-force per-candidate reference exactly (enforced by
+// tests and by cmd/bencheval, whose `make bench-eval` gate also enforces
+// throughput floors; BENCH_eval.json is the checked-in baseline).
+// cmd/mariusgnn prints MRR and Hits@1/10 per eval epoch with -ranking
+// (-filtered for the filtered protocol, -decoder to pick the scorer).
+//
+// Serving scores per (head, relation): POST /v1/topk takes a "relation"
+// field plus an optional "filter": true that removes the head's known
+// true tails from the response. PR6-era single-relation clients keep
+// working — the legacy "rel" field is still accepted (it must agree with
+// "relation" when both are present), and omitting both defaults to
+// relation 0 only on single-relation datasets. Serving errors map to
+// HTTP statuses by type: serve.ErrBadRequest (malformed JSON, unknown
+// relation, out-of-range node) is 400, checkpoint mismatches at reload
+// are 409, overload shedding is 503 with Retry-After, and per-request
+// deadline expiry is 504; /statz reports the serving decoder kind.
+//
 // # Observability
 //
 // internal/obs is a stdlib-only observability kernel shared by training

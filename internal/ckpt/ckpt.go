@@ -61,6 +61,10 @@ type ModelMeta struct {
 	Layers int
 	// Fanouts are the per-layer sampling fanouts, innermost first.
 	Fanouts []int
+	// Decoder is the link-prediction decoder kind ("distmult", "complex",
+	// "transe"). Empty in checkpoints written before multiple decoders
+	// existed, which loaders treat as "distmult" (the only kind then).
+	Decoder string
 	// NumRels is the relation count the decoder was built with (link
 	// prediction; at least 1).
 	NumRels int

@@ -392,6 +392,13 @@ func Ingest(cfg Config) (*Stats, error) {
 	if man.NumRels < 1 {
 		man.NumRels = 1
 	}
+	// A multi-relation edge set bumps the layout version so relation-blind
+	// readers fail typed instead of silently collapsing every edge onto
+	// relation 0. Single-relation datasets keep their old version (and
+	// therefore their UUIDs).
+	if man.NumRels > 1 {
+		man.Version = storage.DatasetVersionRelations
+	}
 
 	// Stage 5: node-level shards — splits, labels, features, dictionary
 	// — all keyed by final node ID.

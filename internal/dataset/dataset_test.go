@@ -324,7 +324,7 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	man.Version = storage.DatasetVersion + 1
+	man.Version = storage.DatasetVersionRelations + 1
 	if err := storage.WriteManifest(out, man); err != nil {
 		t.Fatal(err)
 	}
@@ -399,5 +399,69 @@ func TestIngestInputErrors(t *testing.T) {
 	})
 	if !errors.Is(err, dataset.ErrBadInput) {
 		t.Fatalf("wrong-sized feature file with explicit dim: got %v, want ErrBadInput", err)
+	}
+}
+
+// TestRelationVersioning pins the layout-version contract for typed
+// edges: a multi-relation ingest declares DatasetVersionRelations, a
+// single-relation ingest keeps the original version (so its UUID, which
+// hashes the version, is stable across builds), and a multi-relation
+// manifest claiming a pre-relation version is rejected with the typed
+// version sentinel — relation-blind readers must fail, not silently
+// collapse every edge onto relation 0.
+func TestRelationVersioning(t *testing.T) {
+	exp, err := dataset.Export(gen.KG(smallKG()), t.TempDir(), "tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := t.TempDir()
+	if _, err := dataset.Ingest(exp.Config(multi, "lp", 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	man, err := storage.ReadManifest(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.NumRels != 9 {
+		t.Fatalf("ingest inferred %d relation types, want 9", man.NumRels)
+	}
+	if man.Version != storage.DatasetVersionRelations {
+		t.Fatalf("multi-relation manifest version = %d, want %d", man.Version, storage.DatasetVersionRelations)
+	}
+
+	kg := smallKG()
+	kg.NumRelations = 1
+	exp1, err := dataset.Export(gen.KG(kg), t.TempDir(), "tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := t.TempDir()
+	if _, err := dataset.Ingest(exp1.Config(single, "lp", 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	man1, err := storage.ReadManifest(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man1.NumRels != 1 || man1.Version != storage.DatasetVersionPlain {
+		t.Fatalf("single-relation manifest: version %d with %d relations, want version %d with 1",
+			man1.Version, man1.NumRels, storage.DatasetVersionPlain)
+	}
+
+	// A relation out of the declared range is a typed ingest error.
+	capped := exp.Config(t.TempDir(), "lp", 1, 2)
+	capped.NumRels = 2
+	if _, err := dataset.Ingest(capped); !errors.Is(err, dataset.ErrBadInput) {
+		t.Fatalf("relation beyond -num-rels: got %v, want ErrBadInput", err)
+	}
+
+	// Downgrading the multi-relation manifest to a pre-relation version
+	// must fail typed at read time.
+	man.Version = storage.DatasetVersionPlain
+	if err := storage.WriteManifest(multi, man); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storage.ReadManifest(multi); !errors.Is(err, storage.ErrDatasetVersion) {
+		t.Fatalf("multi-relation manifest at version 1: got %v, want ErrDatasetVersion", err)
 	}
 }

@@ -102,7 +102,7 @@ func TestFullRankAndScoreAll(t *testing.T) {
 	})
 	src := []float32{1, 0}
 	rel := []float32{1, 1}
-	scores := (&DistMult{dim: 2}).ScoreAll(src, rel, emb)
+	scores := ScoreAll(&DistMult{dim: 2}, src, rel, emb)
 	// scores = src*rel . emb = [1,0] . rows -> [1, 0, 1, -1]
 	wantScores := []float32{1, 0, 1, -1}
 	for i := range wantScores {

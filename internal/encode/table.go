@@ -1,0 +1,48 @@
+package encode
+
+import (
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// tableChunk is the node-range chunk width for full-table encodes. Each
+// chunk is sampled with its own derived seed, so the table is a pure
+// function of (params, adjacency, seed) regardless of chunk scheduling.
+const tableChunk = 1024
+
+// FullTable precomputes the encoded representation of every entity in
+// [0, n): the node range pushed through a dedicated Forward in fixed
+// chunks with per-chunk seeds (seed+base), so the result is identical at
+// every worker count. With no encoder the base rows are gathered
+// directly. Both the serving snapshot (top-k scoring table) and the
+// ranking evaluator (GNN candidate table) build their tables here, which
+// keeps the two bit-identical for the same checkpoint state and seed.
+func FullTable(cfg Config, adj graph.Index, store Store, n, dim int, seed int64) (*tensor.Tensor, error) {
+	out := tensor.New(n, dim)
+	fwd := New(cfg, adj, seed)
+	ids := make([]int32, 0, tableChunk)
+	for base := 0; base < n; base += tableChunk {
+		end := min(base+tableChunk, n)
+		ids = ids[:0]
+		for v := base; v < end; v++ {
+			ids = append(ids, int32(v))
+		}
+		var enc *tensor.Node
+		var err error
+		if cfg.Encoder == nil {
+			enc, err = fwd.EncodeIDs(store, ids)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			d := fwd.SampleSeeded(seed+int64(base), ids)
+			enc, err = fwd.EncodeDense(store, d)
+			if err != nil {
+				return nil, err
+			}
+			fwd.Recycle(d)
+		}
+		copy(out.Data[base*dim:end*dim], enc.Value.Data[:len(ids)*dim])
+	}
+	return out, nil
+}

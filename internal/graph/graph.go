@@ -93,19 +93,27 @@ type Adjacency struct {
 	numNodes int
 	outOff   []int32 // len numNodes+1; outgoing edge range of node v
 	outDst   []int32 // destination of each outgoing edge, grouped by src
+	outRel   []int32 // relation of each outgoing edge, parallel to outDst
 	inOff    []int32 // len numNodes+1; incoming edge range of node v
 	inSrc    []int32 // source of each incoming edge, grouped by dst
+	inRel    []int32 // relation of each incoming edge, parallel to inSrc
 }
 
 // BuildAdjacency builds the two sorted edge-list views over edges via
-// counting sort; numNodes bounds the global node ID space.
+// counting sort; numNodes bounds the global node ID space. Edge relations
+// ride along in parallel arrays: the same stable sort places OutRels(v)[i]
+// next to OutNeighbors(v)[i], so relation-aware consumers (the filtered
+// ranking evaluator, the serving filter) read typed neighbor lists with
+// no extra index.
 func BuildAdjacency(numNodes int, edges []Edge) *Adjacency {
 	a := &Adjacency{
 		numNodes: numNodes,
 		outOff:   make([]int32, numNodes+1),
 		inOff:    make([]int32, numNodes+1),
 		outDst:   make([]int32, len(edges)),
+		outRel:   make([]int32, len(edges)),
 		inSrc:    make([]int32, len(edges)),
+		inRel:    make([]int32, len(edges)),
 	}
 	for _, e := range edges {
 		a.outOff[e.Src+1]++
@@ -118,9 +126,13 @@ func BuildAdjacency(numNodes int, edges []Edge) *Adjacency {
 	outCur := make([]int32, numNodes)
 	inCur := make([]int32, numNodes)
 	for _, e := range edges {
-		a.outDst[a.outOff[e.Src]+outCur[e.Src]] = e.Dst
+		o := a.outOff[e.Src] + outCur[e.Src]
+		a.outDst[o] = e.Dst
+		a.outRel[o] = e.Rel
 		outCur[e.Src]++
-		a.inSrc[a.inOff[e.Dst]+inCur[e.Dst]] = e.Src
+		i := a.inOff[e.Dst] + inCur[e.Dst]
+		a.inSrc[i] = e.Src
+		a.inRel[i] = e.Rel
 		inCur[e.Dst]++
 	}
 	return a
@@ -140,6 +152,18 @@ func (a *Adjacency) OutNeighbors(v int32) []int32 {
 // InNeighbors returns the incoming neighbor list of v (a view).
 func (a *Adjacency) InNeighbors(v int32) []int32 {
 	return a.inSrc[a.inOff[v]:a.inOff[v+1]]
+}
+
+// OutRels returns the relations of v's outgoing edges (a view), parallel
+// to OutNeighbors.
+func (a *Adjacency) OutRels(v int32) []int32 {
+	return a.outRel[a.outOff[v]:a.outOff[v+1]]
+}
+
+// InRels returns the relations of v's incoming edges (a view), parallel
+// to InNeighbors.
+func (a *Adjacency) InRels(v int32) []int32 {
+	return a.inRel[a.inOff[v]:a.inOff[v+1]]
 }
 
 // OutDegree returns the outgoing degree of v.

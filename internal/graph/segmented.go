@@ -35,21 +35,27 @@ type BucketFrag struct {
 	dstLo, dstHi int32 // node range [dstLo, dstHi) of the destination partition
 	outOff       []int32
 	outDst       []int32
+	outRel       []int32 // relation of each outgoing edge, parallel to outDst
 	inOff        []int32
 	inSrc        []int32
+	inRel        []int32 // relation of each incoming edge, parallel to inSrc
 }
 
 // BuildBucketFrag counting-sorts a bucket's edges into a fragment. Every
 // edge must have Src in [srcLo, srcHi) and Dst in [dstLo, dstHi) — the
 // edge-bucket contract of partition.Buckets. The sort is stable, so
-// within-bucket neighbor order matches BuildAdjacency's.
+// within-bucket neighbor order matches BuildAdjacency's; edge relations
+// ride the same sort into parallel arrays, extending the ordering
+// contract to typed edges.
 func BuildBucketFrag(srcLo, srcHi, dstLo, dstHi int32, edges []Edge) *BucketFrag {
 	f := &BucketFrag{
 		srcLo: srcLo, srcHi: srcHi, dstLo: dstLo, dstHi: dstHi,
 		outOff: make([]int32, srcHi-srcLo+1),
 		inOff:  make([]int32, dstHi-dstLo+1),
 		outDst: make([]int32, len(edges)),
+		outRel: make([]int32, len(edges)),
 		inSrc:  make([]int32, len(edges)),
+		inRel:  make([]int32, len(edges)),
 	}
 	for _, e := range edges {
 		f.outOff[e.Src-srcLo+1]++
@@ -65,9 +71,13 @@ func BuildBucketFrag(srcLo, srcHi, dstLo, dstHi int32, edges []Edge) *BucketFrag
 	inCur := make([]int32, dstHi-dstLo)
 	for _, e := range edges {
 		s, d := e.Src-srcLo, e.Dst-dstLo
-		f.outDst[f.outOff[s]+outCur[s]] = e.Dst
+		o := f.outOff[s] + outCur[s]
+		f.outDst[o] = e.Dst
+		f.outRel[o] = e.Rel
 		outCur[s]++
-		f.inSrc[f.inOff[d]+inCur[d]] = e.Src
+		i := f.inOff[d] + inCur[d]
+		f.inSrc[i] = e.Src
+		f.inRel[i] = e.Rel
 		inCur[d]++
 	}
 	return f
@@ -105,6 +115,26 @@ func (f *BucketFrag) inNbrs(v int32) []int32 {
 func (f *BucketFrag) inNbrsIn(v int32) []int32 {
 	i := v - f.dstLo
 	return f.inSrc[f.inOff[i]:f.inOff[i+1]]
+}
+
+// outRels returns the relations parallel to outNbrs (empty outside the
+// range).
+func (f *BucketFrag) outRels(v int32) []int32 {
+	if v < f.srcLo || v >= f.srcHi {
+		return nil
+	}
+	i := v - f.srcLo
+	return f.outRel[f.outOff[i]:f.outOff[i+1]]
+}
+
+// inRels returns the relations parallel to inNbrs (empty outside the
+// range).
+func (f *BucketFrag) inRels(v int32) []int32 {
+	if v < f.dstLo || v >= f.dstHi {
+		return nil
+	}
+	i := v - f.dstLo
+	return f.inRel[f.inOff[i]:f.inOff[i+1]]
 }
 
 // FragSource provides bucket fragments on demand (the storage layer's
@@ -271,6 +301,24 @@ func (s *Segmented) AppendOutNeighbors(dst []int32, v int32) []int32 {
 func (s *Segmented) AppendInNeighbors(dst []int32, v int32) []int32 {
 	for _, f := range s.segsOf(v, false) {
 		dst = append(dst, f.inNbrs(v)...)
+	}
+	return dst
+}
+
+// AppendOutRels appends the relations of v's outgoing edges, parallel to
+// AppendOutNeighbors (same segment order, same stable sort).
+func (s *Segmented) AppendOutRels(dst []int32, v int32) []int32 {
+	for _, f := range s.segsOf(v, true) {
+		dst = append(dst, f.outRels(v)...)
+	}
+	return dst
+}
+
+// AppendInRels appends the relations of v's incoming edges, parallel to
+// AppendInNeighbors.
+func (s *Segmented) AppendInRels(dst []int32, v int32) []int32 {
+	for _, f := range s.segsOf(v, false) {
+		dst = append(dst, f.inRels(v)...)
 	}
 	return dst
 }

@@ -105,7 +105,7 @@ func TestSegmentedMatchesBuildAdjacency(t *testing.T) {
 		nEdges := 500 + rng.Intn(2000)
 		edges := make([]Edge, nEdges)
 		for i := range edges {
-			edges[i] = Edge{Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n))}
+			edges[i] = Edge{Src: int32(rng.Intn(n)), Rel: int32(rng.Intn(6)), Dst: int32(rng.Intn(n))}
 		}
 		src := newMemFrags(n, p, edges)
 		c := 2 + rng.Intn(p-1)
@@ -137,6 +137,15 @@ func TestSegmentedMatchesBuildAdjacency(t *testing.T) {
 				gotIn := seg.AppendInNeighbors(nil, v)
 				if !equalInt32(gotIn, ref.InNeighbors(v)) {
 					t.Fatalf("seed %d step %d: in(%d) = %v, want %v", seed, step, v, gotIn, ref.InNeighbors(v))
+				}
+				// Relations ride the same stable sort: the parallel rel
+				// arrays must concatenate in the same order as the
+				// neighbor lists.
+				if !equalInt32(seg.AppendOutRels(nil, v), ref.OutRels(v)) {
+					t.Fatalf("seed %d step %d: outRels(%d) mismatch", seed, step, v)
+				}
+				if !equalInt32(seg.AppendInRels(nil, v), ref.InRels(v)) {
+					t.Fatalf("seed %d step %d: inRels(%d) mismatch", seed, step, v)
 				}
 				if seg.OutDegree(v) != ref.OutDegree(v) || seg.InDegree(v) != ref.InDegree(v) {
 					t.Fatalf("seed %d step %d: degree mismatch at %d", seed, step, v)

@@ -11,17 +11,25 @@ import (
 
 // Handler returns the server's HTTP surface:
 //
-//	POST /v1/predict  {"nodes":[...], "seed":0}        -> PredictResponse
-//	POST /v1/topk     {"src":0,"rel":0,"k":10}         -> TopKResponse
-//	POST /reload      {"checkpoint":"path"} (optional)  -> reload summary
-//	GET  /healthz                                      -> 200 "ok", or 503 + JSON reason when degraded
-//	GET  /statz                                        -> Statz
-//	GET  /metrics                                      -> Prometheus text exposition
+//	POST /v1/predict  {"nodes":[...], "seed":0}               -> PredictResponse
+//	POST /v1/topk     {"src":0,"relation":0,"k":10}           -> TopKResponse
+//	POST /reload      {"checkpoint":"path"} (optional)         -> reload summary
+//	GET  /healthz                                             -> 200 "ok", or 503 + JSON reason when degraded
+//	GET  /statz                                               -> Statz
+//	GET  /metrics                                             -> Prometheus text exposition
 //
-// ErrBadRequest maps to 400, ErrCheckpointMismatch (via /reload) to 409,
-// ErrClosed to 503, ErrOverloaded (request shed at a full queue) to 503
-// with a Retry-After header, an expired per-request deadline
-// (Config.RequestTimeout) to 504, anything else to 500.
+// /v1/topk accepts the relation as "relation" (current) or "rel" (the
+// original single-relation-era field name); on single-relation datasets
+// the relation may be omitted entirely, so v1-era request bodies keep
+// round-tripping unchanged. "filter": true removes known true tails (the
+// filtered protocol). See TopKRequest for the full contract.
+//
+// ErrBadRequest maps to 400 — malformed JSON, wrong task, out-of-range
+// node or relation IDs, a missing relation on a multi-relation dataset,
+// or conflicting "relation"/"rel" values. ErrCheckpointMismatch (via
+// /reload) maps to 409, ErrClosed to 503, ErrOverloaded (request shed at
+// a full queue) to 503 with a Retry-After header, an expired per-request
+// deadline (Config.RequestTimeout) to 504, anything else to 500.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {

@@ -46,7 +46,7 @@ func TestHTTPSurface(t *testing.T) {
 
 	// Wrong task and out-of-range IDs are client errors.
 	for _, bad := range []any{
-		serve.TopKRequest{Src: 1, Rel: 0, K: 5},         // lp endpoint on an nc dataset
+		serve.TopKRequest{Src: 1, Rel: relp(0), K: 5},   // lp endpoint on an nc dataset
 		serve.PredictRequest{Nodes: []int32{}},          // empty batch
 		serve.PredictRequest{Nodes: []int32{1_000_000}}, // out of range
 	} {

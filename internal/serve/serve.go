@@ -259,3 +259,18 @@ func (c *Context) validNode(id int32) error {
 	}
 	return nil
 }
+
+// knownTails returns the set of entities d with a dataset edge
+// (src, rel, d), scanned off the relation-carrying adjacency — the
+// filter index for filtered top-k serving. The adjacency is immutable
+// after Open, so this is safe from the dispatcher goroutine.
+func (c *Context) knownTails(src, rel int32) map[int32]struct{} {
+	nbrs, rels := c.Adj.OutNeighbors(src), c.Adj.OutRels(src)
+	known := make(map[int32]struct{})
+	for i, d := range nbrs {
+		if rels[i] == rel {
+			known[d] = struct{}{}
+		}
+	}
+	return known
+}

@@ -7,8 +7,11 @@ package serve_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -63,6 +66,26 @@ func prepLP(t *testing.T) string {
 	return out
 }
 
+// prepLP1 ingests a single-relation link-prediction dataset — the shape
+// every dataset had before relations were threaded through, used to pin
+// the legacy request contract.
+func prepLP1(t *testing.T) string {
+	t.Helper()
+	g := gen.KG(gen.KGConfig{
+		NumEntities: 200, NumRelations: 1, NumEdges: 2000,
+		ZipfS: 1.2, ValidFrac: 0.05, TestFrac: 0.05, Seed: 7,
+	})
+	exp, err := dataset.Export(g, t.TempDir(), "tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	if _, err := dataset.Ingest(exp.Config(out, "lp", 7, 2)); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 // train runs a short dataset session and saves checkpoints after each of
 // the requested epoch counts, returning the checkpoint paths.
 func train(t *testing.T, dir string, opts []marius.Option, epochs ...int) []string {
@@ -92,6 +115,11 @@ var ncOpts = []marius.Option{
 	marius.WithDim(8), marius.WithBatchSize(128),
 }
 
+var lpOpts = []marius.Option{
+	marius.WithModel(marius.DistMultOnly), marius.WithDim(8),
+	marius.WithNegatives(16), marius.WithBatchSize(256),
+}
+
 func startServer(t *testing.T, dir, ckptPath string, cfg serve.Config) *serve.Server {
 	t.Helper()
 	sctx, err := serve.Open(dir, cfg)
@@ -107,6 +135,10 @@ func startServer(t *testing.T, dir, ckptPath string, cfg serve.Config) *serve.Se
 	t.Cleanup(srv.Close)
 	return srv
 }
+
+// relp names a relation in a TopKRequest (the fields are pointers so the
+// server can tell "relation 0" from "no relation named").
+func relp(r int32) *int32 { return &r }
 
 func eqF32(a, b []float32) bool {
 	if len(a) != len(b) {
@@ -199,21 +231,17 @@ func TestServePredictMatchesEval(t *testing.T) {
 // scores.
 func TestServeTopKMatchesScoreAll(t *testing.T) {
 	dir := prepLP(t)
-	opts := []marius.Option{
-		marius.WithModel(marius.DistMultOnly), marius.WithDim(8),
-		marius.WithNegatives(16), marius.WithBatchSize(256),
-	}
-	ckptPath := train(t, dir, opts, 1)[0]
+	ckptPath := train(t, dir, lpOpts, 1)[0]
 	srv := startServer(t, dir, ckptPath, serve.Config{})
 	snap := srv.Snapshot()
 
 	const k = 10
 	for _, q := range []struct{ src, rel int32 }{{12, 3}, {0, 0}, {299, 1}} {
-		resp, err := srv.TopK(context.Background(), &serve.TopKRequest{Src: q.src, Rel: q.rel, K: k})
+		resp, err := srv.TopK(context.Background(), &serve.TopKRequest{Src: q.src, Rel: relp(q.rel), K: k})
 		if err != nil {
 			t.Fatal(err)
 		}
-		scores := snap.Decoder.ScoreAll(snap.Table.Row(int(q.src)), snap.RelTable.Row(int(q.rel)), snap.Table)
+		scores := decoder.ScoreAll(snap.Decoder, snap.Table.Row(int(q.src)), snap.RelTable.Row(int(q.rel)), snap.Table)
 		ids := decoder.TopK(scores, k)
 		if len(resp.Nodes) != k {
 			t.Fatalf("(%d,%d): got %d results, want %d", q.src, q.rel, len(resp.Nodes), k)
@@ -240,7 +268,7 @@ func TestServeTopKGNNDeterministic(t *testing.T) {
 	ckptPath := train(t, dir, opts, 1)[0]
 	srv := startServer(t, dir, ckptPath, serve.Config{MaxBatch: 4, MaxWait: 20 * time.Millisecond})
 
-	req := &serve.TopKRequest{Src: 42, Rel: 2, K: 5, Seed: 99}
+	req := &serve.TopKRequest{Src: 42, Rel: relp(2), K: 5, Seed: 99}
 	first, err := srv.TopK(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
@@ -257,7 +285,7 @@ func TestServeTopKGNNDeterministic(t *testing.T) {
 			if i%2 == 0 {
 				results[i], err = srv.TopK(context.Background(), req)
 			} else {
-				_, err = srv.TopK(context.Background(), &serve.TopKRequest{Src: int32(i), Rel: 1, K: 3, Seed: int64(i + 1)})
+				_, err = srv.TopK(context.Background(), &serve.TopKRequest{Src: int32(i), Rel: relp(1), K: 3, Seed: int64(i + 1)})
 			}
 			if err != nil {
 				t.Error(err)
@@ -476,5 +504,285 @@ func TestLoadWarnsOnProvenanceMismatch(t *testing.T) {
 	}
 	if snapA.Warning != "" {
 		t.Fatalf("matched dataset/checkpoint pairing warned: %s", snapA.Warning)
+	}
+}
+
+// TestTopKRelationContract pins the request-side relation rules on a
+// multi-relation dataset: the relation must be named (by either field),
+// the two field names must agree when both appear, and out-of-range
+// relations are client errors — all typed ErrBadRequest, never a panic
+// or a silently-defaulted relation. Statz must also name the decoder.
+func TestTopKRelationContract(t *testing.T) {
+	dir := prepLP(t)
+	ckptPath := train(t, dir, lpOpts, 1)[0]
+	srv := startServer(t, dir, ckptPath, serve.Config{})
+
+	if got := srv.Statz().Decoder; got != decoder.KindDistMult {
+		t.Fatalf("statz decoder = %q, want %q", got, decoder.KindDistMult)
+	}
+
+	bad := []struct {
+		name string
+		req  *serve.TopKRequest
+	}{
+		{"missing relation", &serve.TopKRequest{Src: 1, K: 5}},
+		{"conflicting fields", &serve.TopKRequest{Src: 1, Relation: relp(1), Rel: relp(2), K: 5}},
+		{"out of range", &serve.TopKRequest{Src: 1, Relation: relp(4), K: 5}},
+		{"negative", &serve.TopKRequest{Src: 1, Relation: relp(-1), K: 5}},
+	}
+	for _, tc := range bad {
+		if _, err := srv.TopK(context.Background(), tc.req); !errors.Is(err, serve.ErrBadRequest) {
+			t.Fatalf("%s: got %v, want ErrBadRequest", tc.name, err)
+		}
+	}
+
+	// Both fields naming the same relation is fine, and matches the
+	// single-field spelling bit for bit.
+	both, err := srv.TopK(context.Background(), &serve.TopKRequest{Src: 1, Relation: relp(2), Rel: relp(2), K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := srv.TopK(context.Background(), &serve.TopKRequest{Src: 1, Relation: relp(2), K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Relation != 2 || one.Relation != 2 {
+		t.Fatalf("responses echo relations %d and %d, want 2", both.Relation, one.Relation)
+	}
+	for i := range one.Nodes {
+		if both.Nodes[i] != one.Nodes[i] || both.Scores[i] != one.Scores[i] {
+			t.Fatal("agreeing relation/rel pair diverged from the single-field request")
+		}
+	}
+}
+
+// TestTopKLegacyJSONCompat replays request bodies exactly as the
+// single-relation-era HTTP clients wrote them — {"src","rel","k"} and
+// the relation omitted entirely — against a single-relation dataset,
+// and requires both to serve identical results. The old wire format
+// must keep working unchanged.
+func TestTopKLegacyJSONCompat(t *testing.T) {
+	dir := prepLP1(t)
+	ckptPath := train(t, dir, lpOpts, 1)[0]
+	srv := startServer(t, dir, ckptPath, serve.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	post := func(body string) *serve.TopKResponse {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/v1/topk", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", body, resp.StatusCode)
+		}
+		var tr serve.TopKResponse
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return &tr
+	}
+
+	legacy := post(`{"src":12,"rel":0,"k":5,"seed":7}`)
+	absent := post(`{"src":12,"k":5,"seed":7}`)
+	modern := post(`{"src":12,"relation":0,"k":5,"seed":7}`)
+	for _, tr := range []*serve.TopKResponse{legacy, absent, modern} {
+		if tr.Relation != 0 || tr.Filtered {
+			t.Fatalf("response header fields: relation %d filtered %v", tr.Relation, tr.Filtered)
+		}
+		if len(tr.Nodes) != 5 {
+			t.Fatalf("got %d results, want 5", len(tr.Nodes))
+		}
+		for i := range tr.Nodes {
+			if tr.Nodes[i] != legacy.Nodes[i] || tr.Scores[i] != legacy.Scores[i] {
+				t.Fatal("legacy, relation-absent, and modern spellings disagree")
+			}
+		}
+	}
+}
+
+// TestTopKFilteredMatchesReference checks the filtered protocol: with
+// "filter": true the served top-k must equal a reference that scores
+// every entity and skips the known true tails of (src, relation) from
+// the full graph — and filtered requests must stay byte-identical
+// whether served solo or co-batched with other traffic.
+func TestTopKFilteredMatchesReference(t *testing.T) {
+	dir := prepLP(t)
+	ckptPath := train(t, dir, lpOpts, 1)[0]
+	srv := startServer(t, dir, ckptPath, serve.Config{MaxBatch: 4, MaxWait: 20 * time.Millisecond})
+	snap := srv.Snapshot()
+
+	sctx, err := serve.Open(dir, serve.Config{InMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sctx.Close()
+	knownTails := func(src, rel int32) map[int32]bool {
+		known := map[int32]bool{}
+		nbrs, rels := sctx.Adj.OutNeighbors(src), sctx.Adj.OutRels(src)
+		for i, d := range nbrs {
+			if rels[i] == rel {
+				known[d] = true
+			}
+		}
+		return known
+	}
+
+	// Find a query whose unfiltered top-k actually contains known tails,
+	// so filtering demonstrably changes the answer.
+	const k = 10
+	var qsrc, qrel int32 = -1, -1
+	for src := int32(0); src < 300 && qsrc < 0; src++ {
+		for rel := int32(0); rel < 4; rel++ {
+			known := knownTails(src, rel)
+			if len(known) == 0 {
+				continue
+			}
+			scores := decoder.ScoreAll(snap.Decoder, snap.Table.Row(int(src)), snap.RelTable.Row(int(rel)), snap.Table)
+			for _, id := range decoder.TopK(scores, k) {
+				if known[id] {
+					qsrc, qrel = src, rel
+					break
+				}
+			}
+			if qsrc >= 0 {
+				break
+			}
+		}
+	}
+	if qsrc < 0 {
+		t.Fatal("no (src, rel) ranks a known tail in its top-10; filtering test would be vacuous")
+	}
+
+	solo, err := srv.TopK(context.Background(), &serve.TopKRequest{Src: qsrc, Relation: relp(qrel), K: k, Filter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solo.Filtered {
+		t.Fatal("response does not acknowledge filtering")
+	}
+	known := knownTails(qsrc, qrel)
+	scores := decoder.ScoreAll(snap.Decoder, snap.Table.Row(int(qsrc)), snap.RelTable.Row(int(qrel)), snap.Table)
+	want := decoder.TopKSkip(scores, k, func(id int32) bool { return known[id] })
+	if len(solo.Nodes) != len(want) {
+		t.Fatalf("filtered top-k returned %d results, reference %d", len(solo.Nodes), len(want))
+	}
+	for i := range want {
+		if solo.Nodes[i] != want[i] || solo.Scores[i] != scores[want[i]] {
+			t.Fatalf("rank %d: serve (%d, %v), reference (%d, %v)",
+				i, solo.Nodes[i], solo.Scores[i], want[i], scores[want[i]])
+		}
+		if known[solo.Nodes[i]] {
+			t.Fatalf("rank %d: filtered response contains known tail %d", i, solo.Nodes[i])
+		}
+	}
+
+	// Co-batched with unfiltered traffic for other relations, the
+	// filtered answer must not move.
+	var wg sync.WaitGroup
+	results := make([]*serve.TopKResponse, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			if i%2 == 0 {
+				results[i], err = srv.TopK(context.Background(), &serve.TopKRequest{Src: qsrc, Relation: relp(qrel), K: k, Filter: true})
+			} else {
+				_, err = srv.TopK(context.Background(), &serve.TopKRequest{Src: int32(i), Relation: relp(int32(i % 4)), K: 3})
+			}
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < len(results); i += 2 {
+		r := results[i]
+		for j := range solo.Nodes {
+			if r.Nodes[j] != solo.Nodes[j] || r.Scores[j] != solo.Scores[j] {
+				t.Fatalf("co-batched filtered topk diverged from solo run at rank %d", j)
+			}
+		}
+	}
+}
+
+// TestServeAllDecoders trains and serves each decoder kind through the
+// one interface and pins the served top-k against the naive textbook
+// scorer (RefScore) over every entity — exact float32 equality, so the
+// fused serving path provably computes each decoder's definition.
+func TestServeAllDecoders(t *testing.T) {
+	kinds := []struct {
+		kind string
+		opt  marius.DecoderKind
+	}{
+		{decoder.KindDistMult, marius.DistMult},
+		{decoder.KindComplEx, marius.ComplEx},
+		{decoder.KindTransE, marius.TransE},
+	}
+	for _, tc := range kinds {
+		t.Run(tc.kind, func(t *testing.T) {
+			dir := prepLP(t)
+			opts := append(append([]marius.Option(nil), lpOpts...), marius.WithDecoder(tc.opt))
+			ckptPath := train(t, dir, opts, 1)[0]
+			srv := startServer(t, dir, ckptPath, serve.Config{})
+			snap := srv.Snapshot()
+
+			if got := srv.Statz().Decoder; got != tc.kind {
+				t.Fatalf("statz decoder = %q, want %q", got, tc.kind)
+			}
+			const k = 10
+			for _, q := range []struct{ src, rel int32 }{{12, 3}, {0, 0}, {299, 1}} {
+				resp, err := srv.TopK(context.Background(), &serve.TopKRequest{Src: q.src, Relation: relp(q.rel), K: k})
+				if err != nil {
+					t.Fatal(err)
+				}
+				scores := make([]float32, snap.Table.Rows)
+				srcRow, relRow := snap.Table.Row(int(q.src)), snap.RelTable.Row(int(q.rel))
+				for v := range scores {
+					scores[v] = decoder.RefScore(tc.kind, srcRow, relRow, snap.Table.Row(v))
+				}
+				ids := decoder.TopK(scores, k)
+				for i := range ids {
+					if resp.Nodes[i] != ids[i] || resp.Scores[i] != scores[ids[i]] {
+						t.Fatalf("(%d,%d) rank %d: serve (%d, %v), reference (%d, %v)",
+							q.src, q.rel, i, resp.Nodes[i], resp.Scores[i], ids[i], scores[ids[i]])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLoadRejectsDecoderMismatch: a checkpoint recording an unknown
+// decoder kind must fail at load time with a typed error naming the
+// "decoder" field.
+func TestLoadRejectsDecoderMismatch(t *testing.T) {
+	dir := prepLP(t)
+	good, err := ckpt.Read(train(t, dir, lpOpts, 1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, err := serve.Open(dir, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sctx.Close()
+
+	bad := *good
+	bad.Model.Fanouts = append([]int(nil), good.Model.Fanouts...)
+	bad.Model.Decoder = "rotate"
+	path := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := ckpt.Write(path, &bad); err != nil {
+		t.Fatal(err)
+	}
+	_, err = serve.Load(sctx, path, serve.Config{})
+	if !errors.Is(err, marius.ErrCheckpointMismatch) {
+		t.Fatalf("got %v, want ErrCheckpointMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "decoder") {
+		t.Fatalf("error %q does not name the decoder field", err)
 	}
 }

@@ -49,24 +49,49 @@ type PredictResponse struct {
 }
 
 // TopKRequest asks for the K highest-scoring tail entities for
-// (Src, Rel, ?) under the checkpoint's link-prediction model.
+// (Src, relation, ?) under the checkpoint's link-prediction model.
+//
+// The relation is named by either field below; both are pointers so the
+// server can distinguish "relation 0" from "no relation named":
+//
+//   - Relation is the current field.
+//   - Rel is the original single-relation-era field, kept so v1 clients
+//     keep working unchanged.
+//
+// On a single-relation dataset an absent relation defaults to 0 (the v1
+// request shape {"src":...,"k":...} still round-trips); on a
+// multi-relation dataset it is a 400 (ErrBadRequest) — there is no safe
+// default to score against. Naming both fields with different values is
+// likewise a 400.
 type TopKRequest struct {
-	Src  int32 `json:"src"`
-	Rel  int32 `json:"rel"`
-	K    int   `json:"k"`
-	Seed int64 `json:"seed,omitempty"`
+	Src      int32  `json:"src"`
+	Rel      *int32 `json:"rel,omitempty"`
+	Relation *int32 `json:"relation,omitempty"`
+	K        int    `json:"k"`
+	// Filter removes known true tails — entities d with a training edge
+	// (src, relation, d) — from the candidates, the serving analog of the
+	// filtered ranking protocol: returned tails are novel predictions.
+	Filter bool  `json:"filter,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
 }
 
-// TopKResponse lists tail entities in descending score order.
+// TopKResponse lists tail entities in descending score order (ties broken
+// by ascending entity ID). Relation echoes the resolved relation and
+// Filtered whether known true tails were removed.
 type TopKResponse struct {
-	Nodes  []int32   `json:"nodes"`
-	Scores []float32 `json:"scores"`
+	Nodes    []int32   `json:"nodes"`
+	Scores   []float32 `json:"scores"`
+	Relation int32     `json:"relation"`
+	Filtered bool      `json:"filtered,omitempty"`
 }
 
-// call is one enqueued request awaiting its micro-batch.
+// call is one enqueued request awaiting its micro-batch. rel is the
+// resolved relation of a top-k call (Relation/Rel precedence and
+// single-relation defaulting applied at admission).
 type call struct {
 	pred *PredictRequest
 	topk *TopKRequest
+	rel  int32
 	resp chan callResult
 	enq  time.Time
 }
@@ -253,8 +278,9 @@ func (s *Server) Predict(ctx context.Context, req *PredictRequest) (*PredictResp
 	return r.pred, nil
 }
 
-// TopK scores (Src, Rel, ?) against every entity and returns the K best
-// tails, blocking until the micro-batch holding the request completes.
+// TopK scores (Src, relation, ?) against every entity and returns the K
+// best tails, blocking until the micro-batch holding the request
+// completes. See TopKRequest for how the relation is resolved.
 func (s *Server) TopK(ctx context.Context, req *TopKRequest) (*TopKResponse, error) {
 	if t := s.ctx.Task(); t != "lp" {
 		return nil, fmt.Errorf("%w: topk serves link prediction; dataset task is %q", ErrBadRequest, t)
@@ -262,17 +288,43 @@ func (s *Server) TopK(ctx context.Context, req *TopKRequest) (*TopKResponse, err
 	if err := s.ctx.validNode(req.Src); err != nil {
 		return nil, err
 	}
-	if rels := s.ctx.DS.Man.NumRels; req.Rel < 0 || (rels > 0 && int(req.Rel) >= rels) || (rels == 0 && req.Rel != 0) {
-		return nil, fmt.Errorf("%w: relation %d out of range", ErrBadRequest, req.Rel)
+	rel, err := s.resolveRel(req)
+	if err != nil {
+		return nil, err
 	}
 	if req.K <= 0 {
 		return nil, fmt.Errorf("%w: k must be positive", ErrBadRequest)
 	}
-	r, err := s.do(ctx, &call{topk: req})
+	r, err := s.do(ctx, &call{topk: req, rel: rel})
 	if err != nil {
 		return nil, err
 	}
 	return r.topk, nil
+}
+
+// resolveRel applies the TopKRequest relation contract: Relation and Rel
+// must agree when both are named; an absent relation defaults to 0 only
+// on single-relation datasets; the result is range-checked against the
+// dataset.
+func (s *Server) resolveRel(req *TopKRequest) (int32, error) {
+	rels := max(s.ctx.DS.Man.NumRels, 1)
+	var rel int32
+	switch {
+	case req.Relation != nil && req.Rel != nil && *req.Relation != *req.Rel:
+		return 0, fmt.Errorf("%w: relation %d conflicts with rel %d (name the relation once)",
+			ErrBadRequest, *req.Relation, *req.Rel)
+	case req.Relation != nil:
+		rel = *req.Relation
+	case req.Rel != nil:
+		rel = *req.Rel
+	case rels > 1:
+		return 0, fmt.Errorf("%w: dataset has %d relation types; the request must name one (\"relation\")",
+			ErrBadRequest, rels)
+	}
+	if rel < 0 || int(rel) >= rels {
+		return 0, fmt.Errorf("%w: relation %d out of range [0,%d)", ErrBadRequest, rel, rels)
+	}
+	return rel, nil
 }
 
 // do admits a call (shedding immediately when the queue is full) and
@@ -494,12 +546,14 @@ func (s *Server) runPredict(snap *Snapshot, group []*call, wait map[*call]time.D
 	return sampleT, encodeT, time.Since(t2)
 }
 
-// runTopK serves the link-prediction half of a micro-batch: build one
-// [B x d] source∘relation matrix (encoding sources through the GNN when
-// the model has one), then score all entities for every request with a
-// single fused gather-matmul against the snapshot's precomputed entity
-// table — exactly the kernel evaluation's full ranking uses, one launch
-// per micro-batch instead of one per request.
+// runTopK serves the link-prediction half of a micro-batch: fold each
+// request's (source, relation) into the decoder's query vector (encoding
+// sources through the GNN when the model has one), then score all
+// entities for every request with a single fused gather-matmul against
+// the snapshot's precomputed entity table — exactly the kernel
+// evaluation's ranking protocol uses, one launch per micro-batch instead
+// of one per request. Decoders with a norm completion (TransE) finish
+// scores against the snapshot's cached entity norms.
 func (s *Server) runTopK(snap *Snapshot, group []*call, wait map[*call]time.Duration) (sampleT, encodeT, decodeT time.Duration) {
 	t0 := time.Now()
 	dim := snap.Meta.Dim
@@ -528,11 +582,18 @@ func (s *Server) runTopK(snap *Snapshot, group []*call, wait map[*call]time.Dura
 			snap.fwd.Recycle(b)
 		}
 	}
+	// Queries live in their own tensor: the fold reads source components
+	// in decoder-specific order (ComplEx reads both halves per output
+	// element), so it must not write over its input.
+	queries := tensor.New(len(group), dim)
+	var qn []float32
+	if snap.Decoder.Norms() {
+		qn = make([]float32, len(group))
+	}
 	for i, c := range group {
-		relRow := snap.RelTable.Row(int(c.topk.Rel))
-		row := srcRows.Data[i*dim : (i+1)*dim]
-		for j := range row {
-			row[j] *= relRow[j]
+		snap.Decoder.TailQueryInto(queries.Row(i), srcRows.Row(i), snap.RelTable.Row(int(c.rel)))
+		if qn != nil {
+			qn[i] = decoder.SqNorm(queries.Row(i))
 		}
 	}
 	t1 := time.Now()
@@ -540,18 +601,31 @@ func (s *Server) runTopK(snap *Snapshot, group []*call, wait map[*call]time.Dura
 
 	var scores *tensor.Tensor
 	if snap.EncQ != nil {
-		scores = snap.cmp.GatherMatMulTBDequant(srcRows, snap.EncQ, s.ctx.allNodes)
+		scores = snap.cmp.GatherMatMulTBDequant(queries, snap.EncQ, s.ctx.allNodes)
 	} else {
-		scores = snap.cmp.GatherMatMulTB(srcRows, snap.EncTable, s.ctx.allNodes)
+		scores = snap.cmp.GatherMatMulTB(queries, snap.EncTable, s.ctx.allNodes)
 	}
+	decoder.FinishScores(snap.Decoder, scores, qn, snap.EncNorms, s.ctx.allNodes)
 	t2 := time.Now()
 	encodeT = t2.Sub(t1)
 
 	for i, c := range group {
 		row := scores.Row(i)
 		k := min(c.topk.K, len(row))
-		ids := decoder.TopK(row, k)
-		resp := &TopKResponse{Nodes: ids, Scores: make([]float32, len(ids))}
+		var ids []int32
+		if c.topk.Filter {
+			known := s.ctx.knownTails(c.topk.Src, c.rel)
+			ids = decoder.TopKSkip(row, k, func(id int32) bool {
+				_, skip := known[id]
+				return skip
+			})
+		} else {
+			ids = decoder.TopK(row, k)
+		}
+		resp := &TopKResponse{
+			Nodes: ids, Scores: make([]float32, len(ids)),
+			Relation: c.rel, Filtered: c.topk.Filter,
+		}
 		for j, id := range ids {
 			resp.Scores[j] = row[id]
 		}
@@ -579,9 +653,12 @@ func (s *Server) requestSeed(c *call) int64 {
 			h.Write(b[:4])
 		}
 	} else {
+		// Hash the resolved relation: a v1 request naming rel R and a
+		// current one naming relation R derive the same seed, so either
+		// form samples the same neighborhood.
 		binary.LittleEndian.PutUint32(b[:4], uint32(c.topk.Src))
 		h.Write(b[:4])
-		binary.LittleEndian.PutUint32(b[:4], uint32(c.topk.Rel))
+		binary.LittleEndian.PutUint32(b[:4], uint32(c.rel))
 		h.Write(b[:4])
 	}
 	return int64(h.Sum64()) ^ s.cfg.Seed

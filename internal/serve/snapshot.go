@@ -27,8 +27,8 @@ type Snapshot struct {
 	Meta     ckpt.ModelMeta
 
 	Params  *nn.ParamSet
-	Encoder *gnn.Encoder      // nil for decoder-only models
-	Decoder *decoder.DistMult // nil for NC
+	Encoder *gnn.Encoder    // nil for decoder-only models
+	Decoder decoder.Decoder // nil for NC; kind from the checkpoint metadata
 
 	// Store is what encode gathers base representations from: the
 	// context's feature store for NC, the checkpoint's embedding table
@@ -48,8 +48,12 @@ type Snapshot struct {
 	// halving (fp16) or quartering (int8) the table's resident memory
 	// (for encoder models, the dominant per-snapshot allocation).
 	EncQ *tensor.QTable
-	// RelTable is the DistMult relation table (nil for NC).
+	// RelTable is the decoder's relation table (nil for NC).
 	RelTable *tensor.Tensor
+	// EncNorms caches the squared L2 norm of every EncTable/EncQ row for
+	// decoders whose score needs a norm completion (TransE). Nil when the
+	// decoder scores by dot product alone.
+	EncNorms []float32
 
 	// Warning is a non-fatal provenance note (checkpoint trained on a
 	// different dataset UUID than the one being served).
@@ -133,7 +137,16 @@ func Load(ctx *Context, path string, cfg Config) (*Snapshot, error) {
 				return nil, err
 			}
 		}
-		snap.Decoder = decoder.NewDistMult(snap.Params, meta.NumRels, meta.Dim, rng)
+		// Decoder kind from the checkpoint metadata; checkpoints written
+		// before multiple decoders existed carry no name and can only have
+		// been trained with DistMult.
+		decKind := meta.Decoder
+		if decKind == "" {
+			decKind = decoder.KindDistMult
+		}
+		if snap.Decoder, err = decoder.New(decKind, snap.Params, meta.NumRels, meta.Dim, rng); err != nil {
+			return nil, ckpt.Mismatch("decoder", "%v", err)
+		}
 		snap.Table = tensor.New(cp.TableRows, cp.TableCols)
 		copy(snap.Table.Data, cp.Table)
 		snap.Store = encode.TensorStore{T: snap.Table}
@@ -145,7 +158,7 @@ func Load(ctx *Context, path string, cfg Config) (*Snapshot, error) {
 		return nil, ckpt.Mismatch("params", "%v", err)
 	}
 	if snap.Decoder != nil {
-		snap.RelTable = snap.Params.Get("distmult.rel").Value
+		snap.RelTable = snap.Decoder.RelParam().Value
 	}
 
 	if cp.DatasetUUID != "" && man.UUID != "" && cp.DatasetUUID != man.UUID {
@@ -176,6 +189,17 @@ func Load(ctx *Context, path string, cfg Config) (*Snapshot, error) {
 			snap.EncQ = tensor.Quantize(snap.EncTable, kind)
 			snap.EncTable = nil
 		}
+		if snap.Decoder.Norms() {
+			// Norm completion runs against the table scoring actually
+			// sees: dequantized rows when the table is quantized, so
+			// scores stay exactly 2<q,e> - |q|² - |e|² over the served
+			// representations.
+			if snap.EncQ != nil {
+				snap.EncNorms = decoder.QTableNorms(snap.EncQ)
+			} else {
+				snap.EncNorms = decoder.TableNorms(snap.EncTable)
+			}
+		}
 	}
 	return snap, nil
 }
@@ -205,31 +229,19 @@ func (s *Snapshot) buildEncTable(ctx *Context, cfg Config, seed int64) error {
 		s.EncTable = s.Table
 		return nil
 	}
-	n := ctx.NumNodes()
-	s.EncTable = tensor.New(n, s.Meta.Dim)
-	// A dedicated Forward: the precompute must not disturb the serving
-	// sampler's state, and its per-chunk seeding keeps the table a pure
-	// function of (checkpoint, adjacency).
-	fwd := encode.New(encode.Config{
+	// encode.FullTable uses a dedicated Forward (the precompute must not
+	// disturb the serving sampler's state) with per-chunk seeding, so the
+	// table is a pure function of (checkpoint, adjacency, seed) — and
+	// bit-identical to the table the training-side ranking evaluator
+	// builds for the same state and seed.
+	table, err := encode.FullTable(encode.Config{
 		Encoder: s.Encoder, Params: s.Params,
 		Fanouts: s.Meta.Fanouts[:s.Meta.Layers], Dirs: graph.Both,
 		Workers: cfg.Workers,
-	}, ctx.Adj, seed)
-	const chunk = 1024
-	ids := make([]int32, 0, chunk)
-	for base := 0; base < n; base += chunk {
-		end := min(base+chunk, n)
-		ids = ids[:0]
-		for v := base; v < end; v++ {
-			ids = append(ids, int32(v))
-		}
-		d := fwd.SampleSeeded(seed+int64(base), ids)
-		out, err := fwd.EncodeDense(s.Store, d)
-		if err != nil {
-			return err
-		}
-		copy(s.EncTable.Data[base*s.Meta.Dim:end*s.Meta.Dim], out.Value.Data[:len(ids)*s.Meta.Dim])
-		fwd.Recycle(d)
+	}, ctx.Adj, s.Store, ctx.NumNodes(), s.Meta.Dim, seed)
+	if err != nil {
+		return err
 	}
+	s.EncTable = table
 	return nil
 }

@@ -95,7 +95,10 @@ func (st *stats) recordCall(queueWait, total time.Duration, failed bool) {
 type Statz struct {
 	Checkpoint string    `json:"checkpoint"`
 	LoadedAt   time.Time `json:"loaded_at"`
-	Warning    string    `json:"warning,omitempty"`
+	// Decoder is the serving decoder kind ("distmult", "complex",
+	// "transe"); empty for node-classification datasets.
+	Decoder string `json:"decoder,omitempty"`
+	Warning string `json:"warning,omitempty"`
 
 	QueueDepth int    `json:"queue_depth"`
 	Requests   uint64 `json:"requests"`
@@ -142,9 +145,14 @@ func (s *Server) Statz() Statz {
 			hist[">"+strconv.Itoa(int(bs.Bounds[len(bs.Bounds)-1]))] = c
 		}
 	}
+	var dec string
+	if snap.Decoder != nil {
+		dec = snap.Decoder.Kind()
+	}
 	return Statz{
 		Checkpoint:      snap.Path,
 		LoadedAt:        snap.LoadedAt,
+		Decoder:         dec,
 		Warning:         snap.Warning,
 		QueueDepth:      len(s.reqs),
 		Requests:        st.requests.Value(),

@@ -46,17 +46,30 @@ import (
 // other value with ErrDatasetVersion — layout changes bump the version
 // (there is no in-place migration; re-run mariusprep prep).
 
-// DatasetVersion is the newest on-disk dataset layout version this build
-// reads and writes. Version 2 adds quantized feature storage
-// (Manifest.Quant + the int8 scale sidecar); older readers reject it with
-// ErrDatasetVersion. Version 1 datasets (always unquantized) remain fully
-// readable, and unquantized ingest still writes version 1 so their UUIDs
-// — which hash the version — are stable across builds.
-const DatasetVersion = 2
-
-// DatasetVersionPlain is the original layout version, still written for
-// unquantized datasets.
-const DatasetVersionPlain = 1
+// Dataset layout versions. Ingest writes the lowest version that can
+// describe the dataset, so UUIDs of already-expressible datasets — which
+// hash the version — stay stable across builds:
+//
+//	1 (DatasetVersionPlain)      the original layout, still written for
+//	                             unquantized single-relation datasets
+//	2 (DatasetVersion)           adds quantized feature storage
+//	                             (Manifest.Quant + the int8 scale sidecar)
+//	3 (DatasetVersionRelations)  declares a multi-relation edge set
+//	                             (NumRels > 1); the 12-byte edge triples
+//	                             always carried a relation slot, but
+//	                             relation-blind readers ignored it, so
+//	                             multi-relation data must fail typed on
+//	                             them instead of silently training every
+//	                             edge as relation 0
+//
+// ReadManifest accepts versions 1 through DatasetVersionRelations and
+// rejects anything else with ErrDatasetVersion — there is no in-place
+// migration; re-run mariusprep prep.
+const (
+	DatasetVersionPlain     = 1
+	DatasetVersion          = 2
+	DatasetVersionRelations = 3
+)
 
 // ManifestName is the manifest file name inside a dataset directory.
 const ManifestName = "manifest.json"
@@ -270,9 +283,13 @@ func ReadManifest(dir string) (*Manifest, error) {
 	if err := json.Unmarshal(buf, &m); err != nil {
 		return nil, fmt.Errorf("storage: %w: malformed manifest: %v", ErrCorruptDataset, err)
 	}
-	if m.Version != DatasetVersion && m.Version != DatasetVersionPlain {
+	if m.Version < DatasetVersionPlain || m.Version > DatasetVersionRelations {
 		return nil, fmt.Errorf("storage: %w: dataset version %d, this build reads %d-%d",
-			ErrDatasetVersion, m.Version, DatasetVersionPlain, DatasetVersion)
+			ErrDatasetVersion, m.Version, DatasetVersionPlain, DatasetVersionRelations)
+	}
+	if m.NumRels > 1 && m.Version < DatasetVersionRelations {
+		return nil, fmt.Errorf("storage: %w: %d relation types require dataset version %d, manifest declares %d",
+			ErrDatasetVersion, m.NumRels, DatasetVersionRelations, m.Version)
 	}
 	if _, err := tensor.ParseQuant(m.Quant); err != nil {
 		return nil, corrupt(ManifestName, "unknown quantization mode %q", m.Quant)

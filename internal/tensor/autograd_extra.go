@@ -80,6 +80,102 @@ func (tp *Tape) GatherSegmentMean(a *Node, idx []int32, offsets []int32) *Node {
 	})
 }
 
+// SliceCols records the column slice a[:, start:end]. The ComplEx decoder
+// uses it to split embeddings into real and imaginary halves; the gradient
+// adds into the sliced column block.
+func (tp *Tape) SliceCols(a *Node, start, end int) *Node {
+	if start < 0 || end > a.Value.Cols || start > end {
+		panic(fmt.Sprintf("tensor: SliceCols [%d:%d] of %d cols", start, end, a.Value.Cols))
+	}
+	out := tp.c.alloc(a.Value.Rows, end-start)
+	for i := 0; i < out.Rows; i++ {
+		copy(out.Row(i), a.Value.Row(i)[start:end])
+	}
+	return tp.record(out, a.requiresGrad, func(g *Tensor) {
+		ga := a.ensureGrad()
+		for i := 0; i < g.Rows; i++ {
+			garow, grow := ga.Row(i)[start:end], g.Row(i)
+			for j, v := range grow {
+				garow[j] += v
+			}
+		}
+	})
+}
+
+// AddColVec records out[i][j] = a[i][j] + v[i][0] for a [n x m] and the
+// column vector v [n x 1]: a per-row bias broadcast across columns. The
+// TransE decoder uses it to add the per-query −‖q‖² term to a score block.
+// grad_v[i] accumulates g's row i in ascending column order.
+func (tp *Tape) AddColVec(a, v *Node) *Node {
+	if v.Value.Rows != a.Value.Rows || v.Value.Cols != 1 {
+		panic(fmt.Sprintf("tensor: AddColVec v [%dx%d] for a [%dx%d]",
+			v.Value.Rows, v.Value.Cols, a.Value.Rows, a.Value.Cols))
+	}
+	out := tp.c.alloc(a.Value.Rows, a.Value.Cols)
+	for i := 0; i < out.Rows; i++ {
+		orow, arow, b := out.Row(i), a.Value.Row(i), v.Value.Data[i]
+		for j, x := range arow {
+			orow[j] = x + b
+		}
+	}
+	req := a.requiresGrad || v.requiresGrad
+	return tp.record(out, req, func(g *Tensor) {
+		if a.requiresGrad {
+			ga := a.ensureGrad()
+			for i, x := range g.Data {
+				ga.Data[i] += x
+			}
+		}
+		if v.requiresGrad {
+			gv := v.ensureGrad()
+			for i := 0; i < g.Rows; i++ {
+				var s float32
+				for _, x := range g.Row(i) {
+					s += x
+				}
+				gv.Data[i] += s
+			}
+		}
+	})
+}
+
+// AddRowVec records out[i][j] = a[i][j] + v[j][0] for a [n x m] and the
+// vector v [m x 1] interpreted as a per-column bias. The TransE decoder
+// uses it to add the per-candidate −‖e‖² term (one entry per negative)
+// without transposing. grad_v[j] accumulates g's column j in ascending row
+// order.
+func (tp *Tape) AddRowVec(a, v *Node) *Node {
+	if v.Value.Rows != a.Value.Cols || v.Value.Cols != 1 {
+		panic(fmt.Sprintf("tensor: AddRowVec v [%dx%d] for a [%dx%d]",
+			v.Value.Rows, v.Value.Cols, a.Value.Rows, a.Value.Cols))
+	}
+	out := tp.c.alloc(a.Value.Rows, a.Value.Cols)
+	bias := v.Value.Data
+	for i := 0; i < out.Rows; i++ {
+		orow, arow := out.Row(i), a.Value.Row(i)
+		for j, x := range arow {
+			orow[j] = x + bias[j]
+		}
+	}
+	req := a.requiresGrad || v.requiresGrad
+	return tp.record(out, req, func(g *Tensor) {
+		if a.requiresGrad {
+			ga := a.ensureGrad()
+			for i, x := range g.Data {
+				ga.Data[i] += x
+			}
+		}
+		if v.requiresGrad {
+			gv := v.ensureGrad()
+			for i := 0; i < g.Rows; i++ {
+				for j, x := range g.Row(i) {
+					gv.Data[j] += x
+				}
+			}
+		}
+	})
+}
+
 // ScatterAddRows records out[idx[i]] += a[i] for an output with numRows
 // rows. It is the COO aggregation kernel used by the DGL/PyG baseline
 // execution mode (per-edge scatter instead of DENSE's segment sum).

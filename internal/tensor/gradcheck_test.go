@@ -308,3 +308,29 @@ func TestBackwardAccumulatesFanOut(t *testing.T) {
 		t.Fatalf("fan-out gradient = %v, want 2", got)
 	}
 }
+
+func TestGradSliceCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randn(rng, 4, 6)
+	checkGrads(t, "slicecols", []*Tensor{a}, func(tp *Tape, n []*Node) *Node {
+		lo := tp.SliceCols(n[0], 0, 3)
+		hi := tp.SliceCols(n[0], 3, 6)
+		return tp.MeanAll(tp.Mul(lo, hi))
+	})
+}
+
+func TestGradAddColVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a, v := randn(rng, 4, 5), randn(rng, 4, 1)
+	checkGrads(t, "addcolvec", []*Tensor{a, v}, func(tp *Tape, n []*Node) *Node {
+		return tp.MeanAll(tp.Tanh(tp.AddColVec(n[0], n[1])))
+	})
+}
+
+func TestGradAddRowVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a, v := randn(rng, 4, 5), randn(rng, 5, 1)
+	checkGrads(t, "addrowvec", []*Tensor{a, v}, func(tp *Tape, n []*Node) *Node {
+		return tp.MeanAll(tp.Tanh(tp.AddRowVec(n[0], n[1])))
+	})
+}

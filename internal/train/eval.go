@@ -51,7 +51,7 @@ func EvaluateNC(cfg *NCConfig, src *Source, adj *graph.Adjacency, labels []int32
 type LPEvalConfig struct {
 	Encoder   *gnn.Encoder // nil for decoder-only models
 	Params    *nn.ParamSet
-	Decoder   *decoder.DistMult
+	Decoder   decoder.Decoder
 	Fanouts   []int
 	Dirs      graph.Directions
 	Negatives int // negatives per batch; 0 ranks against all entities
@@ -60,16 +60,29 @@ type LPEvalConfig struct {
 	Seed      int64
 }
 
-// EvaluateLP computes MRR over the given edges. With Negatives == 0 the
-// positive is ranked against every entity (feasible for FB15k-237-scale
-// graphs, as the paper does in §7.5); otherwise against a shared sampled
-// negative set per batch.
+// LPEvalStats aggregates a sampled link-prediction evaluation: the mean
+// eval loss (batch path; 0 on the decoder-only full-rank fast path, which
+// computes no loss), MRR, and Hits@{1,10}.
+type LPEvalStats struct {
+	Loss float64
+	MRR  float64
+	Hits map[int]float64
+}
+
+// lpHitsKs are the Hits@k cutoffs the sampled protocol reports.
+var lpHitsKs = []int{1, 10}
+
+// EvaluateLP computes MRR and Hits@k over the given edges. With
+// Negatives == 0 the positive is ranked against every entity (feasible
+// for FB15k-237-scale graphs, as the paper does in §7.5); otherwise
+// against a shared sampled negative set per batch.
 //
 // emb must be the full base-representation table (use DiskNodeStore.ReadAll
 // for disk-backed training) and adj the full-graph adjacency.
-func EvaluateLP(cfg LPEvalConfig, emb *tensor.Tensor, adj *graph.Adjacency, edges []graph.Edge) (float64, error) {
+func EvaluateLP(cfg LPEvalConfig, emb *tensor.Tensor, adj *graph.Adjacency, edges []graph.Edge) (LPEvalStats, error) {
+	stats := LPEvalStats{Hits: make(map[int]float64, len(lpHitsKs))}
 	if len(edges) == 0 {
-		return 0, nil
+		return stats, nil
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 1024
@@ -79,13 +92,24 @@ func EvaluateLP(cfg LPEvalConfig, emb *tensor.Tensor, adj *graph.Adjacency, edge
 
 	if cfg.Negatives == 0 && cfg.Encoder == nil {
 		// Decoder-only full ranking: score (src, rel) against all entities.
-		relTable := cfg.Params.Get("distmult.rel").Value
+		relTable := cfg.Decoder.RelParam().Value
 		var sum float64
+		hits := make(map[int]int, len(lpHitsKs))
 		for _, e := range edges {
-			scores := cfg.Decoder.ScoreAll(emb.Row(int(e.Src)), relTable.Row(int(e.Rel)), emb)
-			sum += 1 / decoder.FullRank(scores, e.Dst)
+			scores := decoder.ScoreAll(cfg.Decoder, emb.Row(int(e.Src)), relTable.Row(int(e.Rel)), emb)
+			rank := decoder.FullRank(scores, e.Dst)
+			sum += 1 / rank
+			for _, k := range lpHitsKs {
+				if rank <= float64(k) {
+					hits[k]++
+				}
+			}
 		}
-		return sum / float64(len(edges)), nil
+		stats.MRR = sum / float64(len(edges))
+		for _, k := range lpHitsKs {
+			stats.Hits[k] = float64(hits[k]) / float64(len(edges))
+		}
+		return stats, nil
 	}
 
 	negCount := cfg.Negatives
@@ -94,6 +118,11 @@ func EvaluateLP(cfg LPEvalConfig, emb *tensor.Tensor, adj *graph.Adjacency, edge
 		negCount = numNodes // encode every entity per batch (small graphs only)
 	}
 	mrr := eval.MeanAccumulator{}
+	loss := eval.MeanAccumulator{}
+	hits := make(map[int]*eval.MeanAccumulator, len(lpHitsKs))
+	for _, k := range lpHitsKs {
+		hits[k] = &eval.MeanAccumulator{}
+	}
 	fwd := encode.New(encode.Config{
 		Encoder: cfg.Encoder, Params: cfg.Params,
 		Fanouts: cfg.Fanouts, Dirs: cfg.Dirs, Workers: cfg.Workers,
@@ -124,10 +153,20 @@ func EvaluateLP(cfg LPEvalConfig, emb *tensor.Tensor, adj *graph.Adjacency, edge
 
 		enc, err := fwd.Encode(store, unique)
 		if err != nil {
-			return 0, err
+			return stats, err
 		}
-		_, pos, negD, _ := cfg.Decoder.Loss(fwd.Tape(), fwd.Binds(), enc, idx[0], idx[1], idx[2], rels)
-		mrr.Add(decoder.BatchMRR(pos.Value, negD.Value), float64(len(batch)))
+		l, pos, negD, _ := cfg.Decoder.Loss(fwd.Tape(), fwd.Binds(), enc, idx[0], idx[1], idx[2], rels)
+		w := float64(len(batch))
+		loss.Add(float64(l.Value.Data[0]), w)
+		mrr.Add(decoder.BatchMRR(pos.Value, negD.Value), w)
+		for _, k := range lpHitsKs {
+			hits[k].Add(decoder.HitsAtK(pos.Value, negD.Value, k), w)
+		}
 	}
-	return mrr.Mean(), nil
+	stats.Loss = loss.Mean()
+	stats.MRR = mrr.Mean()
+	for _, k := range lpHitsKs {
+		stats.Hits[k] = hits[k].Mean()
+	}
+	return stats, nil
 }

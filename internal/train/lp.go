@@ -25,7 +25,7 @@ type LPConfig struct {
 	// (knowledge-graph embeddings, as Marius does).
 	Encoder *gnn.Encoder
 	Params  *nn.ParamSet
-	Decoder *decoder.DistMult
+	Decoder decoder.Decoder
 
 	Fanouts []int
 	Dirs    graph.Directions

@@ -264,14 +264,17 @@ func TestLPDecoderOnlyDistMult(t *testing.T) {
 
 	// Full-ranking evaluation must run and beat random (1/|V| ≈ 0.002).
 	adj := graph.BuildAdjacency(g.NumNodes, g.Edges)
-	mrr, err := EvaluateLP(LPEvalConfig{
+	stats, err := EvaluateLP(LPEvalConfig{
 		Params: ps, Decoder: dec, Negatives: 0, Seed: 1,
 	}, emb, adj, g.ValidEdges)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mrr < 0.02 {
-		t.Fatalf("full-ranking valid MRR %.4f too low (random ≈ 0.002)", mrr)
+	if stats.MRR < 0.02 {
+		t.Fatalf("full-ranking valid MRR %.4f too low (random ≈ 0.002)", stats.MRR)
+	}
+	if stats.Hits[10] < stats.Hits[1] || stats.Hits[10] < stats.MRR/2 {
+		t.Fatalf("implausible hits: hits@1 %.4f hits@10 %.4f mrr %.4f", stats.Hits[1], stats.Hits[10], stats.MRR)
 	}
 }
 

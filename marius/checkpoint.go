@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ckpt"
+	"repro/internal/decoder"
 	"repro/internal/tensor"
 )
 
@@ -16,15 +17,19 @@ func (s *Session) modelMeta() ckpt.ModelMeta {
 	if s.opts.Model == DistMultOnly {
 		layers = 0
 	}
-	return ckpt.ModelMeta{
+	meta := ckpt.ModelMeta{
 		Kind:       s.opts.Model.kindName(),
 		Dim:        s.opts.Dim,
 		Layers:     layers,
 		Fanouts:    append([]int(nil), s.opts.Fanouts...),
-		NumRels:    max(s.graph.NumRels, 1),
+		NumRels:    s.opts.numRels(s.graph),
 		NumClasses: s.graph.NumClasses,
 		FeatureDim: s.task.Source().Nodes.Dim(),
 	}
+	if s.task.Name() == TaskLP {
+		meta.Decoder = s.opts.Decoder.kindName()
+	}
+	return meta
 }
 
 // Save writes the session's full training state — dense parameters with
@@ -108,6 +113,15 @@ func (s *Session) Restore(path string) error {
 		}
 		if cp.Model.NumRels != meta.NumRels {
 			return restoreMismatch("relations", "checkpoint relations %d, session relations %d", cp.Model.NumRels, meta.NumRels)
+		}
+		// Pre-multi-decoder checkpoints carry no decoder name; DistMult
+		// was the only kind they could have been trained with.
+		ckDec := cp.Model.Decoder
+		if ckDec == "" && s.task.Name() == TaskLP {
+			ckDec = decoder.KindDistMult
+		}
+		if ckDec != meta.Decoder {
+			return restoreMismatch("decoder", "checkpoint decoder %q, session decoder %q", ckDec, meta.Decoder)
 		}
 	}
 	src := s.task.Source()

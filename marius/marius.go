@@ -85,6 +85,7 @@ package marius
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/nn"
@@ -116,17 +117,65 @@ func (s Split) String() string {
 	return "valid"
 }
 
+// Evaluation protocol names recorded in EvalResult.Protocol.
+const (
+	// ProtocolSampled is the default link-prediction protocol: MRR against
+	// shared sampled negatives (full ranking on small graphs).
+	ProtocolSampled = "sampled"
+	// ProtocolRanking is the both-sides ranking protocol selected by
+	// RankingEval/FilteredEval: every held-out edge ranked against all
+	// entities on the tail and head side, reporting MRR and Hits@k.
+	ProtocolRanking = "ranking"
+)
+
 // EvalResult is a structured evaluation outcome: which task produced it,
-// which metric it is, on which split, and its value.
+// which metric it is, on which split, under which protocol, and its
+// value. Value always carries the headline metric (accuracy for node
+// classification, MRR for link prediction), so run-loop consumers (early
+// stopping, Best tracking) work identically under every protocol; the
+// richer link-prediction fields ride alongside.
 type EvalResult struct {
 	Task   string // "nc" or "lp"
 	Metric string // "accuracy" or "MRR"
 	Split  Split
 	Value  float64
+
+	// Protocol names the evaluation protocol ("sampled" or "ranking";
+	// empty for node classification). Filtered reports whether known true
+	// triples were removed from the ranking candidate sets.
+	Protocol string
+	Filtered bool
+
+	// Loss is the mean evaluation loss (sampled link prediction only; 0
+	// elsewhere). MRR mirrors Value for link prediction. Hits maps k to
+	// Hits@k (nil for node classification).
+	Loss float64
+	MRR  float64
+	Hits map[int]float64
 }
 
 func (r EvalResult) String() string {
-	return fmt.Sprintf("%s %s %s=%.4f", r.Task, r.Split, r.Metric, r.Value)
+	s := fmt.Sprintf("%s %s %s=%.4f", r.Task, r.Split, r.Metric, r.Value)
+	if r.Protocol != "" {
+		p := r.Protocol
+		if r.Filtered {
+			p = "filtered " + p
+		}
+		s += fmt.Sprintf(" (%s)", p)
+	}
+	for _, k := range sortedKs(r.Hits) {
+		s += fmt.Sprintf(" hits@%d=%.4f", k, r.Hits[k])
+	}
+	return s
+}
+
+func sortedKs(hits map[int]float64) []int {
+	ks := make([]int, 0, len(hits))
+	for k := range hits {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
 }
 
 // Task is one trainable workload over a graph. NodeClassification and
@@ -141,8 +190,11 @@ type Task interface {
 	// TrainEpoch runs one training epoch, honoring ctx cancellation
 	// between visits and mini batches.
 	TrainEpoch(ctx context.Context) (train.EpochStats, error)
-	// Evaluate computes the task metric on a split.
-	Evaluate(split Split) (EvalResult, error)
+	// Evaluate computes the task metric on a split under the given
+	// evaluation spec (nil means the task default protocol). Tasks reject
+	// specs they cannot honor — e.g. ranking on node classification —
+	// with an *OptionError.
+	Evaluate(split Split, spec *EvalSpec) (EvalResult, error)
 	// Epoch returns the number of completed epochs; SetEpoch overrides it
 	// when restoring a checkpoint.
 	Epoch() int
@@ -212,9 +264,22 @@ func (s *Session) TrainEpoch(ctx context.Context) (train.EpochStats, error) {
 	return s.task.TrainEpoch(ctx)
 }
 
-// Evaluate computes the task metric on a split.
-func (s *Session) Evaluate(split Split) (EvalResult, error) {
-	return s.task.Evaluate(split)
+// Evaluate computes the task metric on a split. With no options, the
+// task default runs: accuracy for node classification, sampled-negative
+// MRR for link prediction. RankingEval and FilteredEval switch
+// link-prediction sessions to the (optionally filtered) both-sides
+// ranking protocol, filling MRR and Hits@k in the result.
+func (s *Session) Evaluate(split Split, opts ...EvalOption) (EvalResult, error) {
+	var spec *EvalSpec
+	if len(opts) > 0 {
+		spec = &EvalSpec{}
+		for _, opt := range opts {
+			if err := opt(spec); err != nil {
+				return EvalResult{}, err
+			}
+		}
+	}
+	return s.task.Evaluate(split, spec)
 }
 
 // SetPolicy overrides the replacement policy (used by policy-comparison

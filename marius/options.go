@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"repro/internal/ckpt"
+	"repro/internal/decoder"
 	"repro/internal/fault"
+	"repro/internal/graph"
 	"repro/internal/policy"
 	"repro/internal/storage"
 	"repro/internal/train"
@@ -51,6 +53,39 @@ func (m ModelKind) kindName() string {
 		return ckpt.KindSage
 	}
 }
+
+// DecoderKind selects the link-prediction scoring function. All three
+// decoders train, evaluate and serve through the same interface and the
+// same fused scoring kernel; they differ only in how a (source, relation)
+// pair folds into a query vector.
+type DecoderKind int
+
+const (
+	// DistMult scores <e_s ∘ w_r, e_d> (the paper's decoder; default).
+	DistMult DecoderKind = iota
+	// ComplEx scores Re(<e_s, w_r, conj(e_d)>) over split-half complex
+	// embeddings (first dim/2 real, last dim/2 imaginary); it requires an
+	// even dimension and, unlike DistMult, is not symmetric in s and d.
+	ComplEx
+	// TransE scores -||e_s + w_r - e_d||² (translational distance).
+	TransE
+)
+
+// kindName maps a DecoderKind to the stable name checkpoints and serving
+// snapshots record.
+func (d DecoderKind) kindName() string {
+	switch d {
+	case ComplEx:
+		return decoder.KindComplEx
+	case TransE:
+		return decoder.KindTransE
+	default:
+		return decoder.KindDistMult
+	}
+}
+
+// String implements fmt.Stringer.
+func (d DecoderKind) String() string { return d.kindName() }
 
 // PolicyKind selects the disk replacement policy for link prediction.
 type PolicyKind int
@@ -165,6 +200,16 @@ type Options struct {
 	// Dir is the directory for disk-based storage.
 	Dir string
 
+	// Decoder selects the link-prediction scoring function (WithDecoder);
+	// decoderSet records whether it was chosen explicitly, so resolve can
+	// reject the option on tasks that have no decoder.
+	Decoder    DecoderKind
+	decoderSet bool
+	// Relations, when non-zero, fixes the relation-table height
+	// (WithRelations). 0 resolves to the graph's relation count (at
+	// least 1).
+	Relations int
+
 	Dim     int
 	Layers  int   // 0 resolves to the task default
 	Fanouts []int // empty resolves to the task default
@@ -237,6 +282,17 @@ func (o *Options) resolve(task string) error {
 	if len(o.Fanouts) != o.Layers {
 		return optErr("WithFanouts", ErrBadValue, "%d fanouts for %d layers", len(o.Fanouts), o.Layers)
 	}
+	if task == TaskNC {
+		if o.decoderSet {
+			return optErr("WithDecoder", ErrBadValue, "node classification has no decoder")
+		}
+		if o.Relations > 0 {
+			return optErr("WithRelations", ErrBadValue, "node classification has no relation table")
+		}
+	}
+	if o.Decoder == ComplEx && o.Dim%2 != 0 {
+		return optErr("WithDecoder", ErrBadValue, "complex decoder needs an even dimension, got %d", o.Dim)
+	}
 	if o.Storage == OnDisk && o.Dir == "" {
 		return &OptionError{Option: "WithDisk", Err: ErrMissingDir}
 	}
@@ -268,6 +324,38 @@ func WithModel(m ModelKind) Option {
 			return optErr("WithModel", ErrBadValue, "unknown model kind %d", m)
 		}
 		o.Model = m
+		return nil
+	}
+}
+
+// WithDecoder selects the link-prediction scoring function (DistMult,
+// ComplEx or TransE). Only valid for LinkPrediction sessions; ComplEx
+// additionally requires an even dimension. The decoder kind is recorded
+// in checkpoints, so restoring or serving under a different kind fails
+// with an error naming the "decoder" field instead of silently scoring
+// with the wrong function.
+func WithDecoder(d DecoderKind) Option {
+	return func(o *Options) error {
+		if d < DistMult || d > TransE {
+			return optErr("WithDecoder", ErrBadValue, "unknown decoder kind %d", d)
+		}
+		o.Decoder = d
+		o.decoderSet = true
+		return nil
+	}
+}
+
+// WithRelations fixes the relation-table height to n. The default is the
+// graph's relation count (at least 1); setting it larger reserves rows
+// for relation types absent from the training split. It must not be
+// smaller than the graph's relation count, and for prepared datasets it
+// must equal the manifest's (the ingest already sized the table).
+func WithRelations(n int) Option {
+	return func(o *Options) error {
+		if n <= 0 {
+			return optErr("WithRelations", ErrBadValue, "relations %d", n)
+		}
+		o.Relations = n
 		return nil
 	}
 }
@@ -529,6 +617,67 @@ func LogicalPartitions(l int) DiskOption {
 func Throttled(t *storage.Throttle) DiskOption {
 	return func(o *Options) error {
 		o.Throttle = t
+		return nil
+	}
+}
+
+// numRels resolves the relation-table height for a graph: WithRelations
+// if set, else the graph's relation count, never below 1.
+func (o *Options) numRels(g *graph.Graph) int {
+	if o.Relations > 0 {
+		return o.Relations
+	}
+	return max(g.NumRels, 1)
+}
+
+// EvalSpec is the resolved evaluation configuration produced by applying
+// EvalOptions; task implementations read it in Evaluate.
+type EvalSpec struct {
+	// Ranking selects the ranking protocol: every held-out edge (s, r, d)
+	// is ranked twice against all entities — d among candidate tails of
+	// (s, r, ?), s among candidate heads of (?, r, d) — reporting MRR and
+	// Hits@k. Without it, link prediction evaluates with the sampled
+	// protocol (MRR against shared negatives) and node classification
+	// with accuracy.
+	Ranking bool
+	// Filtered removes known true triples (training, validation and test
+	// edges) from the candidate sets, the standard "filtered" protocol.
+	Filtered bool
+	// Ks lists the Hits@k cutoffs (default 1, 10).
+	Ks []int
+}
+
+// EvalOption configures a single Session.Evaluate call.
+type EvalOption func(*EvalSpec) error
+
+// RankingEval selects the ranking protocol (raw candidate sets),
+// reporting MRR and Hits@k at the given cutoffs (default 1, 10). Only
+// link-prediction sessions support it. Results are bitwise independent
+// of worker count, batch size and candidate-chunk width, and match a
+// brute-force per-candidate reference exactly.
+func RankingEval(ks ...int) EvalOption {
+	return func(e *EvalSpec) error {
+		for _, k := range ks {
+			if k <= 0 {
+				return optErr("RankingEval", ErrBadValue, "hits cutoff %d", k)
+			}
+		}
+		e.Ranking = true
+		if len(ks) > 0 {
+			e.Ks = append([]int(nil), ks...)
+		}
+		return nil
+	}
+}
+
+// FilteredEval selects the filtered ranking protocol: RankingEval with
+// known true triples (training edges plus both held-out splits) removed
+// from every candidate set, per the standard KG evaluation methodology
+// (and the paper's §7 MRR reporting).
+func FilteredEval() EvalOption {
+	return func(e *EvalSpec) error {
+		e.Ranking = true
+		e.Filtered = true
 		return nil
 	}
 }

@@ -67,6 +67,7 @@ type runConfig struct {
 	// create their own.
 	journal     *ckpt.Journal
 	journalPath string
+	evalOpts    []EvalOption
 }
 
 type earlyStopConfig struct {
@@ -109,6 +110,24 @@ func EvalEvery(n int) RunOption {
 			return optErr("EvalEvery", ErrBadValue, "eval interval %d", n)
 		}
 		rc.evalEvery = n
+		return nil
+	}
+}
+
+// EvalWith sets the EvalOptions applied to every in-run validation pass
+// (EvalEvery / EarlyStopping), e.g. RankingEval and FilteredEval for
+// MRR/Hits@k instead of the sampled default. The options are validated
+// eagerly against an empty spec so a bad cutoff fails the Run call
+// rather than the first evaluation epochs later.
+func EvalWith(opts ...EvalOption) RunOption {
+	return func(rc *runConfig) error {
+		var probe EvalSpec
+		for _, opt := range opts {
+			if err := opt(&probe); err != nil {
+				return err
+			}
+		}
+		rc.evalOpts = append(rc.evalOpts, opts...)
 		return nil
 	}
 }
@@ -237,7 +256,7 @@ func (s *Session) Run(ctx context.Context, opts ...RunOption) (*RunResult, error
 
 		var valid *EvalResult
 		if evalEvery > 0 && (e+1)%evalEvery == 0 {
-			ev, err := s.Evaluate(ValidSplit)
+			ev, err := s.Evaluate(ValidSplit, rc.evalOpts...)
 			if err != nil {
 				res.Stopped = Failed
 				return res, err

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/autotune"
 	"repro/internal/decoder"
+	"repro/internal/encode"
+	"repro/internal/eval"
 	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/nn"
@@ -212,8 +214,13 @@ func evalAdj(cached **graph.Adjacency, g *graph.Graph, o *Options, src *train.So
 
 // Evaluate computes accuracy over the full graph; with disk storage the
 // feature table is first read back into memory (evaluation nodes may live
-// in partitions that are not resident).
-func (t *ncTask) Evaluate(split Split) (EvalResult, error) {
+// in partitions that are not resident). Ranking specs are rejected:
+// node classification has no entity-ranking protocol.
+func (t *ncTask) Evaluate(split Split, spec *EvalSpec) (EvalResult, error) {
+	if spec != nil && spec.Ranking {
+		return EvalResult{}, optErr("RankingEval", ErrBadValue,
+			"ranking evaluation applies to link prediction, not node classification")
+	}
 	nodes, seed := t.g.ValidNodes, t.opts.Seed+1
 	if split == TestSplit {
 		nodes, seed = t.g.TestNodes, t.opts.Seed+2
@@ -255,8 +262,9 @@ func (t *ncTask) LearnableTable() bool      { return false }
 func (t *ncTask) SetPolicy(p policy.Policy) { t.tr.Pol = p }
 
 // LinkPrediction returns the link-prediction Task: learnable node
-// embeddings (optionally GNN-encoded) scored by a DistMult decoder, with
-// COMET/BETA replacement policies for disk storage.
+// embeddings (optionally GNN-encoded) scored by a DistMult, ComplEx or
+// TransE decoder (WithDecoder), with COMET/BETA replacement policies for
+// disk storage.
 func LinkPrediction() Task { return &lpTask{} }
 
 type lpTask struct {
@@ -267,7 +275,7 @@ type lpTask struct {
 	src *train.Source
 	ps  *nn.ParamSet
 	enc *gnn.Encoder
-	dec *decoder.DistMult
+	dec decoder.Decoder
 
 	fullAdj *graph.Adjacency
 }
@@ -345,7 +353,17 @@ func (t *lpTask) assemble(g *graph.Graph, o *Options, src *train.Source, p, c, l
 			return err
 		}
 	}
-	dec := decoder.NewDistMult(ps, max(g.NumRels, 1), o.Dim, rng)
+	numRels := o.numRels(g)
+	if numRels < max(g.NumRels, 1) {
+		src.Close()
+		return optErr("WithRelations", ErrBadValue,
+			"graph has %d relation types, relation table sized %d", g.NumRels, numRels)
+	}
+	dec, err := decoder.New(o.Decoder.kindName(), ps, numRels, o.Dim, rng)
+	if err != nil {
+		src.Close()
+		return optErr("WithDecoder", ErrBadValue, "%v", err)
+	}
 
 	var pol policy.Policy
 	if o.PolicyImpl != nil {
@@ -385,6 +403,10 @@ func (t *lpTask) assemble(g *graph.Graph, o *Options, src *train.Source, p, c, l
 // embedding files under the WithDisk directory.
 func (t *lpTask) prepareDataset(g *graph.Graph, o *Options, ds *storage.Dataset) error {
 	man := ds.Man
+	if o.Relations > 0 && o.Relations != max(man.NumRels, 1) {
+		return optErr("WithRelations", ErrDatasetMismatch,
+			"dataset has %d relation types, WithRelations(%d)", man.NumRels, o.Relations)
+	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	p, c, l := man.Partitions, o.BufferCapacity, o.LogicalPartitions
 	if l == 0 && o.PolicyImpl != nil {
@@ -432,13 +454,18 @@ func (t *lpTask) adj() (*graph.Adjacency, error) {
 }
 
 // Evaluate computes sampled-negative MRR (or full ranking for small
-// graphs, as the paper does on FB15k-237).
-func (t *lpTask) Evaluate(split Split) (EvalResult, error) {
+// graphs, as the paper does on FB15k-237) by default; a spec with
+// Ranking set runs the both-sides (optionally filtered) ranking protocol
+// instead, reporting MRR and Hits@k.
+func (t *lpTask) Evaluate(split Split, spec *EvalSpec) (EvalResult, error) {
 	edges := t.g.ValidEdges
 	if split == TestSplit {
 		edges = t.g.TestEdges
 	}
-	res := EvalResult{Task: TaskLP, Metric: "MRR", Split: split}
+	res := EvalResult{Task: TaskLP, Metric: "MRR", Split: split, Protocol: ProtocolSampled}
+	if spec != nil && spec.Ranking {
+		res.Protocol, res.Filtered = ProtocolRanking, spec.Filtered
+	}
 	if len(edges) == 0 {
 		// Nothing to score: skip the full-table read and adjacency build
 		// (expensive for dataset-backed sessions).
@@ -448,15 +475,44 @@ func (t *lpTask) Evaluate(split Split) (EvalResult, error) {
 	if err != nil {
 		return res, err
 	}
-	negatives := 1000
-	if t.g.NumNodes <= 20000 {
-		negatives = 0 // rank against all entities
-	}
 	adj, err := t.adj()
 	if err != nil {
 		return res, err
 	}
-	mrr, err := train.EvaluateLP(train.LPEvalConfig{
+
+	if res.Protocol == ProtocolRanking {
+		table := emb
+		if t.enc != nil {
+			// GNN models rank in encoder-output space: precompute the full
+			// encoded entity table (chunked, per-chunk seeded — identical
+			// at every worker count and bit-identical to the serving
+			// snapshot's table for the same state and seed).
+			table, err = encode.FullTable(encode.Config{
+				Encoder: t.enc, Params: t.ps,
+				Fanouts: t.opts.Fanouts, Dirs: graph.Both, Workers: t.opts.Workers,
+			}, adj, encode.TensorStore{T: emb}, t.g.NumNodes, t.opts.Dim, t.opts.Seed+4)
+			if err != nil {
+				return res, err
+			}
+		}
+		var filter *eval.Filter
+		if spec.Filtered {
+			filter = eval.NewFilter(adj, t.g.ValidEdges, t.g.TestEdges)
+		}
+		r := eval.Ranking(eval.RankingConfig{
+			Dec: t.dec, Rel: t.dec.RelParam().Value, Table: table,
+			Ks: spec.Ks, Filter: filter,
+			BatchSize: t.opts.BatchSize, Workers: t.opts.Workers,
+		}, edges)
+		res.Value, res.MRR, res.Hits = r.MRR, r.MRR, r.Hits
+		return res, nil
+	}
+
+	negatives := 1000
+	if t.g.NumNodes <= 20000 {
+		negatives = 0 // rank against all entities
+	}
+	stats, err := train.EvaluateLP(train.LPEvalConfig{
 		Encoder: t.enc, Params: t.ps, Decoder: t.dec,
 		Fanouts: t.opts.Fanouts, Dirs: graph.Both,
 		Negatives: negatives, BatchSize: t.opts.BatchSize,
@@ -465,7 +521,7 @@ func (t *lpTask) Evaluate(split Split) (EvalResult, error) {
 	if err != nil {
 		return res, err
 	}
-	res.Value = mrr
+	res.Value, res.MRR, res.Loss, res.Hits = stats.MRR, stats.MRR, stats.Loss, stats.Hits
 	return res, nil
 }
 
